@@ -1,0 +1,44 @@
+//! Evaluation-loop benchmarks: full-ranking metric computation over a
+//! train/test split (the dominant cost of the Table 2 grid after training).
+
+use clapf_data::split::{split, SplitStrategy};
+use clapf_data::synthetic::{generate, WorldConfig};
+use clapf_data::UserId;
+use clapf_metrics::{evaluate, evaluate_serial, EvalConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_metrics(c: &mut Criterion) {
+    let cfg = WorldConfig {
+        n_users: 400,
+        n_items: 1_500,
+        target_pairs: 20_000,
+        ..WorldConfig::default()
+    };
+    let mut rng = SmallRng::seed_from_u64(6);
+    let data = generate(&cfg, &mut rng).unwrap();
+    let s = split(&data, SplitStrategy::GlobalPairs, 0.5, &mut rng).unwrap();
+    // A deterministic pseudo-model: hashed scores.
+    let scorer = |u: UserId, out: &mut Vec<f32>| {
+        out.clear();
+        for i in 0..1_500u32 {
+            out.push(((u.0.wrapping_mul(2654435761).wrapping_add(i * 40503)) % 65_536) as f32);
+        }
+    };
+    let eval_cfg = EvalConfig::default();
+
+    let mut group = c.benchmark_group("metrics");
+    group.sample_size(10);
+    group.bench_function("evaluate_serial", |b| {
+        b.iter(|| black_box(evaluate_serial(&scorer, &s.train, &s.test, &eval_cfg)))
+    });
+    group.bench_function("evaluate_parallel", |b| {
+        b.iter(|| black_box(evaluate(&scorer, &s.train, &s.test, &eval_cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Neural-substrate benchmarks: per-example training step and bulk scoring
+//! of the NCF-family baselines (the cost that dominates their Table 2
+//! `time` column).
+
+use clapf_data::synthetic::{generate, WorldConfig};
+use clapf_data::{Interactions, UserId};
+use clapf_neural::{DeepIcf, DeepIcfConfig, NeuMf, NeuMfConfig, NeuPr, NeuPrConfig};
+use clapf_core::Recommender;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn world() -> Interactions {
+    generate(
+        &WorldConfig {
+            n_users: 300,
+            n_items: 800,
+            target_pairs: 9_000,
+            ..WorldConfig::default()
+        },
+        &mut SmallRng::seed_from_u64(8),
+    )
+    .unwrap()
+}
+
+fn bench_neural(c: &mut Criterion) {
+    let data = world();
+    let mut group = c.benchmark_group("neural");
+    group.sample_size(10);
+
+    group.bench_function("neumf_train_epoch", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            let model = NeuMf {
+                config: NeuMfConfig {
+                    embed_dim: 16,
+                    epochs: 1,
+                    ..NeuMfConfig::default()
+                },
+            }
+            .fit(&data, &mut rng);
+            black_box(model.has_non_finite())
+        })
+    });
+
+    group.bench_function("neupr_train_epoch", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            let model = NeuPr {
+                config: NeuPrConfig {
+                    embed_dim: 16,
+                    epochs: 1,
+                    ..NeuPrConfig::default()
+                },
+            }
+            .fit(&data, &mut rng);
+            black_box(model.has_non_finite())
+        })
+    });
+
+    group.bench_function("deepicf_train_epoch", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            let model = DeepIcf {
+                config: DeepIcfConfig {
+                    embed_dim: 16,
+                    epochs: 1,
+                    ..DeepIcfConfig::default()
+                },
+            }
+            .fit(&data, &mut rng);
+            black_box(model.has_non_finite())
+        })
+    });
+
+    // Bulk scoring: the evaluation-side cost.
+    let mut rng = SmallRng::seed_from_u64(2);
+    let neumf = NeuMf {
+        config: NeuMfConfig {
+            embed_dim: 16,
+            epochs: 1,
+            ..NeuMfConfig::default()
+        },
+    }
+    .fit(&data, &mut rng);
+    group.bench_function("neumf_score_catalogue", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            neumf.scores_into(UserId(7), &mut out);
+            black_box(out.len())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_neural);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Prediction-path benchmarks: the O(d) single score the paper cites
+//! (Sec 4.3), full-catalogue scoring, and top-k recommendation.
+
+use clapf_core::{Clapf, ClapfConfig, Recommender};
+use clapf_data::synthetic::{generate, WorldConfig};
+use clapf_data::UserId;
+use clapf_sampling::UniformSampler;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_prediction(c: &mut Criterion) {
+    let cfg = WorldConfig {
+        n_users: 500,
+        n_items: 2_000,
+        target_pairs: 25_000,
+        ..WorldConfig::default()
+    };
+    let mut rng = SmallRng::seed_from_u64(5);
+    let data = generate(&cfg, &mut rng).unwrap();
+    let trainer = Clapf::new(ClapfConfig {
+        iterations: 20_000,
+        ..ClapfConfig::map(0.4)
+    });
+    let (model, _) = trainer.fit(&data, &mut UniformSampler, &mut rng);
+
+    let mut group = c.benchmark_group("prediction");
+    group.bench_function("single_score", |b| {
+        b.iter(|| black_box(model.score(UserId(7), clapf_data::ItemId(1234))))
+    });
+    group.bench_function("score_catalogue", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            model.scores_into(UserId(7), &mut out);
+            black_box(out.len())
+        })
+    });
+    group.bench_function("recommend_top10", |b| {
+        b.iter(|| black_box(model.recommend(UserId(7), 10, Some(&data))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prediction);
+criterion_main!(benches);

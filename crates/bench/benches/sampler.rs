@@ -1,0 +1,61 @@
+//! Sampler micro-benchmarks: per-draw cost of Uniform vs DSS and the DSS
+//! ranking-list refresh that the paper amortizes "every log(m) iterations".
+
+use clapf_data::synthetic::{generate, WorldConfig};
+use clapf_data::Interactions;
+use clapf_mf::{Init, MfModel};
+use clapf_sampling::{sample_observed_pair, DssMode, DssSampler, TripleSampler, UniformSampler};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn fixture() -> (Interactions, MfModel) {
+    let cfg = WorldConfig {
+        n_users: 500,
+        n_items: 2_000,
+        target_pairs: 30_000,
+        ..WorldConfig::default()
+    };
+    let mut rng = SmallRng::seed_from_u64(3);
+    let data = generate(&cfg, &mut rng).unwrap();
+    let model = MfModel::new(data.n_users(), data.n_items(), 20, Init::default(), &mut rng);
+    (data, model)
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let (data, model) = fixture();
+    let mut group = c.benchmark_group("sampler");
+
+    group.bench_function("uniform_triple", |b| {
+        let mut sampler = UniformSampler;
+        let mut rng = SmallRng::seed_from_u64(4);
+        b.iter(|| {
+            let (u, i) = sample_observed_pair(&data, &mut rng);
+            black_box(sampler.complete(&data, &model, u, i, &mut rng))
+        })
+    });
+
+    group.bench_function("dss_triple", |b| {
+        let mut sampler = DssSampler::dss(DssMode::Map);
+        sampler.refresh(&model);
+        let mut rng = SmallRng::seed_from_u64(4);
+        b.iter(|| {
+            let (u, i) = sample_observed_pair(&data, &mut rng);
+            black_box(sampler.complete(&data, &model, u, i, &mut rng))
+        })
+    });
+
+    group.bench_function("dss_refresh", |b| {
+        let mut sampler = DssSampler::dss(DssMode::Map);
+        b.iter(|| {
+            sampler.refresh(&model);
+            black_box(sampler.name())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_samplers);
+criterion_main!(benches);

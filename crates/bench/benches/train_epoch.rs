@@ -1,0 +1,127 @@
+//! The Table 2 "time" column: per-epoch training cost of each method.
+//!
+//! The paper's claims are about ordering — CLAPF ≈ BPR ≪ CLiMF, DSS adds
+//! only amortized overhead — which these benches reproduce on the ML100K
+//! stand-in.
+
+use clapf_baselines::{Bpr, BprConfig, Climf, ClimfConfig, Mpr, MprConfig, Wmf, WmfConfig};
+use clapf_core::{Clapf, ClapfConfig};
+use clapf_data::synthetic::{generate, WorldConfig};
+use clapf_data::Interactions;
+use clapf_mf::SgdConfig;
+use clapf_sampling::{DssMode, DssSampler, UniformSampler};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn world() -> Interactions {
+    let cfg = WorldConfig {
+        n_users: 400,
+        n_items: 700,
+        target_pairs: 20_000,
+        ..WorldConfig::default()
+    };
+    generate(&cfg, &mut SmallRng::seed_from_u64(1)).unwrap()
+}
+
+/// One "epoch" = |P| SGD steps for the sampling methods.
+fn bench_train(c: &mut Criterion) {
+    let data = world();
+    let steps = data.n_pairs();
+    let mut group = c.benchmark_group("train_epoch");
+    group.sample_size(10);
+
+    group.bench_function("bpr", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(2);
+            let model = Bpr {
+                config: BprConfig {
+                    dim: 20,
+                    iterations: steps,
+                    ..BprConfig::default()
+                },
+            }
+            .fit(&data, &mut rng);
+            black_box(model.model.params_sq_norm())
+        })
+    });
+
+    group.bench_function("mpr", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(2);
+            let model = Mpr {
+                config: MprConfig {
+                    dim: 20,
+                    iterations: steps,
+                    ..MprConfig::default()
+                },
+            }
+            .fit(&data, &mut rng);
+            black_box(model.model.params_sq_norm())
+        })
+    });
+
+    group.bench_function("clapf_map_uniform", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(2);
+            let trainer = Clapf::new(ClapfConfig {
+                dim: 20,
+                iterations: steps,
+                sgd: SgdConfig::default(),
+                ..ClapfConfig::map(0.4)
+            });
+            let (model, _) = trainer.fit(&data, &mut UniformSampler, &mut rng);
+            black_box(model.mf.params_sq_norm())
+        })
+    });
+
+    group.bench_function("clapf_map_dss", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(2);
+            let trainer = Clapf::new(ClapfConfig {
+                dim: 20,
+                iterations: steps,
+                ..ClapfConfig::map(0.4)
+            });
+            let mut sampler = DssSampler::dss(DssMode::Map);
+            let (model, _) = trainer.fit(&data, &mut sampler, &mut rng);
+            black_box(model.mf.params_sq_norm())
+        })
+    });
+
+    group.bench_function("climf", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(2);
+            let model = Climf {
+                config: ClimfConfig {
+                    dim: 20,
+                    epochs: 1,
+                    ..ClimfConfig::default()
+                },
+            }
+            .fit(&data, &mut rng);
+            black_box(model.model.params_sq_norm())
+        })
+    });
+
+    group.bench_function("wmf_sweep", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(2);
+            let model = Wmf {
+                config: WmfConfig {
+                    dim: 20,
+                    sweeps: 1,
+                    ..WmfConfig::default()
+                },
+            }
+            .fit(&data, &mut rng);
+            black_box(model.model.params_sq_norm())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_train);
+criterion_main!(benches);

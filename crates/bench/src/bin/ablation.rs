@@ -1,0 +1,14 @@
+//! Regenerates the DSS design ablations called out in DESIGN.md
+//! (ranking-list refresh cadence and geometric-tail concentration).
+
+use bench::Cli;
+use clapf_eval::{ablation, report};
+
+fn main() {
+    let cli = Cli::parse();
+    let results = ablation::run(&cli.scale, |line| eprintln!("{line}"));
+    println!("{}", ablation::render(&results));
+    let path = cli.json_path("ablation");
+    report::write_json(&path, &results).expect("write results");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,15 @@
+//! Regenerates Fig. 2 (Recall@k and NDCG@k for k ∈ {3, 5, 10, 15, 20}).
+
+use bench::Cli;
+use clapf_eval::{fig2, report};
+
+fn main() {
+    let cli = Cli::parse();
+    let results = fig2::run(&cli.scale, None, |line| eprintln!("{line}"));
+    for dataset in &results {
+        println!("{}", fig2::render(dataset));
+    }
+    let path = cli.json_path("fig2");
+    report::write_json(&path, &results).expect("write results");
+    eprintln!("wrote {}", path.display());
+}

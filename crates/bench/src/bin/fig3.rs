@@ -1,0 +1,15 @@
+//! Regenerates Fig. 3 (CLAPF performance across the tradeoff λ).
+
+use bench::Cli;
+use clapf_eval::{fig3, report};
+
+fn main() {
+    let cli = Cli::parse();
+    let results = fig3::run(&cli.scale, |line| eprintln!("{line}"));
+    for sweep in &results {
+        println!("{}", fig3::render(sweep));
+    }
+    let path = cli.json_path("fig3");
+    report::write_json(&path, &results).expect("write results");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,16 @@
+//! Regenerates Fig. 4 (learning convergence of CLAPF under Uniform /
+//! Positive / Negative / DSS sampling).
+
+use bench::Cli;
+use clapf_eval::{fig4, report};
+
+fn main() {
+    let cli = Cli::parse();
+    let results = fig4::run(&cli.scale, |line| eprintln!("{line}"));
+    for conv in &results {
+        println!("{}", fig4::render(conv));
+    }
+    let path = cli.json_path("fig4");
+    report::write_json(&path, &results).expect("write results");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,14 @@
+//! Extension study: NDCG@5 / MAP of BPR vs CLAPF-MAP as the training set
+//! grows (see `clapf_eval::learning_curve`).
+
+use bench::Cli;
+use clapf_eval::{learning_curve, report};
+
+fn main() {
+    let cli = Cli::parse();
+    let curve = learning_curve::run(&cli.scale, |line| eprintln!("{line}"));
+    println!("{}", learning_curve::render(&curve));
+    let path = cli.json_path("learning_curve");
+    report::write_json(&path, &curve).expect("write results");
+    eprintln!("wrote {}", path.display());
+}

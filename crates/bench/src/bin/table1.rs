@@ -1,0 +1,13 @@
+//! Regenerates Table 1 (dataset description).
+
+use bench::Cli;
+use clapf_eval::{report, table1};
+
+fn main() {
+    let cli = Cli::parse();
+    let rows = table1::run(&cli.scale);
+    println!("{}", table1::render(&rows));
+    let path = cli.json_path("table1");
+    report::write_json(&path, &rows).expect("write results");
+    eprintln!("wrote {}", path.display());
+}

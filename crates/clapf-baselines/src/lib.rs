@@ -1,0 +1,34 @@
+//! The non-neural baselines of the paper's evaluation (Sec 6.3).
+//!
+//! * [`PopRank`] — rank items by training popularity.
+//! * [`RandomWalk`] — preference of reachable users, propagated over the
+//!   user–item bipartite graph.
+//! * [`Wmf`] — Weighted Matrix Factorization (Hu, Koren & Volinsky 2008), the
+//!   pointwise baseline, trained by ALS.
+//! * [`Bpr`] — Bayesian Personalized Ranking (Rendle et al. 2009), the
+//!   seminal pairwise baseline.
+//! * [`Mpr`] — Multiple Pairwise Ranking (Yu et al. 2018), the
+//!   state-of-the-art pairwise baseline CLAPF borrows its multi-pair
+//!   formulation from.
+//! * [`Climf`] — Collaborative Less-is-More Filtering (Shi et al. 2012), the
+//!   listwise baseline that maximizes smoothed MRR over the observed items.
+//!
+//! All factor models share the `clapf-mf` substrate and return
+//! [`clapf_core::FactorRecommender`], so the harness treats them uniformly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bpr;
+mod climf;
+mod mpr;
+mod poprank;
+mod randomwalk;
+mod wmf;
+
+pub use bpr::{Bpr, BprConfig};
+pub use climf::{Climf, ClimfConfig};
+pub use mpr::{Mpr, MprConfig};
+pub use poprank::{PopRank, PopRankModel};
+pub use randomwalk::{RandomWalk, RandomWalkConfig, RandomWalkModel};
+pub use wmf::{Wmf, WmfConfig};

@@ -1,0 +1,208 @@
+//! MPR — Multiple Pairwise Ranking (Yu et al., CIKM 2018).
+//!
+//! MPR relaxes BPR's single pairwise assumption with *multiple* pairwise
+//! criteria over three item classes: observed `i`, "uncertain" `k` and
+//! negative `j`, optimizing `ln σ(λ(f_ui − f_uk) + (1 − λ)(f_uk − f_uj))`.
+//!
+//! The original uses auxiliary view data for the uncertain class. The CLAPF
+//! paper evaluates MPR on datasets with no view signal, so the uncertain
+//! class must be derived from the data; we use the standard popularity
+//! proxy: the most popular *unobserved* items are plausibly-seen-but-not-
+//! chosen ("uncertain"), the long tail is treated as truly negative. The
+//! uncertain pool is the most-popular half of the catalogue. This
+//! substitution is recorded in DESIGN.md.
+
+use clapf_core::objective::sigmoid;
+use clapf_core::FactorRecommender;
+use clapf_data::{Interactions, ItemId};
+use clapf_mf::{Init, MfModel, SgdConfig};
+use clapf_sampling::sample_observed_pair;
+use rand::Rng;
+
+/// MPR hyper-parameters (the paper searches λ ∈ {0.0, 0.1, …, 1.0}).
+#[derive(Copy, Clone, Debug)]
+pub struct MprConfig {
+    /// Latent dimension.
+    pub dim: usize,
+    /// Tradeoff between the two pairwise criteria.
+    pub lambda: f32,
+    /// Learning rate and regularization.
+    pub sgd: SgdConfig,
+    /// Total SGD steps; `0` = automatic (`100·|P|`, capped at 8 M).
+    pub iterations: usize,
+    /// Parameter initialization.
+    pub init: Init,
+    /// Fraction of the catalogue (by popularity) forming the uncertain pool.
+    pub uncertain_fraction: f64,
+}
+
+impl Default for MprConfig {
+    fn default() -> Self {
+        MprConfig {
+            dim: 20,
+            lambda: 0.4,
+            sgd: SgdConfig::default(),
+            iterations: 0,
+            init: Init::default(),
+            uncertain_fraction: 0.5,
+        }
+    }
+}
+
+/// The MPR trainer.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Mpr {
+    /// Hyper-parameters.
+    pub config: MprConfig,
+}
+
+impl Mpr {
+    /// Fits by SGD over (observed, uncertain, negative) triples.
+    pub fn fit<R: Rng>(&self, data: &Interactions, rng: &mut R) -> FactorRecommender {
+        let cfg = &self.config;
+        assert!(cfg.dim > 0, "dim must be positive");
+        assert!(
+            (0.0..=1.0).contains(&cfg.lambda),
+            "lambda must be in [0, 1]"
+        );
+        let mut model = MfModel::new(data.n_users(), data.n_items(), cfg.dim, cfg.init, rng);
+        let iterations = if cfg.iterations > 0 {
+            cfg.iterations
+        } else {
+            (100 * data.n_pairs()).clamp(1, 8_000_000)
+        };
+
+        // Popularity split of the catalogue into uncertain head / negative tail.
+        let mut by_pop: Vec<ItemId> = (0..data.n_items()).map(ItemId).collect();
+        let pop = data.item_popularity();
+        by_pop.sort_unstable_by(|&a, &b| pop[b.index()].cmp(&pop[a.index()]).then(a.cmp(&b)));
+        let head = ((data.n_items() as f64 * cfg.uncertain_fraction) as usize)
+            .clamp(1, data.n_items() as usize - 1);
+        let uncertain_pool = &by_pop[..head];
+        let negative_pool = &by_pop[head..];
+
+        let lambda = cfg.lambda;
+        // R = λ f_ui + (1 − 2λ) f_uk − (1 − λ) f_uj
+        let (ci, ck, cj) = (lambda, 1.0 - 2.0 * lambda, -(1.0 - lambda));
+        let lr = cfg.sgd.learning_rate;
+        let decay_u = lr * cfg.sgd.reg_user;
+        let decay_v = lr * cfg.sgd.reg_item;
+        let decay_b = lr * cfg.sgd.reg_bias;
+        let mut u_old = vec![0.0f32; cfg.dim];
+        let mut grad_u = vec![0.0f32; cfg.dim];
+
+        let draw = |pool: &[ItemId], data: &Interactions, u, rng: &mut R| -> Option<ItemId> {
+            for _ in 0..64 {
+                let c = pool[rng.gen_range(0..pool.len())];
+                if !data.contains(u, c) {
+                    return Some(c);
+                }
+            }
+            None
+        };
+
+        for _ in 0..iterations {
+            let (u, i) = sample_observed_pair(data, rng);
+            let Some(k) = draw(uncertain_pool, data, u, rng) else {
+                continue;
+            };
+            let Some(j) = draw(negative_pool, data, u, rng) else {
+                continue;
+            };
+
+            let r = lambda * (model.score(u, i) - model.score(u, k))
+                + (1.0 - lambda) * (model.score(u, k) - model.score(u, j));
+            let g = sigmoid(-r);
+
+            model.copy_user_into(u, &mut u_old);
+            grad_u.fill(0.0);
+            for (t, c) in [(i, ci), (k, ck), (j, cj)] {
+                if c != 0.0 {
+                    for (slot, &w) in grad_u.iter_mut().zip(model.item(t)) {
+                        *slot += c * w;
+                    }
+                }
+            }
+            model.sgd_user(u, lr * g, &grad_u, decay_u);
+            for (t, c) in [(i, ci), (k, ck), (j, cj)] {
+                model.sgd_item(t, lr * g * c, &u_old, decay_v);
+                model.sgd_bias(t, lr, g * c, decay_b);
+            }
+        }
+
+        FactorRecommender {
+            model,
+            label: format!("MPR(λ={:.1})", lambda),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clapf_core::Recommender;
+    use clapf_data::split::{split, SplitStrategy};
+    use clapf_data::synthetic::{generate, WorldConfig};
+    use clapf_data::UserId;
+    use clapf_metrics::{evaluate_serial, EvalConfig};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn quick(lambda: f32) -> Mpr {
+        Mpr {
+            config: MprConfig {
+                dim: 8,
+                lambda,
+                iterations: 12_000,
+                ..MprConfig::default()
+            },
+        }
+    }
+
+    #[test]
+    fn learns_better_than_chance() {
+        let world = WorldConfig {
+            n_users: 50,
+            n_items: 80,
+            target_pairs: 900,
+            affinity_weight: 4.0,
+            ..WorldConfig::default()
+        };
+        let data = generate(&world, &mut SmallRng::seed_from_u64(10)).unwrap();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let s = split(&data, SplitStrategy::PerUser, 0.5, &mut rng).unwrap();
+        let model = quick(0.4).fit(&s.train, &mut rng);
+        let scorer = |u: UserId, out: &mut Vec<f32>| model.scores_into(u, out);
+        let report = evaluate_serial(&scorer, &s.train, &s.test, &EvalConfig::at_5());
+        assert!(report.auc > 0.6, "AUC = {}", report.auc);
+    }
+
+    #[test]
+    fn label_includes_lambda() {
+        let data = generate(&WorldConfig::tiny(), &mut SmallRng::seed_from_u64(12)).unwrap();
+        let model = Mpr {
+            config: MprConfig {
+                dim: 4,
+                lambda: 0.3,
+                iterations: 100,
+                ..MprConfig::default()
+            },
+        }
+        .fit(&data, &mut SmallRng::seed_from_u64(13));
+        assert_eq!(model.name(), "MPR(λ=0.3)");
+        assert!(!model.model.has_non_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn invalid_lambda_panics() {
+        let data = generate(&WorldConfig::tiny(), &mut SmallRng::seed_from_u64(14)).unwrap();
+        Mpr {
+            config: MprConfig {
+                lambda: 2.0,
+                ..MprConfig::default()
+            },
+        }
+        .fit(&data, &mut SmallRng::seed_from_u64(15));
+    }
+}

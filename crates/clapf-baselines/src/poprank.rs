@@ -1,0 +1,93 @@
+//! PopRank: the popularity baseline.
+
+use clapf_core::Recommender;
+use clapf_data::{Interactions, ItemId, UserId};
+
+/// The PopRank trainer: "ranks the items according to their popularity in
+/// training data".
+#[derive(Copy, Clone, Debug, Default)]
+pub struct PopRank;
+
+/// Fitted PopRank model: one global score per item.
+#[derive(Clone, Debug)]
+pub struct PopRankModel {
+    scores: Vec<f32>,
+}
+
+impl PopRank {
+    /// Counts item popularity over the training interactions.
+    pub fn fit(&self, data: &Interactions) -> PopRankModel {
+        PopRankModel {
+            scores: data.item_popularity().iter().map(|&c| c as f32).collect(),
+        }
+    }
+}
+
+impl Recommender for PopRankModel {
+    fn name(&self) -> String {
+        "PopRank".into()
+    }
+
+    fn n_items(&self) -> u32 {
+        self.scores.len() as u32
+    }
+
+    fn score(&self, _u: UserId, i: ItemId) -> f32 {
+        self.scores[i.index()]
+    }
+
+    fn scores_into(&self, _u: UserId, out: &mut Vec<f32>) {
+        out.clear();
+        out.extend_from_slice(&self.scores);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clapf_data::InteractionsBuilder;
+
+    fn data() -> Interactions {
+        let mut b = InteractionsBuilder::new(3, 4);
+        for (u, i) in [(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 3)] {
+            b.push(UserId(u), ItemId(i)).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn scores_are_popularity_counts() {
+        let m = PopRank.fit(&data());
+        assert_eq!(m.score(UserId(0), ItemId(0)), 3.0);
+        assert_eq!(m.score(UserId(2), ItemId(1)), 2.0);
+        assert_eq!(m.score(UserId(1), ItemId(2)), 0.0);
+        assert_eq!(m.score(UserId(1), ItemId(3)), 1.0);
+    }
+
+    #[test]
+    fn scores_are_user_independent() {
+        let m = PopRank.fit(&data());
+        for i in 0..4u32 {
+            assert_eq!(m.score(UserId(0), ItemId(i)), m.score(UserId(2), ItemId(i)));
+        }
+    }
+
+    #[test]
+    fn recommend_is_by_popularity() {
+        let m = PopRank.fit(&data());
+        assert_eq!(
+            m.recommend(UserId(0), 2, None),
+            vec![ItemId(0), ItemId(1)]
+        );
+    }
+
+    #[test]
+    fn bulk_scores_match() {
+        let m = PopRank.fit(&data());
+        let mut out = Vec::new();
+        m.scores_into(UserId(1), &mut out);
+        assert_eq!(out, vec![3.0, 2.0, 0.0, 1.0]);
+        assert_eq!(m.n_items(), 4);
+        assert_eq!(m.name(), "PopRank");
+    }
+}

@@ -1,0 +1,331 @@
+//! Hand-rolled, fully-tested argument parsing for the `clapf` binary.
+
+use std::path::PathBuf;
+
+/// Which model family `fit` trains.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ModelKind {
+    /// Plain BPR (equivalently CLAPF at λ = 0).
+    Bpr,
+    /// CLAPF-MAP.
+    ClapfMap,
+    /// CLAPF-MRR.
+    ClapfMrr,
+}
+
+impl ModelKind {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "bpr" => Ok(ModelKind::Bpr),
+            "clapf-map" => Ok(ModelKind::ClapfMap),
+            "clapf-mrr" => Ok(ModelKind::ClapfMrr),
+            other => Err(format!(
+                "unknown model {other:?} (expected bpr | clapf-map | clapf-mrr)"
+            )),
+        }
+    }
+}
+
+/// `clapf generate` arguments.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GenerateArgs {
+    /// Named world (`ml100k`, `ml1m`, `usertag`, `ml20m`, `flixter`,
+    /// `netflix`).
+    pub dataset: String,
+    /// Divide users/pairs by this factor (items by its square root).
+    pub shrink: u32,
+    /// Output CSV path.
+    pub out: PathBuf,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+/// `clapf fit` arguments.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FitArgs {
+    /// Ratings file to load.
+    pub data: PathBuf,
+    /// Model family.
+    pub model: ModelKind,
+    /// CLAPF tradeoff λ.
+    pub lambda: f32,
+    /// Use the DSS sampler.
+    pub dss: bool,
+    /// Latent dimension.
+    pub dim: usize,
+    /// SGD steps (0 = auto).
+    pub iterations: usize,
+    /// Fraction of pairs held out for evaluation (0 disables evaluation).
+    pub holdout: f64,
+    /// Seed for split and training.
+    pub seed: u64,
+    /// Where to save the model bundle (optional).
+    pub save: Option<PathBuf>,
+}
+
+/// `clapf recommend` arguments.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecommendArgs {
+    /// Saved model bundle.
+    pub load: PathBuf,
+    /// Raw user id (as it appeared in the ratings file).
+    pub user: String,
+    /// List length.
+    pub k: usize,
+}
+
+/// A parsed `clapf` invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Generate synthetic data.
+    Generate(GenerateArgs),
+    /// Train and evaluate a model.
+    Fit(FitArgs),
+    /// Produce recommendations from a saved model.
+    Recommend(RecommendArgs),
+    /// Print usage.
+    Help,
+}
+
+/// Usage text shown by `clapf help` and on parse errors.
+pub const USAGE: &str = "\
+clapf — Collaborative List-and-Pairwise Filtering
+
+USAGE:
+  clapf generate --dataset ml100k [--shrink N] [--seed N] --out data.csv
+  clapf fit --data FILE [--model bpr|clapf-map|clapf-mrr] [--lambda F]
+            [--dss] [--dim N] [--iterations N] [--holdout F] [--seed N]
+            [--save model.json]
+  clapf recommend --load model.json --user RAW_ID [-k N]
+  clapf help
+";
+
+impl Command {
+    /// Parses an argument list (without the program name).
+    pub fn parse(args: &[String]) -> Result<Command, String> {
+        let mut it = args.iter();
+        let sub = match it.next() {
+            None => return Ok(Command::Help),
+            Some(s) => s.as_str(),
+        };
+        let rest: Vec<&String> = it.collect();
+        let value = |flag: &str| -> Result<Option<&String>, String> {
+            let mut found = None;
+            let mut i = 0;
+            while i < rest.len() {
+                if rest[i] == flag {
+                    let v = rest
+                        .get(i + 1)
+                        .ok_or_else(|| format!("{flag} requires a value"))?;
+                    found = Some(*v);
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            Ok(found)
+        };
+        let flag = |name: &str| rest.iter().any(|a| a.as_str() == name);
+        let required = |flagname: &str| -> Result<&String, String> {
+            value(flagname)?.ok_or_else(|| format!("missing required {flagname}"))
+        };
+        let parse_num = |flagname: &str, v: &str| -> Result<f64, String> {
+            v.parse::<f64>()
+                .map_err(|_| format!("{flagname} expects a number, got {v:?}"))
+        };
+
+        match sub {
+            "help" | "--help" | "-h" => Ok(Command::Help),
+            "generate" => {
+                let dataset = required("--dataset")?.to_lowercase();
+                let shrink = match value("--shrink")? {
+                    Some(v) => parse_num("--shrink", v)? as u32,
+                    None => 1,
+                };
+                let seed = match value("--seed")? {
+                    Some(v) => parse_num("--seed", v)? as u64,
+                    None => 42,
+                };
+                let out = PathBuf::from(required("--out")?);
+                Ok(Command::Generate(GenerateArgs {
+                    dataset,
+                    shrink: shrink.max(1),
+                    out,
+                    seed,
+                }))
+            }
+            "fit" => {
+                let data = PathBuf::from(required("--data")?);
+                let model = match value("--model")? {
+                    Some(v) => ModelKind::parse(v)?,
+                    None => ModelKind::ClapfMap,
+                };
+                let lambda = match value("--lambda")? {
+                    Some(v) => parse_num("--lambda", v)? as f32,
+                    None => 0.3,
+                };
+                if !(0.0..=1.0).contains(&lambda) {
+                    return Err(format!("--lambda must be in [0, 1], got {lambda}"));
+                }
+                let dim = match value("--dim")? {
+                    Some(v) => parse_num("--dim", v)? as usize,
+                    None => 20,
+                };
+                let iterations = match value("--iterations")? {
+                    Some(v) => parse_num("--iterations", v)? as usize,
+                    None => 0,
+                };
+                let holdout = match value("--holdout")? {
+                    Some(v) => parse_num("--holdout", v)?,
+                    None => 0.5,
+                };
+                if !(0.0..1.0).contains(&holdout) {
+                    return Err(format!("--holdout must be in [0, 1), got {holdout}"));
+                }
+                let seed = match value("--seed")? {
+                    Some(v) => parse_num("--seed", v)? as u64,
+                    None => 42,
+                };
+                Ok(Command::Fit(FitArgs {
+                    data,
+                    model,
+                    lambda,
+                    dss: flag("--dss"),
+                    dim: dim.max(1),
+                    iterations,
+                    holdout,
+                    seed,
+                    save: value("--save")?.map(PathBuf::from),
+                }))
+            }
+            "recommend" => {
+                let load = PathBuf::from(required("--load")?);
+                let user = required("--user")?.clone();
+                let k = match value("-k")? {
+                    Some(v) => parse_num("-k", v)? as usize,
+                    None => 10,
+                };
+                Ok(Command::Recommend(RecommendArgs {
+                    load,
+                    user,
+                    k: k.max(1),
+                }))
+            }
+            other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(Command::parse(&[]).unwrap(), Command::Help);
+        assert_eq!(Command::parse(&args(&["help"])).unwrap(), Command::Help);
+        assert_eq!(Command::parse(&args(&["--help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn generate_parses() {
+        let c = Command::parse(&args(&[
+            "generate", "--dataset", "ML100K", "--shrink", "8", "--out", "x.csv",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Generate(GenerateArgs {
+                dataset: "ml100k".into(),
+                shrink: 8,
+                out: PathBuf::from("x.csv"),
+                seed: 42,
+            })
+        );
+    }
+
+    #[test]
+    fn generate_requires_dataset_and_out() {
+        assert!(Command::parse(&args(&["generate", "--out", "x.csv"])).is_err());
+        assert!(Command::parse(&args(&["generate", "--dataset", "ml1m"])).is_err());
+    }
+
+    #[test]
+    fn fit_defaults() {
+        let c = Command::parse(&args(&["fit", "--data", "u.data"])).unwrap();
+        match c {
+            Command::Fit(f) => {
+                assert_eq!(f.model, ModelKind::ClapfMap);
+                assert_eq!(f.lambda, 0.3);
+                assert!(!f.dss);
+                assert_eq!(f.dim, 20);
+                assert_eq!(f.iterations, 0);
+                assert_eq!(f.holdout, 0.5);
+                assert!(f.save.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn fit_full_flags() {
+        let c = Command::parse(&args(&[
+            "fit", "--data", "r.csv", "--model", "clapf-mrr", "--lambda", "0.2", "--dss",
+            "--dim", "16", "--iterations", "50000", "--holdout", "0.3", "--seed", "7",
+            "--save", "m.json",
+        ]))
+        .unwrap();
+        match c {
+            Command::Fit(f) => {
+                assert_eq!(f.model, ModelKind::ClapfMrr);
+                assert_eq!(f.lambda, 0.2);
+                assert!(f.dss);
+                assert_eq!(f.dim, 16);
+                assert_eq!(f.iterations, 50_000);
+                assert_eq!(f.holdout, 0.3);
+                assert_eq!(f.seed, 7);
+                assert_eq!(f.save, Some(PathBuf::from("m.json")));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn fit_validates_ranges() {
+        assert!(Command::parse(&args(&["fit", "--data", "x", "--lambda", "1.5"])).is_err());
+        assert!(Command::parse(&args(&["fit", "--data", "x", "--holdout", "1.0"])).is_err());
+        assert!(Command::parse(&args(&["fit", "--data", "x", "--model", "ncf"])).is_err());
+    }
+
+    #[test]
+    fn recommend_parses() {
+        let c = Command::parse(&args(&[
+            "recommend", "--load", "m.json", "--user", "42", "-k", "5",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Recommend(RecommendArgs {
+                load: PathBuf::from("m.json"),
+                user: "42".into(),
+                k: 5,
+            })
+        );
+    }
+
+    #[test]
+    fn unknown_subcommand_mentions_usage() {
+        let err = Command::parse(&args(&["frobnicate"])).unwrap_err();
+        assert!(err.contains("USAGE"));
+    }
+
+    #[test]
+    fn missing_value_is_reported() {
+        let err = Command::parse(&args(&["fit", "--data"])).unwrap_err();
+        assert!(err.contains("--data requires a value"));
+    }
+}

@@ -1,0 +1,26 @@
+//! Library backing the `clapf` command-line tool.
+//!
+//! Three subcommands cover the adoption path end to end:
+//!
+//! * `clapf generate` — write a synthetic implicit-feedback dataset (one of
+//!   the paper's six worlds, optionally shrunk) as a CSV the other commands
+//!   and any external tool can read.
+//! * `clapf fit` — load a ratings file (CSV / `u.data` / `ratings.dat`),
+//!   binarize it with the paper's `rating > 3` rule, hold out a split,
+//!   train BPR or CLAPF(-MAP/-MRR, optionally with DSS), report the Sec 6.2
+//!   metrics, and save the model bundle as JSON.
+//! * `clapf recommend` — load a bundle and print top-k recommendations for
+//!   a raw user id, excluding the items the user was trained on.
+//!
+//! Argument parsing is hand-rolled (the workspace deliberately avoids a CLI
+//! dependency); [`Command::parse`] is fully unit-tested.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod bundle;
+pub mod run;
+
+pub use args::{Command, FitArgs, GenerateArgs, RecommendArgs};
+pub use bundle::ModelBundle;

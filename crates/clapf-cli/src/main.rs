@@ -1,0 +1,14 @@
+//! The `clapf` command-line tool. See `clapf help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    let code = match clapf_cli::Command::parse(&args) {
+        Ok(cmd) => clapf_cli::run::run(cmd, &mut stdout),
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    };
+    std::process::exit(code);
+}

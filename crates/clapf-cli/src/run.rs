@@ -1,0 +1,257 @@
+//! Execution of the parsed CLI commands.
+
+use crate::args::{Command, FitArgs, GenerateArgs, ModelKind, RecommendArgs};
+use crate::bundle::ModelBundle;
+use clapf_core::{Clapf, ClapfConfig, ClapfMode};
+use clapf_data::loader::{load_ratings_path, PAPER_RATING_THRESHOLD};
+use clapf_data::split::{split, SplitStrategy};
+use clapf_data::synthetic::{self, DatasetSpec, WorldConfig};
+use clapf_data::{export, Interactions, UserId};
+use clapf_metrics::{evaluate, EvalConfig};
+use clapf_sampling::{DssMode, DssSampler, TripleSampler, UniformSampler};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::io::Write;
+
+/// Runs a parsed command, writing human output to `out`. Returns the
+/// process exit code.
+pub fn run<W: Write>(cmd: Command, out: &mut W) -> i32 {
+    let result = match cmd {
+        Command::Help => {
+            let _ = writeln!(out, "{}", crate::args::USAGE);
+            Ok(())
+        }
+        Command::Generate(a) => generate(a, out),
+        Command::Fit(a) => fit(a, out),
+        Command::Recommend(a) => recommend(a, out),
+    };
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            1
+        }
+    }
+}
+
+fn spec_by_name(name: &str) -> Result<DatasetSpec, String> {
+    synthetic::paper_datasets()
+        .into_iter()
+        .find(|s| s.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            format!(
+                "unknown dataset {name:?} (expected one of ml100k, ml1m, usertag, ml20m, flixter, netflix)"
+            )
+        })
+}
+
+fn generate<W: Write>(a: GenerateArgs, out: &mut W) -> Result<(), String> {
+    let mut spec = spec_by_name(&a.dataset)?;
+    if a.shrink > 1 {
+        let s = a.shrink;
+        let item_s = (s as f64).sqrt().round().max(1.0) as u32;
+        let cfg = &mut spec.config;
+        *cfg = WorldConfig {
+            n_users: (cfg.n_users / s).max(24),
+            n_items: (cfg.n_items / item_s).max(48),
+            target_pairs: (cfg.target_pairs / s as usize).max(300),
+            ..cfg.clone()
+        };
+    }
+    let mut rng = SmallRng::seed_from_u64(a.seed);
+    let data = synthetic::generate(&spec.config, &mut rng).map_err(|e| e.to_string())?;
+    let file = std::fs::File::create(&a.out).map_err(|e| format!("create {:?}: {e}", a.out))?;
+    export::write_csv(&data, std::io::BufWriter::new(file)).map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "wrote {} ({} users × {} items, {} pairs, {:.2}% dense)",
+        a.out.display(),
+        data.n_users(),
+        data.n_items(),
+        data.n_pairs(),
+        data.density() * 100.0
+    )
+    .map_err(|e| e.to_string())
+}
+
+fn fit_model(
+    a: &FitArgs,
+    train: &Interactions,
+    rng: &mut SmallRng,
+) -> (clapf_mf::MfModel, String) {
+    let (mode, lambda) = match a.model {
+        ModelKind::Bpr => (ClapfMode::Map, 0.0), // CLAPF at λ = 0 ≡ BPR
+        ModelKind::ClapfMap => (ClapfMode::Map, a.lambda),
+        ModelKind::ClapfMrr => (ClapfMode::Mrr, a.lambda),
+    };
+    let base = match mode {
+        ClapfMode::Map => ClapfConfig::map(lambda),
+        ClapfMode::Mrr => ClapfConfig::mrr(lambda),
+    };
+    let config = ClapfConfig {
+        dim: a.dim,
+        iterations: a.iterations,
+        ..base
+    };
+    let trainer = Clapf::new(config);
+    let mut sampler: Box<dyn TripleSampler> = if a.dss {
+        Box::new(DssSampler::dss(match mode {
+            ClapfMode::Map => DssMode::Map,
+            ClapfMode::Mrr => DssMode::Mrr,
+        }))
+    } else {
+        Box::new(UniformSampler)
+    };
+    let (model, report) = trainer.fit(train, sampler.as_mut(), rng);
+    let name = match a.model {
+        ModelKind::Bpr => "BPR".to_string(),
+        _ => format!("CLAPF(λ={lambda:.1})-{mode}"),
+    };
+    let description = format!(
+        "{name}{}, d={}, {} steps in {:.1?}",
+        if a.dss { "+DSS" } else { "" },
+        a.dim,
+        report.iterations,
+        report.elapsed
+    );
+    (model.mf, description)
+}
+
+fn fit<W: Write>(a: FitArgs, out: &mut W) -> Result<(), String> {
+    let loaded = load_ratings_path(&a.data, PAPER_RATING_THRESHOLD)
+        .map_err(|e| format!("load {:?}: {e}", a.data))?;
+    writeln!(
+        out,
+        "loaded {}: {} users × {} items, {} positive pairs",
+        a.data.display(),
+        loaded.interactions.n_users(),
+        loaded.interactions.n_items(),
+        loaded.interactions.n_pairs()
+    )
+    .map_err(|e| e.to_string())?;
+
+    let mut rng = SmallRng::seed_from_u64(a.seed);
+    let (train, test) = if a.holdout > 0.0 {
+        let s = split(
+            &loaded.interactions,
+            SplitStrategy::GlobalPairs,
+            1.0 - a.holdout,
+            &mut rng,
+        )
+        .map_err(|e| e.to_string())?;
+        (s.train, Some(s.test))
+    } else {
+        (loaded.interactions.clone(), None)
+    };
+
+    let (model, description) = fit_model(&a, &train, &mut rng);
+    writeln!(out, "trained {description}").map_err(|e| e.to_string())?;
+
+    if let Some(test) = test {
+        let scorer = |u: UserId, buf: &mut Vec<f32>| model.scores_for_user(u, buf);
+        let report = evaluate(&scorer, &train, &test, &EvalConfig::at_5());
+        writeln!(
+            out,
+            "held-out metrics over {} users: Prec@5 {:.3}  Recall@5 {:.3}  NDCG@5 {:.3}  MAP {:.3}  MRR {:.3}  AUC {:.3}",
+            report.n_users,
+            report.topk[&5].precision,
+            report.topk[&5].recall,
+            report.topk[&5].ndcg,
+            report.map,
+            report.mrr,
+            report.auc
+        )
+        .map_err(|e| e.to_string())?;
+    }
+
+    if let Some(path) = &a.save {
+        let bundle = ModelBundle::new(description, model, loaded.ids, &train);
+        bundle.save(path).map_err(|e| format!("save {path:?}: {e}"))?;
+        writeln!(out, "saved model bundle to {}", path.display()).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn recommend<W: Write>(a: RecommendArgs, out: &mut W) -> Result<(), String> {
+    let bundle = ModelBundle::load(&a.load)?;
+    writeln!(out, "model: {}", bundle.description).map_err(|e| e.to_string())?;
+    let recs = bundle.recommend_raw(&a.user, a.k)?;
+    writeln!(out, "top-{} for user {}:", a.k, a.user).map_err(|e| e.to_string())?;
+    for (rank, item) in recs.iter().enumerate() {
+        writeln!(out, "  {:>2}. {item}", rank + 1).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Command;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn run_cmd(v: &[&str]) -> (i32, String) {
+        let cmd = Command::parse(&args(v)).expect("parse");
+        let mut out = Vec::new();
+        let code = run(cmd, &mut out);
+        (code, String::from_utf8(out).unwrap())
+    }
+
+    #[test]
+    fn end_to_end_generate_fit_recommend() {
+        let dir = std::env::temp_dir().join("clapf-cli-e2e");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.csv");
+        let model = dir.join("model.json");
+
+        let (code, text) = run_cmd(&[
+            "generate", "--dataset", "ml100k", "--shrink", "24", "--out",
+            data.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("wrote"));
+
+        let (code, text) = run_cmd(&[
+            "fit", "--data", data.to_str().unwrap(), "--model", "clapf-map", "--lambda",
+            "0.3", "--dim", "8", "--iterations", "20000", "--save",
+            model.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("held-out metrics"), "{text}");
+        assert!(text.contains("saved model bundle"));
+
+        // Grab a user id that exists from the CSV (first data row).
+        let csv = std::fs::read_to_string(&data).unwrap();
+        let first_user = csv.lines().nth(1).unwrap().split(',').next().unwrap();
+        let (code, text) = run_cmd(&[
+            "recommend", "--load", model.to_str().unwrap(), "--user", first_user, "-k", "3",
+        ]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("top-3"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_dataset_fails_cleanly() {
+        let (code, text) = run_cmd(&["generate", "--dataset", "pinterest", "--out", "/tmp/x.csv"]);
+        assert_eq!(code, 1);
+        assert!(text.contains("unknown dataset"));
+    }
+
+    #[test]
+    fn missing_model_file_fails_cleanly() {
+        let (code, text) = run_cmd(&["recommend", "--load", "/nonexistent.json", "--user", "1"]);
+        assert_eq!(code, 1);
+        assert!(text.contains("error"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let (code, text) = run_cmd(&["help"]);
+        assert_eq!(code, 0);
+        assert!(text.contains("USAGE"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Validated construction of [`Interactions`].
+
+use crate::{DataError, Interactions, ItemId, UserId};
+
+/// Accumulates `(user, item)` pairs and produces a deduplicated, doubly
+/// indexed [`Interactions`].
+///
+/// ```
+/// use clapf_data::{InteractionsBuilder, UserId, ItemId};
+///
+/// let mut b = InteractionsBuilder::new(2, 3);
+/// b.push(UserId(0), ItemId(1)).unwrap();
+/// b.push(UserId(0), ItemId(1)).unwrap(); // duplicates are fine
+/// b.push(UserId(1), ItemId(2)).unwrap();
+/// let data = b.build().unwrap();
+/// assert_eq!(data.n_pairs(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct InteractionsBuilder {
+    n_users: u32,
+    n_items: u32,
+    pairs: Vec<(UserId, ItemId)>,
+}
+
+impl InteractionsBuilder {
+    /// Starts a builder over a fixed id space `0..n_users × 0..n_items`.
+    pub fn new(n_users: u32, n_items: u32) -> Self {
+        InteractionsBuilder {
+            n_users,
+            n_items,
+            pairs: Vec::new(),
+        }
+    }
+
+    /// Starts a builder with room for `capacity` pairs.
+    pub fn with_capacity(n_users: u32, n_items: u32, capacity: usize) -> Self {
+        InteractionsBuilder {
+            n_users,
+            n_items,
+            pairs: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Records an observed positive pair. Duplicates are collapsed at
+    /// [`build`](Self::build) time.
+    pub fn push(&mut self, u: UserId, i: ItemId) -> Result<(), DataError> {
+        if u.0 >= self.n_users {
+            return Err(DataError::UserOutOfRange {
+                user: u.0,
+                n_users: self.n_users,
+            });
+        }
+        if i.0 >= self.n_items {
+            return Err(DataError::ItemOutOfRange {
+                item: i.0,
+                n_items: self.n_items,
+            });
+        }
+        self.pairs.push((u, i));
+        Ok(())
+    }
+
+    /// Number of pairs recorded so far (before deduplication).
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether no pairs have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Finalizes into an [`Interactions`].
+    ///
+    /// Returns [`DataError::Empty`] if the id space is degenerate or no pairs
+    /// were recorded — every consumer in the workspace assumes at least one
+    /// observed pair.
+    pub fn build(mut self) -> Result<Interactions, DataError> {
+        if self.n_users == 0 || self.n_items == 0 || self.pairs.is_empty() {
+            return Err(DataError::Empty);
+        }
+        self.pairs.sort_unstable();
+        self.pairs.dedup();
+        Ok(Interactions::from_pairs(
+            self.n_users,
+            self.n_items,
+            &self.pairs,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_out_of_range_user() {
+        let mut b = InteractionsBuilder::new(2, 2);
+        assert!(matches!(
+            b.push(UserId(2), ItemId(0)),
+            Err(DataError::UserOutOfRange { user: 2, n_users: 2 })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_item() {
+        let mut b = InteractionsBuilder::new(2, 2);
+        assert!(matches!(
+            b.push(UserId(0), ItemId(5)),
+            Err(DataError::ItemOutOfRange { item: 5, n_items: 2 })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let b = InteractionsBuilder::new(2, 2);
+        assert!(matches!(b.build(), Err(DataError::Empty)));
+        assert!(matches!(
+            InteractionsBuilder::new(0, 2).build(),
+            Err(DataError::Empty)
+        ));
+    }
+
+    #[test]
+    fn dedup_collapses() {
+        let mut b = InteractionsBuilder::new(1, 1);
+        for _ in 0..10 {
+            b.push(UserId(0), ItemId(0)).unwrap();
+        }
+        assert_eq!(b.len(), 10);
+        let d = b.build().unwrap();
+        assert_eq!(d.n_pairs(), 1);
+    }
+
+    #[test]
+    fn capacity_constructor_works() {
+        let mut b = InteractionsBuilder::with_capacity(1, 2, 2);
+        assert!(b.is_empty());
+        b.push(UserId(0), ItemId(1)).unwrap();
+        assert!(!b.is_empty());
+        assert_eq!(b.build().unwrap().n_pairs(), 1);
+    }
+}

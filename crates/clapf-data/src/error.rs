@@ -1,0 +1,88 @@
+//! Error type for dataset construction and loading.
+
+use std::fmt;
+
+/// Errors raised while building, splitting or loading datasets.
+#[derive(Debug)]
+pub enum DataError {
+    /// A user id was >= the declared number of users.
+    UserOutOfRange {
+        /// Offending user id.
+        user: u32,
+        /// Declared number of users.
+        n_users: u32,
+    },
+    /// An item id was >= the declared number of items.
+    ItemOutOfRange {
+        /// Offending item id.
+        item: u32,
+        /// Declared number of items.
+        n_items: u32,
+    },
+    /// The dataset would be empty (no users, no items or no pairs).
+    Empty,
+    /// A file could not be read.
+    Io(std::io::Error),
+    /// A line in an input file could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the failure.
+        message: String,
+    },
+    /// A split fraction outside `(0, 1)` was requested.
+    BadFraction(f64),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::UserOutOfRange { user, n_users } => {
+                write!(f, "user id {user} out of range (n_users = {n_users})")
+            }
+            DataError::ItemOutOfRange { item, n_items } => {
+                write!(f, "item id {item} out of range (n_items = {n_items})")
+            }
+            DataError::Empty => write!(f, "dataset has no users, items or interactions"),
+            DataError::Io(e) => write!(f, "i/o error: {e}"),
+            DataError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            DataError::BadFraction(x) => {
+                write!(f, "split fraction {x} must be strictly between 0 and 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_ids() {
+        let e = DataError::UserOutOfRange { user: 9, n_users: 5 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn io_error_is_source() {
+        use std::error::Error;
+        let e = DataError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,85 @@
+//! Strongly-typed user and item identifiers.
+//!
+//! The models in this workspace index several parallel arrays (latent factor
+//! tables, popularity counts, CSR offsets) by user and by item. Newtypes make
+//! it a compile error to index a user table with an item id, which is a
+//! classic silent-corruption bug in recommender code.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a user, dense in `0..n_users`.
+#[derive(
+    Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct UserId(pub u32);
+
+/// Identifier of an item, dense in `0..n_items`.
+#[derive(
+    Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct ItemId(pub u32);
+
+impl UserId {
+    /// The id as a `usize`, for indexing per-user arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ItemId {
+    /// The id as a `usize`, for indexing per-item arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for UserId {
+    fn from(v: u32) -> Self {
+        UserId(v)
+    }
+}
+
+impl From<u32> for ItemId {
+    fn from(v: u32) -> Self {
+        ItemId(v)
+    }
+}
+
+impl std::fmt::Display for UserId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl std::fmt::Display for ItemId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        assert_eq!(UserId(7).index(), 7);
+        assert_eq!(ItemId(u32::MAX).index(), u32::MAX as usize);
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(UserId(3).to_string(), "u3");
+        assert_eq!(ItemId(9).to_string(), "i9");
+    }
+
+    #[test]
+    fn ordering_matches_raw() {
+        assert!(UserId(1) < UserId(2));
+        assert!(ItemId(0) < ItemId(1));
+    }
+}

@@ -1,0 +1,43 @@
+//! Implicit-feedback dataset substrate for the CLAPF reproduction.
+//!
+//! This crate owns everything about *data*:
+//!
+//! * [`Interactions`] — an immutable, doubly-indexed (user→items and
+//!   item→users) sparse binary interaction matrix, the one-class feedback
+//!   structure every model in the workspace trains on.
+//! * [`InteractionsBuilder`] — the only way to construct [`Interactions`];
+//!   deduplicates and validates pairs.
+//! * [`split`] — the evaluation protocol from the paper (Sec 6.1): a random
+//!   50/50 train/test split of the observed user–item pairs, a per-user
+//!   validation holdout, and seeded repetition.
+//! * [`synthetic`] — seeded generators that stand in for the six real-world
+//!   datasets of Table 1 (ML100K, ML1M, UserTag, ML20M, Flixter, Netflix).
+//!   Each generator plants a ground-truth low-rank preference structure plus
+//!   a long-tail popularity prior, which is the structure the paper's
+//!   ranking arguments rely on.
+//! * [`loader`] — parsers for the real MovieLens file formats (`u.data`,
+//!   `ratings.dat`, CSV) with the paper's "rating > 3 is positive"
+//!   binarization, used whenever the real dumps are available on disk.
+//! * [`export`] — CSV round-tripping and down-sampling utilities.
+//! * [`stats`] — the Table 1 dataset-description statistics.
+//!
+//! All randomness is taken through explicit [`rand::Rng`] arguments so every
+//! experiment in the workspace is reproducible from a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod dataset;
+mod error;
+pub mod export;
+mod ids;
+pub mod loader;
+pub mod split;
+pub mod stats;
+pub mod synthetic;
+
+pub use builder::InteractionsBuilder;
+pub use dataset::Interactions;
+pub use error::DataError;
+pub use ids::{ItemId, UserId};

@@ -1,0 +1,307 @@
+//! The evaluation protocol of the paper (Sec 6.1).
+//!
+//! > "following the previous common training/test split strategy, we randomly
+//! > split half of the observed user-item pairs as training data, and the
+//! > rest as test data; we then randomly take one user-item pair for each
+//! > user from the training data to construct a validation set. We repeat the
+//! > above procedure for five times."
+
+use crate::{DataError, Interactions, ItemId, UserId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// How observed pairs are divided between train and test.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SplitStrategy {
+    /// Shuffle the global pair list and cut it at the requested fraction.
+    /// This is the paper's protocol; some users may end up train-only or
+    /// test-only (the metrics layer skips users without test items).
+    GlobalPairs,
+    /// Split each user's item list independently at the requested fraction
+    /// (at least one item stays in train for users with ≥ 2 items).
+    /// Guarantees every multi-item user is evaluable.
+    PerUser,
+}
+
+/// A train/test division of an interaction set over the same id space.
+#[derive(Clone, Debug)]
+pub struct Split {
+    /// Training interactions.
+    pub train: Interactions,
+    /// Held-out test interactions (disjoint from `train`).
+    pub test: Interactions,
+}
+
+/// Splits `data` into train/test with the given training fraction.
+///
+/// # Errors
+/// Returns [`DataError::BadFraction`] unless `0 < train_fraction < 1`, and
+/// [`DataError::Empty`] if either side of the split would be empty.
+pub fn split<R: Rng>(
+    data: &Interactions,
+    strategy: SplitStrategy,
+    train_fraction: f64,
+    rng: &mut R,
+) -> Result<Split, DataError> {
+    if !(train_fraction > 0.0 && train_fraction < 1.0) {
+        return Err(DataError::BadFraction(train_fraction));
+    }
+    let (train_pairs, test_pairs) = match strategy {
+        SplitStrategy::GlobalPairs => {
+            let mut pairs = data.pairs_vec();
+            pairs.shuffle(rng);
+            let cut = ((pairs.len() as f64) * train_fraction).round() as usize;
+            let cut = cut.clamp(1, pairs.len().saturating_sub(1).max(1));
+            let test = pairs.split_off(cut);
+            (pairs, test)
+        }
+        SplitStrategy::PerUser => {
+            let mut train = Vec::new();
+            let mut test = Vec::new();
+            for u in data.users() {
+                let mut items: Vec<ItemId> = data.items_of(u).to_vec();
+                if items.is_empty() {
+                    continue;
+                }
+                items.shuffle(rng);
+                if items.len() == 1 {
+                    // A single observation can't be split; keep it trainable.
+                    train.push((u, items[0]));
+                    continue;
+                }
+                let cut = (((items.len() as f64) * train_fraction).round() as usize)
+                    .clamp(1, items.len() - 1);
+                for (pos, i) in items.into_iter().enumerate() {
+                    if pos < cut {
+                        train.push((u, i));
+                    } else {
+                        test.push((u, i));
+                    }
+                }
+            }
+            (train, test)
+        }
+    };
+    if train_pairs.is_empty() || test_pairs.is_empty() {
+        return Err(DataError::Empty);
+    }
+    Ok(Split {
+        train: Interactions::from_pairs(data.n_users(), data.n_items(), &train_pairs),
+        test: Interactions::from_pairs(data.n_users(), data.n_items(), &test_pairs),
+    })
+}
+
+/// Removes one random training pair per user (for users with ≥ 2 training
+/// items) to form a validation set, as the paper does for hyper-parameter
+/// selection on `NDCG@5`.
+///
+/// Returns `(reduced_train, validation)`.
+pub fn holdout_validation<R: Rng>(
+    train: &Interactions,
+    rng: &mut R,
+) -> (Interactions, Interactions) {
+    let mut kept: Vec<(UserId, ItemId)> = Vec::with_capacity(train.n_pairs());
+    let mut held: Vec<(UserId, ItemId)> = Vec::new();
+    for u in train.users() {
+        let items = train.items_of(u);
+        match items.len() {
+            0 => {}
+            1 => kept.push((u, items[0])),
+            n => {
+                let victim = rng.gen_range(0..n);
+                for (pos, &i) in items.iter().enumerate() {
+                    if pos == victim {
+                        held.push((u, i));
+                    } else {
+                        kept.push((u, i));
+                    }
+                }
+            }
+        }
+    }
+    let reduced = Interactions::from_pairs(train.n_users(), train.n_items(), &kept);
+    let validation = Interactions::from_pairs(train.n_users(), train.n_items(), &held);
+    (reduced, validation)
+}
+
+/// One repetition of the paper's protocol: a train/validation/test triple
+/// plus the seed that produced it.
+#[derive(Clone, Debug)]
+pub struct Fold {
+    /// Training interactions with the validation pairs removed.
+    pub train: Interactions,
+    /// One held-out pair per (multi-item) user, for model selection.
+    pub validation: Interactions,
+    /// Held-out test interactions.
+    pub test: Interactions,
+    /// Seed this fold was derived from.
+    pub seed: u64,
+}
+
+/// The repeated-split protocol: `repeats` independent 50/50 splits, each with
+/// a validation holdout, derived deterministically from `base_seed`.
+#[derive(Copy, Clone, Debug)]
+pub struct Protocol {
+    /// Number of independent repetitions (the paper uses 5).
+    pub repeats: usize,
+    /// Fraction of pairs assigned to training (the paper uses 0.5).
+    pub train_fraction: f64,
+    /// Strategy for dividing pairs.
+    pub strategy: SplitStrategy,
+    /// Seed from which all per-fold seeds derive.
+    pub base_seed: u64,
+}
+
+impl Default for Protocol {
+    fn default() -> Self {
+        Protocol {
+            repeats: 5,
+            train_fraction: 0.5,
+            strategy: SplitStrategy::GlobalPairs,
+            base_seed: 0x0C1A_9F00,
+        }
+    }
+}
+
+impl Protocol {
+    /// Materializes every fold of the protocol.
+    pub fn folds(&self, data: &Interactions) -> Result<Vec<Fold>, DataError> {
+        use rand::SeedableRng;
+        let mut out = Vec::with_capacity(self.repeats);
+        for rep in 0..self.repeats {
+            let seed = self
+                .base_seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(rep as u64);
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            let Split { train, test } = split(data, self.strategy, self.train_fraction, &mut rng)?;
+            let (train, validation) = holdout_validation(&train, &mut rng);
+            out.push(Fold {
+                train,
+                validation,
+                test,
+                seed,
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InteractionsBuilder;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn grid(n_users: u32, n_items: u32, every: u32) -> Interactions {
+        let mut b = InteractionsBuilder::new(n_users, n_items);
+        for u in 0..n_users {
+            for i in 0..n_items {
+                if (u + i) % every == 0 {
+                    b.push(UserId(u), ItemId(i)).unwrap();
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn global_split_is_a_partition() {
+        let data = grid(20, 30, 2);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let s = split(&data, SplitStrategy::GlobalPairs, 0.5, &mut rng).unwrap();
+        assert_eq!(s.train.n_pairs() + s.test.n_pairs(), data.n_pairs());
+        let train: HashSet<_> = s.train.pairs().collect();
+        let test: HashSet<_> = s.test.pairs().collect();
+        assert!(train.is_disjoint(&test));
+        let all: HashSet<_> = data.pairs().collect();
+        assert_eq!(train.union(&test).count(), all.len());
+    }
+
+    #[test]
+    fn global_split_respects_fraction_roughly() {
+        let data = grid(40, 40, 2);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let s = split(&data, SplitStrategy::GlobalPairs, 0.5, &mut rng).unwrap();
+        let frac = s.train.n_pairs() as f64 / data.n_pairs() as f64;
+        assert!((frac - 0.5).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    fn per_user_split_keeps_every_multi_item_user_trainable() {
+        let data = grid(15, 20, 3);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let s = split(&data, SplitStrategy::PerUser, 0.5, &mut rng).unwrap();
+        for u in data.users() {
+            if data.degree_of_user(u) >= 2 {
+                assert!(s.train.degree_of_user(u) >= 1, "user {u} lost all train items");
+                assert!(s.test.degree_of_user(u) >= 1, "user {u} lost all test items");
+            }
+        }
+    }
+
+    #[test]
+    fn bad_fraction_is_rejected() {
+        let data = grid(4, 4, 1);
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(split(&data, SplitStrategy::GlobalPairs, 0.0, &mut rng).is_err());
+        assert!(split(&data, SplitStrategy::GlobalPairs, 1.0, &mut rng).is_err());
+        assert!(split(&data, SplitStrategy::GlobalPairs, -0.3, &mut rng).is_err());
+    }
+
+    #[test]
+    fn validation_takes_at_most_one_pair_per_user() {
+        let data = grid(12, 12, 1);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let (reduced, val) = holdout_validation(&data, &mut rng);
+        assert_eq!(reduced.n_pairs() + val.n_pairs(), data.n_pairs());
+        for u in data.users() {
+            assert!(val.degree_of_user(u) <= 1);
+            if data.degree_of_user(u) >= 2 {
+                assert_eq!(val.degree_of_user(u), 1);
+                assert_eq!(reduced.degree_of_user(u), data.degree_of_user(u) - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn validation_leaves_single_item_users_alone() {
+        let mut b = InteractionsBuilder::new(2, 3);
+        b.push(UserId(0), ItemId(0)).unwrap();
+        b.push(UserId(1), ItemId(1)).unwrap();
+        b.push(UserId(1), ItemId(2)).unwrap();
+        let data = b.build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let (reduced, val) = holdout_validation(&data, &mut rng);
+        assert_eq!(reduced.degree_of_user(UserId(0)), 1);
+        assert_eq!(val.degree_of_user(UserId(0)), 0);
+        assert_eq!(val.degree_of_user(UserId(1)), 1);
+    }
+
+    #[test]
+    fn protocol_produces_distinct_reproducible_folds() {
+        let data = grid(20, 20, 2);
+        let protocol = Protocol::default();
+        let folds_a = protocol.folds(&data).unwrap();
+        let folds_b = protocol.folds(&data).unwrap();
+        assert_eq!(folds_a.len(), 5);
+        for (a, b) in folds_a.iter().zip(&folds_b) {
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.train.pairs_vec(), b.train.pairs_vec());
+            assert_eq!(a.test.pairs_vec(), b.test.pairs_vec());
+        }
+        // Different repetitions shuffle differently.
+        assert_ne!(folds_a[0].train.pairs_vec(), folds_a[1].train.pairs_vec());
+    }
+
+    #[test]
+    fn fold_pieces_partition_the_data() {
+        let data = grid(16, 16, 2);
+        for fold in Protocol::default().folds(&data).unwrap() {
+            let n = fold.train.n_pairs() + fold.validation.n_pairs() + fold.test.n_pairs();
+            assert_eq!(n, data.n_pairs());
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Dataset description statistics (the contents of Table 1).
+
+use crate::Interactions;
+use serde::Serialize;
+
+/// Summary statistics of an interaction set or of a train/test split, in the
+/// shape of the paper's Table 1.
+#[derive(Clone, Debug, Serialize)]
+pub struct DatasetStats {
+    /// Number of users `n`.
+    pub n_users: u32,
+    /// Number of items `m`.
+    pub n_items: u32,
+    /// Number of observed pairs.
+    pub n_pairs: usize,
+    /// `n_pairs / (n · m)`.
+    pub density: f64,
+    /// Mean observed items per user.
+    pub avg_user_degree: f64,
+    /// Mean observations per item.
+    pub avg_item_degree: f64,
+    /// Gini coefficient of item popularity (0 = uniform, → 1 = one item
+    /// absorbs everything); quantifies the long tail.
+    pub popularity_gini: f64,
+    /// Largest single item popularity.
+    pub max_item_degree: usize,
+    /// Number of users with zero observed items.
+    pub cold_users: usize,
+    /// Number of items never observed.
+    pub cold_items: usize,
+}
+
+impl DatasetStats {
+    /// Computes the statistics of `data`.
+    pub fn of(data: &Interactions) -> Self {
+        let pop = data.item_popularity();
+        let n_users = data.n_users();
+        let n_items = data.n_items();
+        let n_pairs = data.n_pairs();
+        let cold_users = data.users().filter(|&u| data.degree_of_user(u) == 0).count();
+        let cold_items = pop.iter().filter(|&&p| p == 0).count();
+        DatasetStats {
+            n_users,
+            n_items,
+            n_pairs,
+            density: data.density(),
+            avg_user_degree: if n_users == 0 {
+                0.0
+            } else {
+                n_pairs as f64 / n_users as f64
+            },
+            avg_item_degree: if n_items == 0 {
+                0.0
+            } else {
+                n_pairs as f64 / n_items as f64
+            },
+            popularity_gini: gini(&pop),
+            max_item_degree: pop.iter().copied().max().unwrap_or(0),
+            cold_users,
+            cold_items,
+        }
+    }
+}
+
+/// Gini coefficient of a non-negative integer distribution.
+fn gini(counts: &[usize]) -> f64 {
+    if counts.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("counts are finite"));
+    let n = sorted.len() as f64;
+    let total: f64 = sorted.iter().sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(rank, &x)| (rank as f64 + 1.0) * x)
+        .sum();
+    (2.0 * weighted) / (n * total) - (n + 1.0) / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InteractionsBuilder, ItemId, UserId};
+
+    #[test]
+    fn stats_of_small_dataset() {
+        let mut b = InteractionsBuilder::new(3, 4);
+        for (u, i) in [(0, 0), (0, 1), (1, 0), (2, 0)] {
+            b.push(UserId(u), ItemId(i)).unwrap();
+        }
+        let s = DatasetStats::of(&b.build().unwrap());
+        assert_eq!(s.n_pairs, 4);
+        assert!((s.density - 4.0 / 12.0).abs() < 1e-12);
+        assert!((s.avg_user_degree - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.max_item_degree, 3);
+        assert_eq!(s.cold_items, 2);
+        assert_eq!(s.cold_users, 0);
+    }
+
+    #[test]
+    fn gini_of_uniform_is_zero() {
+        assert!(gini(&[5, 5, 5, 5]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_of_concentrated_is_high() {
+        let g = gini(&[0, 0, 0, 0, 0, 0, 0, 0, 0, 100]);
+        assert!(g > 0.85, "g = {g}");
+    }
+
+    #[test]
+    fn gini_is_scale_invariant() {
+        let a = gini(&[1, 2, 3, 4]);
+        let b = gini(&[10, 20, 30, 40]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_edge_cases() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0, 0, 0]), 0.0);
+        assert_eq!(gini(&[7]), 0.0);
+    }
+}

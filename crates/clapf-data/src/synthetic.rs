@@ -1,0 +1,412 @@
+//! Seeded synthetic implicit-feedback worlds.
+//!
+//! The paper evaluates on six rating datasets binarized to one-class
+//! feedback (Table 1). Those dumps are not redistributable, so the harness
+//! generates *structural equivalents*: each world plants
+//!
+//! 1. a **ground-truth low-rank preference field** `a_ui = U*_u · V*_i`
+//!    (users genuinely differ, so personalized methods can beat popularity), and
+//! 2. a **Zipf popularity prior** over items and a long-tail activity prior
+//!    over users (the long-tail shape that motivates rank-aware sampling).
+//!
+//! A user's observed items are a Gumbel-top-`n_u` sample with weight
+//! `popularity_i · exp(affinity · a_ui)`, i.e. an exact sample without
+//! replacement from the corresponding softmax. Everything is driven by an
+//! explicit RNG, so each named dataset is reproducible from a seed.
+//!
+//! The three "large" datasets (ML20M, Flixter, Netflix) are scaled down
+//! (users, items and pairs by the same factor) so that the full Table 2 grid
+//! runs on one machine; scaling all three quantities together preserves the
+//! average user degree, which is what the methods' relative behaviour
+//! depends on. The scale factor for each is recorded in its [`DatasetSpec`].
+
+use crate::{DataError, Interactions, InteractionsBuilder, ItemId, UserId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Parameters of a synthetic implicit-feedback world.
+#[derive(Clone, Debug)]
+pub struct WorldConfig {
+    /// Number of users.
+    pub n_users: u32,
+    /// Number of items.
+    pub n_items: u32,
+    /// Exact number of observed pairs to generate.
+    pub target_pairs: usize,
+    /// Rank of the planted preference field (small; 8 by default).
+    pub latent_dim: usize,
+    /// Strength of personal preference relative to global popularity.
+    /// `0.0` yields a pure popularity world (PopRank is then optimal).
+    pub affinity_weight: f64,
+    /// Zipf exponent of item popularity (≈ 1.0 for real rating data).
+    pub popularity_exponent: f64,
+    /// Zipf exponent of user activity (how skewed the per-user degree is).
+    pub user_activity_exponent: f64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            n_users: 100,
+            n_items: 200,
+            target_pairs: 2_000,
+            latent_dim: 4,
+            affinity_weight: 8.0,
+            popularity_exponent: 0.8,
+            user_activity_exponent: 0.8,
+        }
+    }
+}
+
+impl WorldConfig {
+    /// A small world for unit tests and examples: 60 users × 120 items,
+    /// 1 200 pairs, strong planted structure.
+    pub fn tiny() -> Self {
+        WorldConfig {
+            n_users: 60,
+            n_items: 120,
+            target_pairs: 1_200,
+            ..WorldConfig::default()
+        }
+    }
+}
+
+/// Generates a world according to `cfg`.
+///
+/// # Errors
+/// Returns [`DataError::Empty`] for degenerate configurations (no users, no
+/// items, or zero target pairs).
+pub fn generate<R: Rng>(cfg: &WorldConfig, rng: &mut R) -> Result<Interactions, DataError> {
+    if cfg.n_users == 0 || cfg.n_items == 0 || cfg.target_pairs == 0 {
+        return Err(DataError::Empty);
+    }
+    let n = cfg.n_users as usize;
+    let m = cfg.n_items as usize;
+    let d = cfg.latent_dim.max(1);
+
+    // Planted factors: N(0, 1/d) entries so that a_ui is O(1).
+    let scale = 1.0 / (d as f64).sqrt();
+    let user_factors: Vec<f64> = (0..n * d).map(|_| gaussian(rng) * scale).collect();
+    let item_factors: Vec<f64> = (0..m * d).map(|_| gaussian(rng) * scale).collect();
+
+    // Zipf popularity, assigned to items in random order so that item id
+    // carries no information.
+    let mut log_pop: Vec<f64> = (0..m)
+        .map(|r| -cfg.popularity_exponent * ((r + 1) as f64).ln())
+        .collect();
+    log_pop.shuffle(rng);
+
+    let degrees = user_degrees(cfg, rng);
+
+    let mut builder = InteractionsBuilder::with_capacity(cfg.n_users, cfg.n_items, cfg.target_pairs);
+    // Reusable buffer of (key, item) for the Gumbel top-k draw.
+    let mut keys: Vec<(f64, u32)> = Vec::with_capacity(m);
+    for (u, &n_u) in degrees.iter().enumerate() {
+        if n_u == 0 {
+            continue;
+        }
+        keys.clear();
+        let uf = &user_factors[u * d..(u + 1) * d];
+        for i in 0..m {
+            let vf = &item_factors[i * d..(i + 1) * d];
+            let affinity: f64 = uf.iter().zip(vf).map(|(a, b)| a * b).sum();
+            let score = log_pop[i] + cfg.affinity_weight * affinity;
+            // Gumbel-max trick: adding Gumbel noise and taking the top n_u
+            // keys is an exact without-replacement sample from softmax(score).
+            let gumbel = -(-(rng.gen::<f64>().max(f64::MIN_POSITIVE)).ln()).ln();
+            keys.push((score + gumbel, i as u32));
+        }
+        let k = n_u.min(m);
+        // Partition so the k largest keys occupy the tail `keys[m - k..]`.
+        if k < m {
+            keys.select_nth_unstable_by(m - k - 1, |a, b| {
+                a.0.partial_cmp(&b.0).expect("keys are finite")
+            });
+        }
+        for &(_, item) in &keys[m - k..] {
+            builder
+                .push(UserId(u as u32), ItemId(item))
+                .expect("generated ids are in range");
+        }
+    }
+    builder.build()
+}
+
+/// Draws per-user degrees with a Zipf activity profile, summing exactly to
+/// `cfg.target_pairs` (degrees are clamped to `[1, n_items]` when possible).
+fn user_degrees<R: Rng>(cfg: &WorldConfig, rng: &mut R) -> Vec<usize> {
+    let n = cfg.n_users as usize;
+    let m = cfg.n_items as usize;
+    let target = cfg.target_pairs.min(n * m);
+
+    let mut weights: Vec<f64> = (0..n)
+        .map(|r| ((r + 1) as f64).powf(-cfg.user_activity_exponent))
+        .collect();
+    weights.shuffle(rng);
+    let total: f64 = weights.iter().sum();
+
+    let mut degrees: Vec<usize> = weights
+        .iter()
+        .map(|w| ((w / total) * target as f64).round().max(1.0) as usize)
+        .map(|d| d.min(m))
+        .collect();
+
+    // Exact correction of rounding drift.
+    let mut sum: usize = degrees.iter().sum();
+    let mut idx = 0usize;
+    while sum > target {
+        let j = idx % n;
+        if degrees[j] > 1 {
+            degrees[j] -= 1;
+            sum -= 1;
+        }
+        idx += 1;
+        if idx > 64 * n {
+            break; // target smaller than n: every user keeps one item.
+        }
+    }
+    idx = 0;
+    while sum < target {
+        let j = rng.gen_range(0..n);
+        if degrees[j] < m {
+            degrees[j] += 1;
+            sum += 1;
+        }
+        idx += 1;
+        if idx > 64 * (target + n) {
+            break; // matrix is full.
+        }
+    }
+    degrees
+}
+
+/// Standard normal via Box–Muller (no extra dependency needed).
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A named dataset of the paper together with the world that stands in for it.
+#[derive(Clone, Debug)]
+pub struct DatasetSpec {
+    /// Paper name (e.g. `"ML100K"`).
+    pub name: &'static str,
+    /// Generator configuration.
+    pub config: WorldConfig,
+    /// Seed used by the harness for this dataset.
+    pub seed: u64,
+    /// How this world relates to the paper's dataset (scaling etc.).
+    pub scale_note: &'static str,
+}
+
+impl DatasetSpec {
+    /// Generates the dataset with its canonical seed.
+    pub fn generate(&self) -> Interactions {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(self.seed);
+        generate(&self.config, &mut rng).expect("spec configurations are valid")
+    }
+}
+
+fn spec(
+    name: &'static str,
+    n_users: u32,
+    n_items: u32,
+    target_pairs: usize,
+    seed: u64,
+    scale_note: &'static str,
+) -> DatasetSpec {
+    DatasetSpec {
+        name,
+        config: WorldConfig {
+            n_users,
+            n_items,
+            target_pairs,
+            ..WorldConfig::default()
+        },
+        seed,
+        scale_note,
+    }
+}
+
+/// ML100K stand-in: full scale (943 × 1 682, 55 375 pairs as in Table 1).
+pub fn ml100k_like() -> DatasetSpec {
+    spec("ML100K", 943, 1_682, 55_375, 0xA100, "full scale")
+}
+
+/// ML1M stand-in: full scale (6 040 × 3 952, 575 281 pairs).
+pub fn ml1m_like() -> DatasetSpec {
+    spec("ML1M", 6_040, 3_952, 575_281, 0xA101, "full scale")
+}
+
+/// UserTag stand-in: full scale (3 000 × 3 000, 246 436 pairs).
+pub fn usertag_like() -> DatasetSpec {
+    spec("UserTag", 3_000, 3_000, 246_436, 0xA102, "full scale")
+}
+
+/// ML20M stand-in, scaled ÷16 in users, items and pairs
+/// (138 493 × 26 744, 1 159 834 pairs in the paper).
+pub fn ml20m_like() -> DatasetSpec {
+    spec("ML20M", 8_656, 1_672, 72_490, 0xA103, "÷16 users/items/pairs")
+}
+
+/// Flixter stand-in, scaled ÷16 (147 612 × 48 794, 637 024 pairs in the paper).
+pub fn flixter_like() -> DatasetSpec {
+    spec("Flixter", 9_226, 3_050, 39_814, 0xA104, "÷16 users/items/pairs")
+}
+
+/// Netflix stand-in, users ÷48 / items ÷6 / pairs ÷48
+/// (480 189 × 17 770, 9 114 853 pairs in the paper).
+pub fn netflix_like() -> DatasetSpec {
+    spec(
+        "Netflix",
+        10_004,
+        2_962,
+        189_893,
+        0xA105,
+        "÷48 users & pairs, ÷6 items",
+    )
+}
+
+/// The six worlds of Table 1, in the paper's order.
+pub fn paper_datasets() -> Vec<DatasetSpec> {
+    vec![
+        ml100k_like(),
+        ml1m_like(),
+        usertag_like(),
+        ml20m_like(),
+        flixter_like(),
+        netflix_like(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tiny_world_matches_target_pairs() {
+        let cfg = WorldConfig::tiny();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let d = generate(&cfg, &mut rng).unwrap();
+        assert_eq!(d.n_users(), cfg.n_users);
+        assert_eq!(d.n_items(), cfg.n_items);
+        assert_eq!(d.n_pairs(), cfg.target_pairs);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = WorldConfig::tiny();
+        let a = generate(&cfg, &mut SmallRng::seed_from_u64(5)).unwrap();
+        let b = generate(&cfg, &mut SmallRng::seed_from_u64(5)).unwrap();
+        let c = generate(&cfg, &mut SmallRng::seed_from_u64(6)).unwrap();
+        assert_eq!(a.pairs_vec(), b.pairs_vec());
+        assert_ne!(a.pairs_vec(), c.pairs_vec());
+    }
+
+    #[test]
+    fn no_duplicate_items_per_user() {
+        let cfg = WorldConfig::tiny();
+        let d = generate(&cfg, &mut SmallRng::seed_from_u64(3)).unwrap();
+        for u in d.users() {
+            let items = d.items_of(u);
+            for w in items.windows(2) {
+                assert!(w[0] < w[1], "duplicate or unsorted items for {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn popularity_is_long_tailed() {
+        let cfg = WorldConfig {
+            n_users: 200,
+            n_items: 300,
+            target_pairs: 6_000,
+            affinity_weight: 0.0, // isolate the popularity prior
+            ..WorldConfig::default()
+        };
+        let d = generate(&cfg, &mut SmallRng::seed_from_u64(1)).unwrap();
+        let mut pop = d.item_popularity();
+        pop.sort_unstable_by(|a, b| b.cmp(a));
+        let head: usize = pop[..30].iter().sum();
+        // With a Zipf(1) prior, the top 10% of items should absorb far more
+        // than 10% of the mass.
+        assert!(
+            head as f64 > 0.25 * d.n_pairs() as f64,
+            "head mass {head} of {}",
+            d.n_pairs()
+        );
+    }
+
+    #[test]
+    fn every_user_gets_at_least_one_item_when_possible() {
+        let cfg = WorldConfig {
+            n_users: 50,
+            n_items: 60,
+            target_pairs: 400,
+            ..WorldConfig::default()
+        };
+        let d = generate(&cfg, &mut SmallRng::seed_from_u64(9)).unwrap();
+        for u in d.users() {
+            assert!(d.degree_of_user(u) >= 1);
+        }
+    }
+
+    #[test]
+    fn degenerate_configs_error() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        for cfg in [
+            WorldConfig {
+                n_users: 0,
+                ..WorldConfig::tiny()
+            },
+            WorldConfig {
+                n_items: 0,
+                ..WorldConfig::tiny()
+            },
+            WorldConfig {
+                target_pairs: 0,
+                ..WorldConfig::tiny()
+            },
+        ] {
+            assert!(generate(&cfg, &mut rng).is_err());
+        }
+    }
+
+    #[test]
+    fn target_larger_than_matrix_is_clamped() {
+        let cfg = WorldConfig {
+            n_users: 4,
+            n_items: 5,
+            target_pairs: 1_000, // > 20
+            ..WorldConfig::default()
+        };
+        let d = generate(&cfg, &mut SmallRng::seed_from_u64(2)).unwrap();
+        assert_eq!(d.n_pairs(), 20);
+    }
+
+    #[test]
+    fn paper_specs_have_table1_shapes() {
+        let specs = paper_datasets();
+        assert_eq!(specs.len(), 6);
+        let ml100k = &specs[0];
+        assert_eq!(ml100k.config.n_users, 943);
+        assert_eq!(ml100k.config.n_items, 1_682);
+        assert_eq!(ml100k.config.target_pairs, 55_375);
+        // Names are unique and seeds differ.
+        let mut names: Vec<_> = specs.iter().map(|s| s.name).collect();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn small_spec_generates() {
+        // Generate the smallest paper dataset end to end (fast enough for CI).
+        let spec = super::spec("mini", 120, 150, 2_000, 7, "test");
+        let d = spec.generate();
+        assert_eq!(d.n_pairs(), 2_000);
+    }
+}

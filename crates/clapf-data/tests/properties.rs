@@ -1,0 +1,112 @@
+//! Property-based tests for the data substrate.
+
+use clapf_data::split::{holdout_validation, split, SplitStrategy};
+use clapf_data::synthetic::{generate, WorldConfig};
+use clapf_data::{InteractionsBuilder, ItemId, UserId};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// Strategy producing a small random interaction set (≥ 2 pairs).
+fn arb_interactions() -> impl Strategy<Value = clapf_data::Interactions> {
+    (2u32..20, 2u32..25).prop_flat_map(|(n_users, n_items)| {
+        proptest::collection::hash_set((0..n_users, 0..n_items), 2..60).prop_filter_map(
+            "needs at least 2 pairs",
+            move |set| {
+                let mut b = InteractionsBuilder::new(n_users, n_items);
+                for (u, i) in &set {
+                    b.push(UserId(*u), ItemId(*i)).ok()?;
+                }
+                b.build().ok()
+            },
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_consistent(data in arb_interactions()) {
+        // user→items and item→users describe the same pair set.
+        let from_users: HashSet<_> = data.pairs().collect();
+        let mut from_items = HashSet::new();
+        for i in data.items() {
+            for &u in data.users_of(i) {
+                from_items.insert((u, i));
+            }
+        }
+        prop_assert_eq!(from_users, from_items);
+    }
+
+    #[test]
+    fn contains_matches_pair_set(data in arb_interactions()) {
+        let set: HashSet<_> = data.pairs().collect();
+        for u in data.users() {
+            for i in data.items() {
+                prop_assert_eq!(data.contains(u, i), set.contains(&(u, i)));
+            }
+        }
+    }
+
+    #[test]
+    fn split_partitions_pairs(data in arb_interactions(), seed in 0u64..1000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        if let Ok(s) = split(&data, SplitStrategy::GlobalPairs, 0.5, &mut rng) {
+            let train: HashSet<_> = s.train.pairs().collect();
+            let test: HashSet<_> = s.test.pairs().collect();
+            prop_assert!(train.is_disjoint(&test));
+            prop_assert_eq!(train.len() + test.len(), data.n_pairs());
+        }
+    }
+
+    #[test]
+    fn per_user_split_partitions_pairs(data in arb_interactions(), seed in 0u64..1000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        if let Ok(s) = split(&data, SplitStrategy::PerUser, 0.5, &mut rng) {
+            let train: HashSet<_> = s.train.pairs().collect();
+            let test: HashSet<_> = s.test.pairs().collect();
+            prop_assert!(train.is_disjoint(&test));
+            let all: HashSet<_> = data.pairs().collect();
+            let joined: HashSet<_> = train.union(&test).copied().collect();
+            prop_assert_eq!(joined, all);
+        }
+    }
+
+    #[test]
+    fn validation_holdout_is_lossless(data in arb_interactions(), seed in 0u64..1000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (reduced, val) = holdout_validation(&data, &mut rng);
+        let mut joined: Vec<_> = reduced.pairs().chain(val.pairs()).collect();
+        joined.sort_unstable();
+        let mut all = data.pairs_vec();
+        all.sort_unstable();
+        prop_assert_eq!(joined, all);
+    }
+
+    #[test]
+    fn generator_hits_exact_pair_count(
+        n_users in 5u32..40,
+        n_items in 5u32..40,
+        seed in 0u64..500,
+    ) {
+        let max_pairs = (n_users as usize * n_items as usize) / 2;
+        let target = max_pairs.max(n_users as usize + 1);
+        let cfg = WorldConfig {
+            n_users,
+            n_items,
+            target_pairs: target,
+            ..WorldConfig::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let d = generate(&cfg, &mut rng).unwrap();
+        prop_assert_eq!(d.n_pairs(), target.min(n_users as usize * n_items as usize));
+        // No user exceeds the item count, no duplicates.
+        for u in d.users() {
+            let items = d.items_of(u);
+            prop_assert!(items.len() <= n_items as usize);
+            for w in items.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! DSS design ablations called out in DESIGN.md.
+//!
+//! Two knobs of the Double Sampling Strategy that the paper fixes by fiat:
+//!
+//! 1. **List refresh cadence** — the paper resets the ranking lists "every
+//!    log(m) iterations" to amortize the sort (Sec 5.2); we sweep the
+//!    cadence from every quarter-epoch to every four epochs and report both
+//!    quality and wall-clock.
+//! 2. **Geometric tail** — how concentrated the negative draw is on the
+//!    head of the ranking list.
+
+use crate::report::render_table;
+use crate::RunScale;
+use clapf_core::{Clapf, ClapfConfig, ClapfMode, Recommender};
+use clapf_data::split::{Protocol, SplitStrategy};
+use clapf_metrics::EvalConfig;
+use clapf_sampling::{DnsSampler, DssConfig, DssMode, DssSampler, TripleSampler, UniformSampler};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Result of one ablation point.
+#[derive(Clone, Debug, Serialize)]
+pub struct AblationPoint {
+    /// Knob description (e.g. `"refresh=0.25 epoch"`).
+    pub setting: String,
+    /// Final test MAP.
+    pub map: f64,
+    /// Final test NDCG@5.
+    pub ndcg5: f64,
+    /// Training seconds.
+    pub train_secs: f64,
+}
+
+/// Full ablation output.
+#[derive(Clone, Debug, Serialize)]
+pub struct Ablation {
+    /// Dataset used.
+    pub dataset: String,
+    /// Refresh-cadence sweep.
+    pub refresh: Vec<AblationPoint>,
+    /// Negative-tail sweep.
+    pub tail: Vec<AblationPoint>,
+    /// Sampler-family comparison (Uniform vs DNS vs DSS) at equal budget.
+    pub samplers: Vec<AblationPoint>,
+}
+
+fn fit_and_eval(
+    train: &clapf_data::Interactions,
+    test: &clapf_data::Interactions,
+    scale: &RunScale,
+    refresh_every: usize,
+    dss_config: DssConfig,
+    seed: u64,
+) -> (f64, f64, f64) {
+    let lambda = crate::Method::paper_lambda("ML100K", ClapfMode::Map);
+    let config = ClapfConfig {
+        dim: scale.dim,
+        iterations: scale.iterations,
+        refresh_every,
+        ..ClapfConfig::map(lambda)
+    };
+    let trainer = Clapf::new(config);
+    let mut sampler = DssSampler::new(dss_config);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let start = Instant::now();
+    let (model, _) = trainer.fit(train, &mut sampler, &mut rng);
+    let secs = start.elapsed().as_secs_f64();
+    let report = crate::methods::evaluate_fitted(&model, train, test, &EvalConfig::at_5());
+    let _ = model.name();
+    (report.map, report.topk[&5].ndcg, secs)
+}
+
+/// Runs both sweeps on the first (ML100K-like) dataset at `scale`.
+pub fn run(scale: &RunScale, mut progress: impl FnMut(&str)) -> Ablation {
+    let spec = &scale.datasets()[0];
+    let data = spec.generate();
+    let protocol = Protocol {
+        repeats: 1,
+        train_fraction: 0.5,
+        strategy: SplitStrategy::GlobalPairs,
+        base_seed: scale.seed ^ spec.seed,
+    };
+    let fold = &protocol.folds(&data).expect("datasets are splittable")[0];
+    let epoch = fold.train.n_pairs().max(1);
+
+    let mut refresh = Vec::new();
+    for (label, every) in [
+        ("0.25 epoch", epoch / 4),
+        ("1 epoch", epoch),
+        ("4 epochs", 4 * epoch),
+    ] {
+        let (map, ndcg5, secs) = fit_and_eval(
+            &fold.train,
+            &fold.test,
+            scale,
+            every.max(1),
+            DssConfig::dss(DssMode::Map),
+            fold.seed,
+        );
+        progress(&format!("refresh {label}: MAP {map:.3} ({secs:.1}s)"));
+        refresh.push(AblationPoint {
+            setting: format!("refresh={label}"),
+            map,
+            ndcg5,
+            train_secs: secs,
+        });
+    }
+
+    let mut tail = Vec::new();
+    for fraction in [0.005, 0.02, 0.1, 0.5] {
+        let cfg = DssConfig {
+            negative_tail_fraction: fraction,
+            ..DssConfig::dss(DssMode::Map)
+        };
+        let (map, ndcg5, secs) =
+            fit_and_eval(&fold.train, &fold.test, scale, 0, cfg, fold.seed);
+        progress(&format!("tail {fraction}: MAP {map:.3}"));
+        tail.push(AblationPoint {
+            setting: format!("neg-tail={fraction}"),
+            map,
+            ndcg5,
+            train_secs: secs,
+        });
+    }
+
+    // Sampler-family comparison at equal budget: the paper's sampler (DSS)
+    // against the DNS baseline it cites and the uniform default.
+    let mut samplers = Vec::new();
+    let lambda = crate::Method::paper_lambda("ML100K", ClapfMode::Map);
+    let config = ClapfConfig {
+        dim: scale.dim,
+        iterations: scale.iterations,
+        ..ClapfConfig::map(lambda)
+    };
+    let family: Vec<(String, Box<dyn TripleSampler>)> = vec![
+        ("Uniform".into(), Box::new(UniformSampler)),
+        ("DNS(5)".into(), Box::new(DnsSampler::new(5))),
+        ("DSS".into(), Box::new(DssSampler::dss(DssMode::Map))),
+    ];
+    for (label, mut sampler) in family {
+        let trainer = Clapf::new(config);
+        let mut rng = SmallRng::seed_from_u64(fold.seed);
+        let start = Instant::now();
+        let (model, _) = trainer.fit(&fold.train, sampler.as_mut(), &mut rng);
+        let secs = start.elapsed().as_secs_f64();
+        let report =
+            crate::methods::evaluate_fitted(&model, &fold.train, &fold.test, &EvalConfig::at_5());
+        progress(&format!("sampler {label}: MAP {:.3} ({secs:.1}s)", report.map));
+        samplers.push(AblationPoint {
+            setting: format!("sampler={label}"),
+            map: report.map,
+            ndcg5: report.topk[&5].ndcg,
+            train_secs: secs,
+        });
+    }
+
+    Ablation {
+        dataset: spec.name.to_string(),
+        refresh,
+        tail,
+        samplers,
+    }
+}
+
+/// Renders both sweeps.
+pub fn render(a: &Ablation) -> String {
+    let fmt = |points: &[AblationPoint]| -> Vec<Vec<String>> {
+        points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.setting.clone(),
+                    format!("{:.3}", p.map),
+                    format!("{:.3}", p.ndcg5),
+                    format!("{:.1}", p.train_secs),
+                ]
+            })
+            .collect()
+    };
+    let headers = ["setting", "MAP", "NDCG@5", "time(s)"];
+    format!(
+        "== {} — DSS refresh cadence ==\n{}== {} — DSS negative tail ==\n{}== {} — sampler family ==\n{}",
+        a.dataset,
+        render_table(&headers, &fmt(&a.refresh)),
+        a.dataset,
+        render_table(&headers, &fmt(&a.tail)),
+        a.dataset,
+        render_table(&headers, &fmt(&a.samplers)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_smoke() {
+        let scale = RunScale {
+            dataset_shrink: 48,
+            iterations: 2_000,
+            dim: 6,
+            ..RunScale::fast()
+        };
+        let a = run(&scale, |_| {});
+        assert_eq!(a.refresh.len(), 3);
+        assert_eq!(a.tail.len(), 4);
+        assert_eq!(a.samplers.len(), 3);
+        for p in a.refresh.iter().chain(&a.tail) {
+            assert!(p.map > 0.0, "{}", p.setting);
+            assert!(p.train_secs >= 0.0);
+        }
+        assert!(render(&a).contains("refresh"));
+    }
+}

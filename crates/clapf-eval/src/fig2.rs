@@ -1,0 +1,153 @@
+//! Fig. 2: top-k (k ∈ {3, 5, 10, 15, 20}) Recall and NDCG curves.
+
+use crate::methods::evaluate_fitted;
+use crate::report::render_table;
+use crate::{Method, RunScale};
+use clapf_data::split::{Protocol, SplitStrategy};
+use clapf_metrics::EvalConfig;
+use serde::Serialize;
+
+/// The paper's cutoffs.
+pub const KS: [usize; 5] = [3, 5, 10, 15, 20];
+
+/// One method's curves on one dataset.
+#[derive(Clone, Debug, Serialize)]
+pub struct Curve {
+    /// Method name.
+    pub method: String,
+    /// `Recall@k` for each k in [`KS`].
+    pub recall: Vec<f64>,
+    /// `NDCG@k` for each k in [`KS`].
+    pub ndcg: Vec<f64>,
+}
+
+/// All curves of one dataset.
+#[derive(Clone, Debug, Serialize)]
+pub struct DatasetCurves {
+    /// Dataset name.
+    pub dataset: String,
+    /// Cutoffs the curves are sampled at.
+    pub ks: Vec<usize>,
+    /// One curve per method.
+    pub curves: Vec<Curve>,
+}
+
+/// Runs the top-k sweep on every dataset (single fold per dataset — the
+/// paper's figure plots point estimates).
+pub fn run(
+    scale: &RunScale,
+    methods: Option<&[Method]>,
+    mut progress: impl FnMut(&str),
+) -> Vec<DatasetCurves> {
+    let cfg = EvalConfig {
+        ks: KS.to_vec(),
+        threads: 0,
+    };
+    let mut out = Vec::new();
+    for spec in scale.datasets() {
+        progress(&format!("dataset {}", spec.name));
+        let data = spec.generate();
+        let protocol = Protocol {
+            repeats: 1,
+            train_fraction: 0.5,
+            strategy: SplitStrategy::GlobalPairs,
+            base_seed: scale.seed ^ spec.seed,
+        };
+        let fold = &protocol.folds(&data).expect("datasets are splittable")[0];
+        let method_list = match methods {
+            Some(m) => m.to_vec(),
+            None => crate::table2::default_methods(spec.name, scale),
+        };
+        let mut curves = Vec::new();
+        for method in &method_list {
+            let fitted = method.fit(&fold.train, scale, fold.seed);
+            let report =
+                evaluate_fitted(fitted.recommender.as_ref(), &fold.train, &fold.test, &cfg);
+            curves.push(Curve {
+                method: method.name(),
+                recall: KS.iter().map(|k| report.topk[k].recall).collect(),
+                ndcg: KS.iter().map(|k| report.topk[k].ndcg).collect(),
+            });
+            progress(&format!("  {} {}", spec.name, method.name()));
+        }
+        out.push(DatasetCurves {
+            dataset: spec.name.to_string(),
+            ks: KS.to_vec(),
+            curves,
+        });
+    }
+    out
+}
+
+/// Renders one dataset's curves as two small tables (Recall@k, NDCG@k).
+pub fn render(dc: &DatasetCurves) -> String {
+    let mut headers: Vec<String> = vec!["Method".into()];
+    headers.extend(dc.ks.iter().map(|k| format!("@{k}")));
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let fmt = |series: &[f64]| -> Vec<String> {
+        series.iter().map(|v| format!("{v:.3}")).collect()
+    };
+    let mut out = format!("== {} — Recall@k ==\n", dc.dataset);
+    out.push_str(&render_table(
+        &headers_ref,
+        &dc.curves
+            .iter()
+            .map(|c| {
+                let mut row = vec![c.method.clone()];
+                row.extend(fmt(&c.recall));
+                row
+            })
+            .collect::<Vec<_>>(),
+    ));
+    out.push_str(&format!("== {} — NDCG@k ==\n", dc.dataset));
+    out.push_str(&render_table(
+        &headers_ref,
+        &dc.curves
+            .iter()
+            .map(|c| {
+                let mut row = vec![c.method.clone()];
+                row.extend(fmt(&c.ndcg));
+                row
+            })
+            .collect::<Vec<_>>(),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clapf_core::ClapfMode;
+
+    #[test]
+    fn curves_are_monotone_in_recall() {
+        let scale = RunScale {
+            dataset_shrink: 48,
+            iterations: 3_000,
+            dim: 6,
+            ..RunScale::fast()
+        };
+        let methods = vec![
+            Method::PopRank,
+            Method::Clapf {
+                mode: ClapfMode::Map,
+                lambda: 0.4,
+                dss: false,
+            },
+        ];
+        // Restrict to the first dataset via a sub-scale hack: run and keep
+        // only the first result (cheap at this shrink level).
+        let results = run(&scale, Some(&methods), |_| {});
+        assert_eq!(results.len(), 6);
+        let first = &results[0];
+        assert_eq!(first.curves.len(), 2);
+        for c in &first.curves {
+            for w in c.recall.windows(2) {
+                assert!(w[1] + 1e-9 >= w[0], "{}: recall not monotone", c.method);
+            }
+            assert!(c.ndcg.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+        let rendered = render(first);
+        assert!(rendered.contains("Recall@k"));
+    }
+}

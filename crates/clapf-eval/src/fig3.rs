@@ -1,0 +1,139 @@
+//! Fig. 3: recommendation performance of CLAPF(-MAP, -MRR) across the
+//! tradeoff parameter λ ∈ {0.0, 0.1, …, 1.0}.
+//!
+//! λ = 0 removes the listwise pair (CLAPF reduces to BPR); λ = 1 removes the
+//! pairwise pair (pure listwise objective).
+
+use crate::methods::evaluate_fitted;
+use crate::report::render_table;
+use crate::{Method, RunScale};
+use clapf_core::ClapfMode;
+use clapf_data::split::{Protocol, SplitStrategy};
+use clapf_metrics::EvalConfig;
+use serde::Serialize;
+
+/// Metrics of one (mode, λ) point.
+#[derive(Clone, Debug, Serialize)]
+pub struct LambdaPoint {
+    /// Tradeoff value.
+    pub lambda: f32,
+    /// `Precision@5`.
+    pub prec5: f64,
+    /// `Recall@5`.
+    pub recall5: f64,
+    /// `F1@5`.
+    pub f1_5: f64,
+    /// `NDCG@5`.
+    pub ndcg5: f64,
+    /// Mean Average Precision.
+    pub map: f64,
+    /// Mean Reciprocal Rank.
+    pub mrr: f64,
+}
+
+/// One dataset's λ sweep for both CLAPF instantiations.
+#[derive(Clone, Debug, Serialize)]
+pub struct LambdaSweep {
+    /// Dataset name.
+    pub dataset: String,
+    /// CLAPF-MAP curve.
+    pub map_curve: Vec<LambdaPoint>,
+    /// CLAPF-MRR curve.
+    pub mrr_curve: Vec<LambdaPoint>,
+}
+
+/// The λ grid of the paper.
+pub fn lambda_grid() -> Vec<f32> {
+    (0..=10).map(|i| i as f32 / 10.0).collect()
+}
+
+/// Runs the sweep on every dataset (single fold, uniform sampler — the
+/// figure isolates the objective, not the sampler).
+pub fn run(scale: &RunScale, mut progress: impl FnMut(&str)) -> Vec<LambdaSweep> {
+    let cfg = EvalConfig::at_5();
+    let mut out = Vec::new();
+    for spec in scale.datasets() {
+        progress(&format!("dataset {}", spec.name));
+        let data = spec.generate();
+        let protocol = Protocol {
+            repeats: 1,
+            train_fraction: 0.5,
+            strategy: SplitStrategy::GlobalPairs,
+            base_seed: scale.seed ^ spec.seed,
+        };
+        let fold = &protocol.folds(&data).expect("datasets are splittable")[0];
+        let mut sweep = LambdaSweep {
+            dataset: spec.name.to_string(),
+            map_curve: Vec::new(),
+            mrr_curve: Vec::new(),
+        };
+        for mode in [ClapfMode::Map, ClapfMode::Mrr] {
+            for lambda in lambda_grid() {
+                let method = Method::Clapf {
+                    mode,
+                    lambda,
+                    dss: false,
+                };
+                let fitted = method.fit(&fold.train, scale, fold.seed);
+                let report =
+                    evaluate_fitted(fitted.recommender.as_ref(), &fold.train, &fold.test, &cfg);
+                let at5 = report.topk[&5];
+                let point = LambdaPoint {
+                    lambda,
+                    prec5: at5.precision,
+                    recall5: at5.recall,
+                    f1_5: at5.f1,
+                    ndcg5: at5.ndcg,
+                    map: report.map,
+                    mrr: report.mrr,
+                };
+                match mode {
+                    ClapfMode::Map => sweep.map_curve.push(point),
+                    ClapfMode::Mrr => sweep.mrr_curve.push(point),
+                }
+            }
+            progress(&format!("  {} CLAPF-{mode} swept", spec.name));
+        }
+        out.push(sweep);
+    }
+    out
+}
+
+/// Renders one dataset's sweep.
+pub fn render(sweep: &LambdaSweep) -> String {
+    let headers = ["λ", "Prec@5", "Recall@5", "F1@5", "NDCG@5", "MAP", "MRR"];
+    let rows = |curve: &[LambdaPoint]| -> Vec<Vec<String>> {
+        curve
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{:.1}", p.lambda),
+                    format!("{:.3}", p.prec5),
+                    format!("{:.3}", p.recall5),
+                    format!("{:.3}", p.f1_5),
+                    format!("{:.3}", p.ndcg5),
+                    format!("{:.3}", p.map),
+                    format!("{:.3}", p.mrr),
+                ]
+            })
+            .collect()
+    };
+    let mut out = format!("== {} — CLAPF-MAP λ sweep ==\n", sweep.dataset);
+    out.push_str(&render_table(&headers, &rows(&sweep.map_curve)));
+    out.push_str(&format!("== {} — CLAPF-MRR λ sweep ==\n", sweep.dataset));
+    out.push_str(&render_table(&headers, &rows(&sweep.mrr_curve)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_matches_paper() {
+        let g = lambda_grid();
+        assert_eq!(g.len(), 11);
+        assert_eq!(g[0], 0.0);
+        assert_eq!(g[10], 1.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Learning-curve extension study: how CLAPF and BPR respond to training
+//! density.
+//!
+//! Not an artifact of the paper, but a direct probe of its central claim:
+//! the listwise pair should matter *more* when each user has enough
+//! observed items for within-positive ranking to carry signal, and CLAPF
+//! should degrade gracefully toward BPR as data thins. The harness trains
+//! both models on growing fractions of the training pairs and reports
+//! NDCG@5 / MAP on the fixed test fold.
+
+use crate::methods::evaluate_fitted;
+use crate::report::render_table;
+use crate::{Method, RunScale};
+use clapf_core::ClapfMode;
+use clapf_data::export::subsample_pairs;
+use clapf_data::split::{Protocol, SplitStrategy};
+use clapf_metrics::EvalConfig;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+/// One point of the curve.
+#[derive(Clone, Debug, Serialize)]
+pub struct CurvePoint {
+    /// Fraction of training pairs kept.
+    pub fraction: f64,
+    /// Training pairs actually used.
+    pub n_pairs: usize,
+    /// Per-method `(name, NDCG@5, MAP)` at this density.
+    pub methods: Vec<(String, f64, f64)>,
+}
+
+/// The full learning curve of one dataset.
+#[derive(Clone, Debug, Serialize)]
+pub struct LearningCurve {
+    /// Dataset name.
+    pub dataset: String,
+    /// Points in increasing density order.
+    pub points: Vec<CurvePoint>,
+}
+
+/// Density grid.
+pub fn fractions() -> Vec<f64> {
+    vec![0.125, 0.25, 0.5, 1.0]
+}
+
+/// Runs the study on the first (ML100K-like) dataset at `scale`.
+pub fn run(scale: &RunScale, mut progress: impl FnMut(&str)) -> LearningCurve {
+    let spec = &scale.datasets()[0];
+    let data = spec.generate();
+    let protocol = Protocol {
+        repeats: 1,
+        train_fraction: 0.5,
+        strategy: SplitStrategy::GlobalPairs,
+        base_seed: scale.seed ^ spec.seed,
+    };
+    let fold = &protocol.folds(&data).expect("datasets are splittable")[0];
+    let lambda = Method::paper_lambda(spec.name, ClapfMode::Map);
+    let methods = [
+        Method::Bpr,
+        Method::Clapf {
+            mode: ClapfMode::Map,
+            lambda,
+            dss: false,
+        },
+    ];
+    let cfg = EvalConfig::at_5();
+
+    let mut points = Vec::new();
+    for fraction in fractions() {
+        let mut rng = SmallRng::seed_from_u64(fold.seed ^ 0x10C4);
+        let train = if fraction < 1.0 {
+            subsample_pairs(&fold.train, fraction, &mut rng).expect("subsample")
+        } else {
+            fold.train.clone()
+        };
+        let mut row = Vec::new();
+        for m in &methods {
+            let fitted = m.fit(&train, scale, fold.seed);
+            let report = evaluate_fitted(fitted.recommender.as_ref(), &train, &fold.test, &cfg);
+            row.push((m.name(), report.ndcg_at(5), report.map));
+        }
+        progress(&format!(
+            "fraction {fraction}: {}",
+            row.iter()
+                .map(|(n, ndcg, _)| format!("{n} {ndcg:.3}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        points.push(CurvePoint {
+            fraction,
+            n_pairs: train.n_pairs(),
+            methods: row,
+        });
+    }
+    LearningCurve {
+        dataset: spec.name.to_string(),
+        points,
+    }
+}
+
+/// Renders the curve.
+pub fn render(curve: &LearningCurve) -> String {
+    let mut headers: Vec<String> = vec!["fraction".into(), "pairs".into()];
+    if let Some(first) = curve.points.first() {
+        for (name, _, _) in &first.methods {
+            headers.push(format!("{name} NDCG@5"));
+            headers.push(format!("{name} MAP"));
+        }
+    }
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = curve
+        .points
+        .iter()
+        .map(|p| {
+            let mut row = vec![format!("{:.3}", p.fraction), p.n_pairs.to_string()];
+            for (_, ndcg, map) in &p.methods {
+                row.push(format!("{ndcg:.3}"));
+                row.push(format!("{map:.3}"));
+            }
+            row
+        })
+        .collect();
+    format!(
+        "== {} — learning curve ==\n{}",
+        curve.dataset,
+        render_table(&headers_ref, &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_improves_with_density() {
+        let scale = RunScale {
+            dataset_shrink: 48,
+            iterations: 10_000,
+            dim: 6,
+            ..RunScale::fast()
+        };
+        let curve = run(&scale, |_| {});
+        assert_eq!(curve.points.len(), fractions().len());
+        // More data should not dramatically hurt: compare the sparsest and
+        // densest points for each method.
+        for slot in 0..curve.points[0].methods.len() {
+            let sparse = curve.points.first().unwrap().methods[slot].1;
+            let dense = curve.points.last().unwrap().methods[slot].1;
+            assert!(
+                dense >= sparse * 0.8,
+                "method {slot}: dense {dense} ≪ sparse {sparse}"
+            );
+        }
+        assert!(render(&curve).contains("learning curve"));
+        // Pair counts increase along the grid.
+        for w in curve.points.windows(2) {
+            assert!(w[1].n_pairs > w[0].n_pairs);
+        }
+    }
+}

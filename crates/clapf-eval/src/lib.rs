@@ -1,0 +1,35 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! | Paper artifact | Module | Binary (`crates/bench`) |
+//! |---|---|---|
+//! | Table 1 (dataset stats) | [`table1`] | `table1` |
+//! | Table 2 (main comparison) | [`table2`] | `table2` |
+//! | Fig. 2 (top-k curves) | [`fig2`] | `fig2` |
+//! | Fig. 3 (λ tradeoff) | [`fig3`] | `fig3` |
+//! | Fig. 4 (sampler convergence) | [`fig4`] | `fig4` |
+//! | DSS design ablations | [`ablation`] | `ablation` |
+//! | Sec 6.3 validation grid search | [`tune`] | `table2 --tune` |
+//! | Extension: density learning curve | [`learning_curve`] | `learning_curve` |
+//!
+//! Every module exposes a `run(&RunScale, …)` entry point returning
+//! serializable result structs; the binaries print the paper-shaped text
+//! table and persist JSON next to it. [`RunScale`] trades fidelity for time
+//! (`fast()` for smoke tests and CI, `paper()` for the full reproduction).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod learning_curve;
+mod methods;
+pub mod report;
+mod scale;
+pub mod table1;
+pub mod table2;
+pub mod tune;
+
+pub use methods::{FittedMethod, Method};
+pub use scale::RunScale;

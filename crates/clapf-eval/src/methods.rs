@@ -1,0 +1,336 @@
+//! Uniform registry over every method in the paper's comparison.
+
+use crate::RunScale;
+use clapf_baselines::{
+    Bpr, BprConfig, Climf, ClimfConfig, Mpr, MprConfig, PopRank, RandomWalk, Wmf, WmfConfig,
+};
+use clapf_core::{Clapf, ClapfConfig, ClapfMode, Recommender};
+use clapf_data::{Interactions, UserId};
+use clapf_metrics::{evaluate, BulkScorer, EvalConfig, EvalReport};
+use clapf_neural::{DeepIcf, DeepIcfConfig, NeuMf, NeuMfConfig, NeuPr, NeuPrConfig};
+use clapf_sampling::{DssMode, DssSampler, TripleSampler, UniformSampler};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// One method of the Table 2 comparison, with its dataset-dependent
+/// hyper-parameters resolved.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Method {
+    /// Popularity ranking.
+    PopRank,
+    /// Bipartite-graph neighbourhood propagation.
+    RandomWalk,
+    /// Weighted MF (pointwise, ALS).
+    Wmf,
+    /// Bayesian Personalized Ranking.
+    Bpr,
+    /// Multiple Pairwise Ranking.
+    Mpr {
+        /// Criterion tradeoff.
+        lambda: f32,
+    },
+    /// CLiMF (listwise MRR).
+    Climf,
+    /// Neural MF.
+    NeuMf,
+    /// Neural pairwise ranking.
+    NeuPr,
+    /// Deep item-based CF.
+    DeepIcf,
+    /// The paper's contribution.
+    Clapf {
+        /// MAP or MRR instantiation.
+        mode: ClapfMode,
+        /// Listwise/pairwise tradeoff.
+        lambda: f32,
+        /// Use the DSS sampler (the paper's "CLAPF+").
+        dss: bool,
+    },
+}
+
+/// A fitted method plus how long fitting took.
+pub struct FittedMethod {
+    /// The fitted model.
+    pub recommender: Box<dyn Recommender>,
+    /// Wall-clock training time.
+    pub train_time: Duration,
+}
+
+impl Method {
+    /// Display name in the paper's notation (`"CLAPF+ (λ=0.4) -MAP"` etc.).
+    pub fn name(&self) -> String {
+        match self {
+            Method::PopRank => "PopRank".into(),
+            Method::RandomWalk => "RandomWalk".into(),
+            Method::Wmf => "WMF".into(),
+            Method::Bpr => "BPR".into(),
+            Method::Mpr { lambda } => format!("MPR(λ={lambda:.1})"),
+            Method::Climf => "CLiMF".into(),
+            Method::NeuMf => "NeuMF".into(),
+            Method::NeuPr => "NeuPR".into(),
+            Method::DeepIcf => "DeepICF".into(),
+            Method::Clapf { mode, lambda, dss } => {
+                let plus = if *dss { "+" } else { "" };
+                format!("CLAPF{plus}(λ={lambda:.1})-{mode}")
+            }
+        }
+    }
+
+    /// The nine baselines of Sec 6.3, in the paper's order. `include_slow`
+    /// drops the methods the paper itself marks "-" on large datasets
+    /// (RandomWalk, CLiMF) plus the neural models.
+    pub fn baselines(include_slow: bool) -> Vec<Method> {
+        let mut v = vec![Method::PopRank];
+        if include_slow {
+            v.push(Method::RandomWalk);
+        }
+        v.extend([Method::Wmf, Method::Bpr, Method::Mpr { lambda: 0.4 }]);
+        if include_slow {
+            v.extend([Method::Climf, Method::NeuMf, Method::NeuPr, Method::DeepIcf]);
+        }
+        v
+    }
+
+    /// The paper's selected λ for a dataset/mode (Table 2 header values);
+    /// 0.3 when the dataset is unknown.
+    pub fn paper_lambda(dataset: &str, mode: ClapfMode) -> f32 {
+        match (dataset, mode) {
+            ("ML100K", ClapfMode::Map) => 0.4,
+            ("ML100K", ClapfMode::Mrr) => 0.2,
+            ("ML1M", ClapfMode::Map) => 0.4,
+            ("ML1M", ClapfMode::Mrr) => 0.8,
+            ("UserTag", ClapfMode::Map) => 0.3,
+            ("UserTag", ClapfMode::Mrr) => 0.2,
+            ("ML20M", ClapfMode::Map) => 0.3,
+            ("ML20M", ClapfMode::Mrr) => 0.9,
+            ("Flixter", ClapfMode::Map) => 0.3,
+            ("Flixter", ClapfMode::Mrr) => 0.2,
+            ("Netflix", ClapfMode::Map) => 0.3,
+            ("Netflix", ClapfMode::Mrr) => 0.2,
+            (_, ClapfMode::Map) => 0.3,
+            (_, ClapfMode::Mrr) => 0.2,
+        }
+    }
+
+    /// The four CLAPF rows of Table 2 for a dataset: MAP/MRR × {uniform, DSS}.
+    pub fn clapf_rows(dataset: &str) -> Vec<Method> {
+        let mut v = Vec::new();
+        for dss in [false, true] {
+            for mode in [ClapfMode::Map, ClapfMode::Mrr] {
+                v.push(Method::Clapf {
+                    mode,
+                    lambda: Self::paper_lambda(dataset, mode),
+                    dss,
+                });
+            }
+        }
+        v
+    }
+
+    /// Fits the method on `train` with the budgets of `scale`.
+    pub fn fit(&self, train: &Interactions, scale: &RunScale, seed: u64) -> FittedMethod {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let start = Instant::now();
+        let recommender: Box<dyn Recommender> = match self {
+            Method::PopRank => Box::new(PopRank.fit(train)),
+            Method::RandomWalk => Box::new(RandomWalk::default().fit(train)),
+            Method::Wmf => Box::new(
+                Wmf {
+                    config: WmfConfig {
+                        dim: scale.dim.min(20),
+                        sweeps: scale.wmf_sweeps,
+                        ..WmfConfig::default()
+                    },
+                }
+                .fit(train, &mut rng),
+            ),
+            Method::Bpr => Box::new(
+                Bpr {
+                    config: BprConfig {
+                        dim: scale.dim,
+                        iterations: scale.iterations,
+                        ..BprConfig::default()
+                    },
+                }
+                .fit(train, &mut rng),
+            ),
+            Method::Mpr { lambda } => Box::new(
+                Mpr {
+                    config: MprConfig {
+                        dim: scale.dim,
+                        lambda: *lambda,
+                        iterations: scale.iterations,
+                        ..MprConfig::default()
+                    },
+                }
+                .fit(train, &mut rng),
+            ),
+            Method::Climf => Box::new(
+                Climf {
+                    config: ClimfConfig {
+                        dim: scale.dim,
+                        epochs: scale.climf_epochs,
+                        ..ClimfConfig::default()
+                    },
+                }
+                .fit(train, &mut rng),
+            ),
+            Method::NeuMf => Box::new(
+                NeuMf {
+                    config: NeuMfConfig {
+                        embed_dim: scale.dim.min(16),
+                        epochs: scale.neural_epochs,
+                        ..NeuMfConfig::default()
+                    },
+                }
+                .fit(train, &mut rng),
+            ),
+            Method::NeuPr => Box::new(
+                NeuPr {
+                    config: NeuPrConfig {
+                        embed_dim: scale.dim.min(16),
+                        epochs: scale.neural_epochs,
+                        ..NeuPrConfig::default()
+                    },
+                }
+                .fit(train, &mut rng),
+            ),
+            Method::DeepIcf => Box::new(
+                DeepIcf {
+                    config: DeepIcfConfig {
+                        embed_dim: scale.dim.min(16),
+                        epochs: scale.neural_epochs,
+                        ..DeepIcfConfig::default()
+                    },
+                }
+                .fit(train, &mut rng),
+            ),
+            Method::Clapf { mode, lambda, dss } => {
+                let config = ClapfConfig {
+                    mode: *mode,
+                    lambda: *lambda,
+                    dim: scale.dim,
+                    iterations: scale.iterations,
+                    ..match mode {
+                        ClapfMode::Map => ClapfConfig::map(*lambda),
+                        ClapfMode::Mrr => ClapfConfig::mrr(*lambda),
+                    }
+                };
+                let trainer = Clapf::new(config);
+                let mut sampler: Box<dyn TripleSampler> = if *dss {
+                    Box::new(DssSampler::dss(match mode {
+                        ClapfMode::Map => DssMode::Map,
+                        ClapfMode::Mrr => DssMode::Mrr,
+                    }))
+                } else {
+                    Box::new(UniformSampler)
+                };
+                let (model, _) = trainer.fit(train, sampler.as_mut(), &mut rng);
+                Box::new(model)
+            }
+        };
+        FittedMethod {
+            recommender,
+            train_time: start.elapsed(),
+        }
+    }
+}
+
+/// Scores a fitted recommender through the parallel evaluator.
+pub(crate) fn evaluate_fitted(
+    rec: &dyn Recommender,
+    train: &Interactions,
+    test: &Interactions,
+    config: &EvalConfig,
+) -> EvalReport {
+    struct Adapter<'a>(&'a dyn Recommender);
+    impl BulkScorer for Adapter<'_> {
+        fn scores_into(&self, u: UserId, out: &mut Vec<f32>) {
+            self.0.scores_into(u, out);
+        }
+    }
+    evaluate(&Adapter(rec), train, test, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clapf_data::synthetic::{generate, WorldConfig};
+
+    fn tiny_scale() -> RunScale {
+        RunScale {
+            iterations: 1_500,
+            neural_epochs: 1,
+            climf_epochs: 1,
+            wmf_sweeps: 2,
+            dim: 4,
+            ..RunScale::fast()
+        }
+    }
+
+    #[test]
+    fn every_method_fits_and_scores() {
+        let data = generate(
+            &WorldConfig::tiny(),
+            &mut SmallRng::seed_from_u64(1),
+        )
+        .unwrap();
+        let scale = tiny_scale();
+        let mut methods = Method::baselines(true);
+        methods.extend(Method::clapf_rows("ML100K"));
+        assert_eq!(methods.len(), 9 + 4);
+        for m in methods {
+            let fitted = m.fit(&data, &scale, 7);
+            let mut scores = Vec::new();
+            fitted.recommender.scores_into(UserId(0), &mut scores);
+            assert_eq!(scores.len(), data.n_items() as usize, "{}", m.name());
+            assert!(
+                scores.iter().all(|s| s.is_finite()),
+                "non-finite scores from {}",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn names_match_paper_notation() {
+        assert_eq!(Method::Bpr.name(), "BPR");
+        assert_eq!(
+            Method::Clapf {
+                mode: ClapfMode::Map,
+                lambda: 0.4,
+                dss: false
+            }
+            .name(),
+            "CLAPF(λ=0.4)-MAP"
+        );
+        assert_eq!(
+            Method::Clapf {
+                mode: ClapfMode::Mrr,
+                lambda: 0.2,
+                dss: true
+            }
+            .name(),
+            "CLAPF+(λ=0.2)-MRR"
+        );
+    }
+
+    #[test]
+    fn paper_lambdas_cover_all_datasets() {
+        for d in ["ML100K", "ML1M", "UserTag", "ML20M", "Flixter", "Netflix", "???"] {
+            for mode in [ClapfMode::Map, ClapfMode::Mrr] {
+                let l = Method::paper_lambda(d, mode);
+                assert!((0.0..=1.0).contains(&l));
+            }
+        }
+    }
+
+    #[test]
+    fn slow_methods_are_excludable() {
+        let fast_only = Method::baselines(false);
+        assert!(!fast_only.contains(&Method::Climf));
+        assert!(!fast_only.contains(&Method::RandomWalk));
+        assert!(fast_only.contains(&Method::Bpr));
+    }
+}

@@ -1,0 +1,94 @@
+//! Plain-text table rendering and JSON persistence for the reproduction
+//! binaries.
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::Path;
+
+/// Renders an aligned monospace table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let n_cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (c, cell) in row.iter().enumerate().take(n_cols) {
+            widths[c] = widths[c].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (c, w) in cells.iter().zip(widths) {
+            let pad = w - c.chars().count();
+            line.push(' ');
+            line.push_str(c);
+            line.push_str(&" ".repeat(pad + 1));
+            line.push('|');
+        }
+        line.push('\n');
+        line
+    };
+    let headers_owned: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&headers_owned, &widths));
+    let mut rule = String::from("|");
+    for w in &widths {
+        rule.push_str(&"-".repeat(w + 2));
+        rule.push('|');
+    }
+    rule.push('\n');
+    out.push_str(&rule);
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Serializes `value` as pretty JSON to `path` (parent directories are
+/// created).
+pub fn write_json<T: Serialize>(path: &Path, value: &T) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    let body = serde_json::to_string_pretty(value).expect("results serialize");
+    f.write_all(body.as_bytes())?;
+    f.write_all(b"\n")?;
+    f.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = render_table(
+            &["method", "ndcg"],
+            &[
+                vec!["BPR".into(), "0.379".into()],
+                vec!["CLAPF-MAP".into(), "0.454".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let w = lines[0].chars().count();
+        assert!(lines.iter().all(|l| l.chars().count() == w), "{t}");
+        assert!(t.contains("CLAPF-MAP"));
+    }
+
+    #[test]
+    fn table_handles_ragged_rows() {
+        let t = render_table(&["a", "b"], &[vec!["only-one".into(), "x".into()]]);
+        assert!(t.contains("only-one"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let dir = std::env::temp_dir().join("clapf-report-test");
+        let path = dir.join("nested/out.json");
+        write_json(&path, &vec![1, 2, 3]).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        let parsed: Vec<i32> = serde_json::from_str(&body).unwrap();
+        assert_eq!(parsed, vec![1, 2, 3]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

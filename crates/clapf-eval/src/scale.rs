@@ -1,0 +1,141 @@
+//! Cost scaling of the reproduction runs.
+
+use clapf_data::synthetic::{paper_datasets, DatasetSpec, WorldConfig};
+use serde::Serialize;
+
+/// How big a reproduction run is. `paper()` regenerates the artifacts at
+/// the fidelity documented in EXPERIMENTS.md; `fast()` shrinks datasets and
+/// budgets so the full pipeline smoke-runs in seconds (used by tests).
+#[derive(Clone, Debug, Serialize)]
+pub struct RunScale {
+    /// Divide each dataset's users/items/pairs by this factor.
+    pub dataset_shrink: u32,
+    /// Protocol repetitions (the paper uses 5).
+    pub repeats: usize,
+    /// Latent dimension for the MF-family models (the paper uses 20).
+    pub dim: usize,
+    /// SGD steps for the pairwise/CLAPF models; 0 = auto (30·|P|).
+    pub iterations: usize,
+    /// Epochs for the neural models.
+    pub neural_epochs: usize,
+    /// Epochs for CLiMF (quadratic per user — keep small).
+    pub climf_epochs: usize,
+    /// ALS sweeps for WMF.
+    pub wmf_sweeps: usize,
+    /// Include the slow methods (RandomWalk, CLiMF, neural) in sweeps that
+    /// iterate over all methods.
+    pub include_slow: bool,
+    /// Base seed for dataset generation and protocol splits.
+    pub seed: u64,
+}
+
+impl RunScale {
+    /// Full-fidelity run (hours on a laptop, like the paper's grid).
+    pub fn paper() -> Self {
+        RunScale {
+            dataset_shrink: 1,
+            repeats: 5,
+            dim: 20,
+            iterations: 0,
+            neural_epochs: 20,
+            climf_epochs: 15,
+            wmf_sweeps: 10,
+            include_slow: true,
+            seed: 0xC1A9F,
+        }
+    }
+
+    /// Reduced-fidelity run for CI and quick iteration (seconds to a few
+    /// minutes).
+    pub fn fast() -> Self {
+        RunScale {
+            dataset_shrink: 24,
+            repeats: 2,
+            dim: 8,
+            iterations: 0,
+            neural_epochs: 4,
+            climf_epochs: 4,
+            wmf_sweeps: 4,
+            include_slow: true,
+            seed: 0xC1A9F,
+        }
+    }
+
+    /// A middle setting: full datasets, reduced repeats/budgets.
+    pub fn medium() -> Self {
+        RunScale {
+            dataset_shrink: 4,
+            repeats: 3,
+            dim: 16,
+            iterations: 0,
+            neural_epochs: 8,
+            climf_epochs: 8,
+            wmf_sweeps: 6,
+            include_slow: true,
+            seed: 0xC1A9F,
+        }
+    }
+
+    /// The six Table 1 worlds, shrunk by `dataset_shrink`.
+    ///
+    /// Users and pairs shrink by the full factor (preserving the average
+    /// user degree, which drives the methods' relative behaviour); items
+    /// shrink by its square root so the matrix does not saturate and the
+    /// long-tail popularity shape survives.
+    pub fn datasets(&self) -> Vec<DatasetSpec> {
+        paper_datasets()
+            .into_iter()
+            .map(|mut spec| {
+                if self.dataset_shrink > 1 {
+                    let s = self.dataset_shrink;
+                    let item_s = (s as f64).sqrt().round().max(1.0) as u32;
+                    let cfg = &mut spec.config;
+                    let n_users = (cfg.n_users / s).max(24);
+                    let n_items = (cfg.n_items / item_s).max(48);
+                    let target = (cfg.target_pairs / s as usize).max(300);
+                    // Cap density at 40% so every user keeps unobserved items.
+                    let max_pairs = (n_users as usize * n_items as usize * 2) / 5;
+                    *cfg = WorldConfig {
+                        n_users,
+                        n_items,
+                        target_pairs: target.min(max_pairs.max(1)),
+                        ..cfg.clone()
+                    };
+                }
+                spec
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_keeps_table1_shapes() {
+        let specs = RunScale::paper().datasets();
+        assert_eq!(specs.len(), 6);
+        assert_eq!(specs[0].config.n_users, 943);
+        assert_eq!(specs[0].config.target_pairs, 55_375);
+    }
+
+    #[test]
+    fn fast_scale_shrinks() {
+        let fast = RunScale::fast().datasets();
+        let paper = RunScale::paper().datasets();
+        for (f, p) in fast.iter().zip(&paper) {
+            assert!(f.config.n_users < p.config.n_users);
+            assert!(f.config.target_pairs < p.config.target_pairs);
+            assert_eq!(f.name, p.name);
+        }
+    }
+
+    #[test]
+    fn shrunk_datasets_stay_generable() {
+        for spec in RunScale::fast().datasets() {
+            let d = spec.generate();
+            assert!(d.n_pairs() > 0);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Table 1: description of the experimental datasets.
+
+use crate::report::render_table;
+use crate::RunScale;
+use clapf_data::split::{Protocol, SplitStrategy};
+use clapf_data::stats::DatasetStats;
+use serde::Serialize;
+
+/// One row of Table 1.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table1Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// How this world relates to the paper's dataset.
+    pub scale_note: String,
+    /// Users `n`.
+    pub n_users: u32,
+    /// Items `m`.
+    pub n_items: u32,
+    /// Training pairs `|P|`.
+    pub train_pairs: usize,
+    /// Test pairs `|P^te|`.
+    pub test_pairs: usize,
+    /// `(P + P^te) / n / m`.
+    pub density: f64,
+    /// Popularity Gini (long-tail witness; not in the paper's table but
+    /// validates the generated worlds).
+    pub popularity_gini: f64,
+}
+
+/// Generates every dataset at `scale` and splits it once with the paper's
+/// protocol to produce the Table 1 rows.
+pub fn run(scale: &RunScale) -> Vec<Table1Row> {
+    let mut rows = Vec::new();
+    for spec in scale.datasets() {
+        let data = spec.generate();
+        let protocol = Protocol {
+            repeats: 1,
+            train_fraction: 0.5,
+            strategy: SplitStrategy::GlobalPairs,
+            base_seed: scale.seed,
+        };
+        let fold = &protocol.folds(&data).expect("datasets are splittable")[0];
+        let stats = DatasetStats::of(&data);
+        let scale_note = if scale.dataset_shrink > 1 {
+            format!("{} (run ÷{})", spec.scale_note, scale.dataset_shrink)
+        } else {
+            spec.scale_note.to_string()
+        };
+        rows.push(Table1Row {
+            dataset: spec.name.to_string(),
+            scale_note,
+            n_users: data.n_users(),
+            n_items: data.n_items(),
+            // The validation pair per user is carved out of training, as in
+            // the protocol; report it as part of training like the paper.
+            train_pairs: fold.train.n_pairs() + fold.validation.n_pairs(),
+            test_pairs: fold.test.n_pairs(),
+            density: stats.density,
+            popularity_gini: stats.popularity_gini,
+        });
+    }
+    rows
+}
+
+/// Renders rows in the paper's column layout.
+pub fn render(rows: &[Table1Row]) -> String {
+    render_table(
+        &["Dataset", "n", "m", "P", "P^te", "density", "pop-gini", "scale"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.clone(),
+                    r.n_users.to_string(),
+                    r.n_items.to_string(),
+                    r.train_pairs.to_string(),
+                    r.test_pairs.to_string(),
+                    format!("{:.2}%", r.density * 100.0),
+                    format!("{:.2}", r.popularity_gini),
+                    r.scale_note.clone(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_table1_has_six_rows() {
+        let rows = run(&RunScale::fast());
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert!(r.train_pairs + r.test_pairs > 0);
+            // 50/50 split within rounding.
+            let ratio = r.train_pairs as f64 / (r.train_pairs + r.test_pairs) as f64;
+            assert!((ratio - 0.5).abs() < 0.02, "{}: ratio {ratio}", r.dataset);
+            // Long-tail popularity planted.
+            assert!(r.popularity_gini > 0.2, "{}: gini {}", r.dataset, r.popularity_gini);
+        }
+        let rendered = render(&rows);
+        assert!(rendered.contains("ML100K"));
+        assert!(rendered.contains("Netflix"));
+    }
+}

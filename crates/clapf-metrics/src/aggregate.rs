@@ -1,0 +1,179 @@
+//! Mean ± standard-deviation aggregation across protocol repetitions.
+
+use serde::Serialize;
+
+/// Mean and (population) standard deviation of a metric across the five
+/// repeated splits, displayed the way Table 2 prints cells
+/// (`0.432±0.005`).
+#[derive(Copy, Clone, Debug, Default, Serialize, PartialEq)]
+pub struct Aggregate {
+    /// Mean over repetitions.
+    pub mean: f64,
+    /// Population standard deviation over repetitions.
+    pub std: f64,
+    /// Number of samples aggregated.
+    pub n: usize,
+}
+
+impl Aggregate {
+    /// Aggregates a slice of samples. Empty input yields zeros.
+    pub fn of(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Aggregate::default();
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        Aggregate {
+            mean,
+            std: var.sqrt(),
+            n: samples.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for Aggregate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3}±{:.3}", self.mean, self.std)
+    }
+}
+
+/// Result of a paired comparison between two methods across the protocol's
+/// repeated splits.
+#[derive(Copy, Clone, Debug, Serialize, PartialEq)]
+pub struct PairedComparison {
+    /// Mean of the per-fold differences (`a − b`).
+    pub mean_diff: f64,
+    /// Paired t statistic (0 when the differences have no variance and no
+    /// mean; ±inf when the mean difference is nonzero with zero variance).
+    pub t_statistic: f64,
+    /// Degrees of freedom (`n − 1`).
+    pub dof: usize,
+    /// Whether |t| exceeds the two-sided 5% critical value for `dof`
+    /// (conservative table lookup).
+    pub significant_5pct: bool,
+}
+
+/// Paired t-test over per-fold metric values of two methods evaluated on
+/// the *same* folds (the proper way to claim "A beats B" from Table 2's
+/// five repetitions).
+///
+/// # Panics
+/// Panics if the slices have different lengths or fewer than 2 samples.
+pub fn paired_t_test(a: &[f64], b: &[f64]) -> PairedComparison {
+    assert_eq!(a.len(), b.len(), "paired test needs matched folds");
+    assert!(a.len() >= 2, "paired test needs at least 2 folds");
+    let n = a.len() as f64;
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let mean = diffs.iter().sum::<f64>() / n;
+    let var = diffs.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / (n - 1.0);
+    let se = (var / n).sqrt();
+    let t = if se == 0.0 {
+        if mean == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY * mean.signum()
+        }
+    } else {
+        mean / se
+    };
+    let dof = a.len() - 1;
+    PairedComparison {
+        mean_diff: mean,
+        t_statistic: t,
+        dof,
+        significant_5pct: t.abs() > t_critical_5pct(dof),
+    }
+}
+
+/// Two-sided 5% critical values of Student's t (small-sample table; the
+/// protocol uses ≤ 10 repeats, so a lookup is exact enough).
+fn t_critical_5pct(dof: usize) -> f64 {
+    const TABLE: [f64; 10] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    ];
+    if dof == 0 {
+        f64::INFINITY
+    } else if dof <= TABLE.len() {
+        TABLE[dof - 1]
+    } else {
+        1.96 + 2.4 / dof as f64 // asymptotic with a small-sample correction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn of_constant_series() {
+        let a = Aggregate::of(&[0.5, 0.5, 0.5]);
+        assert_eq!(a.mean, 0.5);
+        assert_eq!(a.std, 0.0);
+        assert_eq!(a.n, 3);
+    }
+
+    #[test]
+    fn of_known_series() {
+        let a = Aggregate::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((a.mean - 2.5).abs() < 1e-12);
+        assert!((a.std - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_is_zeros() {
+        let a = Aggregate::of(&[]);
+        assert_eq!(a.mean, 0.0);
+        assert_eq!(a.std, 0.0);
+        assert_eq!(a.n, 0);
+    }
+
+    #[test]
+    fn display_matches_table_format() {
+        let a = Aggregate::of(&[0.432, 0.432]);
+        assert_eq!(a.to_string(), "0.432±0.000");
+    }
+
+    #[test]
+    fn t_test_detects_a_clear_winner() {
+        let a = [0.45, 0.46, 0.44, 0.47, 0.45];
+        let b = [0.38, 0.37, 0.39, 0.38, 0.36];
+        let c = paired_t_test(&a, &b);
+        assert!(c.mean_diff > 0.05);
+        assert!(c.t_statistic > 2.776, "t = {}", c.t_statistic);
+        assert!(c.significant_5pct);
+        assert_eq!(c.dof, 4);
+    }
+
+    #[test]
+    fn t_test_rejects_noise() {
+        let a = [0.40, 0.42, 0.39, 0.41, 0.40];
+        let b = [0.41, 0.40, 0.40, 0.42, 0.39];
+        let c = paired_t_test(&a, &b);
+        assert!(!c.significant_5pct, "t = {}", c.t_statistic);
+    }
+
+    #[test]
+    fn t_test_handles_zero_variance() {
+        let equal = paired_t_test(&[0.5, 0.5], &[0.5, 0.5]);
+        assert_eq!(equal.t_statistic, 0.0);
+        assert!(!equal.significant_5pct);
+        let shifted = paired_t_test(&[0.6, 0.6], &[0.5, 0.5]);
+        assert!(shifted.t_statistic.is_infinite());
+        assert!(shifted.significant_5pct);
+    }
+
+    #[test]
+    #[should_panic(expected = "matched folds")]
+    fn t_test_rejects_mismatched_lengths() {
+        paired_t_test(&[0.1, 0.2], &[0.1]);
+    }
+
+    #[test]
+    fn critical_values_decrease_with_dof() {
+        assert!(t_critical_5pct(1) > t_critical_5pct(4));
+        assert!(t_critical_5pct(4) > t_critical_5pct(30));
+        assert!(t_critical_5pct(30) > 1.96);
+        assert_eq!(t_critical_5pct(0), f64::INFINITY);
+    }
+}

@@ -1,0 +1,420 @@
+//! The full-ranking evaluation loop of the paper.
+
+use crate::{
+    auc, average_precision, f1, ndcg_at_k, one_call_at_k, precision_at_k, rank_all,
+    recall_at_k, reciprocal_rank,
+};
+use clapf_data::{Interactions, UserId};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Anything that can score every item for a user in one call.
+///
+/// Implemented by all models in the workspace (via the `Recommender` trait in
+/// `clapf-core`) and by plain closures, which keeps this crate free of model
+/// dependencies:
+///
+/// ```
+/// use clapf_data::UserId;
+/// use clapf_metrics::BulkScorer;
+///
+/// let popularity = vec![5.0_f32, 2.0, 9.0];
+/// let scorer = |_u: UserId, out: &mut Vec<f32>| {
+///     out.clear();
+///     out.extend_from_slice(&popularity);
+/// };
+/// let mut buf = Vec::new();
+/// scorer.scores_into(UserId(0), &mut buf);
+/// assert_eq!(buf.len(), 3);
+/// ```
+pub trait BulkScorer: Sync {
+    /// Writes a score for every item id `0..n_items` into `out`.
+    fn scores_into(&self, u: UserId, out: &mut Vec<f32>);
+}
+
+impl<F: Fn(UserId, &mut Vec<f32>) + Sync> BulkScorer for F {
+    fn scores_into(&self, u: UserId, out: &mut Vec<f32>) {
+        self(u, out)
+    }
+}
+
+/// Evaluation configuration: which cutoffs to report.
+#[derive(Clone, Debug)]
+pub struct EvalConfig {
+    /// Top-k cutoffs (the paper uses {3, 5, 10, 15, 20}).
+    pub ks: Vec<usize>,
+    /// Number of worker threads (0 = all available cores).
+    pub threads: usize,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            ks: vec![3, 5, 10, 15, 20],
+            threads: 0,
+        }
+    }
+}
+
+impl EvalConfig {
+    /// A configuration reporting only the paper's headline cutoff `k = 5`.
+    pub fn at_5() -> Self {
+        EvalConfig {
+            ks: vec![5],
+            threads: 0,
+        }
+    }
+}
+
+/// Averaged top-k metrics at one cutoff.
+#[derive(Copy, Clone, Debug, Default, Serialize, PartialEq)]
+pub struct TopKMetrics {
+    /// Mean `Precision@k`.
+    pub precision: f64,
+    /// Mean `Recall@k`.
+    pub recall: f64,
+    /// Mean per-user `F1@k`.
+    pub f1: f64,
+    /// Mean `1-Call@k`.
+    pub one_call: f64,
+    /// Mean `NDCG@k`.
+    pub ndcg: f64,
+}
+
+/// Metrics averaged over all evaluable users (users with ≥ 1 test item).
+#[derive(Clone, Debug, Serialize, PartialEq)]
+pub struct EvalReport {
+    /// Top-k metrics per cutoff.
+    pub topk: BTreeMap<usize, TopKMetrics>,
+    /// Mean Average Precision over the full ranking.
+    pub map: f64,
+    /// Mean Reciprocal Rank over the full ranking.
+    pub mrr: f64,
+    /// Mean AUC over the full ranking.
+    pub auc: f64,
+    /// Number of users that entered the averages.
+    pub n_users: usize,
+}
+
+impl EvalReport {
+    /// Convenience accessor: `NDCG@k`, panicking if `k` was not evaluated.
+    pub fn ndcg_at(&self, k: usize) -> f64 {
+        self.topk[&k].ndcg
+    }
+
+    /// Convenience accessor: `Precision@k`.
+    pub fn precision_at(&self, k: usize) -> f64 {
+        self.topk[&k].precision
+    }
+
+    /// Convenience accessor: `Recall@k`.
+    pub fn recall_at(&self, k: usize) -> f64 {
+        self.topk[&k].recall
+    }
+}
+
+#[derive(Clone, Default)]
+struct Sums {
+    topk: Vec<TopKMetrics>, // parallel to ks
+    map: f64,
+    mrr: f64,
+    auc: f64,
+    n: usize,
+}
+
+impl Sums {
+    fn new(n_ks: usize) -> Self {
+        Sums {
+            topk: vec![TopKMetrics::default(); n_ks],
+            ..Sums::default()
+        }
+    }
+
+    fn merge(&mut self, other: &Sums) {
+        for (a, b) in self.topk.iter_mut().zip(&other.topk) {
+            a.precision += b.precision;
+            a.recall += b.recall;
+            a.f1 += b.f1;
+            a.one_call += b.one_call;
+            a.ndcg += b.ndcg;
+        }
+        self.map += other.map;
+        self.mrr += other.mrr;
+        self.auc += other.auc;
+        self.n += other.n;
+    }
+}
+
+fn eval_user<S: BulkScorer>(
+    scorer: &S,
+    train: &Interactions,
+    test: &Interactions,
+    u: UserId,
+    ks: &[usize],
+    scores: &mut Vec<f32>,
+    sums: &mut Sums,
+) {
+    let relevant_items = test.items_of(u);
+    if relevant_items.is_empty() {
+        return;
+    }
+    scorer.scores_into(u, scores);
+    debug_assert_eq!(scores.len(), train.n_items() as usize);
+    // Rank all items unobserved in training (test items are candidates).
+    let ranked = rank_all(scores, |i| !train.contains(u, i));
+    let n_rel = relevant_items.len();
+    let relevant = |i| relevant_items.binary_search(&i).is_ok();
+    for (slot, &k) in ks.iter().enumerate() {
+        let p = precision_at_k(&ranked, k, relevant);
+        let r = recall_at_k(&ranked, k, n_rel, relevant);
+        let t = &mut sums.topk[slot];
+        t.precision += p;
+        t.recall += r;
+        t.f1 += f1(p, r);
+        t.one_call += one_call_at_k(&ranked, k, relevant);
+        t.ndcg += ndcg_at_k(&ranked, k, n_rel, relevant);
+    }
+    sums.map += average_precision(&ranked, n_rel, relevant);
+    sums.mrr += reciprocal_rank(&ranked, relevant);
+    sums.auc += auc(&ranked, relevant);
+    sums.n += 1;
+}
+
+fn finalize(mut sums: Sums, ks: &[usize]) -> EvalReport {
+    let n = sums.n.max(1) as f64;
+    for t in &mut sums.topk {
+        t.precision /= n;
+        t.recall /= n;
+        t.f1 /= n;
+        t.one_call /= n;
+        t.ndcg /= n;
+    }
+    EvalReport {
+        topk: ks.iter().copied().zip(sums.topk).collect(),
+        map: sums.map / n,
+        mrr: sums.mrr / n,
+        auc: sums.auc / n,
+        n_users: sums.n,
+    }
+}
+
+/// Evaluates `scorer` against `test`, excluding `train` pairs from the
+/// candidate set, single-threaded.
+pub fn evaluate_serial<S: BulkScorer>(
+    scorer: &S,
+    train: &Interactions,
+    test: &Interactions,
+    config: &EvalConfig,
+) -> EvalReport {
+    let mut sums = Sums::new(config.ks.len());
+    let mut scores = Vec::new();
+    for u in test.users() {
+        eval_user(scorer, train, test, u, &config.ks, &mut scores, &mut sums);
+    }
+    finalize(sums, &config.ks)
+}
+
+/// Evaluates `scorer` against `test` in parallel over users.
+///
+/// Per-thread partial sums are merged in thread order, so the result is
+/// deterministic for a fixed thread count (and equal to
+/// [`evaluate_serial`] up to floating-point association).
+pub fn evaluate<S: BulkScorer>(
+    scorer: &S,
+    train: &Interactions,
+    test: &Interactions,
+    config: &EvalConfig,
+) -> EvalReport {
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        config.threads
+    };
+    let n_users = test.n_users() as usize;
+    if threads <= 1 || n_users < 2 * threads {
+        return evaluate_serial(scorer, train, test, config);
+    }
+    let chunk = n_users.div_ceil(threads);
+    let partials = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let ks = &config.ks;
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n_users);
+            handles.push(scope.spawn(move |_| {
+                let mut sums = Sums::new(ks.len());
+                let mut scores = Vec::new();
+                for uid in lo..hi {
+                    eval_user(
+                        scorer,
+                        train,
+                        test,
+                        UserId(uid as u32),
+                        ks,
+                        &mut scores,
+                        &mut sums,
+                    );
+                }
+                sums
+            }));
+        }
+        let mut total = Sums::new(config.ks.len());
+        for h in handles {
+            total.merge(&h.join().expect("evaluation worker panicked"));
+        }
+        total
+    })
+    .expect("evaluation scope panicked");
+    finalize(partials, &config.ks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clapf_data::{InteractionsBuilder, ItemId};
+
+    /// 2 users, 4 items. Train: u0→{0}, u1→{1}. Test: u0→{1,2}, u1→{3}.
+    fn fixture() -> (Interactions, Interactions) {
+        let mut tr = InteractionsBuilder::new(2, 4);
+        tr.push(UserId(0), ItemId(0)).unwrap();
+        tr.push(UserId(1), ItemId(1)).unwrap();
+        let mut te = InteractionsBuilder::new(2, 4);
+        te.push(UserId(0), ItemId(1)).unwrap();
+        te.push(UserId(0), ItemId(2)).unwrap();
+        te.push(UserId(1), ItemId(3)).unwrap();
+        (tr.build().unwrap(), te.build().unwrap())
+    }
+
+    /// Oracle scorer: gives test items the best scores.
+    fn oracle(test: Interactions) -> impl Fn(UserId, &mut Vec<f32>) + Sync {
+        move |u: UserId, out: &mut Vec<f32>| {
+            out.clear();
+            for i in 0..test.n_items() {
+                out.push(if test.contains(u, ItemId(i)) { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_scorer_is_perfect() {
+        let (train, test) = fixture();
+        let scorer = oracle(test.clone());
+        let report = evaluate_serial(&scorer, &train, &test, &EvalConfig::default());
+        assert_eq!(report.n_users, 2);
+        assert!((report.map - 1.0).abs() < 1e-12);
+        assert!((report.mrr - 1.0).abs() < 1e-12);
+        assert!((report.auc - 1.0).abs() < 1e-12);
+        assert!((report.topk[&3].recall - 1.0).abs() < 1e-12);
+        assert!((report.topk[&3].ndcg - 1.0).abs() < 1e-12);
+        assert!((report.topk[&3].one_call - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anti_oracle_scorer_is_terrible() {
+        let (train, test) = fixture();
+        let test2 = test.clone();
+        let scorer = move |u: UserId, out: &mut Vec<f32>| {
+            out.clear();
+            for i in 0..test2.n_items() {
+                out.push(if test2.contains(u, ItemId(i)) { -1.0 } else { 0.0 });
+            }
+        };
+        let report = evaluate_serial(&scorer, &train, &test, &EvalConfig::default());
+        assert!(report.auc < 1e-12);
+        assert!(report.mrr < 1.0);
+    }
+
+    #[test]
+    fn train_items_are_excluded_from_candidates() {
+        let (train, test) = fixture();
+        // Score the *train* item of each user highest; if it were a candidate
+        // it would displace test items and lower precision@1.
+        let train2 = train.clone();
+        let scorer = move |u: UserId, out: &mut Vec<f32>| {
+            out.clear();
+            for i in 0..train2.n_items() {
+                out.push(if train2.contains(u, ItemId(i)) {
+                    10.0
+                } else if test.contains(u, ItemId(i)) {
+                    1.0
+                } else {
+                    0.0
+                });
+            }
+        };
+        let (_, test) = fixture();
+        let cfg = EvalConfig {
+            ks: vec![1],
+            threads: 1,
+        };
+        let report = evaluate_serial(&scorer, &train, &test, &cfg);
+        assert!((report.topk[&1].precision - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn users_without_test_items_are_skipped() {
+        let mut tr = InteractionsBuilder::new(3, 3);
+        tr.push(UserId(0), ItemId(0)).unwrap();
+        tr.push(UserId(2), ItemId(2)).unwrap();
+        let mut te = InteractionsBuilder::new(3, 3);
+        te.push(UserId(0), ItemId(1)).unwrap();
+        let train = tr.build().unwrap();
+        let test = te.build().unwrap();
+        let scorer = |_u: UserId, out: &mut Vec<f32>| {
+            out.clear();
+            out.extend_from_slice(&[0.0, 0.0, 0.0]);
+        };
+        let report = evaluate_serial(&scorer, &train, &test, &EvalConfig::default());
+        assert_eq!(report.n_users, 1);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        // Bigger synthetic fixture so the parallel path engages.
+        let mut tr = InteractionsBuilder::new(64, 40);
+        let mut te = InteractionsBuilder::new(64, 40);
+        for u in 0..64u32 {
+            for i in 0..40u32 {
+                match (u.wrapping_mul(31).wrapping_add(i * 7)) % 5 {
+                    0 => tr.push(UserId(u), ItemId(i)).unwrap(),
+                    1 => te.push(UserId(u), ItemId(i)).unwrap(),
+                    _ => {}
+                }
+            }
+        }
+        let train = tr.build().unwrap();
+        let test = te.build().unwrap();
+        let scorer = |u: UserId, out: &mut Vec<f32>| {
+            out.clear();
+            for i in 0..40u32 {
+                out.push(((u.0 * 13 + i * 29) % 17) as f32);
+            }
+        };
+        let serial = evaluate_serial(&scorer, &train, &test, &EvalConfig::default());
+        let cfg = EvalConfig {
+            ks: vec![3, 5, 10, 15, 20],
+            threads: 4,
+        };
+        let parallel = evaluate(&scorer, &train, &test, &cfg);
+        assert_eq!(serial.n_users, parallel.n_users);
+        assert!((serial.map - parallel.map).abs() < 1e-9);
+        assert!((serial.auc - parallel.auc).abs() < 1e-9);
+        for k in [3, 5, 10, 15, 20] {
+            assert!((serial.topk[&k].ndcg - parallel.topk[&k].ndcg).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn accessors_panic_on_missing_k() {
+        let (train, test) = fixture();
+        let scorer = oracle(test.clone());
+        let report = evaluate_serial(&scorer, &train, &test, &EvalConfig::at_5());
+        assert!(report.ndcg_at(5) > 0.0);
+        assert!(report.precision_at(5) > 0.0);
+        assert!(report.recall_at(5) > 0.0);
+        let caught = std::panic::catch_unwind(|| report.ndcg_at(99));
+        assert!(caught.is_err());
+    }
+}

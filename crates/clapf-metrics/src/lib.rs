@@ -1,0 +1,30 @@
+//! Evaluation metrics for implicit-feedback top-k recommendation.
+//!
+//! Implements every metric the paper reports (Sec 6.2): the top-k family
+//! (`Precision@k`, `Recall@k`, `F1@k`, `1-Call@k`, `NDCG@k`) and the
+//! rank-biased family (`MAP`, `MRR`) plus `AUC`, which the pairwise methods
+//! optimize (Eq. 1).
+//!
+//! The evaluation protocol follows Sec 6.3 of the paper: for each user, *all*
+//! items unobserved in training are ranked by predicted score (no sampled
+//! candidate shortcut), the user's test items are the relevant set, and
+//! metrics are averaged over the users that have at least one test item.
+//!
+//! Evaluation over users is embarrassingly parallel; [`evaluate`] fans out
+//! over a crossbeam scoped thread pool.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aggregate;
+mod evaluate;
+mod ranked;
+mod rankmetrics;
+pub mod sampled;
+mod topk;
+
+pub use aggregate::{paired_t_test, Aggregate, PairedComparison};
+pub use evaluate::{evaluate, evaluate_serial, BulkScorer, EvalConfig, EvalReport, TopKMetrics};
+pub use ranked::{rank_all, top_k_ranked, RankedList};
+pub use rankmetrics::{auc, average_precision, reciprocal_rank};
+pub use topk::{dcg_at_k, f1, ndcg_at_k, one_call_at_k, precision_at_k, recall_at_k};

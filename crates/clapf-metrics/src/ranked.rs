@@ -1,0 +1,129 @@
+//! Turning per-item scores into ranked candidate lists.
+
+use clapf_data::ItemId;
+
+/// A user's candidate items ranked by descending predicted score.
+///
+/// `positions` maps each position (0-based) to the item at that rank;
+/// relevance lookups are the caller's business. Ties are broken by ascending
+/// item id so that rankings — and therefore every metric in the workspace —
+/// are deterministic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RankedList {
+    /// Items from best (index 0) to worst.
+    pub items: Vec<ItemId>,
+}
+
+impl RankedList {
+    /// Number of ranked candidates.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether there are no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// 1-based rank of `item`, if it is in the list. `O(len)`.
+    pub fn rank_of(&self, item: ItemId) -> Option<usize> {
+        self.items.iter().position(|&i| i == item).map(|p| p + 1)
+    }
+}
+
+/// Ranks every candidate item by descending `scores[item]`.
+///
+/// `is_candidate(i)` filters the universe: evaluation passes
+/// "not observed in training", so test items and truly unobserved items
+/// compete while training items are excluded, exactly as in the paper.
+pub fn rank_all<F: Fn(ItemId) -> bool>(scores: &[f32], is_candidate: F) -> RankedList {
+    let mut items: Vec<ItemId> = (0..scores.len() as u32)
+        .map(ItemId)
+        .filter(|&i| is_candidate(i))
+        .collect();
+    items.sort_unstable_by(|&a, &b| {
+        let sa = scores[a.index()];
+        let sb = scores[b.index()];
+        sb.partial_cmp(&sa)
+            .expect("scores must be finite")
+            .then(a.cmp(&b))
+    });
+    RankedList { items }
+}
+
+/// The top `k` candidates by descending score; `O(m)` selection followed by
+/// an `O(k log k)` sort, which beats a full sort when `k ≪ m`.
+pub fn top_k_ranked<F: Fn(ItemId) -> bool>(scores: &[f32], k: usize, is_candidate: F) -> RankedList {
+    let mut items: Vec<ItemId> = (0..scores.len() as u32)
+        .map(ItemId)
+        .filter(|&i| is_candidate(i))
+        .collect();
+    let k = k.min(items.len());
+    if k == 0 {
+        return RankedList { items: Vec::new() };
+    }
+    let cmp = |a: &ItemId, b: &ItemId| {
+        let sa = scores[a.index()];
+        let sb = scores[b.index()];
+        sb.partial_cmp(&sa)
+            .expect("scores must be finite")
+            .then(a.cmp(b))
+    };
+    if k < items.len() {
+        items.select_nth_unstable_by(k - 1, cmp);
+        items.truncate(k);
+    }
+    items.sort_unstable_by(cmp);
+    RankedList { items }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_all_orders_by_score_desc() {
+        let scores = vec![0.1, 0.9, 0.5, 0.7];
+        let r = rank_all(&scores, |_| true);
+        assert_eq!(r.items, vec![ItemId(1), ItemId(3), ItemId(2), ItemId(0)]);
+    }
+
+    #[test]
+    fn ties_break_by_item_id() {
+        let scores = vec![0.5, 0.5, 0.5];
+        let r = rank_all(&scores, |_| true);
+        assert_eq!(r.items, vec![ItemId(0), ItemId(1), ItemId(2)]);
+    }
+
+    #[test]
+    fn candidate_filter_excludes() {
+        let scores = vec![0.9, 0.8, 0.7];
+        let r = rank_all(&scores, |i| i != ItemId(0));
+        assert_eq!(r.items, vec![ItemId(1), ItemId(2)]);
+        assert_eq!(r.rank_of(ItemId(0)), None);
+        assert_eq!(r.rank_of(ItemId(2)), Some(2));
+    }
+
+    #[test]
+    fn top_k_matches_full_ranking_prefix() {
+        let scores: Vec<f32> = (0..50).map(|i| ((i * 37) % 50) as f32).collect();
+        let full = rank_all(&scores, |_| true);
+        for k in [1, 3, 10, 49, 50, 80] {
+            let top = top_k_ranked(&scores, k, |_| true);
+            assert_eq!(&top.items[..], &full.items[..k.min(50)], "k = {k}");
+        }
+    }
+
+    #[test]
+    fn top_k_zero_is_empty() {
+        let r = top_k_ranked(&[1.0, 2.0], 0, |_| true);
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn top_k_with_all_filtered_is_empty() {
+        let r = top_k_ranked(&[1.0, 2.0], 3, |_| false);
+        assert!(r.is_empty());
+    }
+}

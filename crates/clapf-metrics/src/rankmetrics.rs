@@ -1,0 +1,175 @@
+//! Rank-biased metrics over the full candidate ranking: AP/MAP, RR/MRR, AUC.
+
+use crate::RankedList;
+use clapf_data::ItemId;
+
+/// Average Precision of one user's ranking (Eq. 8 of the paper, the exact
+/// indicator version): the mean over relevant items of
+/// `(# relevant at rank ≤ R_ui) / R_ui`.
+///
+/// Returns 0 when there are no relevant items.
+///
+/// ```
+/// use clapf_data::ItemId;
+/// use clapf_metrics::{average_precision, rank_all};
+///
+/// // Ranking: item1, item0, item2; relevant = {1, 2}.
+/// let ranked = rank_all(&[0.5, 0.9, 0.1], |_| true);
+/// let ap = average_precision(&ranked, 2, |i: ItemId| i.0 != 0);
+/// assert!((ap - (1.0 + 2.0 / 3.0) / 2.0).abs() < 1e-12);
+/// ```
+pub fn average_precision<F: Fn(ItemId) -> bool>(
+    ranked: &RankedList,
+    n_relevant: usize,
+    relevant: F,
+) -> f64 {
+    if n_relevant == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0f64;
+    for (p, &i) in ranked.items.iter().enumerate() {
+        if relevant(i) {
+            hits += 1;
+            sum += hits as f64 / (p as f64 + 1.0);
+        }
+    }
+    sum / n_relevant as f64
+}
+
+/// Reciprocal Rank of one user's ranking (Eq. 5 of the paper, the exact
+/// indicator version): `1 / rank of the first relevant item`, or 0 when no
+/// relevant item is ranked.
+pub fn reciprocal_rank<F: Fn(ItemId) -> bool>(ranked: &RankedList, relevant: F) -> f64 {
+    for (p, &i) in ranked.items.iter().enumerate() {
+        if relevant(i) {
+            return 1.0 / (p as f64 + 1.0);
+        }
+    }
+    0.0
+}
+
+/// AUC of one user's ranking (Eq. 1 of the paper): the fraction of
+/// (relevant, non-relevant) candidate pairs ranked in the right order.
+///
+/// Returns 0.5 (chance level) when one of the two classes is empty, so that
+/// degenerate users do not bias the average.
+pub fn auc<F: Fn(ItemId) -> bool>(ranked: &RankedList, relevant: F) -> f64 {
+    let total = ranked.len();
+    // 1-based ranks of the relevant items, in increasing order.
+    let ranks: Vec<usize> = ranked
+        .items
+        .iter()
+        .enumerate()
+        .filter(|(_, &i)| relevant(i))
+        .map(|(p, _)| p + 1)
+        .collect();
+    let n_rel = ranks.len();
+    let n_neg = total - n_rel;
+    if n_rel == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // For the j-th (1-based) relevant item at rank r: the non-relevant items
+    // ranked below it number (total − r) − (n_rel − j).
+    let correct: usize = ranks
+        .iter()
+        .enumerate()
+        .map(|(j0, &r)| (total - r) - (n_rel - (j0 + 1)))
+        .sum();
+    correct as f64 / (n_rel * n_neg) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list(ids: &[u32]) -> RankedList {
+        RankedList {
+            items: ids.iter().map(|&i| ItemId(i)).collect(),
+        }
+    }
+
+    fn rel(set: &'static [u32]) -> impl Fn(ItemId) -> bool {
+        move |i| set.contains(&i.0)
+    }
+
+    #[test]
+    fn ap_perfect_ranking_is_one() {
+        let r = list(&[1, 2, 9, 8]);
+        assert!((average_precision(&r, 2, rel(&[1, 2])) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_textbook_example() {
+        // Relevant at ranks 1 and 3 of 4, 2 relevant total:
+        // AP = (1/1 + 2/3) / 2 = 5/6.
+        let r = list(&[1, 9, 2, 8]);
+        assert!((average_precision(&r, 2, rel(&[1, 2])) - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_counts_unranked_relevant_in_denominator() {
+        // One of two relevant items missing from the candidate list.
+        let r = list(&[1, 9]);
+        assert!((average_precision(&r, 2, rel(&[1, 2])) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_empty_relevant_is_zero() {
+        assert_eq!(average_precision(&list(&[1, 2]), 0, rel(&[])), 0.0);
+    }
+
+    #[test]
+    fn rr_finds_first_hit() {
+        let r = list(&[9, 8, 2, 1]);
+        assert!((reciprocal_rank(&r, rel(&[1, 2])) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(reciprocal_rank(&r, rel(&[77])), 0.0);
+    }
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let perfect = list(&[1, 2, 8, 9]);
+        assert!((auc(&perfect, rel(&[1, 2])) - 1.0).abs() < 1e-12);
+        let inverted = list(&[8, 9, 1, 2]);
+        assert!((auc(&inverted, rel(&[1, 2]))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_half_for_interleaved() {
+        // rel, non, rel, non → pairs: (1 vs 2 ok)(1 vs 4 ok)(3 vs 2 bad)(3 vs 4 ok)
+        let r = list(&[1, 8, 2, 9]);
+        assert!((auc(&r, rel(&[1, 2])) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_degenerate_classes_are_chance() {
+        assert_eq!(auc(&list(&[1, 2]), rel(&[1, 2])), 0.5);
+        assert_eq!(auc(&list(&[1, 2]), rel(&[])), 0.5);
+        assert_eq!(auc(&list(&[]), rel(&[])), 0.5);
+    }
+
+    #[test]
+    fn auc_matches_brute_force() {
+        let r = list(&[3, 1, 4, 1 + 4, 9, 2, 6]);
+        let relset: &[u32] = &[4, 2, 9];
+        let fast = auc(&r, rel(&[4, 2, 9]));
+        // Brute force count.
+        let mut correct = 0;
+        let mut total = 0;
+        for (pi, &i) in r.items.iter().enumerate() {
+            if !relset.contains(&i.0) {
+                continue;
+            }
+            for (pj, &j) in r.items.iter().enumerate() {
+                if relset.contains(&j.0) {
+                    continue;
+                }
+                total += 1;
+                if pi < pj {
+                    correct += 1;
+                }
+            }
+        }
+        assert!((fast - correct as f64 / total as f64).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,177 @@
+//! The top-k metric family: Precision, Recall, F1, 1-Call and NDCG.
+//!
+//! All functions take a ranked list and a predicate identifying relevant
+//! items; they return per-user values in `[0, 1]` which the evaluator
+//! averages across users.
+
+use crate::RankedList;
+use clapf_data::ItemId;
+
+fn hits_at_k<F: Fn(ItemId) -> bool>(ranked: &RankedList, k: usize, relevant: &F) -> usize {
+    ranked
+        .items
+        .iter()
+        .take(k)
+        .filter(|&&i| relevant(i))
+        .count()
+}
+
+/// `Precision@k`: fraction of the top-k that is relevant.
+///
+/// Uses the nominal `k` as denominator even when fewer than `k` candidates
+/// exist, matching the standard definition used by the paper's codebase.
+///
+/// ```
+/// use clapf_data::ItemId;
+/// use clapf_metrics::{precision_at_k, rank_all};
+///
+/// let ranked = rank_all(&[0.9, 0.1, 0.5], |_| true); // items 0, 2, 1
+/// let relevant = |i: ItemId| i.0 == 0 || i.0 == 1;
+/// assert_eq!(precision_at_k(&ranked, 2, relevant), 0.5);
+/// ```
+pub fn precision_at_k<F: Fn(ItemId) -> bool>(ranked: &RankedList, k: usize, relevant: F) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    hits_at_k(ranked, k, &relevant) as f64 / k as f64
+}
+
+/// `Recall@k`: fraction of the `n_relevant` relevant items found in the top-k.
+pub fn recall_at_k<F: Fn(ItemId) -> bool>(
+    ranked: &RankedList,
+    k: usize,
+    n_relevant: usize,
+    relevant: F,
+) -> f64 {
+    if n_relevant == 0 {
+        return 0.0;
+    }
+    hits_at_k(ranked, k, &relevant) as f64 / n_relevant as f64
+}
+
+/// Harmonic mean of a precision and a recall value; 0 when both vanish.
+pub fn f1(precision: f64, recall: f64) -> f64 {
+    if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    }
+}
+
+/// `1-Call@k`: 1 if at least one relevant item appears in the top-k, else 0.
+pub fn one_call_at_k<F: Fn(ItemId) -> bool>(ranked: &RankedList, k: usize, relevant: F) -> f64 {
+    if hits_at_k(ranked, k, &relevant) > 0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Binary-relevance `DCG@k`: `Σ_{p ≤ k, item(p) relevant} 1 / log2(p + 1)`
+/// with 1-based positions.
+pub fn dcg_at_k<F: Fn(ItemId) -> bool>(ranked: &RankedList, k: usize, relevant: F) -> f64 {
+    ranked
+        .items
+        .iter()
+        .take(k)
+        .enumerate()
+        .filter(|(_, &i)| relevant(i))
+        .map(|(p, _)| 1.0 / ((p as f64 + 2.0).log2()))
+        .sum()
+}
+
+/// `NDCG@k`: DCG normalized by the ideal DCG (all `min(k, n_relevant)` top
+/// positions relevant).
+pub fn ndcg_at_k<F: Fn(ItemId) -> bool>(
+    ranked: &RankedList,
+    k: usize,
+    n_relevant: usize,
+    relevant: F,
+) -> f64 {
+    if n_relevant == 0 || k == 0 {
+        return 0.0;
+    }
+    let ideal: f64 = (0..k.min(n_relevant))
+        .map(|p| 1.0 / ((p as f64 + 2.0).log2()))
+        .sum();
+    dcg_at_k(ranked, k, relevant) / ideal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list(ids: &[u32]) -> RankedList {
+        RankedList {
+            items: ids.iter().map(|&i| ItemId(i)).collect(),
+        }
+    }
+
+    fn rel(set: &'static [u32]) -> impl Fn(ItemId) -> bool {
+        move |i| set.contains(&i.0)
+    }
+
+    #[test]
+    fn precision_counts_hits() {
+        let r = list(&[1, 2, 3, 4, 5]);
+        assert_eq!(precision_at_k(&r, 5, rel(&[2, 5, 9])), 2.0 / 5.0);
+        assert_eq!(precision_at_k(&r, 2, rel(&[2, 5, 9])), 1.0 / 2.0);
+        assert_eq!(precision_at_k(&r, 0, rel(&[2])), 0.0);
+    }
+
+    #[test]
+    fn precision_uses_nominal_k_for_short_lists() {
+        let r = list(&[1]);
+        assert_eq!(precision_at_k(&r, 5, rel(&[1])), 1.0 / 5.0);
+    }
+
+    #[test]
+    fn recall_uses_relevant_count() {
+        let r = list(&[1, 2, 3]);
+        assert_eq!(recall_at_k(&r, 3, 4, rel(&[1, 2, 7, 8])), 2.0 / 4.0);
+        assert_eq!(recall_at_k(&r, 3, 0, rel(&[])), 0.0);
+    }
+
+    #[test]
+    fn f1_is_harmonic_mean() {
+        assert_eq!(f1(0.0, 0.0), 0.0);
+        assert!((f1(0.5, 0.5) - 0.5).abs() < 1e-12);
+        assert!((f1(1.0, 0.5) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_call_detects_any_hit() {
+        let r = list(&[1, 2, 3]);
+        assert_eq!(one_call_at_k(&r, 2, rel(&[3])), 0.0);
+        assert_eq!(one_call_at_k(&r, 3, rel(&[3])), 1.0);
+    }
+
+    #[test]
+    fn perfect_ranking_has_ndcg_one() {
+        let r = list(&[1, 2, 3, 4]);
+        assert!((ndcg_at_k(&r, 4, 2, rel(&[1, 2])) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_penalizes_late_hits() {
+        let early = ndcg_at_k(&list(&[1, 9, 8, 7]), 4, 1, rel(&[1]));
+        let late = ndcg_at_k(&list(&[9, 8, 7, 1]), 4, 1, rel(&[1]));
+        assert!((early - 1.0).abs() < 1e-12);
+        assert!(late < early);
+        assert!(late > 0.0);
+    }
+
+    #[test]
+    fn dcg_positions_are_one_based() {
+        // Hit at position 1 → 1/log2(2) = 1; position 2 → 1/log2(3).
+        assert!((dcg_at_k(&list(&[5]), 1, rel(&[5])) - 1.0).abs() < 1e-12);
+        let second = dcg_at_k(&list(&[9, 5]), 2, rel(&[5]));
+        assert!((second - 1.0 / 3f64.log2()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_more_relevant_than_k_normalizes_by_k() {
+        // k = 1, 3 relevant: ideal DCG = 1, one hit at top → NDCG = 1.
+        assert!((ndcg_at_k(&list(&[1]), 1, 3, rel(&[1, 2, 3])) - 1.0).abs() < 1e-12);
+    }
+}

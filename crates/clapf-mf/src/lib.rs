@@ -1,0 +1,21 @@
+//! Matrix-factorization substrate shared by every factor model in the
+//! workspace (BPR, MPR, CLiMF, WMF and CLAPF itself).
+//!
+//! The paper's predictor is `f_ui = U_u · V_i + b_i` with `d` latent factors
+//! (Sec 3.1). This crate owns:
+//!
+//! * [`MfModel`] — the parameter container (user factors, item factors, item
+//!   biases) with score kernels and SGD update helpers,
+//! * [`Init`] — initialization strategies (the paper follows Pan et al.'s
+//!   small-uniform initialization),
+//! * [`linalg`] — a tiny dense linear-algebra module (symmetric matrices and
+//!   Cholesky solves) used by the WMF/ALS baseline,
+//! * [`SgdConfig`] — the shared learning-rate/regularization bundle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod linalg;
+mod model;
+
+pub use model::{Init, MfModel, SgdConfig};

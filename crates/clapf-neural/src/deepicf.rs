@@ -1,0 +1,312 @@
+//! DeepICF — deep item-based collaborative filtering (Xue et al., TOIS 2019).
+//!
+//! Item-based: the prediction for `(u, i)` pools the pairwise interactions
+//! between the target item and the user's interaction history,
+//! `g = |I_u \ {i}|^{-β} Σ_{t ∈ I_u \ {i}} (q_t ⊙ p_i)`, and feeds the pooled
+//! vector through an MLP to a scalar. Trained pointwise (BCE with sampled
+//! negatives), as in the original.
+
+use crate::nn::{Activation, AdamConfig, Mlp};
+use crate::Embedding;
+use clapf_core::Recommender;
+use clapf_data::{Interactions, ItemId, UserId};
+use clapf_sampling::{sample_observed_pair, sample_unobserved_uniform};
+use rand::Rng;
+
+/// DeepICF hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct DeepIcfConfig {
+    /// Embedding width.
+    pub embed_dim: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Sampled negatives per positive.
+    pub negatives: usize,
+    /// History-pooling exponent β (0.5 in the original's smoothed pooling).
+    pub beta: f32,
+    /// Adam settings for the MLP.
+    pub adam: AdamConfig,
+    /// SGD learning rate for the embeddings.
+    pub embed_lr: f32,
+    /// Embedding L2 regularization.
+    pub embed_reg: f32,
+}
+
+impl Default for DeepIcfConfig {
+    fn default() -> Self {
+        DeepIcfConfig {
+            embed_dim: 16,
+            epochs: 20,
+            negatives: 4,
+            beta: 0.5,
+            adam: AdamConfig::default(),
+            embed_lr: 0.01,
+            embed_reg: 1e-5,
+        }
+    }
+}
+
+/// The DeepICF trainer.
+#[derive(Clone, Debug, Default)]
+pub struct DeepIcf {
+    /// Hyper-parameters.
+    pub config: DeepIcfConfig,
+}
+
+/// A fitted DeepICF model. Keeps the training history it pools over.
+#[derive(Clone, Debug)]
+pub struct DeepIcfModel {
+    /// History ("q") item embeddings.
+    hist: Embedding,
+    /// Target ("p") item embeddings.
+    target: Embedding,
+    mlp: Mlp,
+    train: Interactions,
+    beta: f32,
+}
+
+impl DeepIcf {
+    /// Fits by pointwise BCE with sampled negatives.
+    pub fn fit<R: Rng>(&self, data: &Interactions, rng: &mut R) -> DeepIcfModel {
+        let cfg = &self.config;
+        let e = cfg.embed_dim;
+        assert!(e >= 2, "embed_dim must be at least 2");
+        let m = data.n_items() as usize;
+        let mut model = DeepIcfModel {
+            hist: Embedding::new(m, e, rng),
+            target: Embedding::new(m, e, rng),
+            mlp: Mlp::tower(&[e, e, (e / 2).max(1)], 1, rng),
+            train: data.clone(),
+            beta: cfg.beta,
+        };
+
+        let steps = cfg.epochs * data.n_pairs();
+        for _ in 0..steps {
+            let (u, i) = sample_observed_pair(data, rng);
+            model.train_example(u, i, 1.0, cfg);
+            for _ in 0..cfg.negatives {
+                if let Some(j) = sample_unobserved_uniform(data, u, rng) {
+                    model.train_example(u, j, 0.0, cfg);
+                }
+            }
+        }
+        model
+    }
+}
+
+impl DeepIcfModel {
+    /// Pooled history interaction `g` and the normalizer used; `None` when
+    /// the user has no usable history.
+    fn pooled(&self, u: UserId, i: ItemId) -> Option<(Vec<f32>, f32, Vec<f32>)> {
+        let e = self.hist.dim();
+        let mut sum_q = vec![0.0f32; e];
+        let mut count = 0usize;
+        for &t in self.train.items_of(u) {
+            if t == i {
+                continue;
+            }
+            for (s, &w) in sum_q.iter_mut().zip(self.hist.row(t.index())) {
+                *s += w;
+            }
+            count += 1;
+        }
+        if count == 0 {
+            return None;
+        }
+        let norm = (count as f32).powf(self.beta);
+        let p = self.target.row(i.index());
+        let g: Vec<f32> = sum_q
+            .iter()
+            .zip(p)
+            .map(|(sq, pi)| sq * pi / norm)
+            .collect();
+        Some((g, norm, sum_q))
+    }
+
+    fn train_example(&mut self, u: UserId, i: ItemId, label: f32, cfg: &DeepIcfConfig) {
+        let Some((g, norm, sum_q)) = self.pooled(u, i) else {
+            return;
+        };
+        let logit = self.mlp.forward(&g)[0];
+        let p_hat = Activation::Sigmoid.forward(logit);
+        let dg = self.mlp.backward_update(&[p_hat - label], &cfg.adam);
+
+        // g = (sum_q ⊙ p_i) / norm ⇒ ∂g/∂p_i = sum_q/norm, ∂g/∂q_t = p_i/norm.
+        let p_row: Vec<f32> = self.target.row(i.index()).to_vec();
+        let dp: Vec<f32> = dg
+            .iter()
+            .zip(&sum_q)
+            .map(|(d, sq)| d * sq / norm)
+            .collect();
+        self.target.sgd(i.index(), &dp, cfg.embed_lr, cfg.embed_reg);
+
+        let dq: Vec<f32> = dg.iter().zip(&p_row).map(|(d, pi)| d * pi / norm).collect();
+        // The same gradient applies to every history item's q row.
+        let history: Vec<ItemId> = self
+            .train
+            .items_of(u)
+            .iter()
+            .copied()
+            .filter(|&t| t != i)
+            .collect();
+        for t in history {
+            self.hist.sgd(t.index(), &dq, cfg.embed_lr, cfg.embed_reg);
+        }
+    }
+
+    /// True if any embedding went non-finite.
+    pub fn has_non_finite(&self) -> bool {
+        self.hist.has_non_finite() || self.target.has_non_finite()
+    }
+}
+
+impl Recommender for DeepIcfModel {
+    fn name(&self) -> String {
+        "DeepICF".into()
+    }
+
+    fn n_items(&self) -> u32 {
+        self.train.n_items()
+    }
+
+    fn score(&self, u: UserId, i: ItemId) -> f32 {
+        match self.pooled(u, i) {
+            Some((g, _, _)) => self.mlp.forward_inference(&g)[0],
+            None => 0.0,
+        }
+    }
+
+    fn scores_into(&self, u: UserId, out: &mut Vec<f32>) {
+        // Pool the user's history once, then score every target item.
+        let e = self.hist.dim();
+        let m = self.train.n_items() as usize;
+        out.clear();
+        let mut sum_q = vec![0.0f32; e];
+        let history = self.train.items_of(u);
+        for &t in history {
+            for (s, &w) in sum_q.iter_mut().zip(self.hist.row(t.index())) {
+                *s += w;
+            }
+        }
+        if history.is_empty() {
+            out.resize(m, 0.0);
+            return;
+        }
+        let mut g = vec![0.0f32; e];
+        for idx in 0..m {
+            let i = ItemId(idx as u32);
+            // Leave-one-out when the target is part of the history.
+            let in_hist = self.train.contains(u, i);
+            let count = history.len() - usize::from(in_hist);
+            if count == 0 {
+                out.push(0.0);
+                continue;
+            }
+            let norm = (count as f32).powf(self.beta);
+            let p = self.target.row(idx);
+            let q_i = self.hist.row(idx);
+            for (slot, ((sq, pi), qi)) in g.iter_mut().zip(sum_q.iter().zip(p).zip(q_i)) {
+                let adjusted = if in_hist { sq - qi } else { *sq };
+                *slot = adjusted * pi / norm;
+            }
+            out.push(self.mlp.forward_inference(&g)[0]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clapf_data::InteractionsBuilder;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn blocks() -> Interactions {
+        let mut b = InteractionsBuilder::new(8, 10);
+        for u in 0..4u32 {
+            for i in 0..5u32 {
+                if (u + i) % 5 != 4 {
+                    b.push(UserId(u), ItemId(i)).unwrap();
+                }
+            }
+        }
+        for u in 4..8u32 {
+            for i in 5..10u32 {
+                if (u + i) % 5 != 4 {
+                    b.push(UserId(u), ItemId(i)).unwrap();
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn separates_blocks() {
+        let data = blocks();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let model = DeepIcf {
+            config: DeepIcfConfig {
+                embed_dim: 8,
+                epochs: 60,
+                ..DeepIcfConfig::default()
+            },
+        }
+        .fit(&data, &mut rng);
+        assert!(!model.has_non_finite());
+        let mut inb = 0.0;
+        let mut outb = 0.0;
+        for u in 0..4u32 {
+            for i in 0..5u32 {
+                inb += model.score(UserId(u), ItemId(i));
+                outb += model.score(UserId(u), ItemId(i + 5));
+            }
+        }
+        assert!(inb > outb, "in-block {inb} vs out-of-block {outb}");
+    }
+
+    #[test]
+    fn bulk_scores_match_pointwise() {
+        let data = blocks();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let model = DeepIcf {
+            config: DeepIcfConfig {
+                embed_dim: 4,
+                epochs: 2,
+                ..DeepIcfConfig::default()
+            },
+        }
+        .fit(&data, &mut rng);
+        let mut bulk = Vec::new();
+        model.scores_into(UserId(1), &mut bulk);
+        assert_eq!(bulk.len(), 10);
+        for i in 0..10u32 {
+            let point = model.score(UserId(1), ItemId(i));
+            assert!(
+                (bulk[i as usize] - point).abs() < 1e-5,
+                "item {i}: bulk {} vs point {point}",
+                bulk[i as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn user_with_empty_history_scores_zero() {
+        let mut b = InteractionsBuilder::new(2, 3);
+        b.push(UserId(0), ItemId(0)).unwrap();
+        let data = b.build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let model = DeepIcf {
+            config: DeepIcfConfig {
+                embed_dim: 4,
+                epochs: 1,
+                ..DeepIcfConfig::default()
+            },
+        }
+        .fit(&data, &mut rng);
+        assert_eq!(model.score(UserId(1), ItemId(2)), 0.0);
+        let mut bulk = Vec::new();
+        model.scores_into(UserId(1), &mut bulk);
+        assert!(bulk.iter().all(|&s| s == 0.0));
+        assert_eq!(model.name(), "DeepICF");
+    }
+}

@@ -1,0 +1,112 @@
+//! Embedding tables with sparse SGD updates.
+
+use rand::Rng;
+
+/// A dense embedding table (`rows × dim`), updated row-at-a-time by plain
+/// SGD — the standard treatment for sparse lookups even when the dense
+/// tower uses Adam.
+#[derive(Clone, Debug)]
+pub struct Embedding {
+    rows: usize,
+    dim: usize,
+    table: Vec<f32>,
+}
+
+impl Embedding {
+    /// Small-Gaussian initialization (std 0.05, the NCF convention).
+    pub fn new<R: Rng>(rows: usize, dim: usize, rng: &mut R) -> Self {
+        assert!(dim > 0, "embedding dim must be positive");
+        Embedding {
+            rows,
+            dim,
+            table: (0..rows * dim)
+                .map(|_| {
+                    let u1: f32 = rng.gen::<f32>().max(f32::MIN_POSITIVE);
+                    let u2: f32 = rng.gen();
+                    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos() * 0.05
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The embedding of `idx`.
+    #[inline]
+    pub fn row(&self, idx: usize) -> &[f32] {
+        &self.table[idx * self.dim..(idx + 1) * self.dim]
+    }
+
+    /// Mutable embedding of `idx`.
+    #[inline]
+    pub fn row_mut(&mut self, idx: usize) -> &mut [f32] {
+        &mut self.table[idx * self.dim..(idx + 1) * self.dim]
+    }
+
+    /// SGD step: `row ← row − lr·(grad + reg·row)`.
+    #[inline]
+    pub fn sgd(&mut self, idx: usize, grad: &[f32], lr: f32, reg: f32) {
+        let row = self.row_mut(idx);
+        for (w, g) in row.iter_mut().zip(grad) {
+            *w -= lr * (g + reg * *w);
+        }
+    }
+
+    /// True if any entry is non-finite.
+    pub fn has_non_finite(&self) -> bool {
+        self.table.iter().any(|x| !x.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rows_are_disjoint_and_sized() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let e = Embedding::new(5, 3, &mut rng);
+        assert_eq!(e.rows(), 5);
+        assert_eq!(e.dim(), 3);
+        assert_eq!(e.row(0).len(), 3);
+        assert_ne!(e.row(0), e.row(4));
+    }
+
+    #[test]
+    fn sgd_descends() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut e = Embedding::new(2, 2, &mut rng);
+        e.row_mut(1).copy_from_slice(&[1.0, -1.0]);
+        e.sgd(1, &[0.5, 0.5], 0.1, 0.0);
+        assert!((e.row(1)[0] - 0.95).abs() < 1e-6);
+        assert!((e.row(1)[1] + 1.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn regularization_shrinks() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut e = Embedding::new(1, 1, &mut rng);
+        e.row_mut(0)[0] = 1.0;
+        e.sgd(0, &[0.0], 0.1, 0.5);
+        assert!((e.row(0)[0] - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn init_is_small() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let e = Embedding::new(100, 8, &mut rng);
+        assert!(!e.has_non_finite());
+        let max = e.table.iter().fold(0.0f32, |a, &b| a.max(b.abs()));
+        assert!(max < 0.5, "max |w| = {max}");
+    }
+}

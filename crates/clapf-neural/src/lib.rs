@@ -1,0 +1,32 @@
+//! Neural baselines of the paper's evaluation, on a from-scratch substrate.
+//!
+//! The paper implements NeuMF, NeuPR and DeepICF in TensorFlow; this crate
+//! replaces the framework with a small, dependency-free neural substrate
+//! (documented substitution — see DESIGN.md): dense layers with Xavier
+//! initialization, ReLU, per-example Adam, and embedding tables with sparse
+//! SGD. That is everything the three baselines need at the scale of the
+//! evaluation.
+//!
+//! * [`NeuMf`] — Neural Collaborative Filtering's strongest instantiation
+//!   (He et al., WWW 2017): a GMF branch (element-wise product of
+//!   embeddings) fused with an MLP branch, trained pointwise with sampled
+//!   negatives.
+//! * [`NeuPr`] — neural pairwise ranking (Song et al., CIKM 2018): the same
+//!   tower scored twice and trained on `ln σ(ŷ_ui − ŷ_uj)`.
+//! * [`DeepIcf`] — deep item-based CF (Xue et al., TOIS 2019): pools the
+//!   interactions between the target item and the user's history through an
+//!   MLP, trained pointwise.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod deepicf;
+mod embedding;
+mod neumf;
+mod neupr;
+pub mod nn;
+
+pub use deepicf::{DeepIcf, DeepIcfConfig, DeepIcfModel};
+pub use embedding::Embedding;
+pub use neumf::{NeuMf, NeuMfConfig, NeuMfModel};
+pub use neupr::{NeuPr, NeuPrConfig, NeuPrModel};

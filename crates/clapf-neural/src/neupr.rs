@@ -1,0 +1,231 @@
+//! NeuPR — neural pairwise ranking (after Song et al., CIKM 2018).
+//!
+//! A single NCF-style tower scores `(u, i)`; training optimizes the
+//! pairwise logistic objective `ln σ(ŷ_ui − ŷ_uj)` over an observed item
+//! `i` and a counterpart `j`. The original's "no negative sampler" property
+//! comes from feeding rating-derived pair labels; on pure implicit data the
+//! counterpart can only come from the unobserved set, so we draw `j`
+//! uniformly and record the substitution in DESIGN.md.
+
+use crate::nn::{AdamConfig, Mlp};
+use crate::Embedding;
+use clapf_core::objective::sigmoid;
+use clapf_core::Recommender;
+use clapf_data::{Interactions, ItemId, UserId};
+use clapf_sampling::{sample_observed_pair, sample_unobserved_uniform};
+use rand::Rng;
+
+/// NeuPR hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct NeuPrConfig {
+    /// Embedding width.
+    pub embed_dim: usize,
+    /// Training epochs (each epoch visits |P| pairs).
+    pub epochs: usize,
+    /// Adam settings for the tower.
+    pub adam: AdamConfig,
+    /// SGD learning rate for the embeddings.
+    pub embed_lr: f32,
+    /// Embedding L2 regularization.
+    pub embed_reg: f32,
+}
+
+impl Default for NeuPrConfig {
+    fn default() -> Self {
+        NeuPrConfig {
+            embed_dim: 16,
+            epochs: 20,
+            adam: AdamConfig::default(),
+            embed_lr: 0.01,
+            embed_reg: 1e-5,
+        }
+    }
+}
+
+/// The NeuPR trainer.
+#[derive(Clone, Debug, Default)]
+pub struct NeuPr {
+    /// Hyper-parameters.
+    pub config: NeuPrConfig,
+}
+
+/// A fitted NeuPR model.
+#[derive(Clone, Debug)]
+pub struct NeuPrModel {
+    user_e: Embedding,
+    item_e: Embedding,
+    tower: Mlp,
+    embed_dim: usize,
+}
+
+impl NeuPr {
+    /// Fits by pairwise logistic loss over the tower scores.
+    pub fn fit<R: Rng>(&self, data: &Interactions, rng: &mut R) -> NeuPrModel {
+        let cfg = &self.config;
+        let e = cfg.embed_dim;
+        assert!(e >= 2, "embed_dim must be at least 2");
+        // Four-layer tower 2e → 2e → e → e/2 → 1.
+        let mut model = NeuPrModel {
+            user_e: Embedding::new(data.n_users() as usize, e, rng),
+            item_e: Embedding::new(data.n_items() as usize, e, rng),
+            tower: Mlp::tower(&[2 * e, 2 * e, e, (e / 2).max(1)], 1, rng),
+            embed_dim: e,
+        };
+
+        let steps = cfg.epochs * data.n_pairs();
+        for _ in 0..steps {
+            let (u, i) = sample_observed_pair(data, rng);
+            let Some(j) = sample_unobserved_uniform(data, u, rng) else {
+                continue;
+            };
+            // Pairwise BPR-style gradient on the two tower outputs.
+            let yi = model.score(u, i);
+            let yj = model.score(u, j);
+            let g = sigmoid(-(yi - yj)); // d(−lnσ(x))/dx = −σ(−x)
+
+            model.train_half(u, i, -g, cfg); // dL/dŷ_ui = −σ(−x)
+            model.train_half(u, j, g, cfg); // dL/dŷ_uj = +σ(−x)
+        }
+        model
+    }
+}
+
+impl NeuPrModel {
+    fn input(&self, u: UserId, i: ItemId) -> Vec<f32> {
+        let mut x = Vec::with_capacity(2 * self.embed_dim);
+        x.extend_from_slice(self.user_e.row(u.index()));
+        x.extend_from_slice(self.item_e.row(i.index()));
+        x
+    }
+
+    /// Forward-with-cache on one (u, item) leg, then backward with the given
+    /// output gradient, updating tower and embeddings.
+    fn train_half(&mut self, u: UserId, i: ItemId, d_out: f32, cfg: &NeuPrConfig) {
+        let x = self.input(u, i);
+        let _ = self.tower.forward(&x);
+        let dx = self.tower.backward_update(&[d_out], &cfg.adam);
+        let (dxu, dxi) = dx.split_at(self.embed_dim);
+        self.user_e.sgd(u.index(), dxu, cfg.embed_lr, cfg.embed_reg);
+        self.item_e.sgd(i.index(), dxi, cfg.embed_lr, cfg.embed_reg);
+    }
+
+    /// True if any embedding went non-finite.
+    pub fn has_non_finite(&self) -> bool {
+        self.user_e.has_non_finite() || self.item_e.has_non_finite()
+    }
+}
+
+impl Recommender for NeuPrModel {
+    fn name(&self) -> String {
+        "NeuPR".into()
+    }
+
+    fn n_items(&self) -> u32 {
+        self.item_e.rows() as u32
+    }
+
+    fn score(&self, u: UserId, i: ItemId) -> f32 {
+        self.tower.forward_inference(&self.input(u, i))[0]
+    }
+
+    fn scores_into(&self, u: UserId, out: &mut Vec<f32>) {
+        // Allocation-free bulk scoring over the catalogue.
+        let e = self.embed_dim;
+        let m = self.item_e.rows();
+        out.clear();
+        out.reserve(m);
+        let mut x = vec![0.0f32; 2 * e];
+        x[..e].copy_from_slice(self.user_e.row(u.index()));
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for i in 0..m {
+            x[e..].copy_from_slice(self.item_e.row(i));
+            out.push(self.tower.forward_into(&x, &mut a, &mut b)[0]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clapf_data::InteractionsBuilder;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn blocks() -> Interactions {
+        let mut b = InteractionsBuilder::new(8, 8);
+        for u in 0..4u32 {
+            for i in 0..4u32 {
+                b.push(UserId(u), ItemId(i)).unwrap();
+            }
+        }
+        for u in 4..8u32 {
+            for i in 4..8u32 {
+                b.push(UserId(u), ItemId(i)).unwrap();
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn ranks_observed_above_unobserved_on_average() {
+        let data = blocks();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let model = NeuPr {
+            config: NeuPrConfig {
+                embed_dim: 8,
+                epochs: 40,
+                ..NeuPrConfig::default()
+            },
+        }
+        .fit(&data, &mut rng);
+        assert!(!model.has_non_finite());
+        let mut inb = 0.0;
+        let mut outb = 0.0;
+        for u in 0..4u32 {
+            for i in 0..4u32 {
+                inb += model.score(UserId(u), ItemId(i));
+                outb += model.score(UserId(u), ItemId(i + 4));
+            }
+        }
+        assert!(inb > outb, "in-block {inb} vs out-of-block {outb}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = blocks();
+        let trainer = NeuPr {
+            config: NeuPrConfig {
+                embed_dim: 4,
+                epochs: 2,
+                ..NeuPrConfig::default()
+            },
+        };
+        let a = trainer.fit(&data, &mut SmallRng::seed_from_u64(3));
+        let b = trainer.fit(&data, &mut SmallRng::seed_from_u64(3));
+        assert_eq!(a.score(UserId(2), ItemId(6)), b.score(UserId(2), ItemId(6)));
+        assert_eq!(a.name(), "NeuPR");
+        assert_eq!(a.n_items(), 8);
+    }
+
+    #[test]
+    fn bulk_scores_match_pointwise() {
+        let data = blocks();
+        let model = NeuPr {
+            config: NeuPrConfig {
+                embed_dim: 6,
+                epochs: 2,
+                ..NeuPrConfig::default()
+            },
+        }
+        .fit(&data, &mut SmallRng::seed_from_u64(11));
+        let mut bulk = Vec::new();
+        for u in 0..8u32 {
+            model.scores_into(UserId(u), &mut bulk);
+            for i in 0..8u32 {
+                let point = model.score(UserId(u), ItemId(i));
+                assert!((bulk[i as usize] - point).abs() < 1e-5);
+            }
+        }
+    }
+}

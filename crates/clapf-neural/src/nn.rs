@@ -1,0 +1,425 @@
+//! Minimal neural-network substrate: dense layers, activations, per-example
+//! Adam.
+//!
+//! Sized for the workload at hand — recommender towers of 2–4 small dense
+//! layers trained one example at a time — rather than generality: no
+//! batching, no autograd graph, just explicit forward/backward with the
+//! layer owning its Adam state.
+
+use rand::Rng;
+
+/// Activation function applied after a dense layer.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// max(0, x)
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Pass-through (used for output layers; the loss applies its own
+    /// nonlinearity).
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation.
+    #[inline]
+    pub fn forward(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Sigmoid => {
+                if x >= 0.0 {
+                    1.0 / (1.0 + (-x).exp())
+                } else {
+                    let e = x.exp();
+                    e / (1.0 + e)
+                }
+            }
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative expressed through the *output* value `y = f(x)`.
+    #[inline]
+    pub fn backward_from_output(self, y: f32) -> f32 {
+        match self {
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Identity => 1.0,
+        }
+    }
+}
+
+/// Adam hyper-parameters.
+#[derive(Copy, Clone, Debug)]
+pub struct AdamConfig {
+    /// Step size.
+    pub lr: f32,
+    /// First-moment decay (0.9).
+    pub beta1: f32,
+    /// Second-moment decay (0.999).
+    pub beta2: f32,
+    /// Numerical floor (1e-8).
+    pub eps: f32,
+    /// L2 weight decay applied with the gradient.
+    pub weight_decay: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig {
+            lr: 0.001,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 1e-5,
+        }
+    }
+}
+
+/// A fully connected layer with its own Adam state.
+#[derive(Clone, Debug)]
+pub struct Dense {
+    in_dim: usize,
+    out_dim: usize,
+    activation: Activation,
+    /// Row-major `out_dim × in_dim`.
+    w: Vec<f32>,
+    b: Vec<f32>,
+    // Adam moments.
+    mw: Vec<f32>,
+    vw: Vec<f32>,
+    mb: Vec<f32>,
+    vb: Vec<f32>,
+    t: u64,
+}
+
+impl Dense {
+    /// Xavier-initialized layer.
+    pub fn new<R: Rng>(in_dim: usize, out_dim: usize, activation: Activation, rng: &mut R) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "layer dims must be positive");
+        let bound = (6.0 / (in_dim + out_dim) as f32).sqrt();
+        Dense {
+            in_dim,
+            out_dim,
+            activation,
+            w: (0..in_dim * out_dim)
+                .map(|_| (rng.gen::<f32>() * 2.0 - 1.0) * bound)
+                .collect(),
+            b: vec![0.0; out_dim],
+            mw: vec![0.0; in_dim * out_dim],
+            vw: vec![0.0; in_dim * out_dim],
+            mb: vec![0.0; out_dim],
+            vb: vec![0.0; out_dim],
+            t: 0,
+        }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// `y = f(Wx + b)` written into `out`.
+    pub fn forward(&self, x: &[f32], out: &mut Vec<f32>) {
+        debug_assert_eq!(x.len(), self.in_dim);
+        out.clear();
+        out.reserve(self.out_dim);
+        for o in 0..self.out_dim {
+            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+            let z: f32 = row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f32>() + self.b[o];
+            out.push(self.activation.forward(z));
+        }
+    }
+
+    /// Backward pass for one example: given the input `x`, the produced
+    /// output `y` and the loss gradient w.r.t. `y`, writes the gradient
+    /// w.r.t. `x` into `dx` and applies an Adam update to `W, b`.
+    pub fn backward_update(
+        &mut self,
+        x: &[f32],
+        y: &[f32],
+        dy: &[f32],
+        dx: &mut Vec<f32>,
+        adam: &AdamConfig,
+    ) {
+        debug_assert_eq!(x.len(), self.in_dim);
+        debug_assert_eq!(dy.len(), self.out_dim);
+        self.t += 1;
+        // Bias corrections depend only on the step count; hoist them out of
+        // the per-weight loop (powi per weight dominated training time).
+        let corr = AdamCorrection::at(self.t, adam);
+        dx.clear();
+        dx.resize(self.in_dim, 0.0);
+        for o in 0..self.out_dim {
+            // δ_o = dL/dz_o.
+            let delta = dy[o] * self.activation.backward_from_output(y[o]);
+            let row_start = o * self.in_dim;
+            for i in 0..self.in_dim {
+                let idx = row_start + i;
+                dx[i] += delta * self.w[idx];
+                let g = delta * x[i] + adam.weight_decay * self.w[idx];
+                adam_step(
+                    &mut self.w[idx],
+                    &mut self.mw[idx],
+                    &mut self.vw[idx],
+                    g,
+                    &corr,
+                    adam,
+                );
+            }
+            let g = delta;
+            adam_step(&mut self.b[o], &mut self.mb[o], &mut self.vb[o], g, &corr, adam);
+        }
+    }
+}
+
+/// Per-step Adam bias-correction factors, computed once per backward pass.
+struct AdamCorrection {
+    inv_m: f32,
+    inv_v: f32,
+}
+
+impl AdamCorrection {
+    fn at(t: u64, cfg: &AdamConfig) -> Self {
+        let t = t.min(1_000_000) as i32;
+        AdamCorrection {
+            inv_m: 1.0 / (1.0 - cfg.beta1.powi(t)),
+            inv_v: 1.0 / (1.0 - cfg.beta2.powi(t)),
+        }
+    }
+}
+
+#[inline]
+fn adam_step(w: &mut f32, m: &mut f32, v: &mut f32, g: f32, corr: &AdamCorrection, cfg: &AdamConfig) {
+    *m = cfg.beta1 * *m + (1.0 - cfg.beta1) * g;
+    *v = cfg.beta2 * *v + (1.0 - cfg.beta2) * g * g;
+    let m_hat = *m * corr.inv_m;
+    let v_hat = *v * corr.inv_v;
+    *w -= cfg.lr * m_hat / (v_hat.sqrt() + cfg.eps);
+}
+
+/// A stack of dense layers with forward caching and one-example
+/// backward-with-update.
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    /// Cached layer outputs of the last forward (index 0 = input copy).
+    cache: Vec<Vec<f32>>,
+}
+
+impl Mlp {
+    /// Builds a tower from `sizes` (e.g. `[32, 16, 8]` = two hidden layers)
+    /// with ReLU between layers and an identity final layer of width
+    /// `out_dim`.
+    pub fn tower<R: Rng>(sizes: &[usize], out_dim: usize, rng: &mut R) -> Self {
+        assert!(!sizes.is_empty(), "tower needs at least the input width");
+        let mut layers = Vec::new();
+        for w in sizes.windows(2) {
+            layers.push(Dense::new(w[0], w[1], Activation::Relu, rng));
+        }
+        layers.push(Dense::new(
+            *sizes.last().expect("nonempty"),
+            out_dim,
+            Activation::Identity,
+            rng,
+        ));
+        let n = layers.len();
+        Mlp {
+            layers,
+            cache: vec![Vec::new(); n + 1],
+        }
+    }
+
+    /// Input width of the tower.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output width of the tower.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("nonempty").out_dim()
+    }
+
+    /// Forward pass; the returned slice lives in the internal cache until
+    /// the next forward/backward call.
+    pub fn forward(&mut self, input: &[f32]) -> &[f32] {
+        self.cache[0].clear();
+        self.cache[0].extend_from_slice(input);
+        for l in 0..self.layers.len() {
+            let (prev, rest) = self.cache.split_at_mut(l + 1);
+            self.layers[l].forward(&prev[l], &mut rest[0]);
+        }
+        self.cache.last().expect("nonempty")
+    }
+
+    /// Forward without touching the mutable cache (for scoring fitted
+    /// models concurrently). Allocates two scratch vectors.
+    pub fn forward_inference(&self, input: &[f32]) -> Vec<f32> {
+        let mut cur = input.to_vec();
+        let mut next = Vec::new();
+        self.forward_into(input, &mut cur, &mut next).to_vec()
+    }
+
+    /// Allocation-free inference: runs the tower through two caller-owned
+    /// scratch buffers and returns a slice into one of them. The hot path
+    /// of bulk scoring (`Recommender::scores_into` ranks every item, so
+    /// per-item allocations dominate otherwise).
+    pub fn forward_into<'a>(
+        &self,
+        input: &[f32],
+        cur: &'a mut Vec<f32>,
+        next: &'a mut Vec<f32>,
+    ) -> &'a [f32] {
+        cur.clear();
+        cur.extend_from_slice(input);
+        for layer in &self.layers {
+            layer.forward(cur, next);
+            std::mem::swap(cur, next);
+        }
+        cur
+    }
+
+    /// Backward from `d_out` (gradient w.r.t. the last forward's output),
+    /// updating every layer with Adam; returns the gradient w.r.t. the
+    /// input.
+    pub fn backward_update(&mut self, d_out: &[f32], adam: &AdamConfig) -> Vec<f32> {
+        let mut dy = d_out.to_vec();
+        let mut dx = Vec::new();
+        for l in (0..self.layers.len()).rev() {
+            let x = &self.cache[l];
+            let y = &self.cache[l + 1];
+            self.layers[l].backward_update(x, y, &dy, &mut dx, adam);
+            std::mem::swap(&mut dy, &mut dx);
+        }
+        dy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn activations_behave() {
+        assert_eq!(Activation::Relu.forward(-2.0), 0.0);
+        assert_eq!(Activation::Relu.forward(3.0), 3.0);
+        assert!((Activation::Sigmoid.forward(0.0) - 0.5).abs() < 1e-7);
+        assert_eq!(Activation::Identity.forward(-1.5), -1.5);
+        assert_eq!(Activation::Relu.backward_from_output(0.0), 0.0);
+        assert_eq!(Activation::Relu.backward_from_output(2.0), 1.0);
+        assert!((Activation::Sigmoid.backward_from_output(0.5) - 0.25).abs() < 1e-7);
+    }
+
+    #[test]
+    fn dense_forward_matches_manual() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut layer = Dense::new(2, 2, Activation::Identity, &mut rng);
+        layer.w.copy_from_slice(&[1.0, 2.0, -1.0, 0.5]);
+        layer.b.copy_from_slice(&[0.1, -0.1]);
+        let mut out = Vec::new();
+        layer.forward(&[3.0, 4.0], &mut out);
+        assert!((out[0] - (3.0 + 8.0 + 0.1)).abs() < 1e-6);
+        assert!((out[1] - (-3.0 + 2.0 - 0.1)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dense_gradient_matches_finite_difference() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let layer = Dense::new(3, 2, Activation::Relu, &mut rng);
+        let x = [0.5f32, -0.3, 0.8];
+        // Loss = sum of outputs; dL/dy = 1.
+        let mut y = Vec::new();
+        layer.forward(&x, &mut y);
+        let mut l2 = layer.clone();
+        let mut dx = Vec::new();
+        let frozen = AdamConfig {
+            lr: 0.0, // measure gradients without moving weights
+            ..AdamConfig::default()
+        };
+        l2.backward_update(&x, &y, &[1.0, 1.0], &mut dx, &frozen);
+        for i in 0..3 {
+            let mut xp = x;
+            xp[i] += 1e-3;
+            let mut yp = Vec::new();
+            layer.forward(&xp, &mut yp);
+            let fd = (yp.iter().sum::<f32>() - y.iter().sum::<f32>()) / 1e-3;
+            assert!((fd - dx[i]).abs() < 1e-2, "slot {i}: fd {fd} vs dx {}", dx[i]);
+        }
+    }
+
+    #[test]
+    fn mlp_learns_xor() {
+        // The classic nonlinear sanity check: a 2-4-1 ReLU tower must fit XOR.
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut mlp = Mlp::tower(&[2, 8], 1, &mut rng);
+        let adam = AdamConfig {
+            lr: 0.01,
+            ..AdamConfig::default()
+        };
+        let data = [
+            ([0.0f32, 0.0], 0.0f32),
+            ([0.0, 1.0], 1.0),
+            ([1.0, 0.0], 1.0),
+            ([1.0, 1.0], 0.0),
+        ];
+        for epoch in 0..4000 {
+            let (x, target) = data[epoch % 4];
+            let logit = mlp.forward(&x)[0];
+            let p = Activation::Sigmoid.forward(logit);
+            mlp.backward_update(&[p - target], &adam);
+        }
+        for (x, target) in data {
+            let p = Activation::Sigmoid.forward(mlp.forward(&x)[0]);
+            assert!(
+                (p - target).abs() < 0.25,
+                "xor({x:?}) = {p}, expected ≈ {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_inference_matches_forward() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut mlp = Mlp::tower(&[4, 6, 3], 2, &mut rng);
+        let x = [0.1f32, -0.2, 0.3, 0.7];
+        let cached = mlp.forward(&x).to_vec();
+        let pure = mlp.forward_inference(&x);
+        assert_eq!(cached, pure);
+        assert_eq!(mlp.in_dim(), 4);
+        assert_eq!(mlp.out_dim(), 2);
+    }
+
+    #[test]
+    fn adam_moves_against_gradient() {
+        let mut w = 1.0f32;
+        let mut m = 0.0;
+        let mut v = 0.0;
+        let cfg = AdamConfig::default();
+        for t in 1..=100u64 {
+            let g = 2.0 * w; // minimize w²
+            let corr = AdamCorrection::at(t, &cfg);
+            adam_step(&mut w, &mut m, &mut v, g, &corr, &cfg);
+        }
+        assert!(w < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dims must be positive")]
+    fn zero_width_layer_panics() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        Dense::new(0, 3, Activation::Relu, &mut rng);
+    }
+}

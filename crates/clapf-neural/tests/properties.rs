@@ -1,0 +1,103 @@
+//! Property-based gradient checks for the neural substrate.
+
+use clapf_neural::nn::{AdamConfig, Mlp};
+use clapf_neural::Embedding;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Adam with zero learning rate: backward computes gradients without
+/// moving any weights, so finite differences stay valid.
+fn frozen() -> AdamConfig {
+    AdamConfig {
+        lr: 0.0,
+        weight_decay: 0.0,
+        ..AdamConfig::default()
+    }
+}
+
+proptest! {
+    /// ∂(Σ outputs)/∂input from backward matches central finite differences
+    /// for random towers and random inputs.
+    #[test]
+    fn mlp_input_gradient_matches_finite_difference(
+        seed in 0u64..400,
+        in_dim in 1usize..6,
+        hidden in 1usize..6,
+        out_dim in 1usize..4,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut mlp = Mlp::tower(&[in_dim, hidden], out_dim, &mut rng);
+        let x: Vec<f32> = (0..in_dim).map(|k| ((seed as usize + k * 13) % 17) as f32 / 8.5 - 1.0).collect();
+
+        let _ = mlp.forward(&x);
+        let dx = mlp.backward_update(&vec![1.0; out_dim], &frozen());
+        prop_assert_eq!(dx.len(), in_dim);
+
+        let eps = 1e-2f32;
+        let f0: f32 = mlp.forward_inference(&x).iter().sum();
+        for slot in 0..in_dim {
+            let mut xp = x.clone();
+            xp[slot] += eps;
+            let mut xm = x.clone();
+            xm[slot] -= eps;
+            let fp: f32 = mlp.forward_inference(&xp).iter().sum();
+            let fm: f32 = mlp.forward_inference(&xm).iter().sum();
+            // ReLU is only piecewise differentiable: at a kink the backward
+            // pass returns one of the one-sided derivatives, so check that
+            // it lies within the (tolerance-padded) sub-gradient bracket.
+            let right = (fp - f0) / eps;
+            let left = (f0 - fm) / eps;
+            let lo = left.min(right) - 0.05 - 0.05 * left.abs().max(right.abs());
+            let hi = left.max(right) + 0.05 + 0.05 * left.abs().max(right.abs());
+            prop_assert!(
+                (lo..=hi).contains(&dx[slot]),
+                "slot {slot}: backward {} outside [{lo}, {hi}] (left {left}, right {right})",
+                dx[slot]
+            );
+        }
+    }
+
+    /// Adam with positive lr strictly reduces a simple quadratic loss for a
+    /// single-layer tower.
+    #[test]
+    fn training_reduces_quadratic_loss(seed in 0u64..400) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut mlp = Mlp::tower(&[2], 1, &mut rng);
+        let adam = AdamConfig { lr: 0.02, ..AdamConfig::default() };
+        let x = [0.7f32, -0.3];
+        let target = 1.25f32;
+        let loss = |m: &Mlp| {
+            let y = m.forward_inference(&x)[0];
+            (y - target) * (y - target)
+        };
+        let before = loss(&mlp);
+        for _ in 0..200 {
+            let y = mlp.forward(&x)[0];
+            mlp.backward_update(&[2.0 * (y - target)], &adam);
+        }
+        let after = loss(&mlp);
+        prop_assert!(after < before.max(1e-6), "loss {before} -> {after}");
+        prop_assert!(after < 0.05, "did not converge: {after}");
+    }
+
+    /// Embedding SGD moves exactly by −lr·(grad + reg·w) per step.
+    #[test]
+    fn embedding_update_is_exact(
+        seed in 0u64..400,
+        lr in 0.001f32..0.5,
+        reg in 0.0f32..0.5,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut e = Embedding::new(3, 4, &mut rng);
+        let before: Vec<f32> = e.row(1).to_vec();
+        let grad = [0.25f32, -0.5, 1.0, 0.0];
+        e.sgd(1, &grad, lr, reg);
+        for (slot, (b, g)) in before.iter().zip(&grad).enumerate() {
+            let expect = b - lr * (g + reg * b);
+            prop_assert!((e.row(1)[slot] - expect).abs() < 1e-6);
+        }
+        // Other rows untouched.
+        prop_assert_eq!(e.row(0).to_vec().len(), 4);
+    }
+}

@@ -1,0 +1,442 @@
+//! The Double Sampling Strategy (Sec 5.2 of the paper).
+//!
+//! DSS accelerates CLAPF by drawing *informative* items instead of uniform
+//! ones, so that the gradient scale `1 − σ(R_{≻u})` (Eq. 23) stays away from
+//! zero:
+//!
+//! * **Step 1** — model users/items by matrix factorization (the live model).
+//! * **Step 2** — pick a random factor `q` and rank all items by their value
+//!   in that factor (rankings are rebuilt by [`DssSampler::refresh`], a
+//!   cadence the paper sets so the sorting cost amortizes like AoBPR/DNS).
+//! * **Step 3** — look at `sgn(U_{u,q})`: when negative, the ranking is read
+//!   in reverse (a large factor value then *lowers* the user's score).
+//! * **Step 4** — geometric draws from that ranking:
+//!   - CLAPF-MAP wants a **low-scoring observed** `k` (bottom of the list)
+//!     and a **high-scoring unobserved** `j` (top of the list);
+//!   - CLAPF-MRR wants both `k` and `j` **high-scoring** (top of the list).
+//!
+//! Disabling one of the two rank-aware draws yields the paper's Fig. 4
+//! ablations ("Positive Sampling" / "Negative Sampling").
+
+use crate::{sample_second_observed, sample_unobserved_uniform, Geometric, TripleSampler};
+use clapf_data::{Interactions, ItemId, UserId};
+use clapf_mf::MfModel;
+use rand::Rng;
+use rand::RngCore;
+
+/// Which CLAPF instantiation the sampler serves; determines from which end
+/// of the ranking the observed item `k` is drawn (Sec 5.2, Step 4).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum DssMode {
+    /// CLAPF-MAP: `k` from the *bottom* of the ranking (small `f_uk`).
+    Map,
+    /// CLAPF-MRR: `k` from the *top* of the ranking (large `f_uk`).
+    Mrr,
+}
+
+/// Configuration of [`DssSampler`].
+#[derive(Copy, Clone, Debug)]
+pub struct DssConfig {
+    /// Which CLAPF instantiation is being trained.
+    pub mode: DssMode,
+    /// Geometric tail for the observed-item draw, as a fraction of the
+    /// user's observed count.
+    pub positive_tail_fraction: f64,
+    /// Geometric tail for the unobserved-item draw, as a fraction of the
+    /// item count.
+    pub negative_tail_fraction: f64,
+    /// Rank-aware draw for `k`? (`false` = uniform, the "Negative Sampling"
+    /// ablation keeps this off.)
+    pub sample_positive: bool,
+    /// Rank-aware draw for `j`? (`false` = uniform, the "Positive Sampling"
+    /// ablation keeps this off.)
+    pub sample_negative: bool,
+}
+
+impl DssConfig {
+    /// Full DSS for the given mode.
+    pub fn dss(mode: DssMode) -> Self {
+        DssConfig {
+            mode,
+            positive_tail_fraction: 0.5,
+            negative_tail_fraction: 0.15,
+            sample_positive: true,
+            sample_negative: true,
+        }
+    }
+}
+
+/// The Double Sampling Strategy sampler (and its single-sided ablations).
+#[derive(Clone, Debug)]
+pub struct DssSampler {
+    config: DssConfig,
+    /// `factor_lists[q]` = all items sorted *descending* by `V_{·,q}`.
+    factor_lists: Vec<Vec<ItemId>>,
+    /// Standard deviation of each item factor, for the importance-weighted
+    /// factor draw (Step 2): a factor only identifies extreme items when
+    /// both the user weighs it (`|U_{u,q}|`) and the items spread on it
+    /// (`σ_q`) — the AoBPR scheme DSS builds on.
+    factor_stds: Vec<f32>,
+    dim: usize,
+}
+
+impl DssSampler {
+    /// Creates a sampler with the given configuration. Ranking lists are
+    /// empty until the first [`refresh`](TripleSampler::refresh); until then
+    /// draws fall back to uniform.
+    pub fn new(config: DssConfig) -> Self {
+        DssSampler {
+            config,
+            factor_lists: Vec::new(),
+            factor_stds: Vec::new(),
+            dim: 0,
+        }
+    }
+
+    /// Draws the ranking factor `q` for user `u` with probability
+    /// ∝ `|U_{u,q}| · σ_q`, so the chosen factor actually discriminates the
+    /// user's high- and low-scoring items.
+    fn draw_factor(&self, model: &MfModel, u: UserId, rng: &mut dyn RngCore) -> usize {
+        let user = model.user(u);
+        let total: f32 = user
+            .iter()
+            .zip(&self.factor_stds)
+            .map(|(w, s)| w.abs() * s)
+            .sum();
+        if total <= 0.0 || !total.is_finite() {
+            return rng.gen_range(0..self.dim);
+        }
+        let mut t = rng.gen::<f32>() * total;
+        for (q, (w, s)) in user.iter().zip(&self.factor_stds).enumerate() {
+            t -= w.abs() * s;
+            if t <= 0.0 {
+                return q;
+            }
+        }
+        self.dim - 1
+    }
+
+    /// Full DSS.
+    pub fn dss(mode: DssMode) -> Self {
+        Self::new(DssConfig::dss(mode))
+    }
+
+    /// Fig. 4 ablation: rank-aware positive item `k`, uniform negative `j`.
+    pub fn positive_only(mode: DssMode) -> Self {
+        Self::new(DssConfig {
+            sample_negative: false,
+            ..DssConfig::dss(mode)
+        })
+    }
+
+    /// Fig. 4 ablation: uniform positive `k`, rank-aware negative `j`.
+    pub fn negative_only(mode: DssMode) -> Self {
+        Self::new(DssConfig {
+            sample_positive: false,
+            ..DssConfig::dss(mode)
+        })
+    }
+
+    /// Draws the unobserved item `j` by geometric sampling from the top of
+    /// the factor ranking (reversed when `sgn < 0`).
+    fn draw_negative(
+        &self,
+        data: &Interactions,
+        u: UserId,
+        q: usize,
+        positive_sign: bool,
+        rng: &mut dyn RngCore,
+    ) -> Option<ItemId> {
+        let list = &self.factor_lists[q];
+        let m = list.len();
+        let geom = Geometric::with_tail_fraction(m, self.config.negative_tail_fraction);
+        for _ in 0..32 {
+            let r = geom.draw(m, rng);
+            let idx = if positive_sign { r } else { m - 1 - r };
+            let j = list[idx];
+            if !data.contains(u, j) {
+                return Some(j);
+            }
+        }
+        sample_unobserved_uniform(data, u, rng)
+    }
+
+    /// Draws the second observed item `k` by geometric sampling over the
+    /// user's observed items ranked by the factor-`q` value (the restriction
+    /// of the global ranking to `I_u⁺`). MAP reads from the bottom, MRR from
+    /// the top; a negative user sign flips the reading direction.
+    fn draw_positive(
+        &self,
+        data: &Interactions,
+        model: &MfModel,
+        u: UserId,
+        i: ItemId,
+        q: usize,
+        positive_sign: bool,
+        rng: &mut dyn RngCore,
+    ) -> Option<ItemId> {
+        let items = data.items_of(u);
+        let n = items.len();
+        match n {
+            0 => return None,
+            1 => return Some(items[0]),
+            _ => {}
+        }
+        // Signed key: larger key ⇔ larger contribution to f_u·.
+        let mut keyed: Vec<(f32, ItemId)> = items
+            .iter()
+            .map(|&t| {
+                let v = model.item(t)[q];
+                (if positive_sign { v } else { -v }, t)
+            })
+            .collect();
+        // MAP wants ascending (bottom first), MRR descending (top first).
+        keyed.sort_unstable_by(|a, b| {
+            let ord = a.0.partial_cmp(&b.0).expect("factors are finite");
+            match self.config.mode {
+                DssMode::Map => ord.then(a.1.cmp(&b.1)),
+                DssMode::Mrr => ord.reverse().then(a.1.cmp(&b.1)),
+            }
+        });
+        let geom = Geometric::with_tail_fraction(n, self.config.positive_tail_fraction);
+        let r = geom.draw(n, rng);
+        let k = keyed[r].1;
+        if k != i {
+            return Some(k);
+        }
+        // Prefer a distinct second item: take the next rank.
+        Some(keyed[(r + 1) % n].1)
+    }
+}
+
+impl TripleSampler for DssSampler {
+    fn refresh(&mut self, model: &MfModel) {
+        let d = model.dim();
+        let m = model.n_items();
+        self.dim = d;
+        self.factor_lists.clear();
+        self.factor_lists.reserve(d);
+        self.factor_stds.clear();
+        self.factor_stds.reserve(d);
+        for q in 0..d {
+            let mut list: Vec<ItemId> = (0..m).map(ItemId).collect();
+            list.sort_unstable_by(|&a, &b| {
+                let va = model.item(a)[q];
+                let vb = model.item(b)[q];
+                vb.partial_cmp(&va)
+                    .expect("factors are finite")
+                    .then(a.cmp(&b))
+            });
+            self.factor_lists.push(list);
+            let mean: f32 =
+                (0..m).map(|i| model.item(ItemId(i))[q]).sum::<f32>() / m.max(1) as f32;
+            let var: f32 = (0..m)
+                .map(|i| {
+                    let v = model.item(ItemId(i))[q] - mean;
+                    v * v
+                })
+                .sum::<f32>()
+                / m.max(1) as f32;
+            self.factor_stds.push(var.sqrt());
+        }
+    }
+
+    fn complete(
+        &mut self,
+        data: &Interactions,
+        model: &MfModel,
+        u: UserId,
+        i: ItemId,
+        rng: &mut dyn RngCore,
+    ) -> Option<(ItemId, ItemId)> {
+        let ready = !self.factor_lists.is_empty();
+
+        // Step 2/3: importance-weighted random factor, user sign.
+        let q = if ready {
+            self.draw_factor(model, u, rng)
+        } else {
+            0
+        };
+        let positive_sign = !ready || model.user(u)[q] >= 0.0;
+
+        let k = if ready && self.config.sample_positive {
+            self.draw_positive(data, model, u, i, q, positive_sign, rng)?
+        } else {
+            sample_second_observed(data, u, i, rng)?
+        };
+        let j = if ready && self.config.sample_negative {
+            self.draw_negative(data, u, q, positive_sign, rng)?
+        } else {
+            sample_unobserved_uniform(data, u, rng)?
+        };
+        Some((k, j))
+    }
+
+    fn name(&self) -> &'static str {
+        match (self.config.sample_positive, self.config.sample_negative) {
+            (true, true) => "DSS",
+            (true, false) => "Positive",
+            (false, true) => "Negative",
+            (false, false) => "Uniform(degenerate)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clapf_data::InteractionsBuilder;
+    use clapf_mf::Init;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// 1 user observing items 0..5 of 100; model where item factor value
+    /// equals item id (single factor), user factor positive.
+    fn fixture() -> (Interactions, MfModel) {
+        let mut b = InteractionsBuilder::new(1, 100);
+        for i in 0..5 {
+            b.push(UserId(0), ItemId(i)).unwrap();
+        }
+        let data = b.build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut model = MfModel::new(1, 100, 1, Init::Zeros, &mut rng);
+        model.user_mut(UserId(0))[0] = 1.0;
+        for i in 0..100u32 {
+            model.item_mut(ItemId(i))[0] = i as f32;
+        }
+        (data, model)
+    }
+
+    #[test]
+    fn refresh_sorts_items_descending_by_factor() {
+        let (_, model) = fixture();
+        let mut s = DssSampler::dss(DssMode::Map);
+        s.refresh(&model);
+        assert_eq!(s.factor_lists.len(), 1);
+        assert_eq!(s.factor_lists[0][0], ItemId(99));
+        assert_eq!(s.factor_lists[0][99], ItemId(0));
+    }
+
+    #[test]
+    fn triples_have_correct_membership() {
+        let (data, model) = fixture();
+        for mut s in [
+            DssSampler::dss(DssMode::Map),
+            DssSampler::dss(DssMode::Mrr),
+            DssSampler::positive_only(DssMode::Map),
+            DssSampler::negative_only(DssMode::Map),
+        ] {
+            s.refresh(&model);
+            let mut rng = SmallRng::seed_from_u64(1);
+            for _ in 0..200 {
+                let t = s.sample(&data, &model, UserId(0), &mut rng).unwrap();
+                assert!(data.contains(UserId(0), t.i));
+                assert!(data.contains(UserId(0), t.k));
+                assert!(!data.contains(UserId(0), t.j), "{}", s.name());
+            }
+        }
+    }
+
+    #[test]
+    fn map_mode_draws_low_scoring_positives() {
+        let (data, model) = fixture();
+        let mut s = DssSampler::dss(DssMode::Map);
+        s.refresh(&model);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut sum_k = 0u64;
+        let n = 2_000;
+        for _ in 0..n {
+            let t = s.sample(&data, &model, UserId(0), &mut rng).unwrap();
+            sum_k += t.k.0 as u64;
+        }
+        // Observed items are 0..5 (scores = id); MAP should concentrate on
+        // the low ids. Uniform would give mean 2.0.
+        let mean = sum_k as f64 / n as f64;
+        assert!(mean < 1.6, "mean k id = {mean}");
+    }
+
+    #[test]
+    fn mrr_mode_draws_high_scoring_positives() {
+        let (data, model) = fixture();
+        let mut s = DssSampler::dss(DssMode::Mrr);
+        s.refresh(&model);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut sum_k = 0u64;
+        let n = 2_000;
+        for _ in 0..n {
+            let t = s.sample(&data, &model, UserId(0), &mut rng).unwrap();
+            sum_k += t.k.0 as u64;
+        }
+        let mean = sum_k as f64 / n as f64;
+        assert!(mean > 2.4, "mean k id = {mean}");
+    }
+
+    #[test]
+    fn negatives_come_from_the_high_scoring_head() {
+        let (data, model) = fixture();
+        let mut s = DssSampler::dss(DssMode::Map);
+        s.refresh(&model);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut sum_j = 0u64;
+        let n = 2_000;
+        for _ in 0..n {
+            let t = s.sample(&data, &model, UserId(0), &mut rng).unwrap();
+            sum_j += t.j.0 as u64;
+        }
+        // Unobserved ids are 5..100 (uniform mean ≈ 52); geometric-from-top
+        // concentrates toward 99 (the default tail keeps a fat body, so the
+        // mean sits well above uniform without hugging the maximum).
+        let mean = sum_j as f64 / n as f64;
+        assert!(mean > 70.0, "mean j id = {mean}");
+    }
+
+    #[test]
+    fn negative_user_sign_reverses_the_list() {
+        let (data, mut model) = fixture();
+        model.user_mut(UserId(0))[0] = -1.0;
+        let mut s = DssSampler::dss(DssMode::Map);
+        s.refresh(&model);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut sum_j = 0u64;
+        let n = 2_000;
+        for _ in 0..n {
+            let t = s.sample(&data, &model, UserId(0), &mut rng).unwrap();
+            sum_j += t.j.0 as u64;
+        }
+        // With a negative user factor, high-factor items have *low* predicted
+        // score, so DSS reads the list bottom-up: j concentrates toward id 5.
+        let mean = sum_j as f64 / n as f64;
+        assert!(mean < 35.0, "mean j id = {mean}");
+    }
+
+    #[test]
+    fn unrefreshed_sampler_falls_back_to_uniform() {
+        let (data, model) = fixture();
+        let mut s = DssSampler::dss(DssMode::Map);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let t = s.sample(&data, &model, UserId(0), &mut rng).unwrap();
+        assert!(!data.contains(UserId(0), t.j));
+    }
+
+    #[test]
+    fn ablation_names() {
+        assert_eq!(DssSampler::dss(DssMode::Map).name(), "DSS");
+        assert_eq!(DssSampler::positive_only(DssMode::Map).name(), "Positive");
+        assert_eq!(DssSampler::negative_only(DssMode::Map).name(), "Negative");
+    }
+
+    #[test]
+    fn single_item_user_degenerates() {
+        let mut b = InteractionsBuilder::new(1, 10);
+        b.push(UserId(0), ItemId(3)).unwrap();
+        let data = b.build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let model = MfModel::new(1, 10, 2, Init::default(), &mut rng);
+        let mut s = DssSampler::dss(DssMode::Mrr);
+        s.refresh(&model);
+        let t = s.sample(&data, &model, UserId(0), &mut rng).unwrap();
+        assert_eq!(t.i, ItemId(3));
+        assert_eq!(t.k, ItemId(3));
+        assert_ne!(t.j, ItemId(3));
+    }
+}

@@ -1,0 +1,57 @@
+//! # CLAPF — Collaborative List-and-Pairwise Filtering
+//!
+//! A complete Rust reproduction of *"Collaborative List-and-Pairwise
+//! Filtering From Implicit Feedback"* (Yu, Liu, Ye, Cheng, Chen, Ma — TKDE
+//! 2020 / ICDE 2023 extended abstract): the CLAPF-MAP and CLAPF-MRR models,
+//! the DSS sampler, every baseline of the paper's evaluation, the metrics,
+//! and the harness that regenerates each table and figure.
+//!
+//! This umbrella crate re-exports the whole workspace under one name:
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`data`] | interaction matrices, synthetic worlds, loaders, splits |
+//! | [`mf`] | matrix-factorization substrate |
+//! | [`sampling`] | Uniform / DSS / ablation samplers |
+//! | [`core`] | CLAPF itself + the [`Recommender`] trait |
+//! | [`baselines`] | PopRank, RandomWalk, WMF, BPR, MPR, CLiMF |
+//! | [`neural`] | NeuMF, NeuPR, DeepICF on a from-scratch NN substrate |
+//! | [`metrics`] | Precision/Recall/F1/1-Call/NDCG@k, MAP, MRR, AUC |
+//! | [`eval`] | Table 1/2 and Fig. 2/3/4 harnesses |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use clapf::core::{Clapf, ClapfConfig, Recommender};
+//! use clapf::data::synthetic::{generate, WorldConfig};
+//! use clapf::sampling::{DssMode, DssSampler};
+//! use clapf::data::UserId;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let mut rng = SmallRng::seed_from_u64(42);
+//! let interactions = generate(&WorldConfig::tiny(), &mut rng).unwrap();
+//!
+//! let trainer = Clapf::new(ClapfConfig { iterations: 5_000, ..ClapfConfig::map(0.4) });
+//! let mut sampler = DssSampler::dss(DssMode::Map);
+//! let (model, report) = trainer.fit(&interactions, &mut sampler, &mut rng);
+//! assert!(!report.diverged);
+//!
+//! let top5 = model.recommend(UserId(0), 5, Some(&interactions));
+//! assert_eq!(top5.len(), 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use clapf_baselines as baselines;
+pub use clapf_core as core;
+pub use clapf_data as data;
+pub use clapf_eval as eval;
+pub use clapf_metrics as metrics;
+pub use clapf_mf as mf;
+pub use clapf_neural as neural;
+pub use clapf_sampling as sampling;
+
+pub use clapf_core::{Clapf, ClapfConfig, ClapfMode, Recommender};
+pub use clapf_data::{Interactions, InteractionsBuilder, ItemId, UserId};
+pub use clapf_sampling::{DnsSampler, DssMode, DssSampler, TripleSampler, UniformSampler};

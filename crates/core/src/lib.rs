@@ -1,0 +1,39 @@
+//! CLAPF — Collaborative List-and-Pairwise Filtering (the paper's
+//! contribution).
+//!
+//! The framework joins a *listwise* ranking pair (two observed items) with a
+//! *pairwise* ranking pair (an observed and an unobserved item) in a single
+//! logistic objective (Sec 4.2):
+//!
+//! * **CLAPF-MAP** maximizes
+//!   `Σ ln σ(λ(f_uk − f_ui) + (1 − λ)(f_ui − f_uj))` — derived from a
+//!   differentiable lower bound of Mean Average Precision (Sec 4.1),
+//! * **CLAPF-MRR** maximizes
+//!   `Σ ln σ(λ(f_ui − f_uk) + (1 − λ)(f_ui − f_uj))` — derived from the
+//!   CLiMF lower bound of Mean Reciprocal Rank.
+//!
+//! At `λ = 0` both reduce exactly to BPR.
+//!
+//! Crate layout:
+//!
+//! * [`objective`] — numerically stable sigmoid/log-sigmoid, the smoothed
+//!   AP/RR values (Eqs. 6 & 9) and their lower bounds (Eqs. 7 & 12), and the
+//!   CLAPF criterion `R_{≻u}` (Eqs. 16 & 19).
+//! * [`Clapf`] / [`ClapfConfig`] — the SGD trainer (Sec 4.3) with pluggable
+//!   [`clapf_sampling::TripleSampler`] and convergence checkpoints (used by
+//!   the Fig. 4 reproduction).
+//! * [`Recommender`] — the model-agnostic scoring/recommendation trait every
+//!   model in the workspace implements, plus [`FactorRecommender`], the
+//!   shared wrapper for plain matrix-factorization models.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod objective;
+mod recommender;
+mod trainer;
+
+pub use config::{ClapfConfig, ClapfMode};
+pub use recommender::{FactorRecommender, Recommender};
+pub use trainer::{Clapf, ClapfModel, FitReport};

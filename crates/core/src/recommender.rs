@@ -1,0 +1,169 @@
+//! The model-agnostic recommendation interface.
+
+use clapf_data::{Interactions, ItemId, UserId};
+use clapf_mf::MfModel;
+
+/// A fitted recommender: scores user–item pairs and produces top-k lists.
+///
+/// Every model in the workspace (CLAPF, the MF baselines, the neural
+/// baselines, PopRank, RandomWalk) implements this trait, so the experiment
+/// harness, the examples and the integration tests are model-agnostic.
+///
+/// `Send + Sync` is required so fitted models can be scored from the
+/// parallel evaluator.
+pub trait Recommender: Send + Sync {
+    /// Descriptive name (includes hyper-parameters where relevant, e.g.
+    /// `"CLAPF(λ=0.4)-MAP"`).
+    fn name(&self) -> String;
+
+    /// Number of items in the model's id space.
+    fn n_items(&self) -> u32;
+
+    /// Predicted relevance of item `i` for user `u`.
+    fn score(&self, u: UserId, i: ItemId) -> f32;
+
+    /// Writes a score for every item `0..n_items` into `out`. The default
+    /// loops over [`score`](Recommender::score); models with a faster bulk
+    /// kernel override it.
+    fn scores_into(&self, u: UserId, out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.n_items() as usize);
+        for i in 0..self.n_items() {
+            out.push(self.score(u, ItemId(i)));
+        }
+    }
+
+    /// The top-`k` items for user `u`, excluding the user's observed items
+    /// in `seen` when provided (the paper's recommendation setting: rank the
+    /// unobserved items).
+    fn recommend(&self, u: UserId, k: usize, seen: Option<&Interactions>) -> Vec<ItemId> {
+        let mut scores = Vec::new();
+        self.scores_into(u, &mut scores);
+        let mut items: Vec<ItemId> = (0..scores.len() as u32)
+            .map(ItemId)
+            .filter(|&i| seen.is_none_or(|s| !s.contains(u, i)))
+            .collect();
+        let k = k.min(items.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        let cmp = |a: &ItemId, b: &ItemId| {
+            scores[b.index()]
+                .partial_cmp(&scores[a.index()])
+                .expect("scores must be finite")
+                .then(a.cmp(b))
+        };
+        if k < items.len() {
+            items.select_nth_unstable_by(k - 1, cmp);
+            items.truncate(k);
+        }
+        items.sort_unstable_by(cmp);
+        items
+    }
+}
+
+/// A plain matrix-factorization recommender: an [`MfModel`] plus a label.
+///
+/// BPR, MPR, CLiMF and WMF all produce this type; CLAPF wraps its own model
+/// type to keep the mode/λ in the name.
+#[derive(Clone, Debug)]
+pub struct FactorRecommender {
+    /// The fitted parameters.
+    pub model: MfModel,
+    /// Report label, e.g. `"BPR"`.
+    pub label: String,
+}
+
+impl Recommender for FactorRecommender {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn n_items(&self) -> u32 {
+        self.model.n_items()
+    }
+
+    fn score(&self, u: UserId, i: ItemId) -> f32 {
+        self.model.score(u, i)
+    }
+
+    fn scores_into(&self, u: UserId, out: &mut Vec<f32>) {
+        self.model.scores_for_user(u, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clapf_data::InteractionsBuilder;
+    use clapf_mf::Init;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    struct Fixed(Vec<f32>);
+
+    impl Recommender for Fixed {
+        fn name(&self) -> String {
+            "Fixed".into()
+        }
+        fn n_items(&self) -> u32 {
+            self.0.len() as u32
+        }
+        fn score(&self, _u: UserId, i: ItemId) -> f32 {
+            self.0[i.index()]
+        }
+    }
+
+    #[test]
+    fn default_scores_into_uses_score() {
+        let r = Fixed(vec![0.1, 0.9, 0.4]);
+        let mut out = Vec::new();
+        r.scores_into(UserId(0), &mut out);
+        assert_eq!(out, vec![0.1, 0.9, 0.4]);
+    }
+
+    #[test]
+    fn recommend_orders_by_score() {
+        let r = Fixed(vec![0.1, 0.9, 0.4, 0.7]);
+        assert_eq!(
+            r.recommend(UserId(0), 3, None),
+            vec![ItemId(1), ItemId(3), ItemId(2)]
+        );
+    }
+
+    #[test]
+    fn recommend_excludes_seen() {
+        let r = Fixed(vec![0.1, 0.9, 0.4, 0.7]);
+        let mut b = InteractionsBuilder::new(1, 4);
+        b.push(UserId(0), ItemId(1)).unwrap();
+        let seen = b.build().unwrap();
+        assert_eq!(
+            r.recommend(UserId(0), 2, Some(&seen)),
+            vec![ItemId(3), ItemId(2)]
+        );
+    }
+
+    #[test]
+    fn recommend_handles_k_larger_than_catalog() {
+        let r = Fixed(vec![0.5, 0.6]);
+        assert_eq!(r.recommend(UserId(0), 10, None).len(), 2);
+        assert!(r.recommend(UserId(0), 0, None).is_empty());
+    }
+
+    #[test]
+    fn factor_recommender_delegates() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let model = MfModel::new(2, 3, 4, Init::default(), &mut rng);
+        let r = FactorRecommender {
+            model: model.clone(),
+            label: "BPR".into(),
+        };
+        assert_eq!(r.name(), "BPR");
+        assert_eq!(r.n_items(), 3);
+        assert_eq!(r.score(UserId(1), ItemId(2)), model.score(UserId(1), ItemId(2)));
+        let mut bulk = Vec::new();
+        r.scores_into(UserId(0), &mut bulk);
+        assert_eq!(bulk.len(), 3);
+        assert_eq!(bulk[1], model.score(UserId(0), ItemId(1)));
+    }
+}
