@@ -5,7 +5,7 @@
 //! stand-in.
 
 use clapf_baselines::{Bpr, BprConfig, Climf, ClimfConfig, Mpr, MprConfig, Wmf, WmfConfig};
-use clapf_core::{Clapf, ClapfConfig};
+use clapf_core::{Clapf, ClapfConfig, ParallelConfig};
 use clapf_data::synthetic::{generate, WorldConfig};
 use clapf_data::Interactions;
 use clapf_mf::SgdConfig;
@@ -89,6 +89,25 @@ fn bench_train(c: &mut Criterion) {
             black_box(model.mf.params_sq_norm())
         })
     });
+
+    // Hogwild scaling: the same CLAPF epoch with 1/2/4/8 lock-free workers.
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(&format!("clapf_par{threads}"), |b| {
+            b.iter(|| {
+                let trainer = Clapf::new(ClapfConfig {
+                    dim: 20,
+                    iterations: steps,
+                    parallel: ParallelConfig {
+                        threads,
+                        chunk_size: 0,
+                    },
+                    ..ClapfConfig::map(0.4)
+                });
+                let (model, _) = trainer.fit_parallel(&data, &UniformSampler, 2);
+                black_box(model.mf.params_sq_norm())
+            })
+        });
+    }
 
     group.bench_function("climf", |b| {
         b.iter(|| {

@@ -6,11 +6,13 @@
 //! both provides the baseline and cross-checks the reduction.
 
 use clapf_core::objective::sigmoid;
-use clapf_core::FactorRecommender;
+use clapf_core::{FactorRecommender, ParallelConfig};
 use clapf_data::Interactions;
-use clapf_mf::{Init, MfModel, SgdConfig};
+use clapf_mf::{Init, MfModel, SgdConfig, SharedMfModel};
 use clapf_sampling::{sample_observed_pair, sample_unobserved_uniform};
-use rand::Rng;
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// BPR hyper-parameters.
 #[derive(Copy, Clone, Debug)]
@@ -23,6 +25,8 @@ pub struct BprConfig {
     pub iterations: usize,
     /// Parameter initialization.
     pub init: Init,
+    /// Multi-threaded training settings for [`Bpr::fit_parallel`].
+    pub parallel: ParallelConfig,
 }
 
 impl Default for BprConfig {
@@ -32,6 +36,7 @@ impl Default for BprConfig {
             sgd: SgdConfig::default(),
             iterations: 0,
             init: Init::default(),
+            parallel: ParallelConfig::default(),
         }
     }
 }
@@ -48,43 +53,132 @@ impl Bpr {
     pub fn fit<R: Rng>(&self, data: &Interactions, rng: &mut R) -> FactorRecommender {
         let cfg = &self.config;
         assert!(cfg.dim > 0, "dim must be positive");
-        let mut model = MfModel::new(data.n_users(), data.n_items(), cfg.dim, cfg.init, rng);
-        let iterations = if cfg.iterations > 0 {
-            cfg.iterations
-        } else {
-            (100 * data.n_pairs()).clamp(1, 8_000_000)
-        };
-        let lr = cfg.sgd.learning_rate;
-        let decay_u = lr * cfg.sgd.reg_user;
-        let decay_v = lr * cfg.sgd.reg_item;
-        let decay_b = lr * cfg.sgd.reg_bias;
+        let model = MfModel::new(data.n_users(), data.n_items(), cfg.dim, cfg.init, rng);
+        let shared = SharedMfModel::new(model);
+        let iterations = resolve_iterations(cfg.iterations, data.n_pairs());
+        let params = BprParams::new(&cfg.sgd);
         let mut u_old = vec![0.0f32; cfg.dim];
         let mut grad_u = vec![0.0f32; cfg.dim];
 
         for _ in 0..iterations {
-            let (u, i) = sample_observed_pair(data, rng);
-            let Some(j) = sample_unobserved_uniform(data, u, rng) else {
-                continue;
-            };
-            let x = model.score(u, i) - model.score(u, j);
-            let g = sigmoid(-x);
-
-            model.copy_user_into(u, &mut u_old);
-            for ((slot, &vi), &vj) in grad_u.iter_mut().zip(model.item(i)).zip(model.item(j)) {
-                *slot = vi - vj;
-            }
-            model.sgd_user(u, lr * g, &grad_u, decay_u);
-            model.sgd_item(i, lr * g, &u_old, decay_v);
-            model.sgd_bias(i, lr, g, decay_b);
-            model.sgd_item(j, -lr * g, &u_old, decay_v);
-            model.sgd_bias(j, lr, -g, decay_b);
+            bpr_step(&shared, data, rng, &params, &mut u_old, &mut grad_u);
         }
 
         FactorRecommender {
-            model,
+            model: shared.into_inner(),
             label: "BPR".into(),
         }
     }
+
+    /// Fits with Hogwild-style lock-free parallel SGD, sharing the model
+    /// across `config.parallel.threads` workers (0 = all cores). BPR's
+    /// negative sampler is stateless, so workers need no epoch barrier —
+    /// they just drain a shared step counter in chunks. `threads = 1` is
+    /// bit-identical to [`fit`](Bpr::fit) with
+    /// `SmallRng::seed_from_u64(base_seed)`.
+    pub fn fit_parallel(&self, data: &Interactions, base_seed: u64) -> FactorRecommender {
+        let cfg = &self.config;
+        assert!(cfg.dim > 0, "dim must be positive");
+        let threads = cfg.parallel.resolve_threads();
+        let chunk = cfg.parallel.resolve_chunk();
+
+        let mut init_rng = SmallRng::seed_from_u64(base_seed);
+        let model = MfModel::new(data.n_users(), data.n_items(), cfg.dim, cfg.init, &mut init_rng);
+        let shared = SharedMfModel::new(model);
+        let iterations = resolve_iterations(cfg.iterations, data.n_pairs());
+        let params = BprParams::new(&cfg.sgd);
+
+        // Worker 0 continues the init stream (serial-equivalent); the rest
+        // get independent streams.
+        let mut rngs = Vec::with_capacity(threads);
+        rngs.push(init_rng);
+        for w in 1..threads {
+            rngs.push(SmallRng::seed_from_u64(base_seed.wrapping_add(w as u64)));
+        }
+        let counter = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            for mut wrng in rngs {
+                let shared = &shared;
+                let counter = &counter;
+                let params = &params;
+                scope.spawn(move || {
+                    let mut u_old = vec![0.0f32; cfg.dim];
+                    let mut grad_u = vec![0.0f32; cfg.dim];
+                    loop {
+                        let s = counter.fetch_add(chunk, Ordering::Relaxed);
+                        if s >= iterations {
+                            break;
+                        }
+                        for _ in s..(s + chunk).min(iterations) {
+                            bpr_step(shared, data, &mut wrng, params, &mut u_old, &mut grad_u);
+                        }
+                    }
+                });
+            }
+        });
+
+        FactorRecommender {
+            model: shared.into_inner(),
+            label: "BPR".into(),
+        }
+    }
+}
+
+pub(crate) fn resolve_iterations(iterations: usize, n_pairs: usize) -> usize {
+    if iterations > 0 {
+        iterations
+    } else {
+        (100 * n_pairs).clamp(1, 8_000_000)
+    }
+}
+
+struct BprParams {
+    lr: f32,
+    decay_u: f32,
+    decay_v: f32,
+    decay_b: f32,
+}
+
+impl BprParams {
+    fn new(sgd: &SgdConfig) -> Self {
+        let lr = sgd.learning_rate;
+        BprParams {
+            lr,
+            decay_u: lr * sgd.reg_user,
+            decay_v: lr * sgd.reg_item,
+            decay_b: lr * sgd.reg_bias,
+        }
+    }
+}
+
+/// One BPR SGD step (Eqs. 1–4), shared by the serial and parallel paths.
+#[inline]
+fn bpr_step(
+    shared: &SharedMfModel,
+    data: &Interactions,
+    rng: &mut dyn RngCore,
+    p: &BprParams,
+    u_old: &mut [f32],
+    grad_u: &mut [f32],
+) {
+    let model = shared.view();
+    let (u, i) = sample_observed_pair(data, rng);
+    let Some(j) = sample_unobserved_uniform(data, u, rng) else {
+        return;
+    };
+    let x = model.score(u, i) - model.score(u, j);
+    let g = sigmoid(-x);
+
+    model.copy_user_into(u, u_old);
+    for ((slot, &vi), &vj) in grad_u.iter_mut().zip(model.item(i)).zip(model.item(j)) {
+        *slot = vi - vj;
+    }
+    shared.sgd_user(u, p.lr * g, grad_u, p.decay_u);
+    shared.sgd_item(i, p.lr * g, u_old, p.decay_v);
+    shared.sgd_bias(i, p.lr, g, p.decay_b);
+    shared.sgd_item(j, -p.lr * g, u_old, p.decay_v);
+    shared.sgd_bias(j, p.lr, -g, p.decay_b);
 }
 
 #[cfg(test)]
@@ -139,6 +233,43 @@ mod tests {
         let a = trainer.fit(&data, &mut SmallRng::seed_from_u64(7));
         let b = trainer.fit(&data, &mut SmallRng::seed_from_u64(7));
         assert_eq!(a.score(UserId(0), ItemId(0)), b.score(UserId(0), ItemId(0)));
+    }
+
+    #[test]
+    fn threads_1_is_bitwise_serial() {
+        let data = generate(&WorldConfig::tiny(), &mut SmallRng::seed_from_u64(20)).unwrap();
+        let trainer = Bpr {
+            config: BprConfig {
+                dim: 6,
+                iterations: 4_000,
+                ..BprConfig::default()
+            },
+        };
+        let serial = trainer.fit(&data, &mut SmallRng::seed_from_u64(33));
+        let parallel = trainer.fit_parallel(&data, 33);
+        for u in data.users() {
+            for i in data.items() {
+                assert_eq!(serial.score(u, i).to_bits(), parallel.score(u, i).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_training_stays_finite() {
+        let data = generate(&WorldConfig::tiny(), &mut SmallRng::seed_from_u64(21)).unwrap();
+        let model = Bpr {
+            config: BprConfig {
+                dim: 6,
+                iterations: 8_000,
+                parallel: ParallelConfig {
+                    threads: 4,
+                    chunk_size: 64,
+                },
+                ..BprConfig::default()
+            },
+        }
+        .fit_parallel(&data, 9);
+        assert!(!model.model.has_non_finite());
     }
 
     #[test]

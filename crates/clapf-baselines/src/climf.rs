@@ -84,11 +84,10 @@ impl Climf {
                 for t in 0..n {
                     let ft = scores[t];
                     let mut gt = sigmoid(-ft);
-                    for k in 0..n {
+                    for (k, &fk) in scores.iter().enumerate().take(n) {
                         if k == t {
                             continue;
                         }
-                        let fk = scores[k];
                         gt += sigmoid(fk - ft) - sigmoid(ft - fk);
                     }
                     g[t] = gt;

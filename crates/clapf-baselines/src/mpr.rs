@@ -12,12 +12,15 @@
 //! uncertain pool is the most-popular half of the catalogue. This
 //! substitution is recorded in DESIGN.md.
 
+use crate::bpr::resolve_iterations;
 use clapf_core::objective::sigmoid;
-use clapf_core::FactorRecommender;
-use clapf_data::{Interactions, ItemId};
-use clapf_mf::{Init, MfModel, SgdConfig};
+use clapf_core::{FactorRecommender, ParallelConfig};
+use clapf_data::{Interactions, ItemId, UserId};
+use clapf_mf::{Init, MfModel, SgdConfig, SharedMfModel};
 use clapf_sampling::sample_observed_pair;
-use rand::Rng;
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// MPR hyper-parameters (the paper searches λ ∈ {0.0, 0.1, …, 1.0}).
 #[derive(Copy, Clone, Debug)]
@@ -34,6 +37,8 @@ pub struct MprConfig {
     pub init: Init,
     /// Fraction of the catalogue (by popularity) forming the uncertain pool.
     pub uncertain_fraction: f64,
+    /// Multi-threaded training settings for [`Mpr::fit_parallel`].
+    pub parallel: ParallelConfig,
 }
 
 impl Default for MprConfig {
@@ -45,6 +50,7 @@ impl Default for MprConfig {
             iterations: 0,
             init: Init::default(),
             uncertain_fraction: 0.5,
+            parallel: ParallelConfig::default(),
         }
     }
 }
@@ -60,80 +66,195 @@ impl Mpr {
     /// Fits by SGD over (observed, uncertain, negative) triples.
     pub fn fit<R: Rng>(&self, data: &Interactions, rng: &mut R) -> FactorRecommender {
         let cfg = &self.config;
-        assert!(cfg.dim > 0, "dim must be positive");
-        assert!(
-            (0.0..=1.0).contains(&cfg.lambda),
-            "lambda must be in [0, 1]"
-        );
-        let mut model = MfModel::new(data.n_users(), data.n_items(), cfg.dim, cfg.init, rng);
-        let iterations = if cfg.iterations > 0 {
-            cfg.iterations
-        } else {
-            (100 * data.n_pairs()).clamp(1, 8_000_000)
-        };
-
-        // Popularity split of the catalogue into uncertain head / negative tail.
-        let mut by_pop: Vec<ItemId> = (0..data.n_items()).map(ItemId).collect();
-        let pop = data.item_popularity();
-        by_pop.sort_unstable_by(|&a, &b| pop[b.index()].cmp(&pop[a.index()]).then(a.cmp(&b)));
-        let head = ((data.n_items() as f64 * cfg.uncertain_fraction) as usize)
-            .clamp(1, data.n_items() as usize - 1);
-        let uncertain_pool = &by_pop[..head];
-        let negative_pool = &by_pop[head..];
-
-        let lambda = cfg.lambda;
-        // R = λ f_ui + (1 − 2λ) f_uk − (1 − λ) f_uj
-        let (ci, ck, cj) = (lambda, 1.0 - 2.0 * lambda, -(1.0 - lambda));
-        let lr = cfg.sgd.learning_rate;
-        let decay_u = lr * cfg.sgd.reg_user;
-        let decay_v = lr * cfg.sgd.reg_item;
-        let decay_b = lr * cfg.sgd.reg_bias;
+        cfg.check();
+        let model = MfModel::new(data.n_users(), data.n_items(), cfg.dim, cfg.init, rng);
+        let shared = SharedMfModel::new(model);
+        let iterations = resolve_iterations(cfg.iterations, data.n_pairs());
+        let pools = ItemPools::from_popularity(data, cfg.uncertain_fraction);
+        let params = MprParams::new(cfg);
         let mut u_old = vec![0.0f32; cfg.dim];
         let mut grad_u = vec![0.0f32; cfg.dim];
 
-        let draw = |pool: &[ItemId], data: &Interactions, u, rng: &mut R| -> Option<ItemId> {
-            for _ in 0..64 {
-                let c = pool[rng.gen_range(0..pool.len())];
-                if !data.contains(u, c) {
-                    return Some(c);
-                }
-            }
-            None
-        };
-
         for _ in 0..iterations {
-            let (u, i) = sample_observed_pair(data, rng);
-            let Some(k) = draw(uncertain_pool, data, u, rng) else {
-                continue;
-            };
-            let Some(j) = draw(negative_pool, data, u, rng) else {
-                continue;
-            };
-
-            let r = lambda * (model.score(u, i) - model.score(u, k))
-                + (1.0 - lambda) * (model.score(u, k) - model.score(u, j));
-            let g = sigmoid(-r);
-
-            model.copy_user_into(u, &mut u_old);
-            grad_u.fill(0.0);
-            for (t, c) in [(i, ci), (k, ck), (j, cj)] {
-                if c != 0.0 {
-                    for (slot, &w) in grad_u.iter_mut().zip(model.item(t)) {
-                        *slot += c * w;
-                    }
-                }
-            }
-            model.sgd_user(u, lr * g, &grad_u, decay_u);
-            for (t, c) in [(i, ci), (k, ck), (j, cj)] {
-                model.sgd_item(t, lr * g * c, &u_old, decay_v);
-                model.sgd_bias(t, lr, g * c, decay_b);
-            }
+            mpr_step(&shared, data, &pools, rng, &params, &mut u_old, &mut grad_u);
         }
 
         FactorRecommender {
-            model,
-            label: format!("MPR(λ={:.1})", lambda),
+            model: shared.into_inner(),
+            label: format!("MPR(λ={:.1})", cfg.lambda),
         }
+    }
+
+    /// Fits with Hogwild-style lock-free parallel SGD. The popularity pools
+    /// are computed once and shared read-only; like BPR, MPR's samplers are
+    /// stateless so workers drain a shared step counter without barriers.
+    /// `threads = 1` is bit-identical to [`fit`](Mpr::fit) with
+    /// `SmallRng::seed_from_u64(base_seed)`.
+    pub fn fit_parallel(&self, data: &Interactions, base_seed: u64) -> FactorRecommender {
+        let cfg = &self.config;
+        cfg.check();
+        let threads = cfg.parallel.resolve_threads();
+        let chunk = cfg.parallel.resolve_chunk();
+
+        let mut init_rng = SmallRng::seed_from_u64(base_seed);
+        let model = MfModel::new(data.n_users(), data.n_items(), cfg.dim, cfg.init, &mut init_rng);
+        let shared = SharedMfModel::new(model);
+        let iterations = resolve_iterations(cfg.iterations, data.n_pairs());
+        let pools = ItemPools::from_popularity(data, cfg.uncertain_fraction);
+        let params = MprParams::new(cfg);
+
+        let mut rngs = Vec::with_capacity(threads);
+        rngs.push(init_rng);
+        for w in 1..threads {
+            rngs.push(SmallRng::seed_from_u64(base_seed.wrapping_add(w as u64)));
+        }
+        let counter = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            for mut wrng in rngs {
+                let shared = &shared;
+                let counter = &counter;
+                let params = &params;
+                let pools = &pools;
+                scope.spawn(move || {
+                    let mut u_old = vec![0.0f32; cfg.dim];
+                    let mut grad_u = vec![0.0f32; cfg.dim];
+                    loop {
+                        let s = counter.fetch_add(chunk, Ordering::Relaxed);
+                        if s >= iterations {
+                            break;
+                        }
+                        for _ in s..(s + chunk).min(iterations) {
+                            mpr_step(shared, data, pools, &mut wrng, params, &mut u_old, &mut grad_u);
+                        }
+                    }
+                });
+            }
+        });
+
+        FactorRecommender {
+            model: shared.into_inner(),
+            label: format!("MPR(λ={:.1})", cfg.lambda),
+        }
+    }
+}
+
+impl MprConfig {
+    fn check(&self) {
+        assert!(self.dim > 0, "dim must be positive");
+        assert!(
+            (0.0..=1.0).contains(&self.lambda),
+            "lambda must be in [0, 1]"
+        );
+    }
+}
+
+/// Popularity split of the catalogue into uncertain head / negative tail.
+struct ItemPools {
+    by_pop: Vec<ItemId>,
+    head: usize,
+}
+
+impl ItemPools {
+    fn from_popularity(data: &Interactions, uncertain_fraction: f64) -> Self {
+        let mut by_pop: Vec<ItemId> = (0..data.n_items()).map(ItemId).collect();
+        let pop = data.item_popularity();
+        by_pop.sort_unstable_by(|&a, &b| pop[b.index()].cmp(&pop[a.index()]).then(a.cmp(&b)));
+        let head = ((data.n_items() as f64 * uncertain_fraction) as usize)
+            .clamp(1, data.n_items() as usize - 1);
+        ItemPools { by_pop, head }
+    }
+
+    fn uncertain(&self) -> &[ItemId] {
+        &self.by_pop[..self.head]
+    }
+
+    fn negative(&self) -> &[ItemId] {
+        &self.by_pop[self.head..]
+    }
+}
+
+struct MprParams {
+    lambda: f32,
+    ci: f32,
+    ck: f32,
+    cj: f32,
+    lr: f32,
+    decay_u: f32,
+    decay_v: f32,
+    decay_b: f32,
+}
+
+impl MprParams {
+    fn new(cfg: &MprConfig) -> Self {
+        let lambda = cfg.lambda;
+        let lr = cfg.sgd.learning_rate;
+        MprParams {
+            lambda,
+            // R = λ f_ui + (1 − 2λ) f_uk − (1 − λ) f_uj
+            ci: lambda,
+            ck: 1.0 - 2.0 * lambda,
+            cj: -(1.0 - lambda),
+            lr,
+            decay_u: lr * cfg.sgd.reg_user,
+            decay_v: lr * cfg.sgd.reg_item,
+            decay_b: lr * cfg.sgd.reg_bias,
+        }
+    }
+}
+
+fn draw(
+    pool: &[ItemId],
+    data: &Interactions,
+    u: UserId,
+    rng: &mut dyn RngCore,
+) -> Option<ItemId> {
+    for _ in 0..64 {
+        let c = pool[rng.gen_range(0..pool.len())];
+        if !data.contains(u, c) {
+            return Some(c);
+        }
+    }
+    None
+}
+
+/// One MPR SGD step, shared by the serial and parallel paths.
+#[inline]
+fn mpr_step(
+    shared: &SharedMfModel,
+    data: &Interactions,
+    pools: &ItemPools,
+    rng: &mut dyn RngCore,
+    p: &MprParams,
+    u_old: &mut [f32],
+    grad_u: &mut [f32],
+) {
+    let model = shared.view();
+    let (u, i) = sample_observed_pair(data, rng);
+    let Some(k) = draw(pools.uncertain(), data, u, rng) else {
+        return;
+    };
+    let Some(j) = draw(pools.negative(), data, u, rng) else {
+        return;
+    };
+
+    let r = p.lambda * (model.score(u, i) - model.score(u, k))
+        + (1.0 - p.lambda) * (model.score(u, k) - model.score(u, j));
+    let g = sigmoid(-r);
+
+    model.copy_user_into(u, u_old);
+    grad_u.fill(0.0);
+    for (t, c) in [(i, p.ci), (k, p.ck), (j, p.cj)] {
+        if c != 0.0 {
+            for (slot, &w) in grad_u.iter_mut().zip(model.item(t)) {
+                *slot += c * w;
+            }
+        }
+    }
+    shared.sgd_user(u, p.lr * g, grad_u, p.decay_u);
+    for (t, c) in [(i, p.ci), (k, p.ck), (j, p.cj)] {
+        shared.sgd_item(t, p.lr * g * c, u_old, p.decay_v);
+        shared.sgd_bias(t, p.lr, g * c, p.decay_b);
     }
 }
 
@@ -190,6 +311,44 @@ mod tests {
         }
         .fit(&data, &mut SmallRng::seed_from_u64(13));
         assert_eq!(model.name(), "MPR(λ=0.3)");
+        assert!(!model.model.has_non_finite());
+    }
+
+    #[test]
+    fn threads_1_is_bitwise_serial() {
+        let data = generate(&WorldConfig::tiny(), &mut SmallRng::seed_from_u64(30)).unwrap();
+        let trainer = Mpr {
+            config: MprConfig {
+                dim: 6,
+                lambda: 0.4,
+                iterations: 4_000,
+                ..MprConfig::default()
+            },
+        };
+        let serial = trainer.fit(&data, &mut SmallRng::seed_from_u64(44));
+        let parallel = trainer.fit_parallel(&data, 44);
+        for u in data.users() {
+            for i in data.items() {
+                assert_eq!(serial.score(u, i).to_bits(), parallel.score(u, i).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_training_stays_finite() {
+        let data = generate(&WorldConfig::tiny(), &mut SmallRng::seed_from_u64(31)).unwrap();
+        let model = Mpr {
+            config: MprConfig {
+                dim: 6,
+                iterations: 8_000,
+                parallel: ParallelConfig {
+                    threads: 4,
+                    chunk_size: 64,
+                },
+                ..MprConfig::default()
+            },
+        }
+        .fit_parallel(&data, 7);
         assert!(!model.model.has_non_finite());
     }
 

@@ -59,6 +59,8 @@ pub struct FitArgs {
     pub holdout: f64,
     /// Seed for split and training.
     pub seed: u64,
+    /// Training worker threads (1 = serial, 0 = all cores).
+    pub threads: usize,
     /// Where to save the model bundle (optional).
     pub save: Option<PathBuf>,
 }
@@ -95,7 +97,10 @@ USAGE:
   clapf generate --dataset ml100k [--shrink N] [--seed N] --out data.csv
   clapf fit --data FILE [--model bpr|clapf-map|clapf-mrr] [--lambda F]
             [--dss] [--dim N] [--iterations N] [--holdout F] [--seed N]
-            [--save model.json]
+            [--threads N] [--save model.json]
+
+  --threads N trains with N lock-free (Hogwild) workers; 1 (the default)
+  is the exactly-reproducible serial path, 0 uses all cores.
   clapf recommend --load model.json --user RAW_ID [-k N]
   clapf help
 ";
@@ -186,6 +191,10 @@ impl Command {
                     Some(v) => parse_num("--seed", v)? as u64,
                     None => 42,
                 };
+                let threads = match value("--threads")? {
+                    Some(v) => parse_num("--threads", v)? as usize,
+                    None => 1,
+                };
                 Ok(Command::Fit(FitArgs {
                     data,
                     model,
@@ -195,6 +204,7 @@ impl Command {
                     iterations,
                     holdout,
                     seed,
+                    threads,
                     save: value("--save")?.map(PathBuf::from),
                 }))
             }
@@ -265,6 +275,7 @@ mod tests {
                 assert_eq!(f.dim, 20);
                 assert_eq!(f.iterations, 0);
                 assert_eq!(f.holdout, 0.5);
+                assert_eq!(f.threads, 1);
                 assert!(f.save.is_none());
             }
             other => panic!("{other:?}"),
@@ -276,7 +287,7 @@ mod tests {
         let c = Command::parse(&args(&[
             "fit", "--data", "r.csv", "--model", "clapf-mrr", "--lambda", "0.2", "--dss",
             "--dim", "16", "--iterations", "50000", "--holdout", "0.3", "--seed", "7",
-            "--save", "m.json",
+            "--threads", "4", "--save", "m.json",
         ]))
         .unwrap();
         match c {
@@ -288,6 +299,7 @@ mod tests {
                 assert_eq!(f.iterations, 50_000);
                 assert_eq!(f.holdout, 0.3);
                 assert_eq!(f.seed, 7);
+                assert_eq!(f.threads, 4);
                 assert_eq!(f.save, Some(PathBuf::from("m.json")));
             }
             other => panic!("{other:?}"),

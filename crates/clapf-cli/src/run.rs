@@ -2,7 +2,7 @@
 
 use crate::args::{Command, FitArgs, GenerateArgs, ModelKind, RecommendArgs};
 use crate::bundle::ModelBundle;
-use clapf_core::{Clapf, ClapfConfig, ClapfMode};
+use clapf_core::{Clapf, ClapfConfig, ClapfMode, ParallelConfig};
 use clapf_data::loader::{load_ratings_path, PAPER_RATING_THRESHOLD};
 use clapf_data::split::{split, SplitStrategy};
 use clapf_data::synthetic::{self, DatasetSpec, WorldConfig};
@@ -88,31 +88,46 @@ fn fit_model(
         ClapfMode::Map => ClapfConfig::map(lambda),
         ClapfMode::Mrr => ClapfConfig::mrr(lambda),
     };
+    let parallel = ParallelConfig {
+        threads: a.threads,
+        chunk_size: 0,
+    };
     let config = ClapfConfig {
         dim: a.dim,
         iterations: a.iterations,
+        parallel,
         ..base
     };
     let trainer = Clapf::new(config);
-    let mut sampler: Box<dyn TripleSampler> = if a.dss {
-        Box::new(DssSampler::dss(match mode {
-            ClapfMode::Map => DssMode::Map,
-            ClapfMode::Mrr => DssMode::Mrr,
-        }))
-    } else {
-        Box::new(UniformSampler)
+    let dss_mode = match mode {
+        ClapfMode::Map => DssMode::Map,
+        ClapfMode::Mrr => DssMode::Mrr,
     };
-    let (model, report) = trainer.fit(train, sampler.as_mut(), rng);
+    let workers = parallel.resolve_threads();
+    let (model, report) = if workers == 1 {
+        let mut sampler: Box<dyn TripleSampler> = if a.dss {
+            Box::new(DssSampler::dss(dss_mode))
+        } else {
+            Box::new(UniformSampler)
+        };
+        trainer.fit(train, sampler.as_mut(), rng)
+    } else if a.dss {
+        trainer.fit_parallel(train, &DssSampler::dss(dss_mode), a.seed)
+    } else {
+        trainer.fit_parallel(train, &UniformSampler, a.seed)
+    };
     let name = match a.model {
         ModelKind::Bpr => "BPR".to_string(),
         _ => format!("CLAPF(λ={lambda:.1})-{mode}"),
     };
     let description = format!(
-        "{name}{}, d={}, {} steps in {:.1?}",
+        "{name}{}, d={}, {} steps in {:.1?}, {} thread{}",
         if a.dss { "+DSS" } else { "" },
         a.dim,
         report.iterations,
-        report.elapsed
+        report.elapsed,
+        workers,
+        if workers == 1 { "" } else { "s" }
     );
     (model.mf, description)
 }
@@ -230,6 +245,29 @@ mod tests {
         ]);
         assert_eq!(code, 0, "{text}");
         assert!(text.contains("top-3"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fit_with_threads_reports_worker_count() {
+        let dir = std::env::temp_dir().join("clapf-cli-threads");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.csv");
+
+        let (code, text) = run_cmd(&[
+            "generate", "--dataset", "ml100k", "--shrink", "24", "--out",
+            data.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{text}");
+
+        let (code, text) = run_cmd(&[
+            "fit", "--data", data.to_str().unwrap(), "--dim", "8", "--iterations",
+            "10000", "--threads", "4",
+        ]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("4 threads"), "{text}");
+        assert!(text.contains("held-out metrics"), "{text}");
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -10,12 +10,19 @@
 //!   small-uniform initialization),
 //! * [`linalg`] — a tiny dense linear-algebra module (symmetric matrices and
 //!   Cholesky solves) used by the WMF/ALS baseline,
-//! * [`SgdConfig`] — the shared learning-rate/regularization bundle.
+//! * [`SgdConfig`] — the shared learning-rate/regularization bundle,
+//! * [`SharedMfModel`] — the lock-free shared view that Hogwild-style
+//!   parallel trainers mutate from many threads at once.
+//!
+//! Unsafe code is denied crate-wide and allowed only inside the audited
+//! [`shared`](SharedMfModel) module; every other module is safe Rust.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod linalg;
 mod model;
+mod shared;
 
 pub use model::{Init, MfModel, SgdConfig};
+pub use shared::SharedMfModel;

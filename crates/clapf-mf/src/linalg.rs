@@ -53,6 +53,7 @@ impl SquareMatrix {
 
     /// Adds the symmetric outer product `w · x xᵀ` — the per-observation
     /// update of the ALS normal equations.
+    #[inline]
     pub fn add_outer(&mut self, x: &[f64], w: f64) {
         assert_eq!(x.len(), self.n);
         for r in 0..self.n {
@@ -65,6 +66,7 @@ impl SquareMatrix {
     }
 
     /// Matrix-vector product `A x`.
+    #[inline]
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n);
         (0..self.n)

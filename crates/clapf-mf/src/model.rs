@@ -234,6 +234,18 @@ impl MfModel {
         *b += step * grad - decay * *b;
     }
 
+    /// Raw mutable pointers to the three parameter blocks (user factors,
+    /// item factors, item biases), for the [`crate::SharedMfModel`] Hogwild
+    /// view. The pointers target the heap buffers, which never move or
+    /// reallocate after construction (training only overwrites in place).
+    pub(crate) fn raw_params(&mut self) -> (*mut f32, *mut f32, *mut f32) {
+        (
+            self.user_factors.as_mut_ptr(),
+            self.item_factors.as_mut_ptr(),
+            self.item_bias.as_mut_ptr(),
+        )
+    }
+
     /// Squared Frobenius norm of all parameters (for regularization audits
     /// and divergence tests).
     pub fn params_sq_norm(&self) -> f64 {
@@ -252,10 +264,28 @@ impl MfModel {
 }
 
 /// Dense dot product; the hottest few lines in the workspace.
+///
+/// Accumulates four independent lanes so the compiler can keep the
+/// multiply-adds in flight instead of serializing on one accumulator
+/// (f32 addition is not associative, so a single-lane loop forms a
+/// dependency chain the optimizer must preserve).
 #[inline]
 pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    let mut lanes = [0.0f32; 4];
+    let a4 = a.chunks_exact(4);
+    let b4 = b.chunks_exact(4);
+    let mut tail = 0.0f32;
+    for (x, y) in a4.remainder().iter().zip(b4.remainder()) {
+        tail += x * y;
+    }
+    for (ca, cb) in a4.zip(b4) {
+        lanes[0] += ca[0] * cb[0];
+        lanes[1] += ca[1] * cb[1];
+        lanes[2] += ca[2] * cb[2];
+        lanes[3] += ca[3] * cb[3];
+    }
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail
 }
 
 #[cfg(test)]

@@ -206,7 +206,7 @@ impl Recommender for NeuMfModel {
         let mut logit = Vec::new();
         for i in 0..m {
             let ig = self.item_g.row(i);
-            for (slot, (uw, iw)) in z[..e].iter_mut().zip(ug.iter().zip(ig)).map(|(s, p)| (s, p)) {
+            for (slot, (uw, iw)) in z[..e].iter_mut().zip(ug.iter().zip(ig)) {
                 *slot = uw * iw;
             }
             x[e..].copy_from_slice(self.item_m.row(i));

@@ -165,6 +165,7 @@ impl DssSampler {
     /// user's observed items ranked by the factor-`q` value (the restriction
     /// of the global ranking to `I_u⁺`). MAP reads from the bottom, MRR from
     /// the top; a negative user sign flips the reading direction.
+    #[allow(clippy::too_many_arguments)]
     fn draw_positive(
         &self,
         data: &Interactions,

@@ -21,6 +21,55 @@ impl std::fmt::Display for ClapfMode {
     }
 }
 
+/// Settings for Hogwild-style multi-threaded training
+/// (see `Clapf::fit_parallel`).
+///
+/// The defaults keep training serial; parallel SGD is opt-in because its
+/// lock-free updates make runs non-reproducible across thread interleavings
+/// (except `threads = 1`, which is bit-identical to the serial path).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParallelConfig {
+    /// Worker threads; `0` resolves to all available cores (the same
+    /// convention as `EvalConfig::threads`), `1` reproduces the serial
+    /// trainer bit-for-bit.
+    pub threads: usize,
+    /// SGD steps a worker claims from the shared epoch counter per grab;
+    /// `0` selects the default of 1024. Smaller chunks balance better,
+    /// larger chunks touch the counter less.
+    pub chunk_size: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            threads: 1,
+            chunk_size: 0,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// Resolves the worker count (`0` → all available cores).
+    pub fn resolve_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+
+    /// Resolves the work-chunk size (`0` → 1024 steps).
+    pub fn resolve_chunk(&self) -> usize {
+        if self.chunk_size == 0 {
+            1024
+        } else {
+            self.chunk_size
+        }
+    }
+}
+
 /// Hyper-parameters of a CLAPF run (Sec 4.2/4.3 and the grid of Sec 6.3).
 #[derive(Copy, Clone, Debug, Serialize, Deserialize)]
 pub struct ClapfConfig {
@@ -41,6 +90,8 @@ pub struct ClapfConfig {
     /// Sampler refresh cadence in SGD steps; `0` refreshes once per epoch
     /// (`|P|` steps), the amortization the paper borrows from AoBPR/DNS.
     pub refresh_every: usize,
+    /// Multi-threaded training settings used by `Clapf::fit_parallel`.
+    pub parallel: ParallelConfig,
 }
 
 impl ClapfConfig {
@@ -54,6 +105,7 @@ impl ClapfConfig {
             iterations: 0,
             init: Init::default(),
             refresh_every: 0,
+            parallel: ParallelConfig::default(),
         }
     }
 
@@ -138,6 +190,25 @@ mod tests {
     #[should_panic(expected = "lambda")]
     fn bad_lambda_rejected() {
         ClapfConfig::map(1.5).validate();
+    }
+
+    #[test]
+    fn parallel_defaults_are_serial() {
+        let p = ParallelConfig::default();
+        assert_eq!(p.threads, 1);
+        assert_eq!(p.resolve_threads(), 1);
+        assert_eq!(p.resolve_chunk(), 1024);
+        assert_eq!(ClapfConfig::map(0.4).parallel, p);
+    }
+
+    #[test]
+    fn parallel_zero_threads_means_all_cores() {
+        let p = ParallelConfig {
+            threads: 0,
+            chunk_size: 256,
+        };
+        assert!(p.resolve_threads() >= 1);
+        assert_eq!(p.resolve_chunk(), 256);
     }
 
     #[test]

@@ -34,6 +34,6 @@ pub mod objective;
 mod recommender;
 mod trainer;
 
-pub use config::{ClapfConfig, ClapfMode};
+pub use config::{ClapfConfig, ClapfMode, ParallelConfig};
 pub use recommender::{FactorRecommender, Recommender};
 pub use trainer::{Clapf, ClapfModel, FitReport};

@@ -3,9 +3,12 @@
 use crate::objective::{sigmoid, CriterionWeights};
 use crate::{ClapfConfig, Recommender};
 use clapf_data::{Interactions, ItemId, UserId};
-use clapf_mf::MfModel;
+use clapf_mf::{MfModel, SharedMfModel};
 use clapf_sampling::{sample_observed_pair, TripleSampler};
-use rand::Rng;
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
 /// Outcome of a training run.
@@ -153,6 +156,131 @@ impl Clapf {
         cfg.validate();
         fit_inner(cfg, weights, data, sampler, rng, 0, |_, _| {})
     }
+
+    /// Trains with Hogwild-style lock-free parallel SGD (Recht et al.,
+    /// NIPS 2011): `config.parallel.threads` workers share one model through
+    /// [`SharedMfModel`] and apply updates without locks. Each worker owns a
+    /// clone of `sampler` and its own RNG; rank-aware samplers (DSS, DNS)
+    /// rebuild their ranking lists at epoch barriers, from a quiescent model.
+    ///
+    /// Determinism: `threads = 1` is **bit-identical** to
+    /// [`fit`](Clapf::fit) with `SmallRng::seed_from_u64(base_seed)` — both
+    /// paths run the same `sgd_step` kernel in the same order on the same
+    /// RNG stream. With more threads, step interleaving (and hence the exact
+    /// parameters) varies run to run; model *quality* is preserved, which is
+    /// the Hogwild trade: throughput for bitwise reproducibility.
+    ///
+    /// `threads = 0` resolves to all available cores, mirroring
+    /// `EvalConfig::threads`.
+    pub fn fit_parallel<S>(
+        &self,
+        data: &Interactions,
+        sampler: &S,
+        base_seed: u64,
+    ) -> (ClapfModel, FitReport)
+    where
+        S: TripleSampler + Clone + Send,
+    {
+        let cfg = &self.config;
+        cfg.validate();
+        let weights = CriterionWeights::from_mode(cfg.mode, cfg.lambda);
+        let (model, report) = fit_parallel_inner(cfg, weights, data, sampler, base_seed);
+        (
+            ClapfModel {
+                mf: model,
+                config: *cfg,
+            },
+            report,
+        )
+    }
+}
+
+/// Per-step constants of the SGD loop, precomputed once per fit.
+#[derive(Copy, Clone)]
+struct StepParams {
+    weights: CriterionWeights,
+    lr: f32,
+    decay_u: f32,
+    decay_v: f32,
+    decay_b: f32,
+}
+
+impl StepParams {
+    fn new(cfg: &ClapfConfig, weights: CriterionWeights) -> Self {
+        let lr = cfg.sgd.learning_rate;
+        StepParams {
+            weights,
+            lr,
+            decay_u: lr * cfg.sgd.reg_user,
+            decay_v: lr * cfg.sgd.reg_item,
+            decay_b: lr * cfg.sgd.reg_bias,
+        }
+    }
+}
+
+/// One SGD step of Sec 4.3: draw a record, score the triple, apply the
+/// Eq. 23 updates through the shared view. Both the serial and the parallel
+/// trainer run exactly this function, which is what makes `threads = 1`
+/// bit-identical to the serial path.
+#[inline]
+fn sgd_step<S: TripleSampler + ?Sized>(
+    shared: &SharedMfModel,
+    data: &Interactions,
+    sampler: &mut S,
+    rng: &mut dyn RngCore,
+    p: &StepParams,
+    u_old: &mut [f32],
+    grad_u: &mut [f32],
+) {
+    let model = shared.view();
+
+    // The paper's SGD record: a uniform observed pair (u, i) plus the
+    // sampler's completion (k, j).
+    let (u, i) = sample_observed_pair(data, rng);
+    let Some((k, j)) = sampler.complete(data, model, u, i, rng) else {
+        return;
+    };
+
+    let f_ui = model.score(u, i);
+    let f_uk = if k == i { f_ui } else { model.score(u, k) };
+    let f_uj = model.score(u, j);
+    let r = p.weights.criterion(f_ui, f_uk, f_uj);
+    // Eq. 23: every parameter gradient carries the scale 1 − σ(R).
+    let g = sigmoid(-r);
+
+    model.copy_user_into(u, u_old);
+
+    let CriterionWeights {
+        c_i: ci,
+        c_k: ck,
+        c_j: cj,
+    } = p.weights;
+
+    // ∂R/∂U_u = c_i V_i + c_k V_k + c_j V_j.
+    grad_u.fill(0.0);
+    for (t, c) in [(i, ci), (k, ck), (j, cj)] {
+        if c != 0.0 {
+            for (gslot, &w) in grad_u.iter_mut().zip(model.item(t)) {
+                *gslot += c * w;
+            }
+        }
+    }
+    shared.sgd_user(u, p.lr * g, grad_u, p.decay_u);
+
+    // Item updates use the user's pre-update factors; when the user
+    // has a single observed item k collapses onto i and the two
+    // coefficients merge.
+    if i == k {
+        shared.sgd_item(i, p.lr * g * (ci + ck), u_old, p.decay_v);
+        shared.sgd_bias(i, p.lr, g * (ci + ck), p.decay_b);
+    } else {
+        shared.sgd_item(i, p.lr * g * ci, u_old, p.decay_v);
+        shared.sgd_bias(i, p.lr, g * ci, p.decay_b);
+        shared.sgd_item(k, p.lr * g * ck, u_old, p.decay_v);
+        shared.sgd_bias(k, p.lr, g * ck, p.decay_b);
+    }
+    shared.sgd_item(j, p.lr * g * cj, u_old, p.decay_v);
+    shared.sgd_bias(j, p.lr, g * cj, p.decay_b);
 }
 
 /// The shared SGD loop (Sec 4.3) over an arbitrary linear criterion.
@@ -171,79 +299,127 @@ where
     F: FnMut(usize, &MfModel),
 {
     let start = Instant::now();
-    let mut model = MfModel::new(data.n_users(), data.n_items(), cfg.dim, cfg.init, rng);
+    let model = MfModel::new(data.n_users(), data.n_items(), cfg.dim, cfg.init, rng);
+    // The serial path runs through the same shared view (from one thread)
+    // as the parallel trainer, so both execute identical arithmetic.
+    let shared = SharedMfModel::new(model);
     let iterations = cfg.resolve_iterations(data.n_pairs());
     let refresh_every = cfg.resolve_refresh(data.n_pairs());
-    let CriterionWeights {
-        c_i: ci,
-        c_k: ck,
-        c_j: cj,
-    } = weights;
-    let lr = cfg.sgd.learning_rate;
-    let decay_u = lr * cfg.sgd.reg_user;
-    let decay_v = lr * cfg.sgd.reg_item;
-    let decay_b = lr * cfg.sgd.reg_bias;
+    let params = StepParams::new(cfg, weights);
 
     let mut u_old = vec![0.0f32; cfg.dim];
     let mut grad_u = vec![0.0f32; cfg.dim];
 
     for step in 0..iterations {
         if step % refresh_every == 0 {
-            sampler.refresh(&model);
+            sampler.refresh(shared.view());
         }
 
-        // The paper's SGD record: a uniform observed pair (u, i) plus the
-        // sampler's completion (k, j).
-        let (u, i) = sample_observed_pair(data, rng);
-        let Some((k, j)) = sampler.complete(data, &model, u, i, rng) else {
-            continue;
-        };
-
-        let f_ui = model.score(u, i);
-        let f_uk = if k == i { f_ui } else { model.score(u, k) };
-        let f_uj = model.score(u, j);
-        let r = weights.criterion(f_ui, f_uk, f_uj);
-        // Eq. 23: every parameter gradient carries the scale 1 − σ(R).
-        let g = sigmoid(-r);
-
-        model.copy_user_into(u, &mut u_old);
-
-        // ∂R/∂U_u = c_i V_i + c_k V_k + c_j V_j.
-        grad_u.fill(0.0);
-        for (t, c) in [(i, ci), (k, ck), (j, cj)] {
-            if c != 0.0 {
-                for (gslot, &w) in grad_u.iter_mut().zip(model.item(t)) {
-                    *gslot += c * w;
-                }
-            }
-        }
-        model.sgd_user(u, lr * g, &grad_u, decay_u);
-
-        // Item updates use the user's pre-update factors; when the user
-        // has a single observed item k collapses onto i and the two
-        // coefficients merge.
-        if i == k {
-            model.sgd_item(i, lr * g * (ci + ck), &u_old, decay_v);
-            model.sgd_bias(i, lr, g * (ci + ck), decay_b);
-        } else {
-            model.sgd_item(i, lr * g * ci, &u_old, decay_v);
-            model.sgd_bias(i, lr, g * ci, decay_b);
-            model.sgd_item(k, lr * g * ck, &u_old, decay_v);
-            model.sgd_bias(k, lr, g * ck, decay_b);
-        }
-        model.sgd_item(j, lr * g * cj, &u_old, decay_v);
-        model.sgd_bias(j, lr, g * cj, decay_b);
+        sgd_step(&shared, data, sampler, rng, &params, &mut u_old, &mut grad_u);
 
         if checkpoint_every > 0 && (step + 1) % checkpoint_every == 0 {
-            checkpoint(step + 1, &model);
+            checkpoint(step + 1, shared.view());
         }
     }
-    checkpoint(iterations, &model);
+    checkpoint(iterations, shared.view());
 
+    let model = shared.into_inner();
     let report = FitReport {
         iterations,
         elapsed: start.elapsed(),
         sampler: sampler.name(),
+        diverged: model.has_non_finite(),
+    };
+    (model, report)
+}
+
+/// The Hogwild parallel loop: workers share the model through
+/// [`SharedMfModel`], claim chunks of steps from a shared counter, and
+/// synchronize on a barrier once per refresh interval ("epoch") so sampler
+/// refreshes see a quiescent model.
+fn fit_parallel_inner<S>(
+    cfg: &ClapfConfig,
+    weights: CriterionWeights,
+    data: &Interactions,
+    sampler: &S,
+    base_seed: u64,
+) -> (MfModel, FitReport)
+where
+    S: TripleSampler + Clone + Send,
+{
+    let start = Instant::now();
+    let threads = cfg.parallel.resolve_threads();
+    let chunk = cfg.parallel.resolve_chunk();
+
+    let mut init_rng = SmallRng::seed_from_u64(base_seed);
+    let model = MfModel::new(data.n_users(), data.n_items(), cfg.dim, cfg.init, &mut init_rng);
+    let shared = SharedMfModel::new(model);
+    let iterations = cfg.resolve_iterations(data.n_pairs());
+    let refresh_every = cfg.resolve_refresh(data.n_pairs());
+    let n_epochs = iterations.div_ceil(refresh_every);
+    let params = StepParams::new(cfg, weights);
+    let sampler_name = sampler.name();
+
+    // Worker 0 continues the init RNG stream — with one thread that makes
+    // this loop consume the exact RNG sequence of the serial path. Extra
+    // workers get independent streams derived from the base seed.
+    let mut rngs = Vec::with_capacity(threads);
+    rngs.push(init_rng);
+    for w in 1..threads {
+        rngs.push(SmallRng::seed_from_u64(base_seed.wrapping_add(w as u64)));
+    }
+
+    let counter = AtomicUsize::new(0);
+    let barrier = Barrier::new(threads);
+
+    std::thread::scope(|scope| {
+        for mut wrng in rngs {
+            let mut wsampler = sampler.clone();
+            let shared = &shared;
+            let counter = &counter;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let mut u_old = vec![0.0f32; cfg.dim];
+                let mut grad_u = vec![0.0f32; cfg.dim];
+                for epoch in 0..n_epochs {
+                    // Between these two waits no worker is stepping, so the
+                    // leader's counter reset and every sampler refresh read
+                    // a quiescent model; the second wait publishes both.
+                    let at_start = barrier.wait();
+                    if at_start.is_leader() {
+                        counter.store(epoch * refresh_every, Ordering::Relaxed);
+                    }
+                    wsampler.refresh(shared.view());
+                    barrier.wait();
+
+                    let epoch_end = ((epoch + 1) * refresh_every).min(iterations);
+                    loop {
+                        let s = counter.fetch_add(chunk, Ordering::Relaxed);
+                        if s >= epoch_end {
+                            break;
+                        }
+                        for _ in s..(s + chunk).min(epoch_end) {
+                            sgd_step(
+                                shared,
+                                data,
+                                &mut wsampler,
+                                &mut wrng,
+                                &params,
+                                &mut u_old,
+                                &mut grad_u,
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let model = shared.into_inner();
+    let report = FitReport {
+        iterations,
+        elapsed: start.elapsed(),
+        sampler: sampler_name,
         diverged: model.has_non_finite(),
     };
     (model, report)
@@ -337,7 +513,10 @@ mod tests {
         let split =
             clapf_data::split::split(&data, clapf_data::split::SplitStrategy::PerUser, 0.5, &mut rng)
                 .unwrap();
-        let trainer = Clapf::new(quick_config(ClapfMode::Map, 0.4));
+        let trainer = Clapf::new(ClapfConfig {
+            iterations: 120_000,
+            ..quick_config(ClapfMode::Map, 0.4)
+        });
         let (model, report) = trainer.fit(&split.train, &mut UniformSampler, &mut rng);
         assert!(!report.diverged);
 
@@ -399,6 +578,138 @@ mod tests {
     #[should_panic(expected = "lambda")]
     fn invalid_config_panics_at_construction() {
         Clapf::new(ClapfConfig::map(-0.1));
+    }
+
+    #[test]
+    fn threads_1_is_bitwise_serial() {
+        // fit_parallel with one worker must reproduce fit exactly: same
+        // init, same RNG stream, same kernel, same step order.
+        let data = world(12);
+        let cfg = ClapfConfig {
+            iterations: 6_000,
+            ..quick_config(ClapfMode::Map, 0.4)
+        };
+        let trainer = Clapf::new(cfg);
+        let serial = {
+            let mut rng = SmallRng::seed_from_u64(42);
+            trainer.fit(&data, &mut UniformSampler, &mut rng).0
+        };
+        let parallel = trainer.fit_parallel(&data, &UniformSampler, 42).0;
+        for u in data.users() {
+            for i in data.items() {
+                assert_eq!(
+                    serial.mf.score(u, i).to_bits(),
+                    parallel.mf.score(u, i).to_bits(),
+                    "score({u:?}, {i:?}) diverged between serial and 1-thread parallel"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn threads_1_is_bitwise_serial_with_dss() {
+        // The rank-aware sampler has internal state (ranking lists, a
+        // geometric position sampler); the clone handed to the single
+        // worker must evolve exactly like the serial `&mut` sampler.
+        let data = world(13);
+        let cfg = ClapfConfig {
+            iterations: 3_000,
+            ..quick_config(ClapfMode::Map, 0.4)
+        };
+        let trainer = Clapf::new(cfg);
+        let serial = {
+            let mut rng = SmallRng::seed_from_u64(8);
+            let mut sampler = DssSampler::dss(DssMode::Map);
+            trainer.fit(&data, &mut sampler, &mut rng).0
+        };
+        let parallel = trainer
+            .fit_parallel(&data, &DssSampler::dss(DssMode::Map), 8)
+            .0;
+        for u in data.users() {
+            for i in data.items() {
+                assert_eq!(
+                    serial.mf.score(u, i).to_bits(),
+                    parallel.mf.score(u, i).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_quality() {
+        // Hogwild races perturb individual parameters but must not hurt
+        // ranking quality: 4-thread AUC/MAP within a small tolerance of
+        // the serial run on the planted-structure world.
+        let data = world(4);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let split = clapf_data::split::split(
+            &data,
+            clapf_data::split::SplitStrategy::PerUser,
+            0.5,
+            &mut rng,
+        )
+        .unwrap();
+        let cfg = ClapfConfig {
+            iterations: 120_000,
+            ..quick_config(ClapfMode::Map, 0.4)
+        };
+        let eval = |model: &ClapfModel| {
+            let scorer = |u: UserId, out: &mut Vec<f32>| model.scores_into(u, out);
+            evaluate_serial(&scorer, &split.train, &split.test, &EvalConfig::at_5())
+        };
+
+        let serial = {
+            let mut rng = SmallRng::seed_from_u64(42);
+            Clapf::new(cfg).fit(&split.train, &mut UniformSampler, &mut rng).0
+        };
+        let trainer = Clapf::new(ClapfConfig {
+            parallel: crate::ParallelConfig {
+                threads: 4,
+                chunk_size: 64,
+            },
+            ..cfg
+        });
+        let (par, report) = trainer.fit_parallel(&split.train, &UniformSampler, 42);
+        assert!(!report.diverged);
+
+        let s = eval(&serial);
+        let p = eval(&par);
+        assert!(
+            (s.auc - p.auc).abs() < 0.02,
+            "serial AUC {} vs parallel AUC {}",
+            s.auc,
+            p.auc
+        );
+        assert!(
+            (s.map - p.map).abs() < 0.05,
+            "serial MAP {} vs parallel MAP {}",
+            s.map,
+            p.map
+        );
+    }
+
+    #[test]
+    fn dss_refresh_under_threads_stays_finite() {
+        // Stress the epoch barrier: many workers, a rank-aware sampler
+        // that rebuilds per-epoch ranking lists, tiny chunks so every
+        // epoch sees heavy counter contention. Must not deadlock, panic,
+        // or blow up the parameters.
+        let data = world(14);
+        let trainer = Clapf::new(ClapfConfig {
+            iterations: 10_000,
+            refresh_every: 500,
+            parallel: crate::ParallelConfig {
+                threads: 8,
+                chunk_size: 16,
+            },
+            ..quick_config(ClapfMode::Map, 0.4)
+        });
+        let (model, report) =
+            trainer.fit_parallel(&data, &DssSampler::dss(DssMode::Map), 3);
+        assert_eq!(report.iterations, 10_000);
+        assert_eq!(report.sampler, "DSS");
+        assert!(!report.diverged);
+        assert!(!model.mf.has_non_finite());
     }
 
     #[test]

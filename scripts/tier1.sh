@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the gate every PR must keep green.
+#
+#   scripts/tier1.sh            # build + tests + clippy
+#
+# Mirrors ROADMAP.md's tier-1 definition (release build, full test suite)
+# and adds a warnings-as-errors clippy pass over the workspace.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "tier-1: OK"

@@ -213,7 +213,7 @@ fn dss_converges_faster_than_uniform_on_the_objective() {
 #[test]
 fn modes_optimize_their_own_metric() {
     let (train, test) = world(25);
-    let iters = 100 * train.n_pairs();
+    let iters = 200 * train.n_pairs();
     let map_model = fit_clapf(&train, ClapfMode::Map, 0.4, false, 5, iters);
     let mrr_model = fit_clapf(&train, ClapfMode::Mrr, 0.2, false, 5, iters);
     let map_report = eval(&map_model, &train, &test);

@@ -1,0 +1,138 @@
+//! Offline vendored micro-benchmark harness with criterion's API shape.
+//!
+//! Provides `Criterion`, `benchmark_group`/`bench_function`/`sample_size`/
+//! `finish`, `Bencher::iter`, and the `criterion_group!`/`criterion_main!`
+//! macros. Each benchmark is timed with `std::time::Instant` over a few
+//! calibrated batches and the median per-iteration time is printed —
+//! no statistics, plots, or baselines. `cargo bench` output stays
+//! human-readable; `cargo test` merely compiles bench targets.
+
+use std::time::{Duration, Instant};
+
+/// Times a single benchmark body.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled in by `iter`.
+    last_ns: f64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the median per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: find an iteration count that takes
+        // roughly 20ms per batch, capped to keep total time bounded.
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed > Duration::from_millis(20) || n >= 1 << 20 {
+                break;
+            }
+            n *= 2;
+        }
+        let mut samples = Vec::with_capacity(5);
+        for _ in 0..5 {
+            let start = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(f());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / n as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.last_ns = samples[samples.len() / 2];
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for API compatibility; the vendored harness uses a fixed
+    /// sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark and prints its median per-iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { last_ns: f64::NAN };
+        f(&mut b);
+        println!("{}/{:<24} {}", self.name, id, format_ns(b.last_ns));
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns.is_nan() {
+        "no measurement".to_string()
+    } else if ns < 1_000.0 {
+        format!("{ns:10.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:10.2} µs/iter", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:10.2} ms/iter", ns / 1_000_000.0)
+    } else {
+        format!("{:10.3} s/iter", ns / 1_000_000_000.0)
+    }
+}
+
+/// Entry point mirroring criterion's `Criterion` configuration object.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _parent: self,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { last_ns: f64::NAN };
+        f(&mut b);
+        println!("{:<24} {}", id, format_ns(b.last_ns));
+        self
+    }
+}
+
+/// Declares a benchmark group function, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = super::Bencher { last_ns: f64::NAN };
+        b.iter(|| std::hint::black_box(3u64.wrapping_mul(7)));
+        assert!(b.last_ns.is_finite() && b.last_ns >= 0.0);
+    }
+}

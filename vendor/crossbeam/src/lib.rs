@@ -1,0 +1,98 @@
+//! Offline vendored subset of crossbeam: scoped threads only.
+//!
+//! The workspace uses `crossbeam::thread::scope` for fan-out/join with
+//! borrowed data. Since Rust 1.63 the standard library provides
+//! `std::thread::scope`, so this shim simply adapts crossbeam's API
+//! surface (closure receives a `&Scope`, `scope` returns a `Result`,
+//! handle `join()` returns `thread::Result`) onto std.
+
+/// Scoped-thread API mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+    use std::marker::PhantomData;
+
+    /// A scope handle passed to the `scope` closure; spawn borrows from it.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+        _marker: PhantomData<&'scope ()>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope again,
+        /// matching crossbeam's signature (callers typically ignore it
+        /// with `|_|`).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || {
+                    let scope = Scope { inner: inner_scope };
+                    f(&scope)
+                }),
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; all threads are joined before `scope` returns.
+    ///
+    /// Unlike crossbeam, a panicking child propagates through
+    /// `std::thread::scope` when its handle is unjoined; joined handles
+    /// report panics through `join()` exactly as crossbeam does. Either
+    /// way the `Result` layer matches call sites that `.expect(..)` it.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                let scope = Scope { inner: s };
+                f(&scope)
+            })
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn spawn_and_join_collect_results() {
+            let data = [1u64, 2, 3, 4];
+            let total: u64 = super::scope(|s| {
+                let handles: Vec<_> = data
+                    .iter()
+                    .map(|&x| s.spawn(move |_| x * 10))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            })
+            .unwrap();
+            assert_eq!(total, 100);
+        }
+
+        #[test]
+        fn joined_panic_is_reported_via_join() {
+            let caught = super::scope(|s| {
+                let h = s.spawn(|_| panic!("boom"));
+                h.join().is_err()
+            })
+            .unwrap();
+            assert!(caught);
+        }
+    }
+}

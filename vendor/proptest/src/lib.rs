@@ -1,0 +1,537 @@
+//! Offline vendored subset of proptest: random-sampling property tests.
+//!
+//! Differences from crates.io proptest, acceptable for this workspace:
+//! - **No shrinking.** A failing case reports its inputs (via `Debug`
+//!   where the assertion macros format them) and the case index, but is
+//!   not minimized.
+//! - `.proptest-regressions` files are ignored.
+//! - Case count comes from `PROPTEST_CASES` (default 64).
+//!
+//! Supported surface (exactly what the workspace tests use): numeric
+//! `Range` strategies, tuples, `collection::{vec, hash_set}`,
+//! `prop_flat_map`, `prop_filter_map`, the `proptest!` macro, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros with
+//! [`TestCaseError`].
+
+use rand::rngs::SmallRng;
+
+/// The RNG handed to strategies. Deterministic per (test, case index).
+pub type TestRng = SmallRng;
+
+/// Why a test case did not pass: a rejection (filtered input, retried
+/// without counting) or a genuine failure (panics the test).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    reject: bool,
+    msg: String,
+}
+
+impl TestCaseError {
+    /// An input that should be discarded, not counted as pass or fail.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError {
+            reject: true,
+            msg: msg.into(),
+        }
+    }
+
+    /// A genuine property violation.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError {
+            reject: false,
+            msg: msg.into(),
+        }
+    }
+
+    /// True when this is a rejection rather than a failure.
+    pub fn is_reject(&self) -> bool {
+        self.reject
+    }
+
+    /// Human-readable message.
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.reject {
+            write!(f, "rejected: {}", self.msg)
+        } else {
+            write!(f, "failed: {}", self.msg)
+        }
+    }
+}
+
+/// A generator of random values. Unlike real proptest there is no value
+/// tree: `sample` draws a concrete value directly.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps each sampled value through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Samples a value, then samples from the strategy `f` builds from it.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keeps only values for which `f` returns `Some`, retrying a bounded
+    /// number of times before panicking with `reason`.
+    fn prop_filter_map<O, F: Fn(Self::Value) -> Option<O>>(
+        self,
+        reason: &'static str,
+        f: F,
+    ) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterMap {
+            inner: self,
+            reason,
+            f,
+        }
+    }
+
+    /// Keeps only values for which `f` returns true (bounded retries).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            reason,
+            f,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn sample(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+const FILTER_RETRIES: usize = 2000;
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    reason: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        for _ in 0..FILTER_RETRIES {
+            if let Some(v) = (self.f)(self.inner.sample(rng)) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter_map({:?}) rejected {FILTER_RETRIES} samples in a row",
+            self.reason
+        );
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..FILTER_RETRIES {
+            let v = self.inner.sample(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter({:?}) rejected {FILTER_RETRIES} samples in a row",
+            self.reason
+        );
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i32, i64, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies (`vec`, `hash_set`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// Target size for a generated collection: an exact count or a range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn draw(&self, rng: &mut TestRng) -> usize {
+            if self.min + 1 == self.max {
+                self.min
+            } else {
+                rand::Rng::gen_range(rng, self.min..self.max)
+            }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with a size drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.draw(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Creates a strategy for vectors of `element` with the given size.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `HashSet<T>`.
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = self.size.draw(rng);
+            let mut out = HashSet::new();
+            // The element value space may hold fewer than `target` distinct
+            // values (e.g. `hash_set(0..3u32, 0..50)`), so bound the insert
+            // attempts and accept whatever accumulated.
+            for _ in 0..target.saturating_mul(16).max(32) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.sample(rng));
+            }
+            out
+        }
+    }
+
+    /// Creates a strategy for hash sets of `element` with the given target
+    /// size (best effort when the value space is small).
+    pub fn hash_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S> {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Builds the deterministic per-case RNG (used by the `proptest!` macro
+/// so caller crates need no direct `rand` dependency).
+pub fn rng_for(seed: u64) -> TestRng {
+    rand::SeedableRng::seed_from_u64(seed)
+}
+
+/// Number of cases per property, from `PROPTEST_CASES` (default 64).
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Maximum rejected samples per property before giving up.
+pub fn max_rejects() -> usize {
+    cases() * 32
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::{
+        cases, max_rejects, prop_assert, prop_assert_eq, prop_assume, proptest, Just, Strategy,
+        TestCaseError, TestRng,
+    };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Each property runs [`cases`] times with a deterministic per-case RNG.
+/// The body executes in a closure returning `Result<(), TestCaseError>`,
+/// so `prop_assert!` family macros and `?` work inside.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let n_cases = $crate::cases();
+                let mut rejects = 0usize;
+                let mut case = 0usize;
+                let mut attempt = 0u64;
+                while case < n_cases {
+                    // Deterministic: seed depends only on the test name and
+                    // the attempt counter.
+                    let mut seed = 0xcafe_f00d_d15e_a5e5u64 ^ attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                    for b in stringify!($name).bytes() {
+                        seed = seed.wrapping_mul(0x100_0000_01b3) ^ b as u64;
+                    }
+                    let mut rng: $crate::TestRng = $crate::rng_for(seed);
+                    attempt += 1;
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => case += 1,
+                        Err(e) if e.is_reject() => {
+                            rejects += 1;
+                            if rejects > $crate::max_rejects() {
+                                panic!(
+                                    "{}: too many rejected cases ({rejects}); last: {}",
+                                    stringify!($name),
+                                    e.message()
+                                );
+                            }
+                        }
+                        Err(e) => panic!(
+                            "{} failed at case {case} (attempt {attempt}): {}",
+                            stringify!($name),
+                            e.message()
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let left = $a;
+        let right = $b;
+        if left != right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($a),
+                stringify!($b),
+                left,
+                right
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let left = $a;
+        let right = $b;
+        if left != right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?}): {}",
+                stringify!($a),
+                stringify!($b),
+                left,
+                right,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (it is retried with fresh inputs) unless
+/// `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..17, y in -2.0f32..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn flat_map_and_collections_compose(
+            v in (1usize..8).prop_flat_map(|n| crate::collection::vec(0u32..100, n)),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn hash_set_tolerates_small_value_space(
+            s in crate::collection::hash_set(0u32..3, 0usize..50),
+        ) {
+            prop_assert!(s.len() <= 3);
+        }
+
+        #[test]
+        fn assume_rejects_and_retries(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics() {
+        proptest! {
+            #[allow(unused)]
+            fn inner(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        inner();
+    }
+}

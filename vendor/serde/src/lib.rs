@@ -1,0 +1,474 @@
+//! Offline vendored subset of `serde`.
+//!
+//! Instead of the real crate's visitor architecture, this subset uses a
+//! simplified **owned-value data model**: [`Serialize`] converts a value to
+//! a JSON-like [`Value`] tree and [`Deserialize`] reconstructs it from one.
+//! The companion vendored `serde_json` (de)serializes the same tree to
+//! text. This is exactly enough for the JSON persistence and report
+//! emission done in this workspace; it is not a general serde replacement.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The owned data-model tree both traits speak.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer (also carries unsigned values `<= i64::MAX`).
+    Int(i64),
+    /// An unsigned integer above `i64::MAX`.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (field order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value as a finite `f64`, accepting any numeric variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(v) => Some(v as f64),
+            Value::UInt(v) => Some(v as f64),
+            Value::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Int(v) if v >= 0 => Some(v as u64),
+            Value::UInt(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64` if it is an in-range integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(v) => Some(v),
+            Value::UInt(v) => i64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+}
+
+/// Error produced by [`Deserialize`] implementations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the data-model tree.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruction from the data-model tree.
+pub trait Deserialize: Sized {
+    /// Builds `Self` from a [`Value`], or explains why it cannot.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by the generated derive code.
+// ---------------------------------------------------------------------------
+
+/// Extracts the field map of a struct value, with a type name for errors.
+pub fn expect_map<'v>(v: &'v Value, ty: &str) -> Result<&'v [(String, Value)], Error> {
+    match v {
+        Value::Map(fields) => Ok(fields),
+        other => Err(Error::msg(format!("expected a map for {ty}, got {other:?}"))),
+    }
+}
+
+/// Looks up and deserializes one struct field; absent fields deserialize
+/// from `Null` so `Option` fields default to `None` like real serde.
+pub fn field<T: Deserialize>(fields: &[(String, Value)], name: &str) -> Result<T, Error> {
+    match fields.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => {
+            T::from_value(v).map_err(|e| Error::msg(format!("field `{name}`: {e}")))
+        }
+        None => T::from_value(&Value::Null)
+            .map_err(|_| Error::msg(format!("missing field `{name}`"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Implementations for std types used across the workspace.
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_de_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v
+                    .as_i64()
+                    .ok_or_else(|| Error::msg(format!("expected integer, got {v:?}")))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::msg(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_de_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let wide = *self as u64;
+                match i64::try_from(wide) {
+                    Ok(v) => Value::Int(v),
+                    Err(_) => Value::UInt(wide),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v
+                    .as_u64()
+                    .ok_or_else(|| Error::msg(format!("expected unsigned integer, got {v:?}")))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::msg(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_de_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| Error::msg(format!("expected number, got {v:?}")))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error::msg(format!("expected number, got {v:?}")))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format!("expected sequence, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(Error::msg(format!("expected 2-tuple, got {other:?}"))),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) if items.len() == 3 => Ok((
+                A::from_value(&items[0])?,
+                B::from_value(&items[1])?,
+                C::from_value(&items[2])?,
+            )),
+            other => Err(Error::msg(format!("expected 3-tuple, got {other:?}"))),
+        }
+    }
+}
+
+/// Map keys serializable as JSON object keys (strings).
+pub trait MapKey: Ord {
+    /// Renders the key.
+    fn to_key(&self) -> String;
+    /// Parses the key back.
+    fn from_key(s: &str) -> Result<Self, Error>
+    where
+        Self: Sized;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Result<Self, Error> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! int_map_key {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(s: &str) -> Result<Self, Error> {
+                s.parse()
+                    .map_err(|_| Error::msg(format!("invalid {} key {s:?}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+int_map_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::msg(format!("expected map, got {other:?}"))),
+        }
+    }
+}
+
+impl<K: MapKey + std::hash::Hash, V: Serialize> Serialize for std::collections::HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Sort by rendered key so output is deterministic despite
+        // HashMap's randomized iteration order.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<K: MapKey + std::hash::Hash, V: Deserialize> Deserialize for std::collections::HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::msg(format!("expected map, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&7u32.to_value()).unwrap(), 7);
+        assert_eq!(i64::from_value(&(-3i64).to_value()).unwrap(), -3);
+        assert_eq!(f32::from_value(&1.5f32.to_value()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Vec::<u8>::from_value(&vec![1u8, 2].to_value()).unwrap(),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+        assert!(u32::from_value(&Value::Int(-1)).is_err());
+    }
+
+    #[test]
+    fn f32_round_trip_is_exact() {
+        for x in [0.05f32, -3.75, f32::MIN_POSITIVE, 1e30] {
+            assert_eq!(f32::from_value(&x.to_value()).unwrap(), x);
+        }
+    }
+
+    #[test]
+    fn btreemap_uses_string_keys() {
+        let mut m = BTreeMap::new();
+        m.insert(5usize, 1.25f64);
+        let v = m.to_value();
+        assert_eq!(
+            v,
+            Value::Map(vec![("5".to_string(), Value::Float(1.25))])
+        );
+        let back: BTreeMap<usize, f64> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn missing_field_reports_name() {
+        let fields: Vec<(String, Value)> = vec![];
+        let err = field::<u32>(&fields, "dim").unwrap_err();
+        assert!(err.to_string().contains("dim"));
+    }
+}

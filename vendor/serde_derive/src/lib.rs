@@ -1,0 +1,382 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]`.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote`): supports plain structs
+//! with named fields, tuple structs (serialized transparently, as with
+//! `#[serde(transparent)]`), and enums with unit or struct variants —
+//! exactly the shapes this workspace derives on. Field attributes
+//! understood: `#[serde(skip)]` (omit on serialize, `Default` on
+//! deserialize) and `#[serde(transparent)]` (implied for newtypes).
+//! Generics are not supported and abort with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, field list for struct variants.
+    fields: Option<Vec<Field>>,
+}
+
+enum Kind {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+/// Scans one attribute body (the tokens inside `#[...]`) for serde markers.
+fn serde_markers(tokens: &[TokenTree]) -> Vec<String> {
+    let mut out = Vec::new();
+    if let Some(TokenTree::Ident(id)) = tokens.first() {
+        if id.to_string() == "serde" {
+            if let Some(TokenTree::Group(g)) = tokens.get(1) {
+                for t in g.stream() {
+                    if let TokenTree::Ident(m) = t {
+                        out.push(m.to_string());
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Consumes leading attributes from `tokens[*pos..]`, returning all serde
+/// markers found (e.g. `["skip"]`).
+fn eat_attrs(tokens: &[TokenTree], pos: &mut usize) -> Vec<String> {
+    let mut markers = Vec::new();
+    while *pos + 1 < tokens.len() {
+        let is_hash = matches!(&tokens[*pos], TokenTree::Punct(p) if p.as_char() == '#');
+        if !is_hash {
+            break;
+        }
+        if let TokenTree::Group(g) = &tokens[*pos + 1] {
+            if g.delimiter() == Delimiter::Bracket {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                markers.extend(serde_markers(&body));
+                *pos += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    markers
+}
+
+/// Skips an optional `pub` / `pub(crate)` prefix.
+fn eat_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(&tokens.get(*pos), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *pos += 1;
+        if matches!(
+            tokens.get(*pos),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *pos += 1;
+        }
+    }
+}
+
+/// Parses the fields of a brace-delimited named-field body.
+fn parse_named_fields(body: &[TokenTree]) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < body.len() {
+        let markers = eat_attrs(body, &mut pos);
+        eat_visibility(body, &mut pos);
+        let name = match body.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("serde_derive: expected field name, found {other}"),
+        };
+        pos += 1;
+        match body.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        // Skip the type: consume until a top-level `,`, tracking `<...>`.
+        let mut angle = 0i32;
+        while let Some(t) = body.get(pos) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        fields.push(Field {
+            name,
+            skip: markers.iter().any(|m| m == "skip"),
+        });
+    }
+    fields
+}
+
+/// Counts the fields of a paren-delimited tuple body.
+fn count_tuple_fields(body: &[TokenTree]) -> usize {
+    if body.is_empty() {
+        return 0;
+    }
+    let mut n = 1;
+    let mut angle = 0i32;
+    for t in body {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => n += 1,
+            _ => {}
+        }
+    }
+    n
+}
+
+fn parse_variants(body: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < body.len() {
+        eat_attrs(body, &mut pos);
+        let name = match body.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("serde_derive: expected variant name, found {other}"),
+        };
+        pos += 1;
+        let fields = match body.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                pos += 1;
+                Some(parse_named_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive: tuple enum variant `{name}` is not supported")
+            }
+            _ => None,
+        };
+        if matches!(body.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    eat_attrs(&tokens, &mut pos);
+    eat_visibility(&tokens, &mut pos);
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    pos += 1;
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic type `{name}` is not supported by the vendored derive");
+    }
+    let kind = match (keyword.as_str(), tokens.get(pos)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            Kind::Named(parse_named_fields(&body))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            Kind::Tuple(count_tuple_fields(&body))
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Kind::Tuple(0),
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            Kind::Enum(parse_variants(&body))
+        }
+        (kw, other) => panic!("serde_derive: unsupported shape: {kw} {name} {other:?}"),
+    };
+    Input { name, kind }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Named(fields) => {
+            let mut s = String::from(
+                "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "fields.push((::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Value::Map(fields)");
+            s
+        }
+        Kind::Tuple(0) => format!("::serde::Value::Str(::std::string::String::from(\"{name}\"))"),
+        Kind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.fields {
+                    None => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),\n",
+                        v = v.name
+                    )),
+                    Some(fields) => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut pushes = String::new();
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            pushes.push_str(&format!(
+                                "inner.push((::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value({0})));\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{\n\
+                             let mut inner: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                             {pushes}\
+                             ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Value::Map(inner))])\n\
+                             }}\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!
+        (
+        "#[automatically_derived]\n#[allow(clippy::all)]\nimpl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Named(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::core::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{0}: ::serde::field(fields, \"{0}\")?,\n",
+                        f.name
+                    ));
+                }
+            }
+            format!(
+                "let fields = ::serde::expect_map(v, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Kind::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+        ),
+        Kind::Tuple(n) => panic!(
+            "serde_derive: cannot derive Deserialize for {n}-field tuple struct {name}"
+        ),
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            for v in variants.iter().filter(|v| v.fields.is_none()) {
+                unit_arms.push_str(&format!(
+                    "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                    v = v.name
+                ));
+            }
+            let mut struct_arms = String::new();
+            for v in variants.iter() {
+                if let Some(fields) = &v.fields {
+                    let mut inits = String::new();
+                    for f in fields {
+                        if f.skip {
+                            inits.push_str(&format!(
+                                "{}: ::core::default::Default::default(),\n",
+                                f.name
+                            ));
+                        } else {
+                            inits.push_str(&format!(
+                                "{0}: ::serde::field(fields, \"{0}\")?,\n",
+                                f.name
+                            ));
+                        }
+                    }
+                    struct_arms.push_str(&format!(
+                        "\"{v}\" => {{\n\
+                         let fields = ::serde::expect_map(inner, \"{name}::{v}\")?;\n\
+                         ::std::result::Result::Ok({name}::{v} {{\n{inits}}})\n\
+                         }}\n",
+                        v = v.name
+                    ));
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::msg(\
+                     ::std::format!(\"unknown variant {{other:?}} for {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{\n\
+                 {struct_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::msg(\
+                     ::std::format!(\"unknown variant {{other:?}} for {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => ::std::result::Result::Err(::serde::Error::msg(\
+                     ::std::format!(\"expected variant of {name}, got {{other:?}}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n#[allow(clippy::all)]\nimpl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
