@@ -1,0 +1,75 @@
+//! Ranking-engine benchmarks: the sort-free evaluator against the retained
+//! full-sort path on an MF-backed scorer, and the amortized DSS refresh.
+
+use bench::MfScorer;
+use clapf_data::{InteractionsBuilder, Interactions, ItemId, UserId};
+use clapf_metrics::{evaluate_serial, evaluate_serial_naive, EvalConfig};
+use clapf_mf::{Init, MfModel};
+use clapf_sampling::{DssMode, DssSampler, TripleSampler};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// Deterministic train/test interactions: 8 train + 4 test items per user,
+/// strided so every user touches a different slice of the catalogue.
+fn interactions(n_users: u32, n_items: u32) -> (Interactions, Interactions) {
+    let mut tr = InteractionsBuilder::new(n_users, n_items);
+    let mut te = InteractionsBuilder::new(n_users, n_items);
+    for u in 0..n_users {
+        for t in 0..8u32 {
+            tr.push(UserId(u), ItemId((u * 13 + t * 97) % n_items)).ok();
+        }
+        for t in 0..4u32 {
+            te.push(UserId(u), ItemId((u * 29 + t * 53 + 7) % n_items)).ok();
+        }
+    }
+    (tr.build().unwrap(), te.build().unwrap())
+}
+
+fn bench_eval_full_ranking(c: &mut Criterion) {
+    let (n_users, n_items, dim) = (400u32, 4_000u32, 32usize);
+    let mut rng = SmallRng::seed_from_u64(3);
+    let model = MfModel::new(n_users, n_items, dim, Init::default(), &mut rng);
+    let (train, test) = interactions(n_users, n_items);
+    let cfg = EvalConfig::default();
+
+    let mut group = c.benchmark_group("eval_full_ranking");
+    group.sample_size(10);
+    group.bench_function("sortfree", |b| {
+        b.iter(|| black_box(evaluate_serial(&MfScorer(&model), &train, &test, &cfg)))
+    });
+    group.bench_function("naive", |b| {
+        b.iter(|| black_box(evaluate_serial_naive(&MfScorer(&model), &train, &test, &cfg)))
+    });
+    group.finish();
+}
+
+fn bench_dss_refresh(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(4);
+    let model = MfModel::new(100, 20_000, 32, Init::default(), &mut rng);
+
+    let mut group = c.benchmark_group("dss_refresh");
+    group.sample_size(10);
+    group.bench_function("cold", |b| {
+        // Fresh sampler each iteration: rebuilds every factor list.
+        b.iter(|| {
+            let mut s = DssSampler::dss(DssMode::Map);
+            s.refresh(&model);
+            black_box(&s);
+        })
+    });
+    group.bench_function("warm", |b| {
+        // Steady state: re-sorts the already-sorted lists in place.
+        let mut s = DssSampler::dss(DssMode::Map);
+        s.refresh(&model);
+        b.iter(|| {
+            s.refresh(&model);
+            black_box(&s);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval_full_ranking, bench_dss_refresh);
+criterion_main!(benches);

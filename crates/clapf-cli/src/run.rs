@@ -7,11 +7,26 @@ use clapf_data::loader::{load_ratings_path, PAPER_RATING_THRESHOLD};
 use clapf_data::split::{split, SplitStrategy};
 use clapf_data::synthetic::{self, DatasetSpec, WorldConfig};
 use clapf_data::{export, Interactions, UserId};
-use clapf_metrics::{evaluate, EvalConfig};
+use clapf_metrics::{evaluate, BulkScorer, EvalConfig};
 use clapf_sampling::{DssMode, DssSampler, TripleSampler, UniformSampler};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::io::Write;
+use std::time::Instant;
+
+/// Routes the evaluator's blocked scoring to the model's batch kernel (a
+/// closure scorer would fall back to one user at a time).
+struct MfScorer<'a>(&'a clapf_mf::MfModel);
+
+impl BulkScorer for MfScorer<'_> {
+    fn scores_into(&self, u: UserId, out: &mut Vec<f32>) {
+        self.0.scores_for_user(u, out);
+    }
+
+    fn scores_into_batch(&self, users: &[UserId], out: &mut [Vec<f32>]) {
+        self.0.scores_for_users(users, out);
+    }
+}
 
 /// Runs a parsed command, writing human output to `out`. Returns the
 /// process exit code.
@@ -159,12 +174,14 @@ fn fit<W: Write>(a: FitArgs, out: &mut W) -> Result<(), String> {
         (loaded.interactions.clone(), None)
     };
 
-    let (model, description) = fit_model(&a, &train, &mut rng);
+    let (model, mut description) = fit_model(&a, &train, &mut rng);
     writeln!(out, "trained {description}").map_err(|e| e.to_string())?;
 
     if let Some(test) = test {
-        let scorer = |u: UserId, buf: &mut Vec<f32>| model.scores_for_user(u, buf);
-        let report = evaluate(&scorer, &train, &test, &EvalConfig::at_5());
+        let eval_start = Instant::now();
+        let report = evaluate(&MfScorer(&model), &train, &test, &EvalConfig::at_5());
+        let eval_secs = eval_start.elapsed().as_secs_f64();
+        let users_per_sec = report.n_users as f64 / eval_secs.max(1e-9);
         writeln!(
             out,
             "held-out metrics over {} users: Prec@5 {:.3}  Recall@5 {:.3}  NDCG@5 {:.3}  MAP {:.3}  MRR {:.3}  AUC {:.3}",
@@ -177,6 +194,12 @@ fn fit<W: Write>(a: FitArgs, out: &mut W) -> Result<(), String> {
             report.auc
         )
         .map_err(|e| e.to_string())?;
+        writeln!(
+            out,
+            "evaluated in {eval_secs:.2}s ({users_per_sec:.0} users/sec, full ranking)"
+        )
+        .map_err(|e| e.to_string())?;
+        description = format!("{description}; eval {eval_secs:.2}s ({users_per_sec:.0} users/sec)");
     }
 
     if let Some(path) = &a.save {
@@ -235,6 +258,7 @@ mod tests {
         ]);
         assert_eq!(code, 0, "{text}");
         assert!(text.contains("held-out metrics"), "{text}");
+        assert!(text.contains("users/sec"), "{text}");
         assert!(text.contains("saved model bundle"));
 
         // Grab a user id that exists from the CSV (first data row).

@@ -249,6 +249,10 @@ pub(crate) fn evaluate_fitted(
         fn scores_into(&self, u: UserId, out: &mut Vec<f32>) {
             self.0.scores_into(u, out);
         }
+
+        fn scores_into_batch(&self, users: &[UserId], out: &mut [Vec<f32>]) {
+            self.0.scores_into_batch(users, out);
+        }
     }
     evaluate(&Adapter(rec), train, test, config)
 }

@@ -1,12 +1,19 @@
 //! The full-ranking evaluation loop of the paper.
 
 use crate::{
-    auc, average_precision, f1, ndcg_at_k, one_call_at_k, precision_at_k, rank_all,
-    recall_at_k, reciprocal_rank,
+    auc, auc_at_ranks, average_precision, average_precision_at_ranks, f1, ndcg_at_k,
+    one_call_at_k, precision_at_k, rank_all, recall_at_k, reciprocal_rank,
+    reciprocal_rank_at_ranks, top_k_into, CountingRanks, RankedList,
 };
 use clapf_data::{Interactions, UserId};
 use serde::Serialize;
 use std::collections::BTreeMap;
+
+/// Users scored per [`BulkScorer::scores_into_batch`] call in the evaluation
+/// loops: large enough that a blocked scoring kernel streams its item table
+/// through cache once per block, small enough that the per-user score
+/// buffers (`BATCH · n_items · 4` bytes) stay modest.
+pub(crate) const SCORE_BATCH: usize = 32;
 
 /// Anything that can score every item for a user in one call.
 ///
@@ -30,6 +37,19 @@ use std::collections::BTreeMap;
 pub trait BulkScorer: Sync {
     /// Writes a score for every item id `0..n_items` into `out`.
     fn scores_into(&self, u: UserId, out: &mut Vec<f32>);
+
+    /// Scores a whole block of users, `out[b]` receiving the scores of
+    /// `users[b]`. The default falls back to per-user [`scores_into`]
+    /// (`BulkScorer::scores_into`) calls; factor models override it with a
+    /// blocked kernel that streams the item table through cache once per
+    /// block instead of once per user. Implementations must produce exactly
+    /// the scores `scores_into` would.
+    fn scores_into_batch(&self, users: &[UserId], out: &mut [Vec<f32>]) {
+        debug_assert_eq!(users.len(), out.len());
+        for (&u, buf) in users.iter().zip(out.iter_mut()) {
+            self.scores_into(u, buf);
+        }
+    }
 }
 
 impl<F: Fn(UserId, &mut Vec<f32>) + Sync> BulkScorer for F {
@@ -145,7 +165,126 @@ impl Sums {
     }
 }
 
-fn eval_user<S: BulkScorer>(
+/// Per-worker scratch of the sort-free engine: the counting-rank pass, the
+/// reusable top-`max(ks)` prefix, and the score-block buffers. One instance
+/// per evaluation worker keeps the whole loop allocation-free after warm-up.
+struct EngineScratch {
+    counting: CountingRanks,
+    prefix: RankedList,
+    pending: Vec<UserId>,
+    score_bufs: Vec<Vec<f32>>,
+}
+
+impl EngineScratch {
+    fn new() -> Self {
+        EngineScratch {
+            counting: CountingRanks::new(),
+            prefix: RankedList { items: Vec::new() },
+            pending: Vec::with_capacity(SCORE_BATCH),
+            score_bufs: (0..SCORE_BATCH).map(|_| Vec::new()).collect(),
+        }
+    }
+}
+
+/// Sort-free per-user evaluation from precomputed scores.
+///
+/// The full `O(m log m)` candidate sort of [`rank_all`] is replaced by
+/// (a) one `O(m)` counting pass yielding the exact ranks of the user's test
+/// items and (b) the `O(m) + O(k log k)` top-`max(ks)` prefix: the top-k
+/// metric family reads the prefix, MAP/MRR/AUC read the ranks, and both are
+/// bit-identical to their sorted-list counterparts (same deterministic
+/// descending-score, ascending-id order).
+fn eval_user_sortfree(
+    scores: &[f32],
+    train: &Interactions,
+    test: &Interactions,
+    u: UserId,
+    ks: &[usize],
+    scratch: &mut EngineScratch,
+    sums: &mut Sums,
+) {
+    let relevant_items = test.items_of(u);
+    debug_assert!(!relevant_items.is_empty());
+    debug_assert_eq!(scores.len(), train.n_items() as usize);
+    let is_candidate = |i| !train.contains(u, i);
+    scratch.counting.compute(scores, is_candidate, relevant_items);
+    let max_k = ks.iter().copied().max().unwrap_or(0);
+    top_k_into(scores, max_k, is_candidate, &mut scratch.prefix.items);
+    let n_rel = relevant_items.len();
+    let relevant = |i| relevant_items.binary_search(&i).is_ok();
+    for (slot, &k) in ks.iter().enumerate() {
+        let p = precision_at_k(&scratch.prefix, k, relevant);
+        let r = recall_at_k(&scratch.prefix, k, n_rel, relevant);
+        let t = &mut sums.topk[slot];
+        t.precision += p;
+        t.recall += r;
+        t.f1 += f1(p, r);
+        t.one_call += one_call_at_k(&scratch.prefix, k, relevant);
+        t.ndcg += ndcg_at_k(&scratch.prefix, k, n_rel, relevant);
+    }
+    sums.map += average_precision_at_ranks(scratch.counting.ranks(), n_rel);
+    sums.mrr += reciprocal_rank_at_ranks(scratch.counting.ranks());
+    sums.auc += auc_at_ranks(scratch.counting.ranks(), scratch.counting.n_candidates());
+    sums.n += 1;
+}
+
+/// Runs the sort-free engine over a range of users: evaluable users are
+/// gathered into blocks of [`SCORE_BATCH`], scored with one
+/// [`BulkScorer::scores_into_batch`] call, then evaluated in order — so the
+/// accumulation order (and therefore every reported average) is identical
+/// to scoring one user at a time.
+fn eval_users_blocked<S: BulkScorer>(
+    scorer: &S,
+    train: &Interactions,
+    test: &Interactions,
+    users: impl Iterator<Item = UserId>,
+    ks: &[usize],
+) -> Sums {
+    let mut sums = Sums::new(ks.len());
+    let mut scratch = EngineScratch::new();
+    for u in users {
+        if test.items_of(u).is_empty() {
+            continue;
+        }
+        scratch.pending.push(u);
+        if scratch.pending.len() == SCORE_BATCH {
+            flush_block(scorer, train, test, ks, &mut scratch, &mut sums);
+        }
+    }
+    flush_block(scorer, train, test, ks, &mut scratch, &mut sums);
+    sums
+}
+
+fn flush_block<S: BulkScorer>(
+    scorer: &S,
+    train: &Interactions,
+    test: &Interactions,
+    ks: &[usize],
+    scratch: &mut EngineScratch,
+    sums: &mut Sums,
+) {
+    if scratch.pending.is_empty() {
+        return;
+    }
+    let n = scratch.pending.len();
+    scorer.scores_into_batch(&scratch.pending, &mut scratch.score_bufs[..n]);
+    // Move the block buffers aside so the per-user pass can borrow scratch
+    // mutably; swapped back below, preserving their capacity.
+    let mut bufs = std::mem::take(&mut scratch.score_bufs);
+    let mut pending = std::mem::take(&mut scratch.pending);
+    for (&u, scores) in pending.iter().zip(&bufs) {
+        eval_user_sortfree(scores, train, test, u, ks, scratch, sums);
+    }
+    pending.clear();
+    scratch.score_bufs = std::mem::take(&mut bufs);
+    scratch.pending = pending;
+}
+
+/// The retained naive per-user evaluation: score, sort every candidate with
+/// [`rank_all`], walk the list. Kept as the differential-testing and
+/// benchmarking reference for the sort-free engine (see
+/// [`evaluate_serial_naive`]); not used on any hot path.
+fn eval_user_naive<S: BulkScorer>(
     scorer: &S,
     train: &Interactions,
     test: &Interactions,
@@ -199,8 +338,24 @@ fn finalize(mut sums: Sums, ks: &[usize]) -> EvalReport {
 }
 
 /// Evaluates `scorer` against `test`, excluding `train` pairs from the
-/// candidate set, single-threaded.
+/// candidate set, single-threaded, via the sort-free ranking engine.
 pub fn evaluate_serial<S: BulkScorer>(
+    scorer: &S,
+    train: &Interactions,
+    test: &Interactions,
+    config: &EvalConfig,
+) -> EvalReport {
+    let sums = eval_users_blocked(scorer, train, test, test.users(), &config.ks);
+    finalize(sums, &config.ks)
+}
+
+/// The pre-engine evaluator: per-user scoring and a full `O(m log m)`
+/// candidate sort. Retained as the differential-testing reference — the
+/// `sortfree_evaluator_matches_naive_exactly` proptest pins the engine to
+/// this path bit-for-bit — and as the baseline of the `eval_full_ranking`
+/// bench and `scripts/bench_eval.sh`. A `log m` factor slower per user than
+/// [`evaluate_serial`] and unbatched; do not use it for real evaluation.
+pub fn evaluate_serial_naive<S: BulkScorer>(
     scorer: &S,
     train: &Interactions,
     test: &Interactions,
@@ -209,7 +364,7 @@ pub fn evaluate_serial<S: BulkScorer>(
     let mut sums = Sums::new(config.ks.len());
     let mut scores = Vec::new();
     for u in test.users() {
-        eval_user(scorer, train, test, u, &config.ks, &mut scores, &mut sums);
+        eval_user_naive(scorer, train, test, u, &config.ks, &mut scores, &mut sums);
     }
     finalize(sums, &config.ks)
 }
@@ -244,20 +399,8 @@ pub fn evaluate<S: BulkScorer>(
             let lo = t * chunk;
             let hi = ((t + 1) * chunk).min(n_users);
             handles.push(scope.spawn(move |_| {
-                let mut sums = Sums::new(ks.len());
-                let mut scores = Vec::new();
-                for uid in lo..hi {
-                    eval_user(
-                        scorer,
-                        train,
-                        test,
-                        UserId(uid as u32),
-                        ks,
-                        &mut scores,
-                        &mut sums,
-                    );
-                }
-                sums
+                let users = (lo..hi).map(|uid| UserId(uid as u32));
+                eval_users_blocked(scorer, train, test, users, ks)
             }));
         }
         let mut total = Sums::new(config.ks.len());
@@ -368,6 +511,34 @@ mod tests {
         };
         let report = evaluate_serial(&scorer, &train, &test, &EvalConfig::default());
         assert_eq!(report.n_users, 1);
+    }
+
+    #[test]
+    fn sortfree_engine_matches_naive_bitwise() {
+        // Hashed scores with deliberate ties (mod 7 collapses many values).
+        let mut tr = InteractionsBuilder::new(50, 64);
+        let mut te = InteractionsBuilder::new(50, 64);
+        for u in 0..50u32 {
+            for i in 0..64u32 {
+                match (u.wrapping_mul(17).wrapping_add(i * 3)) % 6 {
+                    0 => tr.push(UserId(u), ItemId(i)).unwrap(),
+                    1 => te.push(UserId(u), ItemId(i)).unwrap(),
+                    _ => {}
+                }
+            }
+        }
+        let train = tr.build().unwrap();
+        let test = te.build().unwrap();
+        let scorer = |u: UserId, out: &mut Vec<f32>| {
+            out.clear();
+            for i in 0..64u32 {
+                out.push(((u.0 * 13 + i * 29) % 7) as f32);
+            }
+        };
+        let cfg = EvalConfig::default();
+        let fast = evaluate_serial(&scorer, &train, &test, &cfg);
+        let naive = evaluate_serial_naive(&scorer, &train, &test, &cfg);
+        assert_eq!(fast, naive); // exact equality, not approximate
     }
 
     #[test]

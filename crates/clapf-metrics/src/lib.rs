@@ -10,6 +10,15 @@
 //! candidate shortcut), the user's test items are the relevant set, and
 //! metrics are averaged over the users that have at least one test item.
 //!
+//! Ranking is *sort-free*: every reported metric depends on the candidate
+//! ranking only through the exact ranks of the relevant items (one `O(m)`
+//! counting pass, [`CountingRanks`]) and the top-`max(ks)` prefix
+//! (`O(m)` selection), so no per-user `O(m log m)` sort is performed. Users
+//! are scored in blocks through [`BulkScorer::scores_into_batch`] so factor
+//! models stream their item table through cache once per block. The
+//! pre-engine sorting evaluator is retained as [`evaluate_serial_naive`]
+//! for differential tests and benchmarks; the engine is bit-identical to it.
+//!
 //! Evaluation over users is embarrassingly parallel; [`evaluate`] fans out
 //! over a crossbeam scoped thread pool.
 
@@ -24,7 +33,13 @@ pub mod sampled;
 mod topk;
 
 pub use aggregate::{paired_t_test, Aggregate, PairedComparison};
-pub use evaluate::{evaluate, evaluate_serial, BulkScorer, EvalConfig, EvalReport, TopKMetrics};
-pub use ranked::{rank_all, top_k_ranked, RankedList};
-pub use rankmetrics::{auc, average_precision, reciprocal_rank};
+pub use evaluate::{
+    evaluate, evaluate_serial, evaluate_serial_naive, BulkScorer, EvalConfig, EvalReport,
+    TopKMetrics,
+};
+pub use ranked::{rank_all, top_k_into, top_k_ranked, CountingRanks, RankedList};
+pub use rankmetrics::{
+    auc, auc_at_ranks, average_precision, average_precision_at_ranks, reciprocal_rank,
+    reciprocal_rank_at_ranks,
+};
 pub use topk::{dcg_at_k, f1, ndcg_at_k, one_call_at_k, precision_at_k, recall_at_k};

@@ -25,9 +25,114 @@ impl RankedList {
         self.items.is_empty()
     }
 
-    /// 1-based rank of `item`, if it is in the list. `O(len)`.
+    /// 1-based rank of `item`, if it is in the list. `O(len)` — intended
+    /// for the short top-k prefix lists produced by [`top_k_ranked`]; exact
+    /// ranks over a full candidate set come from [`CountingRanks`], which
+    /// never materializes the ranking at all.
     pub fn rank_of(&self, item: ItemId) -> Option<usize> {
         self.items.iter().position(|&i| i == item).map(|p| p + 1)
+    }
+}
+
+/// Exact ranks of a user's relevant items, computed by counting instead of
+/// sorting.
+///
+/// Every metric the evaluator reports depends on the candidate ranking only
+/// through (a) the exact 1-based ranks of the relevant items and (b) the
+/// top-`max(ks)` prefix, so a full `O(m log m)` sort of the candidate set is
+/// wasted work. This pass computes the ranks in `O(m log r + r log r)` for
+/// `m` candidates and `r` relevant items: each candidate counts itself
+/// against the (tiny, sorted) relevant set via binary search, and a
+/// difference array turns the per-candidate counts into ranks.
+///
+/// The induced ranking is *identical* to [`rank_all`]'s — descending score
+/// with ascending-id tie-break — so metrics computed from these ranks are
+/// bit-for-bit equal to metrics computed from the sorted list.
+///
+/// Buffers are reused across calls; one `CountingRanks` per evaluation
+/// worker means no per-user allocation after warm-up.
+#[derive(Clone, Debug, Default)]
+pub struct CountingRanks {
+    /// Relevant candidates in rank order: (score, id), best first.
+    keyed: Vec<(f32, ItemId)>,
+    /// `above[p]` counts candidates whose first outranked relevant item is
+    /// `keyed[p]` (difference-array form of the per-relevant counts).
+    above: Vec<usize>,
+    /// 1-based ranks of the relevant candidates, ascending.
+    ranks: Vec<usize>,
+    n_candidates: usize,
+}
+
+impl CountingRanks {
+    /// An empty instance (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Computes the ranks of the `relevant` items among the candidates of
+    /// `scores`, plus the candidate count. Relevant items that are not
+    /// candidates are dropped, exactly as a sort-based ranking would omit
+    /// them. Scores must be finite.
+    pub fn compute<F: Fn(ItemId) -> bool>(
+        &mut self,
+        scores: &[f32],
+        is_candidate: F,
+        relevant: &[ItemId],
+    ) {
+        self.keyed.clear();
+        for &r in relevant {
+            if is_candidate(r) {
+                debug_assert!(scores[r.index()].is_finite(), "scores must be finite");
+                self.keyed.push((scores[r.index()], r));
+            }
+        }
+        // Rank order: descending score, ascending id (the rank_all order).
+        self.keyed.sort_unstable_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .expect("scores must be finite")
+                .then(a.1.cmp(&b.1))
+        });
+        let nr = self.keyed.len();
+        self.above.clear();
+        self.above.resize(nr + 1, 0);
+        let mut n_candidates = 0usize;
+        for (idx, &s) in scores.iter().enumerate() {
+            let i = ItemId(idx as u32);
+            if !is_candidate(i) {
+                continue;
+            }
+            n_candidates += 1;
+            // A candidate outranks keyed[p] iff its (score, id) key is
+            // strictly better; along the rank-ordered keyed list that
+            // predicate is monotone, so the first outranked position is a
+            // partition point. The candidate then sits above keyed[p..].
+            let p = self
+                .keyed
+                .partition_point(|&(rs, rid)| !(s > rs || (s == rs && i < rid)));
+            self.above[p] += 1;
+        }
+        // rank(keyed[j]) = 1 + #candidates outranking it
+        //                = 1 + Σ_{p ≤ j} above[p]  (a relevant candidate
+        // never counts itself: its own partition point is j + 1).
+        self.ranks.clear();
+        let mut cum = 0usize;
+        for j in 0..nr {
+            cum += self.above[j];
+            self.ranks.push(cum + 1);
+        }
+        self.n_candidates = n_candidates;
+    }
+
+    /// 1-based ranks of the relevant candidates, strictly ascending.
+    #[inline]
+    pub fn ranks(&self) -> &[usize] {
+        &self.ranks
+    }
+
+    /// Number of candidate items in the ranking.
+    #[inline]
+    pub fn n_candidates(&self) -> usize {
+        self.n_candidates
     }
 }
 
@@ -54,13 +159,25 @@ pub fn rank_all<F: Fn(ItemId) -> bool>(scores: &[f32], is_candidate: F) -> Ranke
 /// The top `k` candidates by descending score; `O(m)` selection followed by
 /// an `O(k log k)` sort, which beats a full sort when `k ≪ m`.
 pub fn top_k_ranked<F: Fn(ItemId) -> bool>(scores: &[f32], k: usize, is_candidate: F) -> RankedList {
-    let mut items: Vec<ItemId> = (0..scores.len() as u32)
-        .map(ItemId)
-        .filter(|&i| is_candidate(i))
-        .collect();
+    let mut items = Vec::new();
+    top_k_into(scores, k, is_candidate, &mut items);
+    RankedList { items }
+}
+
+/// [`top_k_ranked`] writing into a caller-owned buffer, so per-user prefix
+/// computation in the evaluation loop does not allocate after warm-up.
+pub fn top_k_into<F: Fn(ItemId) -> bool>(
+    scores: &[f32],
+    k: usize,
+    is_candidate: F,
+    items: &mut Vec<ItemId>,
+) {
+    items.clear();
+    items.extend((0..scores.len() as u32).map(ItemId).filter(|&i| is_candidate(i)));
     let k = k.min(items.len());
     if k == 0 {
-        return RankedList { items: Vec::new() };
+        items.clear();
+        return;
     }
     let cmp = |a: &ItemId, b: &ItemId| {
         let sa = scores[a.index()];
@@ -74,7 +191,6 @@ pub fn top_k_ranked<F: Fn(ItemId) -> bool>(scores: &[f32], k: usize, is_candidat
         items.truncate(k);
     }
     items.sort_unstable_by(cmp);
-    RankedList { items }
 }
 
 #[cfg(test)]
@@ -125,5 +241,72 @@ mod tests {
     fn top_k_with_all_filtered_is_empty() {
         let r = top_k_ranked(&[1.0, 2.0], 3, |_| false);
         assert!(r.is_empty());
+    }
+
+    /// Reference: ranks via the full sort.
+    fn sorted_ranks<F: Fn(ItemId) -> bool + Copy>(
+        scores: &[f32],
+        is_candidate: F,
+        relevant: &[ItemId],
+    ) -> Vec<usize> {
+        let full = rank_all(scores, is_candidate);
+        let mut r: Vec<usize> = relevant
+            .iter()
+            .filter_map(|&i| full.rank_of(i))
+            .collect();
+        r.sort_unstable();
+        r
+    }
+
+    #[test]
+    fn counting_ranks_match_full_sort() {
+        let scores: Vec<f32> = (0..40).map(|i| ((i * 37) % 23) as f32).collect();
+        let relevant: Vec<ItemId> = [2u32, 7, 11, 23, 39].iter().map(|&i| ItemId(i)).collect();
+        let mut c = CountingRanks::new();
+        c.compute(&scores, |_| true, &relevant);
+        assert_eq!(c.ranks(), &sorted_ranks(&scores, |_| true, &relevant)[..]);
+        assert_eq!(c.n_candidates(), 40);
+    }
+
+    #[test]
+    fn counting_ranks_handle_ties_by_id() {
+        // Heavy ties: three score levels only.
+        let scores: Vec<f32> = (0..30).map(|i| (i % 3) as f32).collect();
+        let relevant: Vec<ItemId> = (0..30).step_by(4).map(ItemId).collect();
+        let mut c = CountingRanks::new();
+        c.compute(&scores, |_| true, &relevant);
+        assert_eq!(c.ranks(), &sorted_ranks(&scores, |_| true, &relevant)[..]);
+    }
+
+    #[test]
+    fn counting_ranks_respect_candidate_filter() {
+        let scores: Vec<f32> = vec![5.0, 4.0, 3.0, 2.0, 1.0, 0.0];
+        let evens_only = |i: ItemId| i.0 % 2 == 0;
+        let relevant = [ItemId(1), ItemId(2), ItemId(5)];
+        let mut c = CountingRanks::new();
+        c.compute(&scores, evens_only, &relevant);
+        // Items 1 and 5 are not candidates → dropped; among candidates
+        // {0, 2, 4} the relevant item 2 ranks second.
+        assert_eq!(c.ranks(), &[2]);
+        assert_eq!(c.n_candidates(), 3);
+    }
+
+    #[test]
+    fn counting_ranks_empty_relevant() {
+        let mut c = CountingRanks::new();
+        c.compute(&[1.0, 2.0, 3.0], |_| true, &[]);
+        assert!(c.ranks().is_empty());
+        assert_eq!(c.n_candidates(), 3);
+    }
+
+    #[test]
+    fn counting_ranks_reuse_buffers() {
+        let scores: Vec<f32> = (0..20).map(|i| (i % 5) as f32).collect();
+        let relevant = [ItemId(3), ItemId(9)];
+        let mut c = CountingRanks::new();
+        c.compute(&scores, |_| true, &relevant);
+        let first: Vec<usize> = c.ranks().to_vec();
+        c.compute(&scores, |_| true, &relevant);
+        assert_eq!(c.ranks(), &first[..]);
     }
 }

@@ -79,6 +79,54 @@ pub fn auc<F: Fn(ItemId) -> bool>(ranked: &RankedList, relevant: F) -> f64 {
     correct as f64 / (n_rel * n_neg) as f64
 }
 
+// ---------------------------------------------------------------------------
+// Rank-based variants: the same metrics computed directly from the exact
+// 1-based ranks of the relevant items (ascending), as produced by
+// [`crate::CountingRanks`]. Each performs the same floating-point operations
+// in the same order as its list-walking counterpart above, so the results
+// are bit-for-bit identical — the property the sort-free evaluation engine
+// relies on.
+// ---------------------------------------------------------------------------
+
+/// [`average_precision`] from ascending relevant ranks: the `j`-th ranked
+/// relevant item (1-based) contributes `j / rank_j`, summed best-first —
+/// exactly the order the list walk accumulates in.
+pub fn average_precision_at_ranks(ranks: &[usize], n_relevant: usize) -> f64 {
+    if n_relevant == 0 {
+        return 0.0;
+    }
+    let mut sum = 0.0f64;
+    for (j0, &r) in ranks.iter().enumerate() {
+        sum += (j0 + 1) as f64 / r as f64;
+    }
+    sum / n_relevant as f64
+}
+
+/// [`reciprocal_rank`] from ascending relevant ranks: `1 / rank₁`, or 0
+/// when no relevant item is ranked.
+pub fn reciprocal_rank_at_ranks(ranks: &[usize]) -> f64 {
+    match ranks.first() {
+        Some(&r) => 1.0 / r as f64,
+        None => 0.0,
+    }
+}
+
+/// [`auc`] from ascending relevant ranks and the candidate count: the same
+/// integer pair-counting formula, one division at the end.
+pub fn auc_at_ranks(ranks: &[usize], n_candidates: usize) -> f64 {
+    let n_rel = ranks.len();
+    let n_neg = n_candidates - n_rel;
+    if n_rel == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    let correct: usize = ranks
+        .iter()
+        .enumerate()
+        .map(|(j0, &r)| (n_candidates - r) - (n_rel - (j0 + 1)))
+        .sum();
+    correct as f64 / (n_rel * n_neg) as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +194,39 @@ mod tests {
         assert_eq!(auc(&list(&[1, 2]), rel(&[1, 2])), 0.5);
         assert_eq!(auc(&list(&[1, 2]), rel(&[])), 0.5);
         assert_eq!(auc(&list(&[]), rel(&[])), 0.5);
+    }
+
+    /// Ascending 1-based ranks of the relevant items of a list.
+    fn ranks_of<F: Fn(ItemId) -> bool>(ranked: &RankedList, relevant: F) -> Vec<usize> {
+        ranked
+            .items
+            .iter()
+            .enumerate()
+            .filter(|(_, &i)| relevant(i))
+            .map(|(p, _)| p + 1)
+            .collect()
+    }
+
+    #[test]
+    fn rank_based_variants_are_bit_identical() {
+        let r = list(&[3, 1, 4, 5, 9, 2, 6, 8, 7]);
+        for relset in [&[4u32, 2, 9][..], &[3][..], &[][..], &[77][..]] {
+            let relevant = |i: ItemId| relset.contains(&i.0);
+            let ranks = ranks_of(&r, relevant);
+            assert_eq!(
+                average_precision(&r, relset.len(), relevant).to_bits(),
+                average_precision_at_ranks(&ranks, relset.len()).to_bits(),
+                "AP mismatch for {relset:?}"
+            );
+            assert_eq!(
+                reciprocal_rank(&r, relevant).to_bits(),
+                reciprocal_rank_at_ranks(&ranks).to_bits()
+            );
+            assert_eq!(
+                auc(&r, relevant).to_bits(),
+                auc_at_ranks(&ranks, r.len()).to_bits()
+            );
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! remains the default everywhere in the harness.
 
 use crate::BulkScorer;
-use clapf_data::{Interactions, ItemId};
+use clapf_data::{Interactions, ItemId, UserId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
@@ -64,58 +64,69 @@ pub fn evaluate_sampled<S: BulkScorer>(
 ) -> SampledReport {
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let m = train.n_items();
-    let mut scores = Vec::new();
     let mut hr_sum: BTreeMap<usize, f64> = config.ks.iter().map(|&k| (k, 0.0)).collect();
     let mut ndcg_sum: BTreeMap<usize, f64> = config.ks.iter().map(|&k| (k, 0.0)).collect();
     let mut mrr_sum = 0.0f64;
     let mut n_cases = 0usize;
 
-    for u in test.users() {
-        let test_items = test.items_of(u);
-        if test_items.is_empty() {
-            continue;
-        }
-        // Skip users whose unobserved pool is too small to sample from.
-        let observed = train.degree_of_user(u) + test_items.len();
-        if (m as usize).saturating_sub(observed) < config.n_negatives.min(1) {
-            continue;
-        }
-        scorer.scores_into(u, &mut scores);
-        for &i in test_items {
-            let target = scores[i.index()];
-            // Rank of the target within the slate = 1 + #sampled negatives
-            // scoring strictly above it (ties resolved in the target's
-            // favour, the common implementation choice).
-            let mut above = 0usize;
-            let mut drawn = 0usize;
-            let mut guard = 0usize;
-            while drawn < config.n_negatives {
-                guard += 1;
-                if guard > 64 * config.n_negatives {
-                    break; // pathological density; count what we have
-                }
-                let j = ItemId(rng.gen_range(0..m));
-                if train.contains(u, j) || test.contains(u, j) {
-                    continue;
-                }
-                drawn += 1;
-                if scores[j.index()] > target {
-                    above += 1;
-                }
+    // Eligibility is RNG-free, so gathering eligible users up front and
+    // scoring them in blocks leaves the negative-draw stream — and therefore
+    // every reported number — identical to one-user-at-a-time scoring.
+    let eligible: Vec<UserId> = test
+        .users()
+        .filter(|&u| {
+            let test_items = test.items_of(u);
+            if test_items.is_empty() {
+                return false;
             }
-            let rank = above + 1;
-            for (&k, slot) in hr_sum.iter_mut() {
-                if rank <= k {
-                    *slot += 1.0;
+            // Skip users whose unobserved pool is too small to sample from.
+            let observed = train.degree_of_user(u) + test_items.len();
+            (m as usize).saturating_sub(observed) >= config.n_negatives.min(1)
+        })
+        .collect();
+    let mut score_bufs: Vec<Vec<f32>> = (0..crate::evaluate::SCORE_BATCH.min(eligible.len().max(1)))
+        .map(|_| Vec::new())
+        .collect();
+    for block in eligible.chunks(score_bufs.len().max(1)) {
+        scorer.scores_into_batch(block, &mut score_bufs[..block.len()]);
+        for (&u, scores) in block.iter().zip(&score_bufs) {
+            let test_items = test.items_of(u);
+            for &i in test_items {
+                let target = scores[i.index()];
+                // Rank of the target within the slate = 1 + #sampled
+                // negatives scoring strictly above it (ties resolved in the
+                // target's favour, the common implementation choice).
+                let mut above = 0usize;
+                let mut drawn = 0usize;
+                let mut guard = 0usize;
+                while drawn < config.n_negatives {
+                    guard += 1;
+                    if guard > 64 * config.n_negatives {
+                        break; // pathological density; count what we have
+                    }
+                    let j = ItemId(rng.gen_range(0..m));
+                    if train.contains(u, j) || test.contains(u, j) {
+                        continue;
+                    }
+                    drawn += 1;
+                    if scores[j.index()] > target {
+                        above += 1;
+                    }
                 }
-            }
-            for (&k, slot) in ndcg_sum.iter_mut() {
-                if rank <= k {
-                    *slot += 1.0 / ((rank as f64 + 1.0).log2());
+                let rank = above + 1;
+                for (&k, slot) in hr_sum.iter_mut() {
+                    if rank <= k {
+                        *slot += 1.0;
+                    }
                 }
+                for (&k, slot) in ndcg_sum.iter_mut() {
+                    if rank <= k {
+                        *slot += 1.0 / ((rank as f64 + 1.0).log2());
+                    }
+                }
+                mrr_sum += 1.0 / rank as f64;
+                n_cases += 1;
             }
-            mrr_sum += 1.0 / rank as f64;
-            n_cases += 1;
         }
     }
 

@@ -1,9 +1,10 @@
 //! Property-based tests for metric invariants.
 
-use clapf_data::ItemId;
+use clapf_data::{InteractionsBuilder, ItemId, UserId};
 use clapf_metrics::{
-    auc, average_precision, f1, ndcg_at_k, one_call_at_k, precision_at_k, rank_all,
-    recall_at_k, reciprocal_rank, top_k_ranked, RankedList,
+    auc, average_precision, evaluate_serial, evaluate_serial_naive, f1, ndcg_at_k,
+    one_call_at_k, precision_at_k, rank_all, recall_at_k, reciprocal_rank, top_k_ranked,
+    EvalConfig, RankedList,
 };
 use proptest::prelude::*;
 use std::collections::HashSet;
@@ -106,6 +107,64 @@ proptest! {
         seen.sort_unstable();
         let expect: Vec<u32> = (0..scores.len() as u32).collect();
         prop_assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn sortfree_evaluator_equals_naive_exactly(
+        n_users in 2u32..8,
+        n_items in 6u32..30,
+        seed in 0u64..u64::MAX,
+    ) {
+        // Random score matrices quantized to a handful of levels, so ties —
+        // including ties straddling the top-k boundary — occur constantly,
+        // plus random train/test membership. The sort-free engine must
+        // reproduce the retained full-sort evaluator *bit for bit* (exact
+        // `==` on every f64 in the report, not approximate).
+        let cells = (n_users * n_items) as usize;
+        let mut state = seed | 1;
+        let mut next = move || {
+            // xorshift64* — cheap deterministic stream for roles and scores.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let roles: Vec<u8> = (0..cells).map(|_| (next() % 4) as u8).collect();
+        let scores: Vec<f32> = (0..cells).map(|_| (next() % 5) as f32 * 0.5).collect();
+        let mut tr = InteractionsBuilder::new(n_users, n_items);
+        let mut te = InteractionsBuilder::new(n_users, n_items);
+        let mut any_train = false;
+        let mut any_test = false;
+        for u in 0..n_users {
+            for i in 0..n_items {
+                match roles[(u * n_items + i) as usize] {
+                    1 => {
+                        tr.push(UserId(u), ItemId(i)).unwrap();
+                        any_train = true;
+                    }
+                    2 => {
+                        te.push(UserId(u), ItemId(i)).unwrap();
+                        any_test = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        prop_assume!(any_train && any_test);
+        let (train, test) = (tr.build().unwrap(), te.build().unwrap());
+        let scorer = move |u: UserId, out: &mut Vec<f32>| {
+            out.clear();
+            out.extend_from_slice(
+                &scores[(u.0 * n_items) as usize..((u.0 + 1) * n_items) as usize],
+            );
+        };
+        let config = EvalConfig {
+            ks: vec![1, 3, 5, 10],
+            ..EvalConfig::default()
+        };
+        let fast = evaluate_serial(&scorer, &train, &test, &config);
+        let naive = evaluate_serial_naive(&scorer, &train, &test, &config);
+        prop_assert_eq!(fast, naive);
     }
 
     #[test]

@@ -173,21 +173,56 @@ impl MfModel {
     /// Predicted relevance `f_ui = U_u · V_i + b_i`.
     #[inline]
     pub fn score(&self, u: UserId, i: ItemId) -> f32 {
-        dot(self.user(u), self.item(i)) + self.item_bias[i.index()]
+        dot_bias(self.user(u), self.item(i), self.item_bias[i.index()])
     }
 
     /// Writes the scores of user `u` against every item into `out`
     /// (resized to `n_items`). One pass, no allocation when `out` has
-    /// capacity; this is the kernel behind every full-ranking evaluation.
+    /// capacity; `chunks_exact` over the item table keeps the loop free of
+    /// per-item bounds checks. This is the kernel behind every full-ranking
+    /// evaluation; blocks of users go through the faster
+    /// [`scores_for_users`](MfModel::scores_for_users).
     pub fn scores_for_user(&self, u: UserId, out: &mut Vec<f32>) {
-        let ni = self.n_items as usize;
         out.clear();
-        out.reserve(ni);
+        out.reserve(self.n_items as usize);
         let uf = self.user(u);
-        for i in 0..ni {
-            let s = i * self.dim;
-            let vf = &self.item_factors[s..s + self.dim];
-            out.push(dot(uf, vf) + self.item_bias[i]);
+        for (vf, &b) in self.item_factors.chunks_exact(self.dim).zip(&self.item_bias) {
+            out.push(dot_bias(uf, vf, b));
+        }
+    }
+
+    /// Blocked batch-scoring kernel: scores every item for a whole block of
+    /// users, `outs[b]` receiving the scores of `users[b]` (each resized to
+    /// `n_items`).
+    ///
+    /// The sweep order is item-major: each item row `V_i` is loaded once and
+    /// dotted against every user factor in the block, so the item table —
+    /// the part that outgrows cache first (`n_items · d` floats) — streams
+    /// through memory once per block instead of once per user. The block's
+    /// user rows (`B · d` floats) stay resident in L1. Scores are produced
+    /// by the same [`dot_bias`] kernel as [`score`](MfModel::score) and
+    /// [`scores_for_user`](MfModel::scores_for_user), so the results are
+    /// bit-identical to per-user scoring.
+    pub fn scores_for_users(&self, users: &[UserId], outs: &mut [Vec<f32>]) {
+        assert_eq!(
+            users.len(),
+            outs.len(),
+            "one output buffer per user in the block"
+        );
+        let ni = self.n_items as usize;
+        for out in outs.iter_mut() {
+            out.clear();
+            out.resize(ni, 0.0);
+        }
+        for (vi, (vf, &b)) in self
+            .item_factors
+            .chunks_exact(self.dim)
+            .zip(&self.item_bias)
+            .enumerate()
+        {
+            for (out, &u) in outs.iter_mut().zip(users) {
+                out[vi] = dot_bias(self.user(u), vf, b);
+            }
         }
     }
 
@@ -269,6 +304,16 @@ impl MfModel {
 /// multiply-adds in flight instead of serializing on one accumulator
 /// (f32 addition is not associative, so a single-lane loop forms a
 /// dependency chain the optimizer must preserve).
+/// `dot(user, item) + bias`, the full scoring kernel. The bias is added
+/// after the lane reduction — the exact operation order of the historical
+/// `dot(...) + bias` call sites — so hoisting it here changes no bits.
+/// `#[inline]` so the batch kernel's inner loop fuses it with the lane
+/// accumulation instead of paying a call per (user, item) pair.
+#[inline]
+pub(crate) fn dot_bias(a: &[f32], b: &[f32], bias: f32) -> f32 {
+    dot(a, b) + bias
+}
+
 #[inline]
 pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
@@ -328,6 +373,43 @@ mod tests {
         for i in 0..6 {
             assert!((out[i] - m.score(UserId(2), ItemId(i as u32))).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn batch_scores_match_per_user_bitwise() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        // dim = 7 exercises the non-multiple-of-4 tail of the dot kernel.
+        let m = MfModel::new(10, 37, 7, Init::SmallUniform { scale: 0.5 }, &mut rng);
+        let users: Vec<UserId> = [0u32, 3, 3, 9, 5].iter().map(|&u| UserId(u)).collect();
+        let mut outs: Vec<Vec<f32>> = vec![Vec::new(); users.len()];
+        m.scores_for_users(&users, &mut outs);
+        let mut single = Vec::new();
+        for (b, &u) in users.iter().enumerate() {
+            m.scores_for_user(u, &mut single);
+            assert_eq!(outs[b].len(), 37);
+            for i in 0..37 {
+                assert_eq!(
+                    outs[b][i].to_bits(),
+                    single[i].to_bits(),
+                    "user {u:?} item {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_scores_empty_block_is_ok() {
+        let m = model(4);
+        let mut outs: Vec<Vec<f32>> = Vec::new();
+        m.scores_for_users(&[], &mut outs);
+    }
+
+    #[test]
+    #[should_panic(expected = "one output buffer per user")]
+    fn batch_scores_reject_mismatched_buffers() {
+        let m = model(4);
+        let mut outs: Vec<Vec<f32>> = vec![Vec::new()];
+        m.scores_for_users(&[UserId(0), UserId(1)], &mut outs);
     }
 
     #[test]

@@ -329,4 +329,30 @@ mod tests {
             }
         }
     }
+
+    #[test]
+    fn default_batch_scoring_matches_per_user() {
+        // Neural models keep the trait's per-user fallback for
+        // `scores_into_batch`; the blocked evaluator must see the exact
+        // scores the one-at-a-time path produces.
+        let data = blocks();
+        let model = NeuMf {
+            config: NeuMfConfig {
+                embed_dim: 4,
+                epochs: 1,
+                ..NeuMfConfig::default()
+            },
+        }
+        .fit(&data, &mut SmallRng::seed_from_u64(11));
+        let users: Vec<UserId> = (0..8).map(UserId).collect();
+        let mut batch: Vec<Vec<f32>> = vec![Vec::new(); users.len()];
+        model.scores_into_batch(&users, &mut batch);
+        let mut single = Vec::new();
+        for (&u, got) in users.iter().zip(&batch) {
+            model.scores_into(u, &mut single);
+            let a: Vec<u32> = single.iter().map(|s| s.to_bits()).collect();
+            let b: Vec<u32> = got.iter().map(|s| s.to_bits()).collect();
+            assert_eq!(a, b, "user {u:?}");
+        }
+    }
 }

@@ -210,36 +210,89 @@ impl DssSampler {
     }
 }
 
+/// Re-sorts one factor's item list in place and recomputes that factor's
+/// standard deviation. The comparator is a total order (descending factor
+/// value, ascending id), so the result is independent of the list's starting
+/// permutation — which lets refreshes reuse the previous, nearly-sorted list
+/// as the input and profit from pdqsort's partial-run detection.
+fn refresh_factor(model: &MfModel, q: usize, list: &mut [ItemId], std_out: &mut f32) {
+    list.sort_unstable_by(|&a, &b| {
+        let va = model.item(a)[q];
+        let vb = model.item(b)[q];
+        vb.partial_cmp(&va)
+            .expect("factors are finite")
+            .then(a.cmp(&b))
+    });
+    let m = model.n_items();
+    let mean: f32 = (0..m).map(|i| model.item(ItemId(i))[q]).sum::<f32>() / m.max(1) as f32;
+    let var: f32 = (0..m)
+        .map(|i| {
+            let v = model.item(ItemId(i))[q] - mean;
+            v * v
+        })
+        .sum::<f32>()
+        / m.max(1) as f32;
+    *std_out = var.sqrt();
+}
+
+/// Below this many `items × factors`, a refresh runs serially: the factor
+/// sorts finish faster than scoped-thread startup would take.
+const PARALLEL_REFRESH_MIN_WORK: usize = 1 << 15;
+
 impl TripleSampler for DssSampler {
     fn refresh(&mut self, model: &MfModel) {
         let d = model.dim();
-        let m = model.n_items();
-        self.dim = d;
-        self.factor_lists.clear();
-        self.factor_lists.reserve(d);
-        self.factor_stds.clear();
-        self.factor_stds.reserve(d);
-        for q in 0..d {
-            let mut list: Vec<ItemId> = (0..m).map(ItemId).collect();
-            list.sort_unstable_by(|&a, &b| {
-                let va = model.item(a)[q];
-                let vb = model.item(b)[q];
-                vb.partial_cmp(&va)
-                    .expect("factors are finite")
-                    .then(a.cmp(&b))
-            });
-            self.factor_lists.push(list);
-            let mean: f32 =
-                (0..m).map(|i| model.item(ItemId(i))[q]).sum::<f32>() / m.max(1) as f32;
-            let var: f32 = (0..m)
-                .map(|i| {
-                    let v = model.item(ItemId(i))[q] - mean;
-                    v * v
-                })
-                .sum::<f32>()
-                / m.max(1) as f32;
-            self.factor_stds.push(var.sqrt());
+        let m = model.n_items() as usize;
+        // (Re)allocate the per-factor buffers only when the model geometry
+        // changes; the steady-state path below re-sorts the previous lists
+        // in place, so a warmed-up sampler refreshes without allocating.
+        // Between consecutive refreshes the factor values move by a few SGD
+        // steps, the lists are nearly sorted, and the in-place re-sort is
+        // far cheaper than sorting from a random permutation.
+        if self.dim != d
+            || self.factor_lists.len() != d
+            || self.factor_lists.iter().any(|l| l.len() != m)
+        {
+            self.dim = d;
+            self.factor_lists = (0..d)
+                .map(|_| (0..m as u32).map(ItemId).collect())
+                .collect();
+            self.factor_stds = vec![0.0; d];
         }
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(d);
+        if threads <= 1 || m * d < PARALLEL_REFRESH_MIN_WORK {
+            for (q, (list, std_out)) in self
+                .factor_lists
+                .iter_mut()
+                .zip(self.factor_stds.iter_mut())
+                .enumerate()
+            {
+                refresh_factor(model, q, list, std_out);
+            }
+            return;
+        }
+        // The d factor sorts are independent; fan them out over a scoped
+        // pool. Each factor is handled whole by one worker, so the result —
+        // lists and stds — is identical to the serial pass.
+        let chunk = d.div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for (t, (lists, stds)) in self
+                .factor_lists
+                .chunks_mut(chunk)
+                .zip(self.factor_stds.chunks_mut(chunk))
+                .enumerate()
+            {
+                scope.spawn(move |_| {
+                    for (off, (list, std_out)) in lists.iter_mut().zip(stds).enumerate() {
+                        refresh_factor(model, t * chunk + off, list, std_out);
+                    }
+                });
+            }
+        })
+        .expect("DSS refresh worker panicked");
     }
 
     fn complete(
@@ -424,6 +477,54 @@ mod tests {
         assert_eq!(DssSampler::dss(DssMode::Map).name(), "DSS");
         assert_eq!(DssSampler::positive_only(DssMode::Map).name(), "Positive");
         assert_eq!(DssSampler::negative_only(DssMode::Map).name(), "Negative");
+    }
+
+    #[test]
+    fn refresh_reuses_buffers_after_warmup() {
+        let (_, mut model) = fixture();
+        let mut s = DssSampler::dss(DssMode::Map);
+        s.refresh(&model); // warm-up allocates the per-factor buffers
+        let ptrs: Vec<*const ItemId> = s.factor_lists.iter().map(|l| l.as_ptr()).collect();
+        let caps: Vec<usize> = s.factor_lists.iter().map(|l| l.capacity()).collect();
+        let outer_ptr = s.factor_lists.as_ptr();
+        let stds_ptr = s.factor_stds.as_ptr();
+        for round in 0..3 {
+            // Perturb the model (same geometry) so the sort has real work.
+            for i in 0..100u32 {
+                model.item_mut(ItemId(i))[0] = ((i * 7 + round) % 100) as f32;
+            }
+            s.refresh(&model);
+            assert_eq!(s.factor_lists.as_ptr(), outer_ptr);
+            assert_eq!(s.factor_stds.as_ptr(), stds_ptr);
+            for (q, l) in s.factor_lists.iter().enumerate() {
+                assert_eq!(l.as_ptr(), ptrs[q], "factor {q} list reallocated");
+                assert_eq!(l.capacity(), caps[q], "factor {q} capacity changed");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_refresh_matches_from_scratch_refresh() {
+        let (_, model) = fixture();
+        let mut rng = SmallRng::seed_from_u64(8);
+        // Several model generations with d > 1 so the fan-out/serial choice
+        // and the in-place re-sort both get exercised.
+        let mut evolving = MfModel::new(3, 120, 4, Init::default(), &mut rng);
+        let mut warm = DssSampler::dss(DssMode::Map);
+        warm.refresh(&model); // different geometry first: forces a reshape
+        for gen in 0..4u32 {
+            for i in 0..120u32 {
+                for q in 0..4 {
+                    evolving.item_mut(ItemId(i))[q] =
+                        (((i + gen) * (q as u32 + 13)) % 97) as f32 * 0.25 - 10.0;
+                }
+            }
+            warm.refresh(&evolving);
+            let mut fresh = DssSampler::dss(DssMode::Map);
+            fresh.refresh(&evolving);
+            assert_eq!(warm.factor_lists, fresh.factor_lists, "generation {gen}");
+            assert_eq!(warm.factor_stds, fresh.factor_stds, "generation {gen}");
+        }
     }
 
     #[test]

@@ -33,6 +33,17 @@ pub trait Recommender: Send + Sync {
         }
     }
 
+    /// Scores a block of users at once, one output buffer per user. The
+    /// default loops over [`scores_into`](Recommender::scores_into); factor
+    /// models override it with a blocked kernel that streams the item table
+    /// through cache once per block instead of once per user.
+    fn scores_into_batch(&self, users: &[UserId], out: &mut [Vec<f32>]) {
+        debug_assert_eq!(users.len(), out.len());
+        for (&u, buf) in users.iter().zip(out.iter_mut()) {
+            self.scores_into(u, buf);
+        }
+    }
+
     /// The top-`k` items for user `u`, excluding the user's observed items
     /// in `seen` when provided (the paper's recommendation setting: rank the
     /// unobserved items).
@@ -89,6 +100,10 @@ impl Recommender for FactorRecommender {
 
     fn scores_into(&self, u: UserId, out: &mut Vec<f32>) {
         self.model.scores_for_user(u, out);
+    }
+
+    fn scores_into_batch(&self, users: &[UserId], out: &mut [Vec<f32>]) {
+        self.model.scores_for_users(users, out);
     }
 }
 

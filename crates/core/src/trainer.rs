@@ -50,6 +50,10 @@ impl Recommender for ClapfModel {
     fn scores_into(&self, u: UserId, out: &mut Vec<f32>) {
         self.mf.scores_for_user(u, out);
     }
+
+    fn scores_into_batch(&self, users: &[UserId], out: &mut [Vec<f32>]) {
+        self.mf.scores_for_users(users, out);
+    }
 }
 
 /// The CLAPF trainer. Construct with a validated [`ClapfConfig`], then

@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Measures the sort-free ranking engine against the retained full-sort
+# evaluator and writes results/BENCH_eval.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p bench --bin eval_speed -- "$@"
