@@ -14,9 +14,9 @@ use clapf_metrics::{evaluate_serial, evaluate_serial_naive, EvalConfig};
 use clapf_mf::{Init, MfModel};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use clapf_telemetry::{per_sec, timed};
 use serde::Serialize;
 use std::hint::black_box;
-use std::time::Instant;
 
 #[derive(Serialize)]
 struct EvalRow {
@@ -51,13 +51,12 @@ fn interactions(n_users: u32, n_items: u32) -> (Interactions, Interactions) {
     (tr.build().unwrap(), te.build().unwrap())
 }
 
-fn time_runs<F: FnMut()>(mut f: F, runs: usize) -> f64 {
+fn time_runs<F: FnMut()>(mut f: F, runs: usize) -> std::time::Duration {
     // Best-of-N wall time: robust to one-off scheduler noise.
-    let mut best = f64::INFINITY;
+    let mut best = std::time::Duration::MAX;
     for _ in 0..runs {
-        let start = Instant::now();
-        f();
-        best = best.min(start.elapsed().as_secs_f64());
+        let ((), wall) = timed(&mut f);
+        best = best.min(wall);
     }
     best
 }
@@ -81,20 +80,22 @@ fn main() {
         let naive = evaluate_serial_naive(&scorer, &train, &test, &cfg);
         assert_eq!(fast, naive, "engines disagree at {n_users}×{n_items}");
 
-        let naive_secs = time_runs(
+        let naive_wall = time_runs(
             || {
                 black_box(evaluate_serial_naive(&scorer, &train, &test, &cfg));
             },
             runs,
         );
-        let sortfree_secs = time_runs(
+        let sortfree_wall = time_runs(
             || {
                 black_box(evaluate_serial(&scorer, &train, &test, &cfg));
             },
             runs,
         );
+        let naive_secs = naive_wall.as_secs_f64();
+        let sortfree_secs = sortfree_wall.as_secs_f64();
         let speedup = naive_secs / sortfree_secs;
-        let users_per_sec = fast.n_users as f64 / sortfree_secs;
+        let users_per_sec = per_sec(fast.n_users, sortfree_wall);
         eprintln!(
             "{n_users} users × {n_items} items: naive {naive_secs:.3}s, \
              sortfree {sortfree_secs:.3}s ({speedup:.2}×, {users_per_sec:.0} users/sec)"

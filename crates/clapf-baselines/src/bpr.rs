@@ -5,14 +5,17 @@
 //! `λ = 0` coincides with this model; keeping a standalone implementation
 //! both provides the baseline and cross-checks the reduction.
 
-use clapf_core::objective::sigmoid;
+use crate::observe::{build_epoch_stats, epoch_control, epoch_len, StepTally};
+use clapf_core::objective::{ln_sigmoid, sigmoid};
 use clapf_core::{FactorRecommender, ParallelConfig};
 use clapf_data::Interactions;
 use clapf_mf::{Init, MfModel, SgdConfig, SharedMfModel};
 use clapf_sampling::{sample_observed_pair, sample_unobserved_uniform};
+use clapf_telemetry::{FitMeta, FitSummary, NoopObserver, TrainObserver};
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// BPR hyper-parameters.
 #[derive(Copy, Clone, Debug)]
@@ -51,21 +54,86 @@ pub struct Bpr {
 impl Bpr {
     /// Fits by SGD with uniform negative sampling.
     pub fn fit<R: Rng>(&self, data: &Interactions, rng: &mut R) -> FactorRecommender {
+        self.fit_observed(data, rng, &mut NoopObserver)
+    }
+
+    /// [`fit`](Bpr::fit) under a [`TrainObserver`]. BPR has no sampler
+    /// refresh, so the loop is chunked into synthetic epochs (one data pass
+    /// each, at most 100 per run) purely for observation; the step order and
+    /// RNG stream are exactly those of the flat loop, so an observed fit is
+    /// bit-identical to an unobserved one. A divergence or
+    /// [`Control::Abort`](clapf_telemetry::Control::Abort) stops training
+    /// at the epoch edge.
+    pub fn fit_observed<R: Rng>(
+        &self,
+        data: &Interactions,
+        rng: &mut R,
+        observer: &mut dyn TrainObserver,
+    ) -> FactorRecommender {
         let cfg = &self.config;
         assert!(cfg.dim > 0, "dim must be positive");
+        let start = Instant::now();
         let model = MfModel::new(data.n_users(), data.n_items(), cfg.dim, cfg.init, rng);
         let shared = SharedMfModel::new(model);
         let iterations = resolve_iterations(cfg.iterations, data.n_pairs());
         let params = BprParams::new(&cfg.sgd);
+        let observing = observer.enabled();
+
+        observer.on_fit_start(&FitMeta {
+            model: "BPR".to_string(),
+            sampler: "UniformNegative".to_string(),
+            dim: cfg.dim,
+            iterations,
+            threads: 1,
+            n_users: data.n_users(),
+            n_items: data.n_items(),
+            n_pairs: data.n_pairs(),
+        });
+
+        let epoch_steps = epoch_len(iterations, data.n_pairs());
+        let n_epochs = iterations.div_ceil(epoch_steps);
         let mut u_old = vec![0.0f32; cfg.dim];
         let mut grad_u = vec![0.0f32; cfg.dim];
+        let mut tally = StepTally::new(observing);
+        let mut steps_done = 0usize;
+        let mut aborted_at = None;
+        let mut epoch_clock = Instant::now();
 
-        for _ in 0..iterations {
-            bpr_step(&shared, data, rng, &params, &mut u_old, &mut grad_u);
+        for epoch in 0..n_epochs {
+            let epoch_start = epoch * epoch_steps;
+            let epoch_end = ((epoch + 1) * epoch_steps).min(iterations);
+            for _ in epoch_start..epoch_end {
+                bpr_step(&shared, data, rng, &params, &mut u_old, &mut grad_u, &mut tally);
+            }
+            steps_done = epoch_end;
+
+            let now = Instant::now();
+            let stats = build_epoch_stats(
+                epoch,
+                epoch_end - epoch_start,
+                steps_done,
+                now - epoch_clock,
+                tally.take(),
+                observing.then(|| shared.view()),
+            );
+            epoch_clock = now;
+            if epoch_control(observer, &stats, steps_done) {
+                if steps_done < iterations {
+                    aborted_at = Some(steps_done);
+                }
+                break;
+            }
         }
 
+        let model = shared.into_inner();
+        observer.on_fit_end(&FitSummary {
+            steps: steps_done,
+            elapsed: start.elapsed(),
+            diverged: model.has_non_finite(),
+            aborted_at,
+        });
         FactorRecommender {
-            model: shared.into_inner(),
+            model,
             label: "BPR".into(),
         }
     }
@@ -77,8 +145,26 @@ impl Bpr {
     /// bit-identical to [`fit`](Bpr::fit) with
     /// `SmallRng::seed_from_u64(base_seed)`.
     pub fn fit_parallel(&self, data: &Interactions, base_seed: u64) -> FactorRecommender {
+        self.fit_parallel_observed(data, base_seed, &mut NoopObserver)
+    }
+
+    /// [`fit_parallel`](Bpr::fit_parallel) under a [`TrainObserver`].
+    ///
+    /// Unlike the CLAPF trainer, BPR's workers synchronize on **no** epoch
+    /// barriers (its sampler is stateless), so there is no quiescent point
+    /// at which per-epoch model scans would be consistent; the observer
+    /// receives `on_fit_start` and `on_fit_end` (with a post-join divergence
+    /// check) but no `on_epoch` callbacks. Use [`fit_observed`](Bpr::fit_observed)
+    /// when per-epoch statistics matter.
+    pub fn fit_parallel_observed(
+        &self,
+        data: &Interactions,
+        base_seed: u64,
+        observer: &mut dyn TrainObserver,
+    ) -> FactorRecommender {
         let cfg = &self.config;
         assert!(cfg.dim > 0, "dim must be positive");
+        let start = Instant::now();
         let threads = cfg.parallel.resolve_threads();
         let chunk = cfg.parallel.resolve_chunk();
 
@@ -87,6 +173,17 @@ impl Bpr {
         let shared = SharedMfModel::new(model);
         let iterations = resolve_iterations(cfg.iterations, data.n_pairs());
         let params = BprParams::new(&cfg.sgd);
+
+        observer.on_fit_start(&FitMeta {
+            model: "BPR".to_string(),
+            sampler: "UniformNegative".to_string(),
+            dim: cfg.dim,
+            iterations,
+            threads,
+            n_users: data.n_users(),
+            n_items: data.n_items(),
+            n_pairs: data.n_pairs(),
+        });
 
         // Worker 0 continues the init stream (serial-equivalent); the rest
         // get independent streams.
@@ -105,21 +202,35 @@ impl Bpr {
                 scope.spawn(move || {
                     let mut u_old = vec![0.0f32; cfg.dim];
                     let mut grad_u = vec![0.0f32; cfg.dim];
+                    // No barriers ⇒ no consistent epoch edges; the workers
+                    // keep their tallies disabled and the hot loop stays
+                    // untouched by telemetry.
+                    let mut tally = StepTally::new(false);
                     loop {
                         let s = counter.fetch_add(chunk, Ordering::Relaxed);
                         if s >= iterations {
                             break;
                         }
                         for _ in s..(s + chunk).min(iterations) {
-                            bpr_step(shared, data, &mut wrng, params, &mut u_old, &mut grad_u);
+                            bpr_step(
+                                shared, data, &mut wrng, params, &mut u_old, &mut grad_u,
+                                &mut tally,
+                            );
                         }
                     }
                 });
             }
         });
 
+        let model = shared.into_inner();
+        observer.on_fit_end(&FitSummary {
+            steps: iterations,
+            elapsed: start.elapsed(),
+            diverged: model.has_non_finite(),
+            aborted_at: None,
+        });
         FactorRecommender {
-            model: shared.into_inner(),
+            model,
             label: "BPR".into(),
         }
     }
@@ -154,6 +265,7 @@ impl BprParams {
 
 /// One BPR SGD step (Eqs. 1–4), shared by the serial and parallel paths.
 #[inline]
+#[allow(clippy::too_many_arguments)]
 fn bpr_step(
     shared: &SharedMfModel,
     data: &Interactions,
@@ -161,14 +273,24 @@ fn bpr_step(
     p: &BprParams,
     u_old: &mut [f32],
     grad_u: &mut [f32],
+    tally: &mut StepTally,
 ) {
     let model = shared.view();
     let (u, i) = sample_observed_pair(data, rng);
     let Some(j) = sample_unobserved_uniform(data, u, rng) else {
+        if tally.enabled {
+            tally.skipped += 1;
+        }
         return;
     };
     let x = model.score(u, i) - model.score(u, j);
     let g = sigmoid(-x);
+
+    if tally.enabled {
+        tally.sampled += 1;
+        tally.loss += -ln_sigmoid(x as f64);
+        tally.gsum += g as f64;
+    }
 
     model.copy_user_into(u, u_old);
     for ((slot, &vi), &vj) in grad_u.iter_mut().zip(model.item(i)).zip(model.item(j)) {
@@ -270,6 +392,83 @@ mod tests {
         }
         .fit_parallel(&data, 9);
         assert!(!model.model.has_non_finite());
+    }
+
+    /// Records everything the trainer reports.
+    #[derive(Default)]
+    struct Recording {
+        meta: Option<clapf_telemetry::FitMeta>,
+        epochs: Vec<clapf_telemetry::EpochStats>,
+        summary: Option<clapf_telemetry::FitSummary>,
+    }
+
+    impl TrainObserver for Recording {
+        fn on_fit_start(&mut self, meta: &clapf_telemetry::FitMeta) {
+            self.meta = Some(meta.clone());
+        }
+        fn on_epoch(&mut self, stats: &clapf_telemetry::EpochStats) -> clapf_telemetry::Control {
+            self.epochs.push(stats.clone());
+            clapf_telemetry::Control::Continue
+        }
+        fn on_fit_end(&mut self, summary: &clapf_telemetry::FitSummary) {
+            self.summary = Some(summary.clone());
+        }
+    }
+
+    #[test]
+    fn observer_leaves_bpr_fit_bit_identical() {
+        let data = generate(&WorldConfig::tiny(), &mut SmallRng::seed_from_u64(40)).unwrap();
+        let trainer = Bpr {
+            config: BprConfig {
+                dim: 6,
+                iterations: 4_000,
+                ..BprConfig::default()
+            },
+        };
+        let plain = trainer.fit(&data, &mut SmallRng::seed_from_u64(50));
+        let mut obs = Recording::default();
+        let observed = trainer.fit_observed(&data, &mut SmallRng::seed_from_u64(50), &mut obs);
+        for u in data.users() {
+            for i in data.items() {
+                assert_eq!(plain.score(u, i).to_bits(), observed.score(u, i).to_bits());
+            }
+        }
+        let meta = obs.meta.expect("fit_start fired");
+        assert_eq!(meta.model, "BPR");
+        assert_eq!(meta.iterations, 4_000);
+        assert!(!obs.epochs.is_empty());
+        assert_eq!(obs.epochs.last().unwrap().steps_total, 4_000);
+        for e in &obs.epochs {
+            assert!(e.loss.is_finite() && e.loss > 0.0, "loss = {}", e.loss);
+            assert!((0.0..=1.0).contains(&e.grad_scale));
+            assert!(e.user_norm.is_finite() && e.user_norm > 0.0);
+        }
+        assert_eq!(obs.summary.expect("fit_end fired").steps, 4_000);
+    }
+
+    #[test]
+    fn parallel_observer_sees_start_and_end() {
+        let data = generate(&WorldConfig::tiny(), &mut SmallRng::seed_from_u64(41)).unwrap();
+        let trainer = Bpr {
+            config: BprConfig {
+                dim: 6,
+                iterations: 4_000,
+                parallel: ParallelConfig {
+                    threads: 4,
+                    chunk_size: 64,
+                },
+                ..BprConfig::default()
+            },
+        };
+        let mut obs = Recording::default();
+        let model = trainer.fit_parallel_observed(&data, 9, &mut obs);
+        assert!(!model.model.has_non_finite());
+        assert_eq!(obs.meta.expect("fit_start fired").threads, 4);
+        // BPR's lock-free workers have no barriers, hence no epoch edges.
+        assert!(obs.epochs.is_empty());
+        let summary = obs.summary.expect("fit_end fired");
+        assert_eq!(summary.steps, 4_000);
+        assert!(!summary.diverged);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 mod bpr;
 mod climf;
 mod mpr;
+mod observe;
 mod poprank;
 mod randomwalk;
 mod wmf;

@@ -13,14 +13,17 @@
 //! substitution is recorded in DESIGN.md.
 
 use crate::bpr::resolve_iterations;
-use clapf_core::objective::sigmoid;
+use crate::observe::{build_epoch_stats, epoch_control, epoch_len, StepTally};
+use clapf_core::objective::{ln_sigmoid, sigmoid};
 use clapf_core::{FactorRecommender, ParallelConfig};
 use clapf_data::{Interactions, ItemId, UserId};
 use clapf_mf::{Init, MfModel, SgdConfig, SharedMfModel};
 use clapf_sampling::sample_observed_pair;
+use clapf_telemetry::{FitMeta, FitSummary, NoopObserver, TrainObserver};
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// MPR hyper-parameters (the paper searches λ ∈ {0.0, 0.1, …, 1.0}).
 #[derive(Copy, Clone, Debug)]
@@ -65,22 +68,88 @@ pub struct Mpr {
 impl Mpr {
     /// Fits by SGD over (observed, uncertain, negative) triples.
     pub fn fit<R: Rng>(&self, data: &Interactions, rng: &mut R) -> FactorRecommender {
+        self.fit_observed(data, rng, &mut NoopObserver)
+    }
+
+    /// [`fit`](Mpr::fit) under a [`TrainObserver`]. Like BPR, MPR has no
+    /// sampler refresh, so the loop is chunked into synthetic epochs (one
+    /// data pass each, at most 100 per run) purely for observation — the
+    /// step order and RNG stream match the flat loop bit for bit. A
+    /// divergence or [`Control::Abort`](clapf_telemetry::Control::Abort)
+    /// stops training at the epoch edge.
+    pub fn fit_observed<R: Rng>(
+        &self,
+        data: &Interactions,
+        rng: &mut R,
+        observer: &mut dyn TrainObserver,
+    ) -> FactorRecommender {
         let cfg = &self.config;
         cfg.check();
+        let start = Instant::now();
         let model = MfModel::new(data.n_users(), data.n_items(), cfg.dim, cfg.init, rng);
         let shared = SharedMfModel::new(model);
         let iterations = resolve_iterations(cfg.iterations, data.n_pairs());
         let pools = ItemPools::from_popularity(data, cfg.uncertain_fraction);
         let params = MprParams::new(cfg);
+        let observing = observer.enabled();
+
+        observer.on_fit_start(&FitMeta {
+            model: format!("MPR(λ={:.1})", cfg.lambda),
+            sampler: "PopularityPools".to_string(),
+            dim: cfg.dim,
+            iterations,
+            threads: 1,
+            n_users: data.n_users(),
+            n_items: data.n_items(),
+            n_pairs: data.n_pairs(),
+        });
+
+        let epoch_steps = epoch_len(iterations, data.n_pairs());
+        let n_epochs = iterations.div_ceil(epoch_steps);
         let mut u_old = vec![0.0f32; cfg.dim];
         let mut grad_u = vec![0.0f32; cfg.dim];
+        let mut tally = StepTally::new(observing);
+        let mut steps_done = 0usize;
+        let mut aborted_at = None;
+        let mut epoch_clock = Instant::now();
 
-        for _ in 0..iterations {
-            mpr_step(&shared, data, &pools, rng, &params, &mut u_old, &mut grad_u);
+        for epoch in 0..n_epochs {
+            let epoch_start = epoch * epoch_steps;
+            let epoch_end = ((epoch + 1) * epoch_steps).min(iterations);
+            for _ in epoch_start..epoch_end {
+                mpr_step(
+                    &shared, data, &pools, rng, &params, &mut u_old, &mut grad_u, &mut tally,
+                );
+            }
+            steps_done = epoch_end;
+
+            let now = Instant::now();
+            let stats = build_epoch_stats(
+                epoch,
+                epoch_end - epoch_start,
+                steps_done,
+                now - epoch_clock,
+                tally.take(),
+                observing.then(|| shared.view()),
+            );
+            epoch_clock = now;
+            if epoch_control(observer, &stats, steps_done) {
+                if steps_done < iterations {
+                    aborted_at = Some(steps_done);
+                }
+                break;
+            }
         }
 
+        let model = shared.into_inner();
+        observer.on_fit_end(&FitSummary {
+            steps: steps_done,
+            elapsed: start.elapsed(),
+            diverged: model.has_non_finite(),
+            aborted_at,
+        });
         FactorRecommender {
-            model: shared.into_inner(),
+            model,
             label: format!("MPR(λ={:.1})", cfg.lambda),
         }
     }
@@ -91,8 +160,23 @@ impl Mpr {
     /// `threads = 1` is bit-identical to [`fit`](Mpr::fit) with
     /// `SmallRng::seed_from_u64(base_seed)`.
     pub fn fit_parallel(&self, data: &Interactions, base_seed: u64) -> FactorRecommender {
+        self.fit_parallel_observed(data, base_seed, &mut NoopObserver)
+    }
+
+    /// [`fit_parallel`](Mpr::fit_parallel) under a [`TrainObserver`]. As
+    /// with BPR, the lock-free workers have no epoch barriers, so the
+    /// observer receives `on_fit_start` and `on_fit_end` (with a post-join
+    /// divergence check) but no `on_epoch` callbacks; use
+    /// [`fit_observed`](Mpr::fit_observed) for per-epoch statistics.
+    pub fn fit_parallel_observed(
+        &self,
+        data: &Interactions,
+        base_seed: u64,
+        observer: &mut dyn TrainObserver,
+    ) -> FactorRecommender {
         let cfg = &self.config;
         cfg.check();
+        let start = Instant::now();
         let threads = cfg.parallel.resolve_threads();
         let chunk = cfg.parallel.resolve_chunk();
 
@@ -102,6 +186,17 @@ impl Mpr {
         let iterations = resolve_iterations(cfg.iterations, data.n_pairs());
         let pools = ItemPools::from_popularity(data, cfg.uncertain_fraction);
         let params = MprParams::new(cfg);
+
+        observer.on_fit_start(&FitMeta {
+            model: format!("MPR(λ={:.1})", cfg.lambda),
+            sampler: "PopularityPools".to_string(),
+            dim: cfg.dim,
+            iterations,
+            threads,
+            n_users: data.n_users(),
+            n_items: data.n_items(),
+            n_pairs: data.n_pairs(),
+        });
 
         let mut rngs = Vec::with_capacity(threads);
         rngs.push(init_rng);
@@ -119,21 +214,34 @@ impl Mpr {
                 scope.spawn(move || {
                     let mut u_old = vec![0.0f32; cfg.dim];
                     let mut grad_u = vec![0.0f32; cfg.dim];
+                    // No barriers ⇒ no consistent epoch edges; tallies stay
+                    // disabled and the hot loop is telemetry-free.
+                    let mut tally = StepTally::new(false);
                     loop {
                         let s = counter.fetch_add(chunk, Ordering::Relaxed);
                         if s >= iterations {
                             break;
                         }
                         for _ in s..(s + chunk).min(iterations) {
-                            mpr_step(shared, data, pools, &mut wrng, params, &mut u_old, &mut grad_u);
+                            mpr_step(
+                                shared, data, pools, &mut wrng, params, &mut u_old, &mut grad_u,
+                                &mut tally,
+                            );
                         }
                     }
                 });
             }
         });
 
+        let model = shared.into_inner();
+        observer.on_fit_end(&FitSummary {
+            steps: iterations,
+            elapsed: start.elapsed(),
+            diverged: model.has_non_finite(),
+            aborted_at: None,
+        });
         FactorRecommender {
-            model: shared.into_inner(),
+            model,
             label: format!("MPR(λ={:.1})", cfg.lambda),
         }
     }
@@ -220,6 +328,7 @@ fn draw(
 
 /// One MPR SGD step, shared by the serial and parallel paths.
 #[inline]
+#[allow(clippy::too_many_arguments)]
 fn mpr_step(
     shared: &SharedMfModel,
     data: &Interactions,
@@ -228,19 +337,32 @@ fn mpr_step(
     p: &MprParams,
     u_old: &mut [f32],
     grad_u: &mut [f32],
+    tally: &mut StepTally,
 ) {
     let model = shared.view();
     let (u, i) = sample_observed_pair(data, rng);
     let Some(k) = draw(pools.uncertain(), data, u, rng) else {
+        if tally.enabled {
+            tally.skipped += 1;
+        }
         return;
     };
     let Some(j) = draw(pools.negative(), data, u, rng) else {
+        if tally.enabled {
+            tally.skipped += 1;
+        }
         return;
     };
 
     let r = p.lambda * (model.score(u, i) - model.score(u, k))
         + (1.0 - p.lambda) * (model.score(u, k) - model.score(u, j));
     let g = sigmoid(-r);
+
+    if tally.enabled {
+        tally.sampled += 1;
+        tally.loss += -ln_sigmoid(r as f64);
+        tally.gsum += g as f64;
+    }
 
     model.copy_user_into(u, u_old);
     grad_u.fill(0.0);
@@ -350,6 +472,53 @@ mod tests {
         }
         .fit_parallel(&data, 7);
         assert!(!model.model.has_non_finite());
+    }
+
+    #[test]
+    fn observer_leaves_mpr_fit_bit_identical() {
+        #[derive(Default)]
+        struct Recording {
+            meta: Option<clapf_telemetry::FitMeta>,
+            epochs: Vec<clapf_telemetry::EpochStats>,
+        }
+        impl TrainObserver for Recording {
+            fn on_fit_start(&mut self, meta: &clapf_telemetry::FitMeta) {
+                self.meta = Some(meta.clone());
+            }
+            fn on_epoch(
+                &mut self,
+                stats: &clapf_telemetry::EpochStats,
+            ) -> clapf_telemetry::Control {
+                self.epochs.push(stats.clone());
+                clapf_telemetry::Control::Continue
+            }
+        }
+        let data = generate(&WorldConfig::tiny(), &mut SmallRng::seed_from_u64(42)).unwrap();
+        let trainer = Mpr {
+            config: MprConfig {
+                dim: 6,
+                lambda: 0.4,
+                iterations: 4_000,
+                ..MprConfig::default()
+            },
+        };
+        let plain = trainer.fit(&data, &mut SmallRng::seed_from_u64(60));
+        let mut obs = Recording::default();
+        let observed = trainer.fit_observed(&data, &mut SmallRng::seed_from_u64(60), &mut obs);
+        for u in data.users() {
+            for i in data.items() {
+                assert_eq!(plain.score(u, i).to_bits(), observed.score(u, i).to_bits());
+            }
+        }
+        let meta = obs.meta.expect("fit_start fired");
+        assert_eq!(meta.model, "MPR(λ=0.4)");
+        assert_eq!(meta.sampler, "PopularityPools");
+        assert!(!obs.epochs.is_empty());
+        assert_eq!(obs.epochs.last().unwrap().steps_total, 4_000);
+        for e in &obs.epochs {
+            assert!(e.loss.is_finite() && e.loss > 0.0);
+            assert!(e.item_norm.is_finite() && e.item_norm > 0.0);
+        }
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! Shared [`TrainObserver`] plumbing for the SGD-trained baselines.
+//!
+//! BPR and MPR have no sampler-refresh cadence, so their serial loops are
+//! chunked into synthetic epochs purely for observation: one epoch is one
+//! pass over the observed pairs, widened so a run never reports more than
+//! [`MAX_EPOCHS`] of them. Chunking a flat loop changes neither the step
+//! order nor the RNG stream, so an observed baseline fit stays bit-identical
+//! to the unobserved one (pinned by tests in `bpr.rs`/`mpr.rs`).
+
+use clapf_mf::MfModel;
+use clapf_telemetry::{EpochStats, TrainObserver};
+use std::time::Duration;
+
+/// Upper bound on reported epochs per fit; with the automatic `100·|P|`
+/// step budget this lands exactly on one epoch per data pass.
+pub(crate) const MAX_EPOCHS: usize = 100;
+
+/// Steps per synthetic epoch for a baseline fit.
+pub(crate) fn epoch_len(iterations: usize, n_pairs: usize) -> usize {
+    n_pairs.max(iterations.div_ceil(MAX_EPOCHS)).max(1)
+}
+
+/// Serial per-step accounting, the single-threaded cousin of the CLAPF
+/// trainer's worker-local tally. When `enabled` is false every record
+/// collapses to one predictable dead branch per step.
+#[derive(Default)]
+pub(crate) struct StepTally {
+    pub enabled: bool,
+    /// Steps whose samplers produced a full comparison.
+    pub sampled: u64,
+    /// Steps abandoned because a sampler found no candidate.
+    pub skipped: u64,
+    /// Accumulated logistic-loss proxy `Σ −ln σ(R)`.
+    pub loss: f64,
+    /// Accumulated gradient scale `Σ σ(−R)`.
+    pub gsum: f64,
+}
+
+impl StepTally {
+    pub fn new(enabled: bool) -> Self {
+        StepTally {
+            enabled,
+            ..StepTally::default()
+        }
+    }
+
+    /// Drains the counts accumulated since the last take.
+    pub fn take(&mut self) -> StepTally {
+        std::mem::replace(self, StepTally::new(self.enabled))
+    }
+}
+
+/// Builds one synthetic epoch's [`EpochStats`]. Timing is always present;
+/// the model scan (norms, NaN detection) runs only when `model` is `Some`,
+/// i.e. when an enabled observer asked to pay for it.
+pub(crate) fn build_epoch_stats(
+    epoch: usize,
+    steps: usize,
+    steps_total: usize,
+    elapsed: Duration,
+    tally: StepTally,
+    model: Option<&MfModel>,
+) -> EpochStats {
+    let mut stats = EpochStats::timing_only(epoch, steps, steps_total, elapsed);
+    if let Some(m) = model {
+        let n = tally.sampled.max(1) as f64;
+        stats.loss = tally.loss / n;
+        stats.grad_scale = tally.gsum / n;
+        stats.skipped = tally.skipped;
+        stats.user_norm = m.mean_user_norm();
+        stats.item_norm = m.mean_item_norm();
+        stats.non_finite = m.has_non_finite();
+    }
+    stats
+}
+
+/// Dispatches one epoch to the observer and decides whether to keep going.
+/// Returns `true` when the fit should abort at this epoch edge.
+pub(crate) fn epoch_control(
+    observer: &mut dyn TrainObserver,
+    stats: &EpochStats,
+    steps_done: usize,
+) -> bool {
+    let control = observer.on_epoch(stats);
+    if stats.non_finite {
+        observer.on_divergence(steps_done);
+    }
+    stats.non_finite || control == clapf_telemetry::Control::Abort
+}

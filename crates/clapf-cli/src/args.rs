@@ -40,6 +40,30 @@ pub struct GenerateArgs {
     pub seed: u64,
 }
 
+/// Verbosity of the CLI's human-readable output.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum LogLevel {
+    /// Only results and errors.
+    Quiet,
+    /// The default narrative (load/train/eval lines).
+    Info,
+    /// Info plus per-epoch training statistics.
+    Debug,
+}
+
+impl LogLevel {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "quiet" => Ok(LogLevel::Quiet),
+            "info" => Ok(LogLevel::Info),
+            "debug" => Ok(LogLevel::Debug),
+            other => Err(format!(
+                "unknown log level {other:?} (expected quiet | info | debug)"
+            )),
+        }
+    }
+}
+
 /// `clapf fit` arguments.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FitArgs {
@@ -63,6 +87,17 @@ pub struct FitArgs {
     pub threads: usize,
     /// Where to save the model bundle (optional).
     pub save: Option<PathBuf>,
+    /// Where to stream the JSONL run trace (optional).
+    pub metrics_out: Option<PathBuf>,
+    /// Output verbosity.
+    pub log_level: LogLevel,
+}
+
+/// `clapf trace` arguments.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceArgs {
+    /// JSONL run trace to validate and summarize.
+    pub file: PathBuf,
 }
 
 /// `clapf recommend` arguments.
@@ -85,6 +120,8 @@ pub enum Command {
     Fit(FitArgs),
     /// Produce recommendations from a saved model.
     Recommend(RecommendArgs),
+    /// Validate and summarize a JSONL run trace.
+    Trace(TraceArgs),
     /// Print usage.
     Help,
 }
@@ -97,11 +134,16 @@ USAGE:
   clapf generate --dataset ml100k [--shrink N] [--seed N] --out data.csv
   clapf fit --data FILE [--model bpr|clapf-map|clapf-mrr] [--lambda F]
             [--dss] [--dim N] [--iterations N] [--holdout F] [--seed N]
-            [--threads N] [--save model.json]
+            [--threads N] [--save model.json] [--metrics-out run.jsonl]
+            [--log-level quiet|info|debug]
 
   --threads N trains with N lock-free (Hogwild) workers; 1 (the default)
   is the exactly-reproducible serial path, 0 uses all cores.
+  --metrics-out streams a structured JSONL run trace (fit_start, epoch,
+  fit_end, eval, summary events); --log-level debug echoes per-epoch
+  statistics, quiet keeps only results.
   clapf recommend --load model.json --user RAW_ID [-k N]
+  clapf trace --file run.jsonl
   clapf help
 ";
 
@@ -195,6 +237,10 @@ impl Command {
                     Some(v) => parse_num("--threads", v)? as usize,
                     None => 1,
                 };
+                let log_level = match value("--log-level")? {
+                    Some(v) => LogLevel::parse(v)?,
+                    None => LogLevel::Info,
+                };
                 Ok(Command::Fit(FitArgs {
                     data,
                     model,
@@ -206,7 +252,13 @@ impl Command {
                     seed,
                     threads,
                     save: value("--save")?.map(PathBuf::from),
+                    metrics_out: value("--metrics-out")?.map(PathBuf::from),
+                    log_level,
                 }))
+            }
+            "trace" => {
+                let file = PathBuf::from(required("--file")?);
+                Ok(Command::Trace(TraceArgs { file }))
             }
             "recommend" => {
                 let load = PathBuf::from(required("--load")?);
@@ -277,6 +329,8 @@ mod tests {
                 assert_eq!(f.holdout, 0.5);
                 assert_eq!(f.threads, 1);
                 assert!(f.save.is_none());
+                assert!(f.metrics_out.is_none());
+                assert_eq!(f.log_level, LogLevel::Info);
             }
             other => panic!("{other:?}"),
         }
@@ -287,7 +341,8 @@ mod tests {
         let c = Command::parse(&args(&[
             "fit", "--data", "r.csv", "--model", "clapf-mrr", "--lambda", "0.2", "--dss",
             "--dim", "16", "--iterations", "50000", "--holdout", "0.3", "--seed", "7",
-            "--threads", "4", "--save", "m.json",
+            "--threads", "4", "--save", "m.json", "--metrics-out", "run.jsonl",
+            "--log-level", "debug",
         ]))
         .unwrap();
         match c {
@@ -301,9 +356,30 @@ mod tests {
                 assert_eq!(f.seed, 7);
                 assert_eq!(f.threads, 4);
                 assert_eq!(f.save, Some(PathBuf::from("m.json")));
+                assert_eq!(f.metrics_out, Some(PathBuf::from("run.jsonl")));
+                assert_eq!(f.log_level, LogLevel::Debug);
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn fit_rejects_bad_log_level() {
+        let err =
+            Command::parse(&args(&["fit", "--data", "x", "--log-level", "loud"])).unwrap_err();
+        assert!(err.contains("log level"));
+    }
+
+    #[test]
+    fn trace_parses_and_requires_file() {
+        let c = Command::parse(&args(&["trace", "--file", "run.jsonl"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Trace(TraceArgs {
+                file: PathBuf::from("run.jsonl"),
+            })
+        );
+        assert!(Command::parse(&args(&["trace"])).is_err());
     }
 
     #[test]

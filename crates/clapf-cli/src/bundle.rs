@@ -20,6 +20,10 @@ pub struct ModelBundle {
     pub ids: IdMap,
     /// Dense training pairs (`user, item`), used to exclude seen items.
     pub train_pairs: Vec<(u32, u32)>,
+    /// Final telemetry-registry snapshot of the training run (rendered
+    /// JSON), when the fit was traced with `--metrics-out`. Absent in
+    /// bundles from untraced runs and from older versions of this tool.
+    pub metrics: Option<String>,
 }
 
 impl ModelBundle {
@@ -35,7 +39,14 @@ impl ModelBundle {
             model,
             ids,
             train_pairs: train.pairs().map(|(u, i)| (u.0, i.0)).collect(),
+            metrics: None,
         }
+    }
+
+    /// Attaches a rendered metrics snapshot to the bundle.
+    pub fn with_metrics(mut self, metrics: Option<String>) -> Self {
+        self.metrics = metrics;
+        self
     }
 
     /// Serializes to pretty JSON at `path`.
@@ -127,6 +138,21 @@ mod tests {
         assert_eq!(loaded.description, "test");
         assert_eq!(loaded.train_pairs, b.train_pairs);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bundles_without_metrics_field_still_load() {
+        // Bundles written before the telemetry layer have no `metrics`
+        // key; loading one must yield `None`, not an error.
+        let b = bundle().with_metrics(Some("{}".into()));
+        let text = serde_json::to_string(&b).unwrap();
+        let mut v: serde::Value = serde_json::from_str(&text).unwrap();
+        if let serde::Value::Map(fields) = &mut v {
+            fields.retain(|(k, _)| k != "metrics");
+        }
+        let stripped = serde_json::to_string(&v).unwrap();
+        let loaded: ModelBundle = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(loaded.metrics, None);
     }
 
     #[test]

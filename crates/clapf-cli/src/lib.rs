@@ -11,6 +11,8 @@
 //!   metrics, and save the model bundle as JSON.
 //! * `clapf recommend` — load a bundle and print top-k recommendations for
 //!   a raw user id, excluding the items the user was trained on.
+//! * `clapf trace` — validate a `--metrics-out` JSONL run trace and
+//!   summarize its event kinds.
 //!
 //! Argument parsing is hand-rolled (the workspace deliberately avoids a CLI
 //! dependency); [`Command::parse`] is fully unit-tested.
@@ -21,6 +23,8 @@
 pub mod args;
 pub mod bundle;
 pub mod run;
+pub mod telemetry;
 
-pub use args::{Command, FitArgs, GenerateArgs, RecommendArgs};
+pub use args::{Command, FitArgs, GenerateArgs, LogLevel, RecommendArgs, TraceArgs};
 pub use bundle::ModelBundle;
+pub use telemetry::CliObserver;

@@ -1,18 +1,19 @@
 //! Execution of the parsed CLI commands.
 
-use crate::args::{Command, FitArgs, GenerateArgs, ModelKind, RecommendArgs};
+use crate::args::{Command, FitArgs, GenerateArgs, LogLevel, ModelKind, RecommendArgs, TraceArgs};
 use crate::bundle::ModelBundle;
-use clapf_core::{Clapf, ClapfConfig, ClapfMode, ParallelConfig};
+use crate::telemetry::CliObserver;
+use clapf_core::{Clapf, ClapfConfig, ClapfMode, FitReport, ParallelConfig};
 use clapf_data::loader::{load_ratings_path, PAPER_RATING_THRESHOLD};
 use clapf_data::split::{split, SplitStrategy};
 use clapf_data::synthetic::{self, DatasetSpec, WorldConfig};
 use clapf_data::{export, Interactions, UserId};
-use clapf_metrics::{evaluate, BulkScorer, EvalConfig};
-use clapf_sampling::{DssMode, DssSampler, TripleSampler, UniformSampler};
+use clapf_metrics::{evaluate_instrumented, BulkScorer, EvalConfig, EvalStats};
+use clapf_sampling::{DssMode, DssSampler, DssStats, TripleSampler, UniformSampler};
+use clapf_telemetry::{per_sec, timed, JsonlSink, NoopObserver, Registry, TrainObserver};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::io::Write;
-use std::time::Instant;
 
 /// Routes the evaluator's blocked scoring to the model's batch kernel (a
 /// closure scorer would fall back to one user at a time).
@@ -39,6 +40,7 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> i32 {
         Command::Generate(a) => generate(a, out),
         Command::Fit(a) => fit(a, out),
         Command::Recommend(a) => recommend(a, out),
+        Command::Trace(a) => trace(a, out),
     };
     match result {
         Ok(()) => 0,
@@ -93,7 +95,9 @@ fn fit_model(
     a: &FitArgs,
     train: &Interactions,
     rng: &mut SmallRng,
-) -> (clapf_mf::MfModel, String) {
+    observer: &mut dyn TrainObserver,
+    registry: Option<&Registry>,
+) -> (clapf_mf::MfModel, String, FitReport) {
     let (mode, lambda) = match a.model {
         ModelKind::Bpr => (ClapfMode::Map, 0.0), // CLAPF at λ = 0 ≡ BPR
         ModelKind::ClapfMap => (ClapfMode::Map, a.lambda),
@@ -119,17 +123,27 @@ fn fit_model(
         ClapfMode::Mrr => DssMode::Mrr,
     };
     let workers = parallel.resolve_threads();
+    // DSS introspection rides on the sampler itself: when a registry is
+    // live, the sampler's draw-depth and refresh series land in it (the
+    // Hogwild clones share the same counters through their `Arc`s).
+    let make_dss = || {
+        let mut s = DssSampler::dss(dss_mode);
+        if let Some(reg) = registry {
+            s.attach_stats(DssStats::registered(reg));
+        }
+        s
+    };
     let (model, report) = if workers == 1 {
         let mut sampler: Box<dyn TripleSampler> = if a.dss {
-            Box::new(DssSampler::dss(dss_mode))
+            Box::new(make_dss())
         } else {
             Box::new(UniformSampler)
         };
-        trainer.fit(train, sampler.as_mut(), rng)
+        trainer.fit_observed(train, sampler.as_mut(), rng, observer)
     } else if a.dss {
-        trainer.fit_parallel(train, &DssSampler::dss(dss_mode), a.seed)
+        trainer.fit_parallel_observed(train, &make_dss(), a.seed, observer)
     } else {
-        trainer.fit_parallel(train, &UniformSampler, a.seed)
+        trainer.fit_parallel_observed(train, &UniformSampler, a.seed, observer)
     };
     let name = match a.model {
         ModelKind::Bpr => "BPR".to_string(),
@@ -144,21 +158,29 @@ fn fit_model(
         workers,
         if workers == 1 { "" } else { "s" }
     );
-    (model.mf, description)
+    (model.mf, description, report)
 }
 
+/// A no-output observer whose `enabled()` is true, so the trainer pays for
+/// per-epoch statistics (used by `--log-level debug` without a trace file).
+struct StatsOnly;
+impl TrainObserver for StatsOnly {}
+
 fn fit<W: Write>(a: FitArgs, out: &mut W) -> Result<(), String> {
+    let chatty = a.log_level != LogLevel::Quiet;
     let loaded = load_ratings_path(&a.data, PAPER_RATING_THRESHOLD)
         .map_err(|e| format!("load {:?}: {e}", a.data))?;
-    writeln!(
-        out,
-        "loaded {}: {} users × {} items, {} positive pairs",
-        a.data.display(),
-        loaded.interactions.n_users(),
-        loaded.interactions.n_items(),
-        loaded.interactions.n_pairs()
-    )
-    .map_err(|e| e.to_string())?;
+    if chatty {
+        writeln!(
+            out,
+            "loaded {}: {} users × {} items, {} positive pairs",
+            a.data.display(),
+            loaded.interactions.n_users(),
+            loaded.interactions.n_items(),
+            loaded.interactions.n_pairs()
+        )
+        .map_err(|e| e.to_string())?;
+    }
 
     let mut rng = SmallRng::seed_from_u64(a.seed);
     let (train, test) = if a.holdout > 0.0 {
@@ -174,14 +196,65 @@ fn fit<W: Write>(a: FitArgs, out: &mut W) -> Result<(), String> {
         (loaded.interactions.clone(), None)
     };
 
-    let (model, mut description) = fit_model(&a, &train, &mut rng);
-    writeln!(out, "trained {description}").map_err(|e| e.to_string())?;
+    // One registry collects the whole run (DSS sampler series, eval
+    // series); its final snapshot lands in the `summary` trace event and
+    // in the saved bundle. Series are only attached when tracing.
+    let registry = Registry::new();
+    let tracing = a.metrics_out.is_some();
+    let mut cli_obs = match &a.metrics_out {
+        Some(p) => {
+            let sink = JsonlSink::to_file(p).map_err(|e| format!("create {p:?}: {e}"))?;
+            Some(CliObserver::new(sink))
+        }
+        None => None,
+    };
+    let mut stats_only = StatsOnly;
+    let mut noop = NoopObserver;
+    let observer: &mut dyn TrainObserver = match cli_obs.as_mut() {
+        Some(o) => o,
+        None if a.log_level == LogLevel::Debug => &mut stats_only,
+        None => &mut noop,
+    };
+
+    let (model, mut description, report) =
+        fit_model(&a, &train, &mut rng, observer, tracing.then_some(&registry));
+    if chatty {
+        writeln!(out, "trained {description}").map_err(|e| e.to_string())?;
+    }
+    if a.log_level == LogLevel::Debug {
+        for e in &report.epochs {
+            writeln!(
+                out,
+                "  epoch {:>3}: {} steps in {:.3}s ({:.0} triples/sec, loss {:.4}, |U| {:.4}, |V| {:.4})",
+                e.epoch,
+                e.steps,
+                e.elapsed.as_secs_f64(),
+                e.triples_per_sec,
+                e.loss,
+                e.user_norm,
+                e.item_norm
+            )
+            .map_err(|e| e.to_string())?;
+        }
+    }
+    if let Some(at) = report.aborted_at {
+        writeln!(out, "training aborted at step {at} (divergence detected)")
+            .map_err(|e| e.to_string())?;
+    }
 
     if let Some(test) = test {
-        let eval_start = Instant::now();
-        let report = evaluate(&MfScorer(&model), &train, &test, &EvalConfig::at_5());
-        let eval_secs = eval_start.elapsed().as_secs_f64();
-        let users_per_sec = report.n_users as f64 / eval_secs.max(1e-9);
+        let eval_stats = tracing.then(|| EvalStats::registered(&registry));
+        let (report, wall) = timed(|| {
+            evaluate_instrumented(
+                &MfScorer(&model),
+                &train,
+                &test,
+                &EvalConfig::at_5(),
+                eval_stats.as_deref(),
+            )
+        });
+        let eval_secs = wall.as_secs_f64();
+        let users_per_sec = per_sec(report.n_users, wall);
         writeln!(
             out,
             "held-out metrics over {} users: Prec@5 {:.3}  Recall@5 {:.3}  NDCG@5 {:.3}  MAP {:.3}  MRR {:.3}  AUC {:.3}",
@@ -194,18 +267,85 @@ fn fit<W: Write>(a: FitArgs, out: &mut W) -> Result<(), String> {
             report.auc
         )
         .map_err(|e| e.to_string())?;
-        writeln!(
-            out,
-            "evaluated in {eval_secs:.2}s ({users_per_sec:.0} users/sec, full ranking)"
-        )
-        .map_err(|e| e.to_string())?;
+        if chatty {
+            writeln!(
+                out,
+                "evaluated in {eval_secs:.2}s ({users_per_sec:.0} users/sec, full ranking)"
+            )
+            .map_err(|e| e.to_string())?;
+        }
         description = format!("{description}; eval {eval_secs:.2}s ({users_per_sec:.0} users/sec)");
+        if let Some(obs) = &cli_obs {
+            obs.sink().emit(
+                "eval",
+                vec![
+                    ("users".into(), report.n_users.into()),
+                    ("secs".into(), eval_secs.into()),
+                    ("users_per_sec".into(), users_per_sec.into()),
+                    ("map".into(), report.map.into()),
+                    ("mrr".into(), report.mrr.into()),
+                    ("auc".into(), report.auc.into()),
+                ],
+            );
+        }
+    }
+
+    let metrics_snapshot = tracing.then(|| registry.snapshot());
+    if let (Some(obs), Some(snap)) = (&cli_obs, &metrics_snapshot) {
+        obs.sink()
+            .emit("summary", vec![("registry".into(), snap.clone())]);
+        obs.sink().flush();
     }
 
     if let Some(path) = &a.save {
-        let bundle = ModelBundle::new(description, model, loaded.ids, &train);
+        let bundle = ModelBundle::new(description, model, loaded.ids, &train)
+            .with_metrics(metrics_snapshot.map(|s| s.render()));
         bundle.save(path).map_err(|e| format!("save {path:?}: {e}"))?;
-        writeln!(out, "saved model bundle to {}", path.display()).map_err(|e| e.to_string())?;
+        if chatty {
+            writeln!(out, "saved model bundle to {}", path.display()).map_err(|e| e.to_string())?;
+        }
+    }
+    if let (Some(obs), Some(p)) = (&cli_obs, &a.metrics_out) {
+        obs.sink().flush();
+        if chatty {
+            writeln!(out, "wrote run trace to {}", p.display()).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+/// Validates a `--metrics-out` JSONL trace: every line must parse as a JSON
+/// object with an `ev` kind. Prints a tally of the event kinds.
+fn trace<W: Write>(a: TraceArgs, out: &mut W) -> Result<(), String> {
+    let body =
+        std::fs::read_to_string(&a.file).map_err(|e| format!("read {:?}: {e}", a.file))?;
+    let mut kinds: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
+    let mut total = 0usize;
+    for (n, line) in body.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v: serde::Value = serde_json::from_str(line)
+            .map_err(|e| format!("{}:{}: invalid JSON: {e}", a.file.display(), n + 1))?;
+        let serde::Value::Map(fields) = &v else {
+            return Err(format!("{}:{}: not a JSON object", a.file.display(), n + 1));
+        };
+        let kind = fields
+            .iter()
+            .find(|(k, _)| k == "ev")
+            .and_then(|(_, v)| match v {
+                serde::Value::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+            .ok_or_else(|| {
+                format!("{}:{}: missing \"ev\" event kind", a.file.display(), n + 1)
+            })?;
+        *kinds.entry(kind).or_insert(0) += 1;
+        total += 1;
+    }
+    writeln!(out, "{}: {} events", a.file.display(), total).map_err(|e| e.to_string())?;
+    for (kind, count) in &kinds {
+        writeln!(out, "  {kind:<12} {count}").map_err(|e| e.to_string())?;
     }
     Ok(())
 }
@@ -292,6 +432,119 @@ mod tests {
         assert_eq!(code, 0, "{text}");
         assert!(text.contains("4 threads"), "{text}");
         assert!(text.contains("held-out metrics"), "{text}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fit_with_metrics_out_writes_a_valid_trace() {
+        let dir = std::env::temp_dir().join("clapf-cli-trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.csv");
+        let trace = dir.join("run.jsonl");
+        let model = dir.join("model.json");
+
+        let (code, text) = run_cmd(&[
+            "generate", "--dataset", "ml100k", "--shrink", "24", "--out",
+            data.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{text}");
+
+        let (code, text) = run_cmd(&[
+            "fit", "--data", data.to_str().unwrap(), "--dss", "--dim", "8",
+            "--iterations", "20000", "--metrics-out", trace.to_str().unwrap(),
+            "--save", model.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("wrote run trace"), "{text}");
+
+        // The trace must parse and contain the full event vocabulary.
+        let body = std::fs::read_to_string(&trace).unwrap();
+        for ev in ["fit_start", "epoch", "fit_end", "eval", "summary"] {
+            assert!(
+                body.lines().any(|l| l.contains(&format!("\"ev\":\"{ev}\""))),
+                "missing {ev} event in:\n{body}"
+            );
+        }
+        // DSS sampler introspection landed in the summary registry.
+        assert!(body.contains("dss.draws"), "{body}");
+        assert!(body.contains("eval.users"), "{body}");
+
+        // `clapf trace` validates it and tallies kinds.
+        let (code, text) = run_cmd(&["trace", "--file", trace.to_str().unwrap()]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("events"), "{text}");
+        assert!(text.contains("fit_start"), "{text}");
+
+        // The saved bundle embeds the same registry snapshot.
+        let bundle = ModelBundle::load(&model).unwrap();
+        let metrics = bundle.metrics.expect("traced fit embeds metrics");
+        assert!(metrics.contains("dss.draws"), "{metrics}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quiet_log_level_keeps_only_results() {
+        let dir = std::env::temp_dir().join("clapf-cli-quiet");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.csv");
+
+        let (code, text) = run_cmd(&[
+            "generate", "--dataset", "ml100k", "--shrink", "24", "--out",
+            data.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{text}");
+
+        let (code, text) = run_cmd(&[
+            "fit", "--data", data.to_str().unwrap(), "--dim", "8", "--iterations",
+            "5000", "--log-level", "quiet",
+        ]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("held-out metrics"), "{text}");
+        assert!(!text.contains("loaded"), "{text}");
+        assert!(!text.contains("trained"), "{text}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn debug_log_level_prints_epoch_lines() {
+        let dir = std::env::temp_dir().join("clapf-cli-debug");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.csv");
+
+        let (code, text) = run_cmd(&[
+            "generate", "--dataset", "ml100k", "--shrink", "24", "--out",
+            data.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{text}");
+
+        let (code, text) = run_cmd(&[
+            "fit", "--data", data.to_str().unwrap(), "--dim", "8", "--iterations",
+            "5000", "--log-level", "debug",
+        ]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("epoch"), "{text}");
+        assert!(text.contains("triples/sec"), "{text}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_rejects_invalid_jsonl() {
+        let dir = std::env::temp_dir().join("clapf-cli-badtrace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.jsonl");
+        std::fs::write(&bad, "{\"ev\":\"epoch\"}\nnot json\n").unwrap();
+        let (code, text) = run_cmd(&["trace", "--file", bad.to_str().unwrap()]);
+        assert_eq!(code, 1);
+        assert!(text.contains("invalid JSON"), "{text}");
+
+        std::fs::write(&bad, "{\"epoch\":3}\n").unwrap();
+        let (code, text) = run_cmd(&["trace", "--file", bad.to_str().unwrap()]);
+        assert_eq!(code, 1);
+        assert!(text.contains("missing \"ev\""), "{text}");
 
         std::fs::remove_dir_all(&dir).ok();
     }

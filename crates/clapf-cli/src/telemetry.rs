@@ -1,0 +1,167 @@
+//! The CLI's [`TrainObserver`]: streams every training callback as one
+//! JSONL event into the `--metrics-out` file.
+//!
+//! Event schema (one JSON object per line, `ev` discriminates):
+//!
+//! * `fit_start` — model, sampler, dim, iterations, threads, n_users,
+//!   n_items, n_pairs.
+//! * `epoch` — epoch, steps, steps_total, secs, triples_per_sec, loss,
+//!   grad_scale, skipped, user_norm, item_norm, non_finite. Statistic
+//!   fields are JSON `null` for unobserved (timing-only) epochs.
+//! * `divergence` — step at which parameters went non-finite.
+//! * `fit_end` — steps, secs, diverged, aborted_at.
+//! * `eval` — users, secs, users_per_sec plus headline metrics (emitted by
+//!   the fit command, not the observer).
+//! * `summary` — the final registry snapshot (counters, gauges, histograms).
+//!
+//! `clapf trace` re-reads a file of these lines, validates each against the
+//! JSON parser and tallies the event kinds.
+
+use clapf_telemetry::{
+    Control, EpochStats, FitMeta, FitSummary, JsonValue, JsonlSink, TrainObserver,
+};
+
+/// Streams training callbacks as JSONL events through a [`JsonlSink`].
+#[derive(Debug)]
+pub struct CliObserver {
+    sink: JsonlSink,
+}
+
+impl CliObserver {
+    /// An observer writing through `sink`.
+    pub fn new(sink: JsonlSink) -> Self {
+        CliObserver { sink }
+    }
+
+    /// The underlying sink, for emitting non-training events (`eval`,
+    /// `summary`) into the same trace.
+    pub fn sink(&self) -> &JsonlSink {
+        &self.sink
+    }
+}
+
+impl TrainObserver for CliObserver {
+    fn on_fit_start(&mut self, meta: &FitMeta) {
+        self.sink.emit(
+            "fit_start",
+            vec![
+                ("model".into(), meta.model.as_str().into()),
+                ("sampler".into(), meta.sampler.as_str().into()),
+                ("dim".into(), meta.dim.into()),
+                ("iterations".into(), meta.iterations.into()),
+                ("threads".into(), meta.threads.into()),
+                ("n_users".into(), u64::from(meta.n_users).into()),
+                ("n_items".into(), u64::from(meta.n_items).into()),
+                ("n_pairs".into(), meta.n_pairs.into()),
+            ],
+        );
+    }
+
+    fn on_epoch(&mut self, stats: &EpochStats) -> Control {
+        self.sink.emit(
+            "epoch",
+            vec![
+                ("epoch".into(), stats.epoch.into()),
+                ("steps".into(), stats.steps.into()),
+                ("steps_total".into(), stats.steps_total.into()),
+                ("secs".into(), stats.elapsed.as_secs_f64().into()),
+                ("triples_per_sec".into(), stats.triples_per_sec.into()),
+                ("loss".into(), stats.loss.into()),
+                ("grad_scale".into(), stats.grad_scale.into()),
+                ("skipped".into(), stats.skipped.into()),
+                ("user_norm".into(), stats.user_norm.into()),
+                ("item_norm".into(), stats.item_norm.into()),
+                ("non_finite".into(), stats.non_finite.into()),
+            ],
+        );
+        Control::Continue
+    }
+
+    fn on_divergence(&mut self, step: usize) {
+        self.sink
+            .emit("divergence", vec![("step".into(), step.into())]);
+    }
+
+    fn on_fit_end(&mut self, summary: &FitSummary) {
+        self.sink.emit(
+            "fit_end",
+            vec![
+                ("steps".into(), summary.steps.into()),
+                ("secs".into(), summary.elapsed.as_secs_f64().into()),
+                ("diverged".into(), summary.diverged.into()),
+                (
+                    "aborted_at".into(),
+                    match summary.aborted_at {
+                        Some(s) => s.into(),
+                        None => JsonValue::Null,
+                    },
+                ),
+            ],
+        );
+        self.sink.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    #[derive(Clone)]
+    struct Shared(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn callbacks_become_jsonl_events() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let mut obs = CliObserver::new(JsonlSink::new(Box::new(Shared(buf.clone()))));
+        obs.on_fit_start(&FitMeta {
+            model: "CLAPF(λ=0.3)-MAP".into(),
+            sampler: "DSS".into(),
+            dim: 8,
+            iterations: 1000,
+            threads: 1,
+            n_users: 10,
+            n_items: 20,
+            n_pairs: 55,
+        });
+        let mut stats = EpochStats::timing_only(0, 500, 500, Duration::from_millis(20));
+        stats.loss = 0.69;
+        assert_eq!(obs.on_epoch(&stats), Control::Continue);
+        obs.on_divergence(700);
+        obs.on_fit_end(&FitSummary {
+            steps: 1000,
+            elapsed: Duration::from_millis(50),
+            diverged: false,
+            aborted_at: None,
+        });
+
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "{text}");
+        assert!(lines[0].contains("\"ev\":\"fit_start\""));
+        assert!(lines[0].contains("\"sampler\":\"DSS\""));
+        assert!(lines[1].contains("\"ev\":\"epoch\""));
+        assert!(lines[1].contains("\"loss\":0.69"));
+        // NaN statistic fields render as null, keeping the line valid JSON.
+        assert!(lines[1].contains("\"grad_scale\":null"), "{}", lines[1]);
+        assert!(lines[2].contains("\"ev\":\"divergence\""));
+        assert!(lines[3].contains("\"ev\":\"fit_end\""));
+        assert!(lines[3].contains("\"aborted_at\":null"));
+        // Every line must survive the JSON parser `clapf trace` uses.
+        for line in lines {
+            serde_json::from_str::<serde::Value>(line).expect(line);
+        }
+    }
+}

@@ -3,9 +3,10 @@
 use crate::{
     auc, auc_at_ranks, average_precision, average_precision_at_ranks, f1, ndcg_at_k,
     one_call_at_k, precision_at_k, rank_all, recall_at_k, reciprocal_rank,
-    reciprocal_rank_at_ranks, top_k_into, CountingRanks, RankedList,
+    reciprocal_rank_at_ranks, top_k_into, CountingRanks, EvalStats, RankedList,
 };
 use clapf_data::{Interactions, UserId};
+use clapf_telemetry::{per_sec, timed};
 use serde::Serialize;
 use std::collections::BTreeMap;
 
@@ -194,6 +195,7 @@ impl EngineScratch {
 /// metric family reads the prefix, MAP/MRR/AUC read the ranks, and both are
 /// bit-identical to their sorted-list counterparts (same deterministic
 /// descending-score, ascending-id order).
+#[allow(clippy::too_many_arguments)]
 fn eval_user_sortfree(
     scores: &[f32],
     train: &Interactions,
@@ -202,12 +204,20 @@ fn eval_user_sortfree(
     ks: &[usize],
     scratch: &mut EngineScratch,
     sums: &mut Sums,
+    stats: Option<&EvalStats>,
 ) {
     let relevant_items = test.items_of(u);
     debug_assert!(!relevant_items.is_empty());
     debug_assert_eq!(scores.len(), train.n_items() as usize);
     let is_candidate = |i| !train.contains(u, i);
     scratch.counting.compute(scores, is_candidate, relevant_items);
+    if let Some(s) = stats {
+        // The counting pass hands over the exact 1-based ranks for free.
+        s.users.inc();
+        for &rank in scratch.counting.ranks() {
+            s.relevant_ranks.record(rank as f64);
+        }
+    }
     let max_k = ks.iter().copied().max().unwrap_or(0);
     top_k_into(scores, max_k, is_candidate, &mut scratch.prefix.items);
     let n_rel = relevant_items.len();
@@ -239,6 +249,7 @@ fn eval_users_blocked<S: BulkScorer>(
     test: &Interactions,
     users: impl Iterator<Item = UserId>,
     ks: &[usize],
+    stats: Option<&EvalStats>,
 ) -> Sums {
     let mut sums = Sums::new(ks.len());
     let mut scratch = EngineScratch::new();
@@ -248,13 +259,14 @@ fn eval_users_blocked<S: BulkScorer>(
         }
         scratch.pending.push(u);
         if scratch.pending.len() == SCORE_BATCH {
-            flush_block(scorer, train, test, ks, &mut scratch, &mut sums);
+            flush_block(scorer, train, test, ks, &mut scratch, &mut sums, stats);
         }
     }
-    flush_block(scorer, train, test, ks, &mut scratch, &mut sums);
+    flush_block(scorer, train, test, ks, &mut scratch, &mut sums, stats);
     sums
 }
 
+#[allow(clippy::too_many_arguments)]
 fn flush_block<S: BulkScorer>(
     scorer: &S,
     train: &Interactions,
@@ -262,6 +274,7 @@ fn flush_block<S: BulkScorer>(
     ks: &[usize],
     scratch: &mut EngineScratch,
     sums: &mut Sums,
+    stats: Option<&EvalStats>,
 ) {
     if scratch.pending.is_empty() {
         return;
@@ -273,7 +286,7 @@ fn flush_block<S: BulkScorer>(
     let mut bufs = std::mem::take(&mut scratch.score_bufs);
     let mut pending = std::mem::take(&mut scratch.pending);
     for (&u, scores) in pending.iter().zip(&bufs) {
-        eval_user_sortfree(scores, train, test, u, ks, scratch, sums);
+        eval_user_sortfree(scores, train, test, u, ks, scratch, sums, stats);
     }
     pending.clear();
     scratch.score_bufs = std::mem::take(&mut bufs);
@@ -345,7 +358,27 @@ pub fn evaluate_serial<S: BulkScorer>(
     test: &Interactions,
     config: &EvalConfig,
 ) -> EvalReport {
-    let sums = eval_users_blocked(scorer, train, test, test.users(), &config.ks);
+    evaluate_serial_instrumented(scorer, train, test, config, None)
+}
+
+/// [`evaluate_serial`] with optional telemetry: when `stats` is `Some`, the
+/// engine records every relevant item's exact rank (from the counting pass,
+/// at no extra ranking cost), the user count, and the run's wall time and
+/// throughput. The reported metrics are identical either way.
+pub fn evaluate_serial_instrumented<S: BulkScorer>(
+    scorer: &S,
+    train: &Interactions,
+    test: &Interactions,
+    config: &EvalConfig,
+    stats: Option<&EvalStats>,
+) -> EvalReport {
+    let (sums, elapsed) = timed(|| {
+        eval_users_blocked(scorer, train, test, test.users(), &config.ks, stats)
+    });
+    if let Some(s) = stats {
+        s.eval_secs.set(elapsed.as_secs_f64());
+        s.users_per_sec.set(per_sec(sums.n, elapsed));
+    }
     finalize(sums, &config.ks)
 }
 
@@ -380,6 +413,20 @@ pub fn evaluate<S: BulkScorer>(
     test: &Interactions,
     config: &EvalConfig,
 ) -> EvalReport {
+    evaluate_instrumented(scorer, train, test, config, None)
+}
+
+/// [`evaluate`] with optional telemetry; see
+/// [`evaluate_serial_instrumented`]. The stats primitives are lock-free, so
+/// the parallel workers record into them concurrently and the merged counts
+/// are exact.
+pub fn evaluate_instrumented<S: BulkScorer>(
+    scorer: &S,
+    train: &Interactions,
+    test: &Interactions,
+    config: &EvalConfig,
+    stats: Option<&EvalStats>,
+) -> EvalReport {
     let threads = if config.threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -389,27 +436,33 @@ pub fn evaluate<S: BulkScorer>(
     };
     let n_users = test.n_users() as usize;
     if threads <= 1 || n_users < 2 * threads {
-        return evaluate_serial(scorer, train, test, config);
+        return evaluate_serial_instrumented(scorer, train, test, config, stats);
     }
     let chunk = n_users.div_ceil(threads);
-    let partials = crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for t in 0..threads {
-            let ks = &config.ks;
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(n_users);
-            handles.push(scope.spawn(move |_| {
-                let users = (lo..hi).map(|uid| UserId(uid as u32));
-                eval_users_blocked(scorer, train, test, users, ks)
-            }));
-        }
-        let mut total = Sums::new(config.ks.len());
-        for h in handles {
-            total.merge(&h.join().expect("evaluation worker panicked"));
-        }
-        total
-    })
-    .expect("evaluation scope panicked");
+    let (partials, elapsed) = timed(|| {
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for t in 0..threads {
+                let ks = &config.ks;
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n_users);
+                handles.push(scope.spawn(move |_| {
+                    let users = (lo..hi).map(|uid| UserId(uid as u32));
+                    eval_users_blocked(scorer, train, test, users, ks, stats)
+                }));
+            }
+            let mut total = Sums::new(config.ks.len());
+            for h in handles {
+                total.merge(&h.join().expect("evaluation worker panicked"));
+            }
+            total
+        })
+        .expect("evaluation scope panicked")
+    });
+    if let Some(s) = stats {
+        s.eval_secs.set(elapsed.as_secs_f64());
+        s.users_per_sec.set(per_sec(partials.n, elapsed));
+    }
     finalize(partials, &config.ks)
 }
 
@@ -575,6 +628,57 @@ mod tests {
         for k in [3, 5, 10, 15, 20] {
             assert!((serial.topk[&k].ndcg - parallel.topk[&k].ndcg).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn instrumented_eval_matches_and_records_ranks() {
+        let (train, test) = fixture();
+        let scorer = oracle(test.clone());
+        let cfg = EvalConfig::default();
+        let plain = evaluate_serial(&scorer, &train, &test, &cfg);
+        let stats = crate::EvalStats::new();
+        let instrumented =
+            evaluate_serial_instrumented(&scorer, &train, &test, &cfg, Some(&stats));
+        // Telemetry must not change a single reported number.
+        assert_eq!(plain, instrumented);
+        assert_eq!(stats.users.get(), 2);
+        // 3 test items across the fixture's two users, each with a rank.
+        assert_eq!(stats.relevant_ranks.count(), 3);
+        // The oracle puts every relevant item at the very top: ranks 1..=2.
+        assert!(stats.relevant_ranks.mean() <= 2.0);
+        assert!(stats.eval_secs.get() >= 0.0);
+        assert!(stats.users_per_sec.get() > 0.0);
+    }
+
+    #[test]
+    fn parallel_instrumented_counts_are_exact() {
+        let mut tr = InteractionsBuilder::new(64, 40);
+        let mut te = InteractionsBuilder::new(64, 40);
+        for u in 0..64u32 {
+            for i in 0..40u32 {
+                match (u.wrapping_mul(31).wrapping_add(i * 7)) % 5 {
+                    0 => tr.push(UserId(u), ItemId(i)).unwrap(),
+                    1 => te.push(UserId(u), ItemId(i)).unwrap(),
+                    _ => {}
+                }
+            }
+        }
+        let train = tr.build().unwrap();
+        let test = te.build().unwrap();
+        let scorer = |u: UserId, out: &mut Vec<f32>| {
+            out.clear();
+            for i in 0..40u32 {
+                out.push(((u.0 * 13 + i * 29) % 17) as f32);
+            }
+        };
+        let cfg = EvalConfig {
+            ks: vec![5],
+            threads: 4,
+        };
+        let stats = crate::EvalStats::new();
+        let report = evaluate_instrumented(&scorer, &train, &test, &cfg, Some(&stats));
+        assert_eq!(stats.users.get() as usize, report.n_users);
+        assert_eq!(stats.relevant_ranks.count() as usize, test.n_pairs());
     }
 
     #[test]

@@ -30,13 +30,15 @@ mod evaluate;
 mod ranked;
 mod rankmetrics;
 pub mod sampled;
+mod stats;
 mod topk;
 
 pub use aggregate::{paired_t_test, Aggregate, PairedComparison};
 pub use evaluate::{
-    evaluate, evaluate_serial, evaluate_serial_naive, BulkScorer, EvalConfig, EvalReport,
-    TopKMetrics,
+    evaluate, evaluate_instrumented, evaluate_serial, evaluate_serial_instrumented,
+    evaluate_serial_naive, BulkScorer, EvalConfig, EvalReport, TopKMetrics,
 };
+pub use stats::EvalStats;
 pub use ranked::{rank_all, top_k_into, top_k_ranked, CountingRanks, RankedList};
 pub use rankmetrics::{
     auc, auc_at_ranks, average_precision, average_precision_at_ranks, reciprocal_rank,

@@ -1,0 +1,70 @@
+//! Evaluation-side telemetry.
+//!
+//! [`EvalStats`] captures what the ranking engine sees while it scores:
+//! how many users were evaluated, how fast, and — the quantity ranking
+//! research actually debugs with — the distribution of the *relevant items'
+//! exact ranks*, read for free from the engine's counting pass. A model
+//! whose MAP looks fine but whose rank histogram has a fat tail is hiding
+//! badly-served users behind the average.
+
+use clapf_telemetry::{Counter, Gauge, Histogram, Registry};
+use std::sync::Arc;
+
+/// Aggregated evaluation behaviour. Pass to the `*_instrumented` evaluation
+/// entry points; all fields are lock-free, so the parallel evaluator's
+/// workers record into them concurrently.
+#[derive(Debug)]
+pub struct EvalStats {
+    /// Users that entered the averages.
+    pub users: Arc<Counter>,
+    /// Exact 1-based rank of every relevant (test) item among the user's
+    /// candidates, from the counting pass. Power-of-two buckets: rank 1 is
+    /// a hit at the very top; the overflow bucket is the long tail.
+    pub relevant_ranks: Arc<Histogram>,
+    /// Wall time of the last evaluation, seconds.
+    pub eval_secs: Arc<Gauge>,
+    /// Throughput of the last evaluation, users per second.
+    pub users_per_sec: Arc<Gauge>,
+}
+
+fn rank_buckets() -> Histogram {
+    Histogram::exponential(1.0, 2.0, 20)
+}
+
+impl EvalStats {
+    /// Standalone stats, not attached to any registry.
+    pub fn new() -> Arc<Self> {
+        Arc::new(EvalStats {
+            users: Arc::new(Counter::new()),
+            relevant_ranks: Arc::new(rank_buckets()),
+            eval_secs: Arc::new(Gauge::new()),
+            users_per_sec: Arc::new(Gauge::new()),
+        })
+    }
+
+    /// Stats whose series live in `registry` under `eval.*` names.
+    pub fn registered(registry: &Registry) -> Arc<Self> {
+        Arc::new(EvalStats {
+            users: registry.counter("eval.users"),
+            relevant_ranks: registry.histogram("eval.relevant_ranks", rank_buckets),
+            eval_secs: registry.gauge("eval.secs"),
+            users_per_sec: registry.gauge("eval.users_per_sec"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registered_stats_share_series_with_the_registry() {
+        let reg = Registry::new();
+        let stats = EvalStats::registered(&reg);
+        stats.users.add(3);
+        stats.eval_secs.set(0.5);
+        let json = reg.snapshot().render();
+        assert!(json.contains("\"eval.users\":3"), "{json}");
+        assert!(json.contains("\"eval.secs\":0.5"), "{json}");
+    }
+}

@@ -296,6 +296,26 @@ impl MfModel {
             .chain(&self.item_bias)
             .any(|x| !x.is_finite())
     }
+
+    /// Mean L2 norm of the user factor rows — the telemetry layer's
+    /// embedding-health snapshot (a collapsing or exploding mean norm flags
+    /// a bad learning rate long before AUC does).
+    pub fn mean_user_norm(&self) -> f64 {
+        mean_row_norm(&self.user_factors, self.n_users as usize, self.dim)
+    }
+
+    /// Mean L2 norm of the item factor rows.
+    pub fn mean_item_norm(&self) -> f64 {
+        mean_row_norm(&self.item_factors, self.n_items as usize, self.dim)
+    }
+}
+
+fn mean_row_norm(flat: &[f32], rows: usize, dim: usize) -> f64 {
+    let mut acc = 0.0f64;
+    for row in flat.chunks_exact(dim) {
+        acc += row.iter().map(|&x| x as f64 * x as f64).sum::<f64>().sqrt();
+    }
+    acc / (rows.max(1) as f64)
 }
 
 /// Dense dot product; the hottest few lines in the workspace.

@@ -18,11 +18,13 @@
 //! Disabling one of the two rank-aware draws yields the paper's Fig. 4
 //! ablations ("Positive Sampling" / "Negative Sampling").
 
-use crate::{sample_second_observed, sample_unobserved_uniform, Geometric, TripleSampler};
+use crate::{sample_second_observed, sample_unobserved_uniform, DssStats, Geometric, TripleSampler};
 use clapf_data::{Interactions, ItemId, UserId};
 use clapf_mf::MfModel;
+use clapf_telemetry::Stopwatch;
 use rand::Rng;
 use rand::RngCore;
+use std::sync::Arc;
 
 /// Which CLAPF instantiation the sampler serves; determines from which end
 /// of the ranking the observed item `k` is drawn (Sec 5.2, Step 4).
@@ -78,6 +80,11 @@ pub struct DssSampler {
     /// (`σ_q`) — the AoBPR scheme DSS builds on.
     factor_stds: Vec<f32>,
     dim: usize,
+    /// Optional introspection sink. `Clone` shares the `Arc`, so every
+    /// Hogwild worker's sampler clone records into the same counters.
+    /// Recording never touches the RNG stream — an instrumented run draws
+    /// the exact same triples as an uninstrumented one.
+    stats: Option<Arc<DssStats>>,
 }
 
 impl DssSampler {
@@ -90,7 +97,20 @@ impl DssSampler {
             factor_lists: Vec::new(),
             factor_stds: Vec::new(),
             dim: 0,
+            stats: None,
         }
+    }
+
+    /// Attaches an introspection sink: every subsequent draw records its
+    /// geometric depth, every refresh its kind and wall time. Clones of the
+    /// sampler (one per Hogwild worker) share the same stats.
+    pub fn attach_stats(&mut self, stats: Arc<DssStats>) {
+        self.stats = Some(stats);
+    }
+
+    /// The attached introspection sink, if any.
+    pub fn stats(&self) -> Option<&Arc<DssStats>> {
+        self.stats.as_ref()
     }
 
     /// Draws the ranking factor `q` for user `u` with probability
@@ -155,8 +175,17 @@ impl DssSampler {
             let idx = if positive_sign { r } else { m - 1 - r };
             let j = list[idx];
             if !data.contains(u, j) {
+                if let Some(s) = &self.stats {
+                    s.negative_depth.record(r as f64);
+                }
                 return Some(j);
             }
+            if let Some(s) = &self.stats {
+                s.negative_rejections.inc();
+            }
+        }
+        if let Some(s) = &self.stats {
+            s.negative_fallbacks.inc();
         }
         sample_unobserved_uniform(data, u, rng)
     }
@@ -201,6 +230,9 @@ impl DssSampler {
         });
         let geom = Geometric::with_tail_fraction(n, self.config.positive_tail_fraction);
         let r = geom.draw(n, rng);
+        if let Some(s) = &self.stats {
+            s.positive_depth.record(r as f64);
+        }
         let k = keyed[r].1;
         if k != i {
             return Some(k);
@@ -241,6 +273,9 @@ const PARALLEL_REFRESH_MIN_WORK: usize = 1 << 15;
 
 impl TripleSampler for DssSampler {
     fn refresh(&mut self, model: &MfModel) {
+        // The stopwatch exists only when stats are attached: the
+        // uninstrumented refresh stays free of clock reads.
+        let sw = self.stats.as_ref().map(|_| Stopwatch::start());
         let d = model.dim();
         let m = model.n_items() as usize;
         // (Re)allocate the per-factor buffers only when the model geometry
@@ -249,10 +284,10 @@ impl TripleSampler for DssSampler {
         // Between consecutive refreshes the factor values move by a few SGD
         // steps, the lists are nearly sorted, and the in-place re-sort is
         // far cheaper than sorting from a random permutation.
-        if self.dim != d
+        let cold = self.dim != d
             || self.factor_lists.len() != d
-            || self.factor_lists.iter().any(|l| l.len() != m)
-        {
+            || self.factor_lists.iter().any(|l| l.len() != m);
+        if cold {
             self.dim = d;
             self.factor_lists = (0..d)
                 .map(|_| (0..m as u32).map(ItemId).collect())
@@ -272,27 +307,37 @@ impl TripleSampler for DssSampler {
             {
                 refresh_factor(model, q, list, std_out);
             }
-            return;
+        } else {
+            // The d factor sorts are independent; fan them out over a scoped
+            // pool. Each factor is handled whole by one worker, so the result
+            // — lists and stds — is identical to the serial pass.
+            let chunk = d.div_ceil(threads);
+            crossbeam::thread::scope(|scope| {
+                for (t, (lists, stds)) in self
+                    .factor_lists
+                    .chunks_mut(chunk)
+                    .zip(self.factor_stds.chunks_mut(chunk))
+                    .enumerate()
+                {
+                    scope.spawn(move |_| {
+                        for (off, (list, std_out)) in lists.iter_mut().zip(stds).enumerate() {
+                            refresh_factor(model, t * chunk + off, list, std_out);
+                        }
+                    });
+                }
+            })
+            .expect("DSS refresh worker panicked");
         }
-        // The d factor sorts are independent; fan them out over a scoped
-        // pool. Each factor is handled whole by one worker, so the result —
-        // lists and stds — is identical to the serial pass.
-        let chunk = d.div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
-            for (t, (lists, stds)) in self
-                .factor_lists
-                .chunks_mut(chunk)
-                .zip(self.factor_stds.chunks_mut(chunk))
-                .enumerate()
-            {
-                scope.spawn(move |_| {
-                    for (off, (list, std_out)) in lists.iter_mut().zip(stds).enumerate() {
-                        refresh_factor(model, t * chunk + off, list, std_out);
-                    }
-                });
+        if let Some(s) = &self.stats {
+            s.refreshes.inc();
+            let secs = sw.expect("stopwatch started with stats").elapsed_secs();
+            if cold {
+                s.cold_refreshes.inc();
+                s.cold_refresh_secs.record(secs);
+            } else {
+                s.warm_refresh_secs.record(secs);
             }
-        })
-        .expect("DSS refresh worker panicked");
+        }
     }
 
     fn complete(
@@ -323,6 +368,9 @@ impl TripleSampler for DssSampler {
         } else {
             sample_unobserved_uniform(data, u, rng)?
         };
+        if let Some(s) = &self.stats {
+            s.draws.inc();
+        }
         Some((k, j))
     }
 
@@ -525,6 +573,70 @@ mod tests {
             assert_eq!(warm.factor_lists, fresh.factor_lists, "generation {gen}");
             assert_eq!(warm.factor_stds, fresh.factor_stds, "generation {gen}");
         }
+    }
+
+    #[test]
+    fn attached_stats_do_not_change_the_draws() {
+        // Instrumentation must be invisible to the RNG stream: the same
+        // seed yields the same triple sequence with and without stats.
+        let (data, model) = fixture();
+        let mut plain = DssSampler::dss(DssMode::Map);
+        let mut instrumented = DssSampler::dss(DssMode::Map);
+        instrumented.attach_stats(crate::DssStats::new());
+        plain.refresh(&model);
+        instrumented.refresh(&model);
+        let mut rng_a = SmallRng::seed_from_u64(9);
+        let mut rng_b = SmallRng::seed_from_u64(9);
+        for _ in 0..500 {
+            let a = plain.sample(&data, &model, UserId(0), &mut rng_a);
+            let b = instrumented.sample(&data, &model, UserId(0), &mut rng_b);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn stats_capture_draw_depths_and_refresh_kinds() {
+        let (data, model) = fixture();
+        let stats = crate::DssStats::new();
+        let mut s = DssSampler::dss(DssMode::Map);
+        s.attach_stats(stats.clone());
+
+        s.refresh(&model); // first refresh allocates: cold
+        s.refresh(&model); // same geometry: warm
+        assert_eq!(stats.refreshes.get(), 2);
+        assert_eq!(stats.cold_refreshes.get(), 1);
+        assert_eq!(stats.cold_refresh_secs.count(), 1);
+        assert_eq!(stats.warm_refresh_secs.count(), 1);
+
+        let mut rng = SmallRng::seed_from_u64(10);
+        let n = 300;
+        for _ in 0..n {
+            s.sample(&data, &model, UserId(0), &mut rng).unwrap();
+        }
+        assert_eq!(stats.draws.get(), n);
+        assert_eq!(stats.positive_depth.count(), n);
+        // Every accepted negative is recorded; rejections are counted on
+        // top (the fixture's observed head makes some rejections likely).
+        assert_eq!(stats.negative_depth.count() + stats.negative_fallbacks.get(), n);
+        // Depth means stay within the list sizes.
+        assert!(stats.positive_depth.mean() < 5.0);
+        assert!(stats.negative_depth.mean() < 100.0);
+    }
+
+    #[test]
+    fn cloned_samplers_share_stats() {
+        // The Hogwild trainer clones the sampler per worker; all clones
+        // must feed one set of counters.
+        let (data, model) = fixture();
+        let stats = crate::DssStats::new();
+        let mut s = DssSampler::dss(DssMode::Map);
+        s.attach_stats(stats.clone());
+        s.refresh(&model);
+        let mut clone = s.clone();
+        let mut rng = SmallRng::seed_from_u64(11);
+        s.sample(&data, &model, UserId(0), &mut rng).unwrap();
+        clone.sample(&data, &model, UserId(0), &mut rng).unwrap();
+        assert_eq!(stats.draws.get(), 2);
     }
 
     #[test]

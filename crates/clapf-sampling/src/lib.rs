@@ -24,10 +24,12 @@
 mod dns;
 mod dss;
 mod geometric;
+mod stats;
 mod uniform;
 
 pub use dns::DnsSampler;
 pub use dss::{DssConfig, DssMode, DssSampler};
+pub use stats::DssStats;
 pub use geometric::Geometric;
 pub use uniform::{
     sample_observed_pair, sample_second_observed, sample_unobserved_uniform, UniformSampler,

@@ -1,0 +1,114 @@
+//! DSS sampler introspection.
+//!
+//! The Double Sampling Strategy's whole value proposition is *where* in the
+//! factor rankings its geometric draws land and *what a refresh costs* — the
+//! two quantities the paper's Sec 5.2 trades against each other. [`DssStats`]
+//! captures both from live training: per-draw geometric depth histograms,
+//! the negative draw's rejection count, and warm/cold refresh timings.
+//!
+//! All fields are lock-free telemetry primitives behind `Arc`s, so the
+//! Hogwild trainer's per-worker sampler clones share one set of counters
+//! (cloning a [`DssSampler`](crate::DssSampler) clones the `Arc`, not the
+//! stats) and record concurrently without perturbing the draws themselves —
+//! recording never touches the RNG stream.
+
+use clapf_telemetry::{Counter, Histogram, Registry};
+use std::sync::Arc;
+
+/// Aggregated DSS sampling behaviour. Obtain via [`DssStats::new`] or
+/// [`DssStats::registered`] and attach with
+/// [`DssSampler::attach_stats`](crate::DssSampler::attach_stats).
+#[derive(Debug)]
+pub struct DssStats {
+    /// Completed `(k, j)` draws.
+    pub draws: Arc<Counter>,
+    /// Geometric depth `r` of each rank-aware positive (`k`) draw — the
+    /// sampled rank within the user's observed items.
+    pub positive_depth: Arc<Histogram>,
+    /// Geometric depth `r` of each accepted rank-aware negative (`j`) draw —
+    /// the sampled rank within the global factor ranking.
+    pub negative_depth: Arc<Histogram>,
+    /// Negative draws that landed on an observed item and were re-drawn.
+    pub negative_rejections: Arc<Counter>,
+    /// Negative draws that exhausted their retry budget and fell back to a
+    /// uniform draw.
+    pub negative_fallbacks: Arc<Counter>,
+    /// Ranking-list refreshes, of any kind.
+    pub refreshes: Arc<Counter>,
+    /// Refreshes that had to reshape the per-factor buffers (first call, or
+    /// a model geometry change).
+    pub cold_refreshes: Arc<Counter>,
+    /// Wall time of warm (in-place re-sort) refreshes, seconds.
+    pub warm_refresh_secs: Arc<Histogram>,
+    /// Wall time of cold (reallocating) refreshes, seconds.
+    pub cold_refresh_secs: Arc<Histogram>,
+}
+
+/// Depth buckets: powers of two up to 2^15, then overflow. Draw depths are
+/// ranks, so the interesting structure is in the low decades.
+fn depth_buckets() -> Histogram {
+    Histogram::exponential(1.0, 2.0, 16)
+}
+
+/// Refresh-latency buckets: 10 µs to 1000 s, one decade per bucket.
+fn latency_buckets() -> Histogram {
+    Histogram::exponential(1e-5, 10.0, 8)
+}
+
+impl DssStats {
+    /// Standalone stats, not attached to any registry.
+    pub fn new() -> Arc<Self> {
+        Arc::new(DssStats {
+            draws: Arc::new(Counter::new()),
+            positive_depth: Arc::new(depth_buckets()),
+            negative_depth: Arc::new(depth_buckets()),
+            negative_rejections: Arc::new(Counter::new()),
+            negative_fallbacks: Arc::new(Counter::new()),
+            refreshes: Arc::new(Counter::new()),
+            cold_refreshes: Arc::new(Counter::new()),
+            warm_refresh_secs: Arc::new(latency_buckets()),
+            cold_refresh_secs: Arc::new(latency_buckets()),
+        })
+    }
+
+    /// Stats whose series live in `registry` under `dss.*` names, so they
+    /// appear in the registry's JSON snapshot alongside everything else.
+    pub fn registered(registry: &Registry) -> Arc<Self> {
+        Arc::new(DssStats {
+            draws: registry.counter("dss.draws"),
+            positive_depth: registry.histogram("dss.positive_depth", depth_buckets),
+            negative_depth: registry.histogram("dss.negative_depth", depth_buckets),
+            negative_rejections: registry.counter("dss.negative_rejections"),
+            negative_fallbacks: registry.counter("dss.negative_fallbacks"),
+            refreshes: registry.counter("dss.refreshes"),
+            cold_refreshes: registry.counter("dss.cold_refreshes"),
+            warm_refresh_secs: registry.histogram("dss.warm_refresh_secs", latency_buckets),
+            cold_refresh_secs: registry.histogram("dss.cold_refresh_secs", latency_buckets),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registered_stats_show_up_in_the_registry_snapshot() {
+        let reg = Registry::new();
+        let stats = DssStats::registered(&reg);
+        stats.draws.add(5);
+        stats.positive_depth.record(3.0);
+        let json = reg.snapshot().render();
+        assert!(json.contains("\"dss.draws\":5"), "{json}");
+        assert!(json.contains("\"dss.positive_depth\""), "{json}");
+    }
+
+    #[test]
+    fn standalone_stats_are_independent() {
+        let a = DssStats::new();
+        let b = DssStats::new();
+        a.draws.inc();
+        assert_eq!(a.draws.get(), 1);
+        assert_eq!(b.draws.get(), 0);
+    }
+}

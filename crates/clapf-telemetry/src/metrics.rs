@@ -1,0 +1,297 @@
+//! Lock-free metric primitives: counter, gauge, fixed-bucket histogram.
+//!
+//! All three are safe to update from any number of threads without locks —
+//! the contract the Hogwild trainers need — and updates never perturb the
+//! code under observation (no allocation, no RNG, no syscalls).
+
+use crate::json::JsonValue;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing `u64`, updated with relaxed atomics.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins `f64` value (stored as bits in an `AtomicU64`).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge at `0.0`.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram with lock-free recording.
+///
+/// Bucket `b` counts values `v` with `bounds[b-1] < v ≤ bounds[b]` (bucket 0
+/// takes everything `≤ bounds[0]`, the last bucket is the overflow bucket for
+/// `v > bounds[n-1]`). Because each record is a single atomic increment on
+/// one bucket plus a CAS-add on the running sum, concurrent recordings from
+/// N threads merge *exactly*: total counts equal the serial reference (the
+/// `concurrent_histogram_counts_are_exact` proptest pins this).
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Running sum of recorded values, `f64` bits updated by CAS.
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over the given strictly increasing upper bounds. One
+    /// overflow bucket is appended automatically.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let n = bounds.len() + 1; // + overflow
+        Histogram {
+            bounds,
+            buckets: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+        }
+    }
+
+    /// `n` equal-width buckets covering `[lo, lo + n·step]`.
+    pub fn linear(lo: f64, step: f64, n: usize) -> Self {
+        assert!(step > 0.0 && n > 0);
+        Self::new((1..=n).map(|i| lo + step * i as f64).collect())
+    }
+
+    /// Exponentially growing bounds `start, start·factor, …` (`n` bounds) —
+    /// the right shape for rank/depth distributions spanning decades.
+    pub fn exponential(start: f64, factor: f64, n: usize) -> Self {
+        assert!(start > 0.0 && factor > 1.0 && n > 0);
+        let mut bounds = Vec::with_capacity(n);
+        let mut b = start;
+        for _ in 0..n {
+            bounds.push(b);
+            b *= factor;
+        }
+        Self::new(bounds)
+    }
+
+    /// Records one observation. Lock-free; never allocates.
+    #[inline]
+    pub fn record(&self, v: f64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // CAS-add the f64 sum; contention is bounded by the few retries a
+        // lost race costs, and the loop never blocks.
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self
+                .sum_bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values. Exact up to f64 addition order.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean of recorded values (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        self.sum() / self.count() as f64
+    }
+
+    /// Per-bucket counts (last entry is the overflow bucket).
+    pub fn counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// The bucket upper bounds (excluding the implicit overflow bucket).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// A point-in-time copy for reports.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self.counts(),
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds (the final overflow bucket is implicit).
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts, `bounds.len() + 1` entries.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Renders the snapshot as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            (
+                "bounds".into(),
+                JsonValue::Arr(self.bounds.iter().map(|&b| JsonValue::F64(b)).collect()),
+            ),
+            (
+                "counts".into(),
+                JsonValue::Arr(self.counts.iter().map(|&c| JsonValue::UInt(c)).collect()),
+            ),
+            ("count".into(), JsonValue::UInt(self.count)),
+            ("sum".into(), JsonValue::F64(self.sum)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_last_write_wins() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(2.5);
+        g.set(-1.25);
+        assert_eq!(g.get(), -1.25);
+    }
+
+    #[test]
+    fn histogram_buckets_values() {
+        let h = Histogram::new(vec![1.0, 2.0, 4.0]);
+        for v in [0.5, 1.0, 1.5, 3.0, 100.0] {
+            h.record(v);
+        }
+        // ≤1 : {0.5, 1.0}; ≤2 : {1.5}; ≤4 : {3.0}; overflow : {100.0}
+        assert_eq!(h.counts(), vec![2, 1, 1, 1]);
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 106.0).abs() < 1e-12);
+        assert!((h.mean() - 21.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_and_exponential_shapes() {
+        let lin = Histogram::linear(0.0, 0.5, 4);
+        assert_eq!(lin.bounds(), &[0.5, 1.0, 1.5, 2.0]);
+        let exp = Histogram::exponential(1.0, 2.0, 5);
+        assert_eq!(exp.bounds(), &[1.0, 2.0, 4.0, 8.0, 16.0]);
+    }
+
+    #[test]
+    fn empty_histogram_mean_is_nan() {
+        let h = Histogram::linear(0.0, 1.0, 2);
+        assert!(h.mean().is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_rejected() {
+        Histogram::new(vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn concurrent_updates_merge_exactly() {
+        let h = Histogram::linear(0.0, 1.0, 8);
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let h = &h;
+                let c = &c;
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(((t * 1000 + i) % 10) as f64);
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.counts().iter().sum::<u64>(), 4000);
+    }
+
+    #[test]
+    fn snapshot_round_trips_to_json() {
+        let h = Histogram::new(vec![1.0, 10.0]);
+        h.record(0.5);
+        h.record(5.0);
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![1, 1, 0]);
+        let json = s.to_json().render();
+        assert!(json.contains("\"counts\":[1,1,0]"), "{json}");
+    }
+}

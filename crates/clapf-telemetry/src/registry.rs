@@ -1,0 +1,118 @@
+//! A named collection of metrics with a JSON snapshot.
+
+use crate::json::JsonValue;
+use crate::metrics::{Counter, Gauge, Histogram};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// A registry of named [`Counter`]s, [`Gauge`]s and [`Histogram`]s.
+///
+/// Registration takes a (cold-path) lock; the returned `Arc` handles are the
+/// lock-free hot-path objects that training and evaluation threads update.
+/// Asking for an existing name returns the same underlying metric, so
+/// independent subsystems can share a series by name.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("registry lock");
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Counter::new()))
+            .clone()
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("registry lock");
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Gauge::new()))
+            .clone()
+    }
+
+    /// The histogram named `name`. `make` supplies the bucket layout on
+    /// first registration; later calls ignore it and return the existing
+    /// histogram.
+    pub fn histogram<F: FnOnce() -> Histogram>(&self, name: &str, make: F) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("registry lock");
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(make()))
+            .clone()
+    }
+
+    /// A point-in-time JSON snapshot of every registered metric:
+    /// `{"counters":{…},"gauges":{…},"histograms":{…}}`.
+    pub fn snapshot(&self) -> JsonValue {
+        let counters: Vec<(String, JsonValue)> = self
+            .counters
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(k, c)| (k.clone(), JsonValue::UInt(c.get())))
+            .collect();
+        let gauges: Vec<(String, JsonValue)> = self
+            .gauges
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(k, g)| (k.clone(), JsonValue::F64(g.get())))
+            .collect();
+        let histograms: Vec<(String, JsonValue)> = self
+            .histograms
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot().to_json()))
+            .collect();
+        JsonValue::Obj(vec![
+            ("counters".into(), JsonValue::Obj(counters)),
+            ("gauges".into(), JsonValue::Obj(gauges)),
+            ("histograms".into(), JsonValue::Obj(histograms)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_metric() {
+        let r = Registry::new();
+        r.counter("x").add(3);
+        r.counter("x").add(4);
+        assert_eq!(r.counter("x").get(), 7);
+        r.gauge("g").set(1.5);
+        assert_eq!(r.gauge("g").get(), 1.5);
+        let h = r.histogram("h", || Histogram::linear(0.0, 1.0, 4));
+        h.record(0.5);
+        assert_eq!(r.histogram("h", || unreachable!()).count(), 1);
+    }
+
+    #[test]
+    fn snapshot_lists_everything_sorted() {
+        let r = Registry::new();
+        r.counter("b.count").inc();
+        r.counter("a.count").add(2);
+        r.gauge("secs").set(0.25);
+        r.histogram("depth", || Histogram::exponential(1.0, 2.0, 3))
+            .record(3.0);
+        let json = r.snapshot().render();
+        assert!(json.contains("\"a.count\":2"), "{json}");
+        assert!(json.contains("\"b.count\":1"), "{json}");
+        assert!(json.contains("\"secs\":0.25"), "{json}");
+        assert!(json.contains("\"depth\""), "{json}");
+        // BTreeMap ordering: a.count before b.count.
+        assert!(json.find("a.count").unwrap() < json.find("b.count").unwrap());
+    }
+}

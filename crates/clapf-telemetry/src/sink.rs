@@ -1,0 +1,136 @@
+//! Structured run traces: one JSON object per line.
+
+use crate::json::JsonValue;
+use std::io::{BufWriter, Write};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// A JSONL event sink. Every event is one line:
+///
+/// ```json
+/// {"ev":"epoch","ts_ms":1722870000000,"epoch":3,"secs":0.41,...}
+/// ```
+///
+/// The writer sits behind a mutex, so events from concurrent threads are
+/// line-atomic; emitting is off every hot path (a handful of events per
+/// epoch), so the lock never matters for throughput.
+pub struct JsonlSink {
+    w: Mutex<BufWriter<Box<dyn Write + Send>>>,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink").finish_non_exhaustive()
+    }
+}
+
+impl JsonlSink {
+    /// A sink over an arbitrary writer.
+    pub fn new(w: Box<dyn Write + Send>) -> Self {
+        JsonlSink {
+            w: Mutex::new(BufWriter::new(w)),
+        }
+    }
+
+    /// A sink writing (truncating) the file at `path`.
+    pub fn to_file(path: &std::path::Path) -> std::io::Result<Self> {
+        Ok(Self::new(Box::new(std::fs::File::create(path)?)))
+    }
+
+    /// Emits one event line. `kind` becomes the `"ev"` field and a
+    /// wall-clock `"ts_ms"` timestamp is added; `fields` follow in order.
+    /// IO errors are swallowed — telemetry must never fail the run.
+    pub fn emit(&self, kind: &str, fields: Vec<(String, JsonValue)>) {
+        let mut obj = Vec::with_capacity(fields.len() + 2);
+        obj.push(("ev".to_string(), JsonValue::Str(kind.to_string())));
+        obj.push(("ts_ms".to_string(), JsonValue::UInt(now_ms())));
+        obj.extend(fields);
+        let mut line = JsonValue::Obj(obj).render();
+        line.push('\n');
+        if let Ok(mut w) = self.w.lock() {
+            let _ = w.write_all(line.as_bytes());
+        }
+    }
+
+    /// Flushes buffered events to the underlying writer.
+    pub fn flush(&self) {
+        if let Ok(mut w) = self.w.lock() {
+            let _ = w.flush();
+        }
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// A `Write` that appends into a shared buffer.
+    #[derive(Clone)]
+    struct Shared(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn events_are_one_json_object_per_line() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let sink = JsonlSink::new(Box::new(Shared(buf.clone())));
+        sink.emit(
+            "fit_start",
+            vec![("model".into(), "CLAPF".into()), ("dim".into(), 8usize.into())],
+        );
+        sink.emit("epoch", vec![("epoch".into(), 0usize.into())]);
+        sink.flush();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"ev\":\"fit_start\",\"ts_ms\":"), "{text}");
+        assert!(lines[0].ends_with("\"model\":\"CLAPF\",\"dim\":8}"), "{text}");
+        assert!(lines[1].contains("\"ev\":\"epoch\""));
+    }
+
+    #[test]
+    fn concurrent_emits_stay_line_atomic() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let sink = JsonlSink::new(Box::new(Shared(buf.clone())));
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let sink = &sink;
+                s.spawn(move || {
+                    for i in 0..50usize {
+                        sink.emit("tick", vec![("t".into(), t.into()), ("i".into(), i.into())]);
+                    }
+                });
+            }
+        });
+        sink.flush();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 200);
+        for line in lines {
+            assert!(line.starts_with("{\"ev\":\"tick\""), "torn line: {line}");
+            assert!(line.ends_with('}'), "torn line: {line}");
+        }
+    }
+}

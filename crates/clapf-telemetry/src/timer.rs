@@ -1,0 +1,127 @@
+//! Wall-clock timing with one idiom.
+//!
+//! Replaces the ad-hoc `let start = Instant::now(); … start.elapsed()`
+//! bookkeeping that used to be copy-pasted across the CLI and the bench
+//! binaries with three shapes:
+//!
+//! * [`Stopwatch`] — an explicit start/lap/elapsed handle,
+//! * [`timed`] — run a closure, get `(result, duration)`,
+//! * [`ScopedTimer`] — record a block's wall time into a [`Histogram`] on
+//!   drop (the shape the DSS refresh path uses).
+
+use crate::metrics::Histogram;
+use std::time::{Duration, Instant};
+
+/// A started wall clock.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts the clock.
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Time since start (or the last [`lap`](Stopwatch::lap)).
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Time since start, in seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+
+    /// Returns the time since start and restarts the clock — the per-epoch
+    /// timing idiom.
+    pub fn lap(&mut self) -> Duration {
+        let now = Instant::now();
+        let d = now - self.start;
+        self.start = now;
+        d
+    }
+}
+
+/// Runs `f`, returning its result and wall-clock duration.
+pub fn timed<R, F: FnOnce() -> R>(f: F) -> (R, Duration) {
+    let sw = Stopwatch::start();
+    let r = f();
+    (r, sw.elapsed())
+}
+
+/// Throughput helper: `n` events over `d` as events/second (0 duration is
+/// clamped so the result stays finite).
+pub fn per_sec(n: usize, d: Duration) -> f64 {
+    n as f64 / d.as_secs_f64().max(1e-9)
+}
+
+/// Records the wall time between construction and drop into a histogram,
+/// in seconds.
+#[derive(Debug)]
+pub struct ScopedTimer<'a> {
+    hist: &'a Histogram,
+    sw: Stopwatch,
+}
+
+impl<'a> ScopedTimer<'a> {
+    /// Starts timing into `hist`.
+    pub fn new(hist: &'a Histogram) -> Self {
+        ScopedTimer {
+            hist,
+            sw: Stopwatch::start(),
+        }
+    }
+}
+
+impl Drop for ScopedTimer<'_> {
+    fn drop(&mut self) {
+        self.hist.record(self.sw.elapsed_secs());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_measures_and_laps() {
+        let mut sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(5));
+        let first = sw.lap();
+        assert!(first >= Duration::from_millis(4), "{first:?}");
+        let second = sw.elapsed();
+        assert!(second < first, "lap must restart the clock");
+    }
+
+    #[test]
+    fn timed_returns_result_and_duration() {
+        let (v, d) = timed(|| {
+            std::thread::sleep(Duration::from_millis(2));
+            21 * 2
+        });
+        assert_eq!(v, 42);
+        assert!(d >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn per_sec_is_finite_even_for_zero_duration() {
+        assert!(per_sec(100, Duration::ZERO).is_finite());
+        let r = per_sec(50, Duration::from_secs(2));
+        assert!((r - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scoped_timer_records_on_drop() {
+        let h = Histogram::exponential(1e-6, 10.0, 8);
+        {
+            let _t = ScopedTimer::new(&h);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() > 0.0);
+    }
+}

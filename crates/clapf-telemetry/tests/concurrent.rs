@@ -1,0 +1,70 @@
+//! Property test: metrics updated from many threads merge exactly.
+//!
+//! This is the contract Hogwild training leans on — workers hammer the same
+//! `Counter`/`Histogram` without coordination, and the totals must still be
+//! exact (atomic per-bucket counts, CAS-accumulated sums), never "close".
+
+use clapf_telemetry::{Counter, Histogram, Registry};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn concurrent_histogram_merges_exactly(
+        per_thread in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..100.0, 1..80),
+            1..5,
+        ),
+    ) {
+        let hist = Histogram::linear(0.0, 10.0, 10);
+        let total = Counter::new();
+        std::thread::scope(|s| {
+            for values in &per_thread {
+                let hist = &hist;
+                let total = &total;
+                s.spawn(move || {
+                    for &v in values {
+                        hist.record(v);
+                        total.inc();
+                    }
+                });
+            }
+        });
+
+        // Reference: the same values recorded serially.
+        let serial = Histogram::linear(0.0, 10.0, 10);
+        let mut expect_sum = 0.0f64;
+        let mut n = 0u64;
+        for values in &per_thread {
+            for &v in values {
+                serial.record(v);
+                expect_sum += v;
+                n += 1;
+            }
+        }
+
+        prop_assert_eq!(hist.count(), n);
+        prop_assert_eq!(total.get(), n);
+        prop_assert_eq!(hist.counts(), serial.counts());
+        // The f64 sum is CAS-accumulated; addition order differs across
+        // threads, so allow rounding slack proportional to the magnitude.
+        prop_assert!((hist.sum() - expect_sum).abs() <= 1e-9 * expect_sum.abs().max(1.0));
+    }
+
+    #[test]
+    fn concurrent_registry_counters_merge_exactly(
+        adds in proptest::collection::vec(1u64..100, 1..6),
+    ) {
+        let reg = Registry::new();
+        std::thread::scope(|s| {
+            for &a in &adds {
+                let reg = &reg;
+                s.spawn(move || {
+                    reg.counter("shared").add(a);
+                    reg.counter("shared").inc();
+                });
+            }
+        });
+        let expect: u64 = adds.iter().sum::<u64>() + adds.len() as u64;
+        prop_assert_eq!(reg.counter("shared").get(), expect);
+    }
+}

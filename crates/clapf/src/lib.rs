@@ -18,6 +18,7 @@
 //! | [`neural`] | NeuMF, NeuPR, DeepICF on a from-scratch NN substrate |
 //! | [`metrics`] | Precision/Recall/F1/1-Call/NDCG@k, MAP, MRR, AUC |
 //! | [`eval`] | Table 1/2 and Fig. 2/3/4 harnesses |
+//! | [`telemetry`] | lock-free metrics registry, train observers, JSONL traces |
 //!
 //! ## Quickstart
 //!
@@ -51,6 +52,7 @@ pub use clapf_metrics as metrics;
 pub use clapf_mf as mf;
 pub use clapf_neural as neural;
 pub use clapf_sampling as sampling;
+pub use clapf_telemetry as telemetry;
 
 pub use clapf_core::{Clapf, ClapfConfig, ClapfMode, Recommender};
 pub use clapf_data::{Interactions, InteractionsBuilder, ItemId, UserId};

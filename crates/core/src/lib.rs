@@ -37,3 +37,7 @@ mod trainer;
 pub use config::{ClapfConfig, ClapfMode, ParallelConfig};
 pub use recommender::{FactorRecommender, Recommender};
 pub use trainer::{Clapf, ClapfModel, FitReport};
+
+// Observer vocabulary, re-exported so trainer callers need not name the
+// telemetry crate for the common attach-an-observer case.
+pub use clapf_telemetry::{Control, EpochStats, FitMeta, FitSummary, NoopObserver, TrainObserver};

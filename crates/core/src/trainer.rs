@@ -1,20 +1,21 @@
 //! The CLAPF SGD trainer (Sec 4.3 of the paper).
 
-use crate::objective::{sigmoid, CriterionWeights};
+use crate::objective::{ln_sigmoid, sigmoid, CriterionWeights};
 use crate::{ClapfConfig, Recommender};
 use clapf_data::{Interactions, ItemId, UserId};
 use clapf_mf::{MfModel, SharedMfModel};
 use clapf_sampling::{sample_observed_pair, TripleSampler};
+use clapf_telemetry::{Control, EpochStats, FitMeta, FitSummary, NoopObserver, TrainObserver};
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Barrier;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
 use std::time::{Duration, Instant};
 
 /// Outcome of a training run.
 #[derive(Clone, Debug)]
 pub struct FitReport {
-    /// SGD steps actually executed.
+    /// SGD steps actually executed (less than the budget after an abort).
     pub iterations: usize,
     /// Wall-clock training time.
     pub elapsed: Duration,
@@ -22,6 +23,14 @@ pub struct FitReport {
     pub sampler: &'static str,
     /// True if any parameter became non-finite (learning rate too high).
     pub diverged: bool,
+    /// Per-epoch statistics, one entry per sampler-refresh interval.
+    /// Timing and step counts are always populated; the loss/gradient/norm
+    /// fields are `NaN` unless the run was observed by an
+    /// [`enabled`](TrainObserver::enabled) observer.
+    pub epochs: Vec<EpochStats>,
+    /// Step count at which an observer (or divergence detection) aborted
+    /// the run early, if it did.
+    pub aborted_at: Option<usize>,
 }
 
 /// A fitted CLAPF model. Serializable (JSON via serde) for persistence;
@@ -100,7 +109,42 @@ impl Clapf {
         sampler: &mut S,
         rng: &mut R,
     ) -> (ClapfModel, FitReport) {
-        self.fit_with_checkpoints(data, sampler, rng, 0, |_, _| {})
+        // Delegating through the observed path (rather than
+        // `fit_with_checkpoints`) keeps `fit` and `fit_observed` one
+        // monomorphization, so the telemetry overhead bench compares
+        // identical machine code.
+        self.fit_observed(data, sampler, rng, &mut NoopObserver)
+    }
+
+    /// Trains a model under a [`TrainObserver`]: the observer receives
+    /// `on_fit_start`, one `on_epoch` per sampler-refresh interval (with
+    /// throughput, loss proxy, gradient scale, factor norms and NaN
+    /// detection), and `on_fit_end`. Returning [`Control::Abort`] from
+    /// `on_epoch` — or tripping the non-finite check — stops training early;
+    /// the report's `aborted_at` records where.
+    ///
+    /// Attaching an observer never changes the learned weights: all
+    /// instrumentation reads happen at epoch boundaries and the RNG stream
+    /// is untouched, so an observed run is bit-identical to [`fit`](Clapf::fit)
+    /// (the `observer_leaves_serial_fit_bit_identical` test pins this).
+    pub fn fit_observed<S: TripleSampler + ?Sized, R: Rng>(
+        &self,
+        data: &Interactions,
+        sampler: &mut S,
+        rng: &mut R,
+        observer: &mut dyn TrainObserver,
+    ) -> (ClapfModel, FitReport) {
+        let cfg = &self.config;
+        cfg.validate();
+        let weights = CriterionWeights::from_mode(cfg.mode, cfg.lambda);
+        let (model, report) = fit_inner(cfg, weights, data, sampler, rng, 0, |_, _| {}, observer);
+        (
+            ClapfModel {
+                mf: model,
+                config: *cfg,
+            },
+            report,
+        )
     }
 
     /// Trains a model, invoking `checkpoint` with `(steps_done, model)` every
@@ -124,8 +168,16 @@ impl Clapf {
         let cfg = &self.config;
         cfg.validate();
         let weights = CriterionWeights::from_mode(cfg.mode, cfg.lambda);
-        let (model, report) =
-            fit_inner(cfg, weights, data, sampler, rng, checkpoint_every, checkpoint);
+        let (model, report) = fit_inner(
+            cfg,
+            weights,
+            data,
+            sampler,
+            rng,
+            checkpoint_every,
+            checkpoint,
+            &mut NoopObserver,
+        );
         (
             ClapfModel {
                 mf: model,
@@ -158,7 +210,7 @@ impl Clapf {
         );
         let cfg = &self.config;
         cfg.validate();
-        fit_inner(cfg, weights, data, sampler, rng, 0, |_, _| {})
+        fit_inner(cfg, weights, data, sampler, rng, 0, |_, _| {}, &mut NoopObserver)
     }
 
     /// Trains with Hogwild-style lock-free parallel SGD (Recht et al.,
@@ -185,10 +237,32 @@ impl Clapf {
     where
         S: TripleSampler + Clone + Send,
     {
+        self.fit_parallel_observed(data, sampler, base_seed, &mut NoopObserver)
+    }
+
+    /// [`fit_parallel`](Clapf::fit_parallel) under a [`TrainObserver`].
+    ///
+    /// Observer callbacks run on worker 0 at epoch barriers, where the model
+    /// is quiescent (the other workers are only refreshing their samplers),
+    /// so per-epoch norms and NaN checks read a consistent model without a
+    /// lock. An abort decision is published through the barrier, so every
+    /// worker leaves at the same epoch edge. Per-step accounting stays in
+    /// worker-local plain structs flushed at barriers — the Hogwild hot loop
+    /// never touches shared telemetry state.
+    pub fn fit_parallel_observed<S>(
+        &self,
+        data: &Interactions,
+        sampler: &S,
+        base_seed: u64,
+        observer: &mut dyn TrainObserver,
+    ) -> (ClapfModel, FitReport)
+    where
+        S: TripleSampler + Clone + Send,
+    {
         let cfg = &self.config;
         cfg.validate();
         let weights = CriterionWeights::from_mode(cfg.mode, cfg.lambda);
-        let (model, report) = fit_parallel_inner(cfg, weights, data, sampler, base_seed);
+        let (model, report) = fit_parallel_inner(cfg, weights, data, sampler, base_seed, observer);
         (
             ClapfModel {
                 mf: model,
@@ -222,11 +296,79 @@ impl StepParams {
     }
 }
 
+/// Worker-local per-step accounting. Plain (non-atomic) fields on purpose:
+/// the hot loop only ever touches this thread-private struct, and the
+/// totals are flushed into shared state at epoch barriers. When `enabled`
+/// is false the instrumentation collapses to one predictable dead branch
+/// per step — the telemetry overhead bench pins this at ~0%.
+#[derive(Default)]
+struct StepLocal {
+    enabled: bool,
+    /// Steps whose sampler produced a triple.
+    sampled: u64,
+    /// Steps whose sampler returned `None` (degenerate users).
+    skipped: u64,
+    /// Accumulated logistic-loss proxy `Σ −ln σ(R)`.
+    loss: f64,
+    /// Accumulated gradient scale `Σ σ(−R)`.
+    gsum: f64,
+}
+
+impl StepLocal {
+    fn new(enabled: bool) -> Self {
+        StepLocal {
+            enabled,
+            ..StepLocal::default()
+        }
+    }
+
+    /// Drains the counts accumulated since the last take.
+    fn take(&mut self) -> StepLocal {
+        std::mem::replace(self, StepLocal::new(self.enabled))
+    }
+
+    /// Adds this worker's counts into a shared accumulator (barrier-cold
+    /// path; the mutex is uncontended relative to epoch length).
+    fn flush_into(&mut self, shared: &Mutex<StepLocal>) {
+        let taken = self.take();
+        let mut acc = shared.lock().expect("telemetry accumulator lock");
+        acc.sampled += taken.sampled;
+        acc.skipped += taken.skipped;
+        acc.loss += taken.loss;
+        acc.gsum += taken.gsum;
+    }
+}
+
+/// Builds one epoch's [`EpochStats`]. Timing is always present; the model
+/// scan (norms, NaN detection) and the loss/gradient means run only when
+/// `model` is `Some`, i.e. when an enabled observer asked to pay for them.
+fn build_epoch_stats(
+    epoch: usize,
+    steps: usize,
+    steps_total: usize,
+    elapsed: Duration,
+    acc: StepLocal,
+    model: Option<&MfModel>,
+) -> EpochStats {
+    let mut stats = EpochStats::timing_only(epoch, steps, steps_total, elapsed);
+    if let Some(m) = model {
+        let n = acc.sampled.max(1) as f64;
+        stats.loss = acc.loss / n;
+        stats.grad_scale = acc.gsum / n;
+        stats.skipped = acc.skipped;
+        stats.user_norm = m.mean_user_norm();
+        stats.item_norm = m.mean_item_norm();
+        stats.non_finite = m.has_non_finite();
+    }
+    stats
+}
+
 /// One SGD step of Sec 4.3: draw a record, score the triple, apply the
 /// Eq. 23 updates through the shared view. Both the serial and the parallel
 /// trainer run exactly this function, which is what makes `threads = 1`
 /// bit-identical to the serial path.
 #[inline]
+#[allow(clippy::too_many_arguments)]
 fn sgd_step<S: TripleSampler + ?Sized>(
     shared: &SharedMfModel,
     data: &Interactions,
@@ -235,6 +377,7 @@ fn sgd_step<S: TripleSampler + ?Sized>(
     p: &StepParams,
     u_old: &mut [f32],
     grad_u: &mut [f32],
+    local: &mut StepLocal,
 ) {
     let model = shared.view();
 
@@ -242,6 +385,9 @@ fn sgd_step<S: TripleSampler + ?Sized>(
     // sampler's completion (k, j).
     let (u, i) = sample_observed_pair(data, rng);
     let Some((k, j)) = sampler.complete(data, model, u, i, rng) else {
+        if local.enabled {
+            local.skipped += 1;
+        }
         return;
     };
 
@@ -251,6 +397,12 @@ fn sgd_step<S: TripleSampler + ?Sized>(
     let r = p.weights.criterion(f_ui, f_uk, f_uj);
     // Eq. 23: every parameter gradient carries the scale 1 − σ(R).
     let g = sigmoid(-r);
+
+    if local.enabled {
+        local.sampled += 1;
+        local.loss += -ln_sigmoid(r as f64);
+        local.gsum += g as f64;
+    }
 
     model.copy_user_into(u, u_old);
 
@@ -287,7 +439,18 @@ fn sgd_step<S: TripleSampler + ?Sized>(
     shared.sgd_bias(j, p.lr, g * cj, p.decay_b);
 }
 
+/// The model label used in telemetry events.
+fn model_label(cfg: &ClapfConfig) -> String {
+    format!("CLAPF(λ={:.1})-{}", cfg.lambda, cfg.mode)
+}
+
 /// The shared SGD loop (Sec 4.3) over an arbitrary linear criterion.
+///
+/// The loop is structured as epochs (sampler-refresh intervals) so the
+/// observer sees the same boundaries as the parallel trainer; the
+/// refresh/step/checkpoint order — and hence the RNG stream — is exactly
+/// the flat loop it replaced.
+#[allow(clippy::too_many_arguments)]
 fn fit_inner<S, R, F>(
     cfg: &ClapfConfig,
     weights: CriterionWeights,
@@ -296,6 +459,7 @@ fn fit_inner<S, R, F>(
     rng: &mut R,
     checkpoint_every: usize,
     mut checkpoint: F,
+    observer: &mut dyn TrainObserver,
 ) -> (MfModel, FitReport)
 where
     S: TripleSampler + ?Sized,
@@ -309,30 +473,85 @@ where
     let shared = SharedMfModel::new(model);
     let iterations = cfg.resolve_iterations(data.n_pairs());
     let refresh_every = cfg.resolve_refresh(data.n_pairs());
+    let n_epochs = iterations.div_ceil(refresh_every);
     let params = StepParams::new(cfg, weights);
+    let observing = observer.enabled();
+
+    observer.on_fit_start(&FitMeta {
+        model: model_label(cfg),
+        sampler: sampler.name().to_string(),
+        dim: cfg.dim,
+        iterations,
+        threads: 1,
+        n_users: data.n_users(),
+        n_items: data.n_items(),
+        n_pairs: data.n_pairs(),
+    });
 
     let mut u_old = vec![0.0f32; cfg.dim];
     let mut grad_u = vec![0.0f32; cfg.dim];
+    let mut local = StepLocal::new(observing);
+    let mut epochs = Vec::with_capacity(n_epochs);
+    let mut aborted_at = None;
+    let mut steps_done = 0usize;
+    let mut epoch_clock = Instant::now();
 
-    for step in 0..iterations {
-        if step % refresh_every == 0 {
-            sampler.refresh(shared.view());
+    for epoch in 0..n_epochs {
+        sampler.refresh(shared.view());
+        let epoch_start = epoch * refresh_every;
+        let epoch_end = ((epoch + 1) * refresh_every).min(iterations);
+        for step in epoch_start..epoch_end {
+            sgd_step(
+                &shared, data, sampler, rng, &params, &mut u_old, &mut grad_u, &mut local,
+            );
+
+            if checkpoint_every > 0 && (step + 1) % checkpoint_every == 0 {
+                checkpoint(step + 1, shared.view());
+            }
         }
+        steps_done = epoch_end;
 
-        sgd_step(&shared, data, sampler, rng, &params, &mut u_old, &mut grad_u);
-
-        if checkpoint_every > 0 && (step + 1) % checkpoint_every == 0 {
-            checkpoint(step + 1, shared.view());
+        let now = Instant::now();
+        let stats = build_epoch_stats(
+            epoch,
+            epoch_end - epoch_start,
+            steps_done,
+            now - epoch_clock,
+            local.take(),
+            observing.then(|| shared.view()),
+        );
+        epoch_clock = now;
+        let control = observer.on_epoch(&stats);
+        let bad = stats.non_finite;
+        epochs.push(stats);
+        if bad {
+            observer.on_divergence(steps_done);
+        }
+        if bad || control == Control::Abort {
+            if steps_done < iterations {
+                aborted_at = Some(steps_done);
+            }
+            break;
         }
     }
-    checkpoint(iterations, shared.view());
+    checkpoint(steps_done, shared.view());
 
     let model = shared.into_inner();
+    let elapsed = start.elapsed();
+    let diverged = model.has_non_finite();
+    observer.on_fit_end(&FitSummary {
+        steps: steps_done,
+        elapsed,
+        diverged,
+        aborted_at,
+    });
     let report = FitReport {
-        iterations,
-        elapsed: start.elapsed(),
+        iterations: steps_done,
+        elapsed,
         sampler: sampler.name(),
-        diverged: model.has_non_finite(),
+        diverged,
+        epochs,
+        aborted_at,
     };
     (model, report)
 }
@@ -341,12 +560,25 @@ where
 /// [`SharedMfModel`], claim chunks of steps from a shared counter, and
 /// synchronize on a barrier once per refresh interval ("epoch") so sampler
 /// refreshes see a quiescent model.
+///
+/// Observer choreography: worker 0 carries the `&mut dyn TrainObserver` and
+/// invokes it between the two epoch barriers, where no worker is stepping —
+/// the other workers are at most *reading* the model to refresh their
+/// samplers, so per-epoch norms and NaN checks see consistent parameters.
+/// Each worker flushes its [`StepLocal`] into the shared accumulator
+/// *before* the first barrier, so worker 0's drain observes every count from
+/// the finished epoch (the barrier supplies the happens-before edge). An
+/// abort is published before the second barrier and checked by every worker
+/// after it, so all workers leave at the same epoch edge and the barrier
+/// never deadlocks. The final epoch's stats are assembled on the caller's
+/// thread once the scope has joined.
 fn fit_parallel_inner<S>(
     cfg: &ClapfConfig,
     weights: CriterionWeights,
     data: &Interactions,
     sampler: &S,
     base_seed: u64,
+    observer: &mut dyn TrainObserver,
 ) -> (MfModel, FitReport)
 where
     S: TripleSampler + Clone + Send,
@@ -363,6 +595,18 @@ where
     let n_epochs = iterations.div_ceil(refresh_every);
     let params = StepParams::new(cfg, weights);
     let sampler_name = sampler.name();
+    let observing = observer.enabled();
+
+    observer.on_fit_start(&FitMeta {
+        model: model_label(cfg),
+        sampler: sampler_name.to_string(),
+        dim: cfg.dim,
+        iterations,
+        threads,
+        n_users: data.n_users(),
+        n_items: data.n_items(),
+        n_pairs: data.n_pairs(),
+    });
 
     // Worker 0 continues the init RNG stream — with one thread that makes
     // this loop consume the exact RNG sequence of the serial path. Extra
@@ -375,26 +619,76 @@ where
 
     let counter = AtomicUsize::new(0);
     let barrier = Barrier::new(threads);
+    let abort = AtomicBool::new(false);
+    let accum = Mutex::new(StepLocal::new(observing));
+    let epochs = Mutex::new(Vec::with_capacity(n_epochs));
+    let last_epoch_elapsed = Mutex::new(Duration::ZERO);
+    // Only worker 0 invokes the observer (and only between barriers); the
+    // mutex exists to hand the `&mut` across the scope, not for contention.
+    let obs_mutex = Mutex::new(observer);
 
     std::thread::scope(|scope| {
-        for mut wrng in rngs {
+        for (w, mut wrng) in rngs.into_iter().enumerate() {
             let mut wsampler = sampler.clone();
             let shared = &shared;
             let counter = &counter;
             let barrier = &barrier;
+            let abort = &abort;
+            let accum = &accum;
+            let epochs = &epochs;
+            let last_epoch_elapsed = &last_epoch_elapsed;
+            let obs_mutex = &obs_mutex;
+            let is_obs_worker = w == 0;
             scope.spawn(move || {
                 let mut u_old = vec![0.0f32; cfg.dim];
                 let mut grad_u = vec![0.0f32; cfg.dim];
+                let mut local = StepLocal::new(observing);
+                let mut epoch_clock = Instant::now();
                 for epoch in 0..n_epochs {
+                    // Publish this worker's counts for the finished epoch
+                    // before the barrier, so the drain below sees them all.
+                    if observing && epoch > 0 {
+                        local.flush_into(accum);
+                    }
                     // Between these two waits no worker is stepping, so the
-                    // leader's counter reset and every sampler refresh read
-                    // a quiescent model; the second wait publishes both.
+                    // leader's counter reset, every sampler refresh and the
+                    // observer's model scan read a quiescent model; the
+                    // second wait publishes all of it.
                     let at_start = barrier.wait();
                     if at_start.is_leader() {
                         counter.store(epoch * refresh_every, Ordering::Relaxed);
                     }
+                    if is_obs_worker && epoch > 0 {
+                        let now = Instant::now();
+                        let steps_total = epoch * refresh_every;
+                        let acc = accum.lock().expect("telemetry accumulator lock").take();
+                        let stats = build_epoch_stats(
+                            epoch - 1,
+                            refresh_every,
+                            steps_total,
+                            now - epoch_clock,
+                            acc,
+                            observing.then(|| shared.view()),
+                        );
+                        epoch_clock = now;
+                        let mut o = obs_mutex.lock().expect("telemetry observer lock");
+                        let control = o.on_epoch(&stats);
+                        let bad = stats.non_finite;
+                        epochs.lock().expect("telemetry epochs lock").push(stats);
+                        if bad {
+                            o.on_divergence(steps_total);
+                        }
+                        if bad || control == Control::Abort {
+                            abort.store(true, Ordering::Relaxed);
+                        }
+                    }
                     wsampler.refresh(shared.view());
                     barrier.wait();
+                    // Every worker reads the decision after the same
+                    // barrier, so all of them exit at this epoch edge.
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
 
                     let epoch_end = ((epoch + 1) * refresh_every).min(iterations);
                     loop {
@@ -411,20 +705,70 @@ where
                                 &params,
                                 &mut u_old,
                                 &mut grad_u,
+                                &mut local,
                             );
                         }
                     }
+                }
+                // Final flush: the last executed epoch's counts, assembled
+                // into stats on the caller's thread after the join.
+                if observing {
+                    local.flush_into(accum);
+                }
+                if is_obs_worker {
+                    *last_epoch_elapsed.lock().expect("telemetry clock lock") =
+                        epoch_clock.elapsed();
                 }
             });
         }
     });
 
+    let observer = obs_mutex.into_inner().expect("telemetry observer lock");
+
+    let mut epochs = epochs.into_inner().expect("telemetry epochs lock");
+    let aborted = abort.load(Ordering::Relaxed);
+    let steps_done = if aborted {
+        // Abort fires at an epoch edge after `epochs.len()` full epochs.
+        epochs.len() * refresh_every
+    } else {
+        iterations
+    };
+    if !aborted && n_epochs > 0 {
+        // The final epoch was never followed by a barrier, so its stats are
+        // built here, from the joined (quiescent) model.
+        let epoch_start = (n_epochs - 1) * refresh_every;
+        let stats = build_epoch_stats(
+            n_epochs - 1,
+            iterations - epoch_start,
+            iterations,
+            *last_epoch_elapsed.lock().expect("telemetry clock lock"),
+            accum.into_inner().expect("telemetry accumulator lock"),
+            observing.then(|| shared.view()),
+        );
+        let _ = observer.on_epoch(&stats);
+        if stats.non_finite {
+            observer.on_divergence(iterations);
+        }
+        epochs.push(stats);
+    }
+
     let model = shared.into_inner();
+    let elapsed = start.elapsed();
+    let diverged = model.has_non_finite();
+    let aborted_at = aborted.then_some(steps_done);
+    observer.on_fit_end(&FitSummary {
+        steps: steps_done,
+        elapsed,
+        diverged,
+        aborted_at,
+    });
     let report = FitReport {
-        iterations,
-        elapsed: start.elapsed(),
+        iterations: steps_done,
+        elapsed,
         sampler: sampler_name,
-        diverged: model.has_non_finite(),
+        diverged,
+        epochs,
+        aborted_at,
     };
     (model, report)
 }
@@ -784,6 +1128,227 @@ mod tests {
             }
         }
         assert!(obs / n_obs as f64 > unobs / n_unobs as f64);
+    }
+
+    /// An enabled observer that records everything it is told.
+    #[derive(Default)]
+    struct Recording {
+        meta: Option<FitMeta>,
+        epochs: Vec<EpochStats>,
+        divergences: Vec<usize>,
+        summary: Option<FitSummary>,
+    }
+
+    impl TrainObserver for Recording {
+        fn on_fit_start(&mut self, meta: &FitMeta) {
+            self.meta = Some(meta.clone());
+        }
+        fn on_epoch(&mut self, stats: &EpochStats) -> Control {
+            self.epochs.push(stats.clone());
+            Control::Continue
+        }
+        fn on_divergence(&mut self, step: usize) {
+            self.divergences.push(step);
+        }
+        fn on_fit_end(&mut self, summary: &FitSummary) {
+            self.summary = Some(summary.clone());
+        }
+    }
+
+    fn assert_same_scores(a: &ClapfModel, b: &ClapfModel, data: &Interactions, what: &str) {
+        for u in data.users() {
+            for i in data.items() {
+                assert_eq!(
+                    a.mf.score(u, i).to_bits(),
+                    b.mf.score(u, i).to_bits(),
+                    "score({u:?}, {i:?}) diverged: {what}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn observer_leaves_serial_fit_bit_identical() {
+        // Attaching a fully enabled observer must not perturb the learned
+        // weights: all instrumentation is read-only and off the RNG stream.
+        let data = world(20);
+        let trainer = Clapf::new(ClapfConfig {
+            iterations: 6_000,
+            refresh_every: 1_500,
+            ..quick_config(ClapfMode::Map, 0.4)
+        });
+        let plain = {
+            let mut rng = SmallRng::seed_from_u64(21);
+            let mut sampler = DssSampler::dss(DssMode::Map);
+            trainer.fit(&data, &mut sampler, &mut rng).0
+        };
+        let mut obs = Recording::default();
+        let observed = {
+            let mut rng = SmallRng::seed_from_u64(21);
+            let mut sampler = DssSampler::dss(DssMode::Map);
+            trainer.fit_observed(&data, &mut sampler, &mut rng, &mut obs).0
+        };
+        assert_same_scores(&plain, &observed, &data, "serial observed vs unobserved");
+        assert_eq!(obs.epochs.len(), 4);
+        assert!(obs.summary.is_some());
+    }
+
+    #[test]
+    fn observer_leaves_parallel_fit_bit_identical() {
+        // Same contract on the parallel path at threads = 1, which is itself
+        // pinned bitwise to the serial path.
+        let data = world(22);
+        let trainer = Clapf::new(ClapfConfig {
+            iterations: 4_000,
+            refresh_every: 1_000,
+            ..quick_config(ClapfMode::Map, 0.4)
+        });
+        let plain = trainer.fit_parallel(&data, &UniformSampler, 77).0;
+        let mut obs = Recording::default();
+        let observed = trainer
+            .fit_parallel_observed(&data, &UniformSampler, 77, &mut obs)
+            .0;
+        assert_same_scores(&plain, &observed, &data, "parallel observed vs unobserved");
+        assert_eq!(obs.epochs.len(), 4);
+        assert_eq!(obs.meta.as_ref().unwrap().threads, 1);
+    }
+
+    #[test]
+    fn observed_epochs_carry_real_statistics() {
+        let data = world(23);
+        let trainer = Clapf::new(ClapfConfig {
+            iterations: 5_000,
+            refresh_every: 2_000,
+            ..quick_config(ClapfMode::Map, 0.4)
+        });
+        let mut obs = Recording::default();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let (_, report) = trainer.fit_observed(&data, &mut UniformSampler, &mut rng, &mut obs);
+
+        let meta = obs.meta.expect("fit_start fired");
+        assert_eq!(meta.iterations, 5_000);
+        assert_eq!(meta.n_pairs, data.n_pairs());
+
+        // 5000 steps / 2000 refresh = epochs of 2000, 2000, 1000.
+        assert_eq!(obs.epochs.len(), 3);
+        assert_eq!(
+            obs.epochs.iter().map(|e| e.steps).collect::<Vec<_>>(),
+            vec![2_000, 2_000, 1_000]
+        );
+        assert_eq!(obs.epochs.last().unwrap().steps_total, 5_000);
+        for e in &obs.epochs {
+            assert!(e.loss.is_finite() && e.loss > 0.0, "loss = {}", e.loss);
+            assert!((0.0..=1.0).contains(&e.grad_scale), "g = {}", e.grad_scale);
+            assert!(e.user_norm.is_finite() && e.user_norm > 0.0);
+            assert!(e.item_norm.is_finite() && e.item_norm > 0.0);
+            assert!(!e.non_finite);
+            assert!(e.triples_per_sec > 0.0);
+        }
+        // The report carries the same epochs the observer saw.
+        assert_eq!(report.epochs, obs.epochs);
+        assert_eq!(report.aborted_at, None);
+
+        let summary = obs.summary.expect("fit_end fired");
+        assert_eq!(summary.steps, 5_000);
+        assert!(!summary.diverged);
+    }
+
+    #[test]
+    fn unobserved_report_still_carries_epoch_timing() {
+        // Satellite contract: FitReport exposes per-epoch durations even
+        // with the default no-op observer, so callers stop re-deriving them.
+        let data = world(24);
+        let trainer = Clapf::new(ClapfConfig {
+            iterations: 3_000,
+            refresh_every: 1_000,
+            ..quick_config(ClapfMode::Map, 0.4)
+        });
+        let mut rng = SmallRng::seed_from_u64(9);
+        let (_, report) = trainer.fit(&data, &mut UniformSampler, &mut rng);
+        assert_eq!(report.epochs.len(), 3);
+        let summed: Duration = report.epochs.iter().map(|e| e.elapsed).sum();
+        assert!(summed <= report.elapsed);
+        for e in &report.epochs {
+            assert_eq!(e.steps, 1_000);
+            assert!(e.loss.is_nan(), "no-op observer must not pay for loss");
+        }
+    }
+
+    #[test]
+    fn observer_abort_stops_serial_training_early() {
+        struct AbortFirst;
+        impl TrainObserver for AbortFirst {
+            fn on_epoch(&mut self, _: &EpochStats) -> Control {
+                Control::Abort
+            }
+        }
+        let data = world(25);
+        let trainer = Clapf::new(ClapfConfig {
+            iterations: 9_000,
+            refresh_every: 1_000,
+            ..quick_config(ClapfMode::Map, 0.4)
+        });
+        let mut rng = SmallRng::seed_from_u64(2);
+        let (_, report) = trainer.fit_observed(&data, &mut UniformSampler, &mut rng, &mut AbortFirst);
+        assert_eq!(report.iterations, 1_000);
+        assert_eq!(report.aborted_at, Some(1_000));
+        assert_eq!(report.epochs.len(), 1);
+    }
+
+    #[test]
+    fn observer_abort_stops_parallel_training_early() {
+        struct AbortAfter(usize);
+        impl TrainObserver for AbortAfter {
+            fn on_epoch(&mut self, stats: &EpochStats) -> Control {
+                if stats.epoch + 1 >= self.0 {
+                    Control::Abort
+                } else {
+                    Control::Continue
+                }
+            }
+        }
+        let data = world(26);
+        let trainer = Clapf::new(ClapfConfig {
+            iterations: 8_000,
+            refresh_every: 1_000,
+            parallel: crate::ParallelConfig {
+                threads: 4,
+                chunk_size: 64,
+            },
+            ..quick_config(ClapfMode::Map, 0.4)
+        });
+        let (model, report) =
+            trainer.fit_parallel_observed(&data, &UniformSampler, 5, &mut AbortAfter(2));
+        // Abort decided after epoch 1's stats, published at the next epoch
+        // edge: 2 full epochs ran.
+        assert_eq!(report.iterations, 2_000);
+        assert_eq!(report.aborted_at, Some(2_000));
+        assert_eq!(report.epochs.len(), 2);
+        assert!(!model.mf.has_non_finite());
+    }
+
+    #[test]
+    fn divergence_is_detected_and_aborts() {
+        // A blow-up learning rate sends the parameters non-finite within
+        // the first epochs; the enabled observer must catch it at an epoch
+        // boundary and abort instead of burning the whole step budget.
+        let data = world(27);
+        let mut cfg = ClapfConfig {
+            iterations: 50_000,
+            refresh_every: 1_000,
+            ..quick_config(ClapfMode::Map, 0.4)
+        };
+        cfg.sgd.learning_rate = 1e5;
+        let trainer = Clapf::new(cfg);
+        let mut obs = Recording::default();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let (_, report) = trainer.fit_observed(&data, &mut UniformSampler, &mut rng, &mut obs);
+        assert!(report.diverged);
+        assert_eq!(obs.divergences.len(), 1, "one divergence callback");
+        let at = report.aborted_at.expect("diverged run must abort early");
+        assert!(at < 50_000, "aborted at {at}");
+        assert!(report.epochs.last().unwrap().non_finite);
+        assert_eq!(obs.summary.unwrap().aborted_at, Some(at));
     }
 
     #[test]

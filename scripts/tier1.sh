@@ -17,4 +17,18 @@ cargo test -q
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
+echo "==> telemetry smoke: fit --metrics-out + trace validation"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+clapf=target/release/clapf
+"$clapf" generate --dataset ml100k --shrink 24 --out "$smoke_dir/data.csv" >/dev/null
+"$clapf" fit --data "$smoke_dir/data.csv" --dss --dim 8 --iterations 20000 \
+  --metrics-out "$smoke_dir/run.jsonl" >/dev/null
+# The trace must validate as JSONL and carry the full event vocabulary.
+"$clapf" trace --file "$smoke_dir/run.jsonl" >/dev/null
+for ev in fit_start epoch fit_end eval summary; do
+  grep -q "\"ev\":\"$ev\"" "$smoke_dir/run.jsonl" \
+    || { echo "telemetry smoke: missing $ev event" >&2; exit 1; }
+done
+
 echo "tier-1: OK"
