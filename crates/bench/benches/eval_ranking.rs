@@ -1,7 +1,6 @@
 //! Ranking-engine benchmarks: the sort-free evaluator against the retained
 //! full-sort path on an MF-backed scorer, and the amortized DSS refresh.
 
-use bench::MfScorer;
 use clapf_data::{InteractionsBuilder, Interactions, ItemId, UserId};
 use clapf_metrics::{evaluate_serial, evaluate_serial_naive, EvalConfig};
 use clapf_mf::{Init, MfModel};
@@ -37,10 +36,10 @@ fn bench_eval_full_ranking(c: &mut Criterion) {
     let mut group = c.benchmark_group("eval_full_ranking");
     group.sample_size(10);
     group.bench_function("sortfree", |b| {
-        b.iter(|| black_box(evaluate_serial(&MfScorer(&model), &train, &test, &cfg)))
+        b.iter(|| black_box(evaluate_serial(&model, &train, &test, &cfg)))
     });
     group.bench_function("naive", |b| {
-        b.iter(|| black_box(evaluate_serial_naive(&MfScorer(&model), &train, &test, &cfg)))
+        b.iter(|| black_box(evaluate_serial_naive(&model, &train, &test, &cfg)))
     });
     group.finish();
 }

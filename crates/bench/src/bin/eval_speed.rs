@@ -7,7 +7,7 @@
 //! Speedup is hardware-bound; the JSON records the machine's core count so
 //! numbers from a small container are not mistaken for a regression.
 
-use bench::{Cli, MfScorer};
+use bench::Cli;
 use clapf_data::{Interactions, InteractionsBuilder, ItemId, UserId};
 use clapf_eval::report;
 use clapf_metrics::{evaluate_serial, evaluate_serial_naive, EvalConfig};
@@ -73,22 +73,21 @@ fn main() {
         let model = MfModel::new(n_users, n_items, dim, Init::default(), &mut rng);
         let (train, test) = interactions(n_users, n_items);
         let cfg = EvalConfig::default();
-        let scorer = MfScorer(&model);
 
         // The two engines must agree exactly before their times mean anything.
-        let fast = evaluate_serial(&scorer, &train, &test, &cfg);
-        let naive = evaluate_serial_naive(&scorer, &train, &test, &cfg);
+        let fast = evaluate_serial(&model, &train, &test, &cfg);
+        let naive = evaluate_serial_naive(&model, &train, &test, &cfg);
         assert_eq!(fast, naive, "engines disagree at {n_users}×{n_items}");
 
         let naive_wall = time_runs(
             || {
-                black_box(evaluate_serial_naive(&scorer, &train, &test, &cfg));
+                black_box(evaluate_serial_naive(&model, &train, &test, &cfg));
             },
             runs,
         );
         let sortfree_wall = time_runs(
             || {
-                black_box(evaluate_serial(&scorer, &train, &test, &cfg));
+                black_box(evaluate_serial(&model, &train, &test, &cfg));
             },
             runs,
         );

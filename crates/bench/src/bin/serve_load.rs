@@ -1,0 +1,275 @@
+//! Closed-loop load generator for the `clapf-serve` HTTP server.
+//!
+//! Boots a real server (in-process, ephemeral port) on a synthetic bundle
+//! and hammers `GET /recommend/{user}?k=10` from keep-alive client threads
+//! whose user ids follow a Zipf distribution — the skew that makes a top-k
+//! cache pay. Two runs, identical except for the cache (on, then off),
+//! land in `results/BENCH_serve.json` alongside the other BENCH artifacts:
+//! QPS, p50/p95/p99 latency, and the measured cache hit rate.
+
+use bench::Cli;
+use clapf_data::loader::{load_ratings_reader, Separator};
+use clapf_eval::report;
+use clapf_mf::{Init, MfModel};
+use clapf_serve::{start, ModelBundle, ServeConfig};
+use clapf_telemetry::Registry;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Zipf(s) sampler over `0..n` via a precomputed CDF and binary search.
+/// Hand-rolled: the vendored `rand` has no distribution zoo.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Self {
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(s);
+            cdf.push(acc);
+        }
+        for v in &mut cdf {
+            *v /= acc;
+        }
+        Zipf { cdf }
+    }
+
+    fn sample(&self, rng: &mut SmallRng) -> usize {
+        let x: f64 = rng.gen_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < x).min(self.cdf.len() - 1)
+    }
+}
+
+/// One keep-alive request; returns latency. Panics on any protocol error —
+/// a load generator that silently drops errors measures nothing.
+fn request(
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    path: &str,
+) -> Duration {
+    let started = Instant::now();
+    write!(writer, "GET {path} HTTP/1.1\r\nHost: b\r\n\r\n").expect("send request");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("status line");
+    assert!(line.contains("200"), "unexpected response: {line:?}");
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        reader.read_line(&mut line).expect("header");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(|v| v.trim().to_string())
+        {
+            content_length = v.parse().expect("content-length value");
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    std::io::Read::read_exact(reader, &mut body).expect("body");
+    started.elapsed()
+}
+
+#[derive(Serialize)]
+struct LoadRun {
+    cache: &'static str,
+    cache_capacity: usize,
+    requests: u64,
+    qps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    cache_hit_rate: f64,
+}
+
+#[derive(Serialize)]
+struct ServeLoadReport {
+    n_users: u32,
+    n_items: u32,
+    dim: usize,
+    k: usize,
+    clients: usize,
+    zipf_s: f64,
+    duration_secs: f64,
+    available_cores: usize,
+    runs: Vec<LoadRun>,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx]
+}
+
+/// Everything one load run needs besides the cache setting.
+struct LoadSpec {
+    clients: usize,
+    duration: Duration,
+    k: usize,
+    seed: u64,
+}
+
+fn run_load(
+    bundle_path: &std::path::Path,
+    cache_capacity: usize,
+    cache_label: &'static str,
+    spec: &LoadSpec,
+    zipf: &Zipf,
+) -> LoadRun {
+    let LoadSpec { clients, duration, k, seed } = *spec;
+    let registry = Arc::new(Registry::new());
+    let server = start(
+        bundle_path.to_path_buf(),
+        ServeConfig {
+            cache_capacity,
+            workers: clients.max(2),
+            ..ServeConfig::default()
+        },
+        Arc::clone(&registry),
+    )
+    .expect("server boots");
+    let addr: SocketAddr = server.addr();
+
+    let started = Instant::now();
+    let mut threads = Vec::new();
+    for c in 0..clients {
+        let mut rng = SmallRng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9E37));
+        let zipf_cdf = zipf.cdf.clone();
+        threads.push(std::thread::spawn(move || {
+            let zipf = Zipf { cdf: zipf_cdf };
+            let stream = TcpStream::connect(addr).expect("connect");
+            stream.set_nodelay(true).expect("nodelay");
+            let mut writer = stream.try_clone().expect("clone stream");
+            let mut reader = BufReader::new(stream);
+            let mut latencies_ms = Vec::new();
+            while started.elapsed() < duration {
+                let user = zipf.sample(&mut rng);
+                let wall = request(
+                    &mut writer,
+                    &mut reader,
+                    &format!("/recommend/u{user}?k={k}"),
+                );
+                latencies_ms.push(wall.as_secs_f64() * 1e3);
+            }
+            latencies_ms
+        }));
+    }
+    let mut latencies_ms: Vec<f64> = threads
+        .into_iter()
+        .flat_map(|t| t.join().expect("client thread"))
+        .collect();
+    let wall = started.elapsed();
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+
+    let hits = registry.counter("serve.cache.hits").get();
+    let misses = registry.counter("serve.cache.misses").get();
+    server.shutdown();
+
+    let requests = latencies_ms.len() as u64;
+    LoadRun {
+        cache: cache_label,
+        cache_capacity,
+        requests,
+        qps: requests as f64 / wall.as_secs_f64(),
+        p50_ms: percentile(&latencies_ms, 0.50),
+        p95_ms: percentile(&latencies_ms, 0.95),
+        p99_ms: percentile(&latencies_ms, 0.99),
+        cache_hit_rate: hits as f64 / (hits + misses).max(1) as f64,
+    }
+}
+
+fn main() {
+    let cli = Cli::parse();
+    // Scale knobs: users/items size the scoring cost per uncached request,
+    // duration bounds the wall clock.
+    let (n_users, n_items, secs, clients) = match cli.scale_name {
+        "fast" => (2_000u32, 5_000u32, 2.0f64, 4usize),
+        "medium" => (10_000, 20_000, 8.0, 6),
+        _ => (20_000, 50_000, 20.0, 8),
+    };
+    let (dim, k, zipf_s) = (32usize, 10usize, 1.1f64);
+
+    // Synthetic ratings CSV → IdMap + interactions, exactly the path a real
+    // `clapf fit --save` bundle takes. 8 positives per user.
+    let mut csv = String::new();
+    for u in 0..n_users {
+        for t in 0..8u32 {
+            let i = (u * 13 + t * 97) % n_items;
+            csv.push_str(&format!("u{u},i{i},5\n"));
+        }
+    }
+    let loaded = load_ratings_reader(std::io::Cursor::new(csv), Separator::Comma, 3.0)
+        .expect("synthetic ratings load");
+    let mut rng = SmallRng::seed_from_u64(cli.scale.seed);
+    let model = MfModel::new(
+        loaded.interactions.n_users(),
+        loaded.interactions.n_items(),
+        dim,
+        Init::default(),
+        &mut rng,
+    );
+    let bundle = ModelBundle::new(
+        format!("serve-load fixture d={dim}"),
+        model,
+        loaded.ids,
+        &loaded.interactions,
+    );
+    let dir = std::env::temp_dir().join(format!("clapf-serve-load-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let bundle_path = dir.join("bundle.json");
+    bundle.save(&bundle_path).expect("save bundle");
+
+    let zipf = Zipf::new(n_users as usize, zipf_s);
+    let duration = Duration::from_secs_f64(secs);
+    let spec = LoadSpec {
+        clients,
+        duration,
+        k,
+        seed: cli.scale.seed,
+    };
+    let mut runs = Vec::new();
+    for (capacity, label) in [(2 * n_users as usize, "on"), (0usize, "off")] {
+        let run = run_load(&bundle_path, capacity, label, &spec, &zipf);
+        eprintln!(
+            "cache {}: {} req, {:.0} qps, p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms, hit rate {:.1}%",
+            run.cache,
+            run.requests,
+            run.qps,
+            run.p50_ms,
+            run.p95_ms,
+            run.p99_ms,
+            run.cache_hit_rate * 100.0
+        );
+        runs.push(run);
+    }
+
+    let out = ServeLoadReport {
+        n_users,
+        n_items,
+        dim,
+        k,
+        clients,
+        zipf_s,
+        duration_secs: secs,
+        available_cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        runs,
+    };
+    let path = cli.out_dir.join("BENCH_serve.json");
+    report::write_json(&path, &out).expect("write serve load results");
+    eprintln!("wrote {}", path.display());
+    std::fs::remove_dir_all(&dir).ok();
+}

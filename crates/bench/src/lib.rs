@@ -4,26 +4,8 @@
 //! or `--paper` (full fidelity; hours for Table 2) plus `--out DIR` for the
 //! JSON artifacts (default `results/`).
 
-use clapf_data::UserId;
 use clapf_eval::RunScale;
-use clapf_metrics::BulkScorer;
-use clapf_mf::MfModel;
 use std::path::PathBuf;
-
-/// A [`BulkScorer`] over a raw [`MfModel`] that routes the evaluator's
-/// blocked scoring to the model's batch kernel. Shared by the ranking
-/// benches and the `eval_speed` binary.
-pub struct MfScorer<'a>(pub &'a MfModel);
-
-impl BulkScorer for MfScorer<'_> {
-    fn scores_into(&self, u: UserId, out: &mut Vec<f32>) {
-        self.0.scores_for_user(u, out);
-    }
-
-    fn scores_into_batch(&self, users: &[UserId], out: &mut [Vec<f32>]) {
-        self.0.scores_for_users(users, out);
-    }
-}
 
 /// Parsed command line shared by all binaries.
 pub struct Cli {

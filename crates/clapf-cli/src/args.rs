@@ -111,6 +111,22 @@ pub struct RecommendArgs {
     pub k: usize,
 }
 
+/// `clapf serve` arguments.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeArgs {
+    /// Saved model bundle to serve (and hot-swap on change).
+    pub load: PathBuf,
+    /// Bind address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Top-k cache capacity in entries (0 disables caching).
+    pub cache: usize,
+    /// Watch the bundle file and hot-swap on change, polling this often
+    /// (seconds). `None` reloads only on `POST /reload`.
+    pub watch_secs: Option<f64>,
+}
+
 /// A parsed `clapf` invocation.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Command {
@@ -120,6 +136,8 @@ pub enum Command {
     Fit(FitArgs),
     /// Produce recommendations from a saved model.
     Recommend(RecommendArgs),
+    /// Serve recommendations over HTTP.
+    Serve(ServeArgs),
     /// Validate and summarize a JSONL run trace.
     Trace(TraceArgs),
     /// Print usage.
@@ -143,6 +161,13 @@ USAGE:
   fit_end, eval, summary events); --log-level debug echoes per-epoch
   statistics, quiet keeps only results.
   clapf recommend --load model.json --user RAW_ID [-k N]
+  clapf serve --load model.json [--addr 127.0.0.1:7878] [--workers N]
+              [--cache N] [--watch SECS]
+
+  serve answers GET /recommend/{user}?k=N, /healthz and /metrics, and
+  hot-swaps the bundle on POST /reload (or automatically with --watch).
+  --cache sizes the top-k result cache (0 disables it); POST /shutdown
+  drains in-flight requests and stops.
   clapf trace --file run.jsonl
   clapf help
 ";
@@ -271,6 +296,37 @@ impl Command {
                     load,
                     user,
                     k: k.max(1),
+                }))
+            }
+            "serve" => {
+                let load = PathBuf::from(required("--load")?);
+                let addr = value("--addr")?
+                    .cloned()
+                    .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+                let workers = match value("--workers")? {
+                    Some(v) => parse_num("--workers", v)? as usize,
+                    None => 4,
+                };
+                let cache = match value("--cache")? {
+                    Some(v) => parse_num("--cache", v)? as usize,
+                    None => 4096,
+                };
+                let watch_secs = match value("--watch")? {
+                    Some(v) => {
+                        let secs = parse_num("--watch", v)?;
+                        if secs.is_nan() || secs <= 0.0 {
+                            return Err(format!("--watch must be positive, got {secs}"));
+                        }
+                        Some(secs)
+                    }
+                    None => None,
+                };
+                Ok(Command::Serve(ServeArgs {
+                    load,
+                    addr,
+                    workers: workers.max(1),
+                    cache,
+                    watch_secs,
                 }))
             }
             other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
@@ -403,6 +459,44 @@ mod tests {
                 k: 5,
             })
         );
+    }
+
+    #[test]
+    fn serve_defaults_and_full_flags() {
+        let c = Command::parse(&args(&["serve", "--load", "m.json"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Serve(ServeArgs {
+                load: PathBuf::from("m.json"),
+                addr: "127.0.0.1:7878".into(),
+                workers: 4,
+                cache: 4096,
+                watch_secs: None,
+            })
+        );
+        let c = Command::parse(&args(&[
+            "serve", "--load", "m.json", "--addr", "0.0.0.0:9000", "--workers", "8",
+            "--cache", "0", "--watch", "2.5",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Serve(ServeArgs {
+                load: PathBuf::from("m.json"),
+                addr: "0.0.0.0:9000".into(),
+                workers: 8,
+                cache: 0,
+                watch_secs: Some(2.5),
+            })
+        );
+    }
+
+    #[test]
+    fn serve_requires_load_and_validates_watch() {
+        assert!(Command::parse(&args(&["serve"])).is_err());
+        let err =
+            Command::parse(&args(&["serve", "--load", "m.json", "--watch", "0"])).unwrap_err();
+        assert!(err.contains("--watch"), "{err}");
     }
 
     #[test]

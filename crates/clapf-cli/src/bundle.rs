@@ -1,175 +1,9 @@
-//! Saved model bundles: the fitted factors plus the raw-id mapping, as one
-//! JSON document.
+//! Saved model bundles.
+//!
+//! The bundle type moved to [`clapf_serve`] when the serving layer grew —
+//! a bundle is the unit of deployment (`clapf fit --save` writes one,
+//! `clapf serve` hot-swaps them), so it lives with the server. This module
+//! re-exports it so existing `clapf_cli::bundle::ModelBundle` users keep
+//! compiling.
 
-use clapf_data::loader::IdMap;
-use clapf_data::{Interactions, ItemId, UserId};
-use clapf_mf::MfModel;
-use serde::{Deserialize, Serialize};
-use std::path::Path;
-
-/// Everything `clapf recommend` needs: the factors, how raw ids map to
-/// dense ids, which items each user trained on (to exclude them), and a
-/// human-readable description of the training run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct ModelBundle {
-    /// Description, e.g. `"CLAPF(λ=0.3)-MAP, d=20, 692100 steps"`.
-    pub description: String,
-    /// Fitted factors.
-    pub model: MfModel,
-    /// Raw ↔ dense id mapping of the training file.
-    pub ids: IdMap,
-    /// Dense training pairs (`user, item`), used to exclude seen items.
-    pub train_pairs: Vec<(u32, u32)>,
-    /// Final telemetry-registry snapshot of the training run (rendered
-    /// JSON), when the fit was traced with `--metrics-out`. Absent in
-    /// bundles from untraced runs and from older versions of this tool.
-    pub metrics: Option<String>,
-}
-
-impl ModelBundle {
-    /// Assembles a bundle from a fit.
-    pub fn new(
-        description: String,
-        model: MfModel,
-        ids: IdMap,
-        train: &Interactions,
-    ) -> Self {
-        ModelBundle {
-            description,
-            model,
-            ids,
-            train_pairs: train.pairs().map(|(u, i)| (u.0, i.0)).collect(),
-            metrics: None,
-        }
-    }
-
-    /// Attaches a rendered metrics snapshot to the bundle.
-    pub fn with_metrics(mut self, metrics: Option<String>) -> Self {
-        self.metrics = metrics;
-        self
-    }
-
-    /// Serializes to pretty JSON at `path`.
-    pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        let body = serde_json::to_string(self).expect("bundle serializes");
-        std::fs::write(path, body)
-    }
-
-    /// Loads a bundle from `path`.
-    pub fn load(path: &Path) -> Result<Self, String> {
-        let body = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
-        serde_json::from_str(&body).map_err(|e| format!("parse {path:?}: {e}"))
-    }
-
-    /// Rebuilds the training interactions (for exclusion at recommend time).
-    pub fn train_interactions(&self) -> Interactions {
-        let mut b = clapf_data::InteractionsBuilder::new(
-            self.model.n_users(),
-            self.model.n_items(),
-        );
-        for &(u, i) in &self.train_pairs {
-            b.push(UserId(u), ItemId(i)).expect("bundle pairs are in range");
-        }
-        b.build().expect("bundle has training pairs")
-    }
-
-    /// Top-k raw item ids for a raw user id, excluding trained items.
-    pub fn recommend_raw(&self, raw_user: &str, k: usize) -> Result<Vec<String>, String> {
-        let u = self
-            .ids
-            .dense_user(raw_user)
-            .ok_or_else(|| format!("user {raw_user:?} not present in the training data"))?;
-        let train = self.train_interactions();
-        let mut scores = Vec::new();
-        self.model.scores_for_user(u, &mut scores);
-        let ranked = clapf_metrics::top_k_ranked(&scores, k, |i| !train.contains(u, i));
-        Ok(ranked
-            .items
-            .iter()
-            .map(|&i| {
-                self.ids
-                    .raw_item(i)
-                    .unwrap_or("<unknown>")
-                    .to_string()
-            })
-            .collect())
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use clapf_data::loader::{load_ratings_reader, Separator};
-    use clapf_mf::Init;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
-
-    fn bundle() -> ModelBundle {
-        let csv = "u1,a,5\nu1,b,5\nu2,b,4\nu2,c,5\n";
-        let loaded = load_ratings_reader(std::io::Cursor::new(csv), Separator::Comma, 3.0).unwrap();
-        let mut rng = SmallRng::seed_from_u64(1);
-        let mut model = MfModel::new(
-            loaded.interactions.n_users(),
-            loaded.interactions.n_items(),
-            2,
-            Init::Zeros,
-            &mut rng,
-        );
-        // Deterministic scores: item "c" (dense 2) best, then "b", then "a".
-        for (idx, bias) in [(0u32, 0.1f32), (1, 0.5), (2, 0.9)] {
-            *model.bias_mut(ItemId(idx)) = bias;
-        }
-        ModelBundle::new(
-            "test".into(),
-            model,
-            loaded.ids,
-            &loaded.interactions,
-        )
-    }
-
-    #[test]
-    fn round_trips_through_disk() {
-        let b = bundle();
-        let dir = std::env::temp_dir().join("clapf-bundle-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("m.json");
-        b.save(&path).unwrap();
-        let loaded = ModelBundle::load(&path).unwrap();
-        assert_eq!(loaded.description, "test");
-        assert_eq!(loaded.train_pairs, b.train_pairs);
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn bundles_without_metrics_field_still_load() {
-        // Bundles written before the telemetry layer have no `metrics`
-        // key; loading one must yield `None`, not an error.
-        let b = bundle().with_metrics(Some("{}".into()));
-        let text = serde_json::to_string(&b).unwrap();
-        let mut v: serde::Value = serde_json::from_str(&text).unwrap();
-        if let serde::Value::Map(fields) = &mut v {
-            fields.retain(|(k, _)| k != "metrics");
-        }
-        let stripped = serde_json::to_string(&v).unwrap();
-        let loaded: ModelBundle = serde_json::from_str(&stripped).unwrap();
-        assert_eq!(loaded.metrics, None);
-    }
-
-    #[test]
-    fn recommends_unseen_items_by_score() {
-        let b = bundle();
-        // u1 trained on {a, b}; best unseen is c.
-        let recs = b.recommend_raw("u1", 2).unwrap();
-        assert_eq!(recs, vec!["c".to_string()]);
-        // u2 trained on {b, c}; only a remains.
-        let recs = b.recommend_raw("u2", 5).unwrap();
-        assert_eq!(recs, vec!["a".to_string()]);
-    }
-
-    #[test]
-    fn unknown_user_is_an_error() {
-        let b = bundle();
-        let err = b.recommend_raw("nobody", 3).unwrap_err();
-        assert!(err.contains("nobody"));
-    }
-}
+pub use clapf_serve::{BundleError, ModelBundle};

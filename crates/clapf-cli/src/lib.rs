@@ -11,6 +11,9 @@
 //!   metrics, and save the model bundle as JSON.
 //! * `clapf recommend` — load a bundle and print top-k recommendations for
 //!   a raw user id, excluding the items the user was trained on.
+//! * `clapf serve` — serve a bundle over HTTP (`clapf-serve`: worker pool,
+//!   generation-stamped top-k cache, hot-swap on `POST /reload` or
+//!   `--watch`).
 //! * `clapf trace` — validate a `--metrics-out` JSONL run trace and
 //!   summarize its event kinds.
 //!
@@ -25,6 +28,6 @@ pub mod bundle;
 pub mod run;
 pub mod telemetry;
 
-pub use args::{Command, FitArgs, GenerateArgs, LogLevel, RecommendArgs, TraceArgs};
-pub use bundle::ModelBundle;
+pub use args::{Command, FitArgs, GenerateArgs, LogLevel, RecommendArgs, ServeArgs, TraceArgs};
+pub use bundle::{BundleError, ModelBundle};
 pub use telemetry::CliObserver;

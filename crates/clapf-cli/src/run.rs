@@ -1,33 +1,21 @@
 //! Execution of the parsed CLI commands.
 
-use crate::args::{Command, FitArgs, GenerateArgs, LogLevel, ModelKind, RecommendArgs, TraceArgs};
+use crate::args::{
+    Command, FitArgs, GenerateArgs, LogLevel, ModelKind, RecommendArgs, ServeArgs, TraceArgs,
+};
 use crate::bundle::ModelBundle;
 use crate::telemetry::CliObserver;
 use clapf_core::{Clapf, ClapfConfig, ClapfMode, FitReport, ParallelConfig};
 use clapf_data::loader::{load_ratings_path, PAPER_RATING_THRESHOLD};
 use clapf_data::split::{split, SplitStrategy};
 use clapf_data::synthetic::{self, DatasetSpec, WorldConfig};
-use clapf_data::{export, Interactions, UserId};
-use clapf_metrics::{evaluate_instrumented, BulkScorer, EvalConfig, EvalStats};
+use clapf_data::{export, Interactions};
+use clapf_metrics::{evaluate_instrumented, EvalConfig, EvalStats};
 use clapf_sampling::{DssMode, DssSampler, DssStats, TripleSampler, UniformSampler};
 use clapf_telemetry::{per_sec, timed, JsonlSink, NoopObserver, Registry, TrainObserver};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::io::Write;
-
-/// Routes the evaluator's blocked scoring to the model's batch kernel (a
-/// closure scorer would fall back to one user at a time).
-struct MfScorer<'a>(&'a clapf_mf::MfModel);
-
-impl BulkScorer for MfScorer<'_> {
-    fn scores_into(&self, u: UserId, out: &mut Vec<f32>) {
-        self.0.scores_for_user(u, out);
-    }
-
-    fn scores_into_batch(&self, users: &[UserId], out: &mut [Vec<f32>]) {
-        self.0.scores_for_users(users, out);
-    }
-}
 
 /// Runs a parsed command, writing human output to `out`. Returns the
 /// process exit code.
@@ -40,6 +28,7 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> i32 {
         Command::Generate(a) => generate(a, out),
         Command::Fit(a) => fit(a, out),
         Command::Recommend(a) => recommend(a, out),
+        Command::Serve(a) => serve(a, out),
         Command::Trace(a) => trace(a, out),
     };
     match result {
@@ -245,13 +234,9 @@ fn fit<W: Write>(a: FitArgs, out: &mut W) -> Result<(), String> {
     if let Some(test) = test {
         let eval_stats = tracing.then(|| EvalStats::registered(&registry));
         let (report, wall) = timed(|| {
-            evaluate_instrumented(
-                &MfScorer(&model),
-                &train,
-                &test,
-                &EvalConfig::at_5(),
-                eval_stats.as_deref(),
-            )
+            // `MfModel` implements `BulkScorer` directly (batch kernel and
+            // all), so the evaluator scores the model without a wrapper.
+            evaluate_instrumented(&model, &train, &test, &EvalConfig::at_5(), eval_stats.as_deref())
         });
         let eval_secs = wall.as_secs_f64();
         let users_per_sec = per_sec(report.n_users, wall);
@@ -350,8 +335,42 @@ fn trace<W: Write>(a: TraceArgs, out: &mut W) -> Result<(), String> {
     Ok(())
 }
 
+/// Boots the HTTP server on the saved bundle and blocks until it shuts
+/// down (`POST /shutdown`, or the process is killed). The `listening on`
+/// line is written (and flushed) before blocking so wrappers can scrape
+/// the resolved port when binding to port 0.
+fn serve<W: Write>(a: ServeArgs, out: &mut W) -> Result<(), String> {
+    let config = clapf_serve::ServeConfig {
+        addr: a.addr.clone(),
+        workers: a.workers,
+        cache_capacity: a.cache,
+        watch_poll: a.watch_secs.map(std::time::Duration::from_secs_f64),
+        ..clapf_serve::ServeConfig::default()
+    };
+    let registry = std::sync::Arc::new(Registry::new());
+    let handle =
+        clapf_serve::start(a.load.clone(), config, registry).map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "serving {} (cache {} entries, {} workers{})",
+        a.load.display(),
+        a.cache,
+        a.workers,
+        match a.watch_secs {
+            Some(s) => format!(", watching every {s}s"),
+            None => String::new(),
+        }
+    )
+    .map_err(|e| e.to_string())?;
+    writeln!(out, "listening on http://{}", handle.addr()).map_err(|e| e.to_string())?;
+    out.flush().map_err(|e| e.to_string())?;
+    handle.wait();
+    writeln!(out, "server drained and stopped").map_err(|e| e.to_string())?;
+    Ok(())
+}
+
 fn recommend<W: Write>(a: RecommendArgs, out: &mut W) -> Result<(), String> {
-    let bundle = ModelBundle::load(&a.load)?;
+    let bundle = ModelBundle::load(&a.load).map_err(|e| e.to_string())?;
     writeln!(out, "model: {}", bundle.description).map_err(|e| e.to_string())?;
     let recs = bundle.recommend_raw(&a.user, a.k)?;
     writeln!(out, "top-{} for user {}:", a.k, a.user).map_err(|e| e.to_string())?;
@@ -527,6 +546,98 @@ mod tests {
         assert_eq!(code, 0, "{text}");
         assert!(text.contains("epoch"), "{text}");
         assert!(text.contains("triples/sec"), "{text}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A `Write` the test can read while `serve` blocks in another thread.
+    #[derive(Clone, Default)]
+    struct SharedOut(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl Write for SharedOut {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SharedOut {
+        fn text(&self) -> String {
+            String::from_utf8_lossy(&self.0.lock().unwrap()).into_owned()
+        }
+    }
+
+    fn mini_http(addr: &str, method: &str, path: &str) -> (u16, String) {
+        use std::io::Read;
+        let mut s = std::net::TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(std::time::Duration::from_secs(10))).unwrap();
+        write!(s, "{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        s.read_to_string(&mut raw).unwrap();
+        let status = raw.split_whitespace().nth(1).unwrap().parse().unwrap();
+        let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+        (status, body)
+    }
+
+    #[test]
+    fn serve_command_boots_answers_and_drains() {
+        let dir = std::env::temp_dir().join("clapf-cli-serve");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.csv");
+        let model = dir.join("model.json");
+
+        let (code, text) = run_cmd(&[
+            "generate", "--dataset", "ml100k", "--shrink", "24", "--out",
+            data.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{text}");
+        let (code, text) = run_cmd(&[
+            "fit", "--data", data.to_str().unwrap(), "--dim", "4", "--iterations",
+            "5000", "--save", model.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{text}");
+
+        // Boot `clapf serve` on an ephemeral port in a background thread.
+        let cmd = Command::parse(&args(&[
+            "serve", "--load", model.to_str().unwrap(), "--addr", "127.0.0.1:0",
+        ]))
+        .unwrap();
+        let shared = SharedOut::default();
+        let mut writer = shared.clone();
+        let server = std::thread::spawn(move || run(cmd, &mut writer));
+
+        // Scrape the resolved address off the flushed listening line.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let addr = loop {
+            if let Some(line) = shared.text().lines().find(|l| l.contains("listening on")) {
+                break line.trim().rsplit("http://").next().unwrap().to_string();
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "server never announced its address: {:?}",
+                shared.text()
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+
+        let (status, body) = mini_http(&addr, "GET", "/healthz");
+        assert_eq!(status, 200, "{body}");
+
+        // A real user from the CSV gets a non-empty list; the output is the
+        // same machinery as `clapf recommend`, so just sanity-check shape.
+        let csv = std::fs::read_to_string(&data).unwrap();
+        let user = csv.lines().nth(1).unwrap().split(',').next().unwrap();
+        let (status, body) = mini_http(&addr, "GET", &format!("/recommend/{user}?k=3"));
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"items\":["), "{body}");
+
+        let (status, _) = mini_http(&addr, "POST", "/shutdown");
+        assert_eq!(status, 200);
+        assert_eq!(server.join().unwrap(), 0);
+        assert!(shared.text().contains("server drained and stopped"), "{:?}", shared.text());
 
         std::fs::remove_dir_all(&dir).ok();
     }

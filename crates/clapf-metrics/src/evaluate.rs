@@ -3,7 +3,7 @@
 use crate::{
     auc, auc_at_ranks, average_precision, average_precision_at_ranks, f1, ndcg_at_k,
     one_call_at_k, precision_at_k, rank_all, recall_at_k, reciprocal_rank,
-    reciprocal_rank_at_ranks, top_k_into, CountingRanks, EvalStats, RankedList,
+    reciprocal_rank_at_ranks, top_k_from_scores, CountingRanks, EvalStats, RankedList,
 };
 use clapf_data::{Interactions, UserId};
 use clapf_telemetry::{per_sec, timed};
@@ -219,7 +219,10 @@ fn eval_user_sortfree(
         }
     }
     let max_k = ks.iter().copied().max().unwrap_or(0);
-    top_k_into(scores, max_k, is_candidate, &mut scratch.prefix.items);
+    // The prefix is the *recommendation list*: the same helper the online
+    // server and `clapf recommend` use, so offline top-k metrics score
+    // exactly the lists the serving layer returns.
+    top_k_from_scores(scores, train, u, max_k, &mut scratch.prefix.items);
     let n_rel = relevant_items.len();
     let relevant = |i| relevant_items.binary_search(&i).is_ok();
     for (slot, &k) in ks.iter().enumerate() {

@@ -29,6 +29,7 @@ mod aggregate;
 mod evaluate;
 mod ranked;
 mod rankmetrics;
+mod recommend;
 pub mod sampled;
 mod stats;
 mod topk;
@@ -40,6 +41,7 @@ pub use evaluate::{
 };
 pub use stats::EvalStats;
 pub use ranked::{rank_all, top_k_into, top_k_ranked, CountingRanks, RankedList};
+pub use recommend::{top_k_for_user, top_k_for_user_into, top_k_from_scores};
 pub use rankmetrics::{
     auc, auc_at_ranks, average_precision, average_precision_at_ranks, reciprocal_rank,
     reciprocal_rank_at_ranks,

@@ -1,0 +1,121 @@
+//! Shared top-k extraction for *serving* and *inspection* paths.
+//!
+//! Before this module, the only way to get "the list the user finally sees"
+//! — the top-k unobserved items — was to run a full evaluation. The online
+//! server, the `clapf recommend` CLI and the evaluator's top-k prefix all
+//! route through these helpers now, so a list produced over HTTP is
+//! bit-identical to the list the offline evaluator scores (same
+//! descending-score, ascending-id order; same train-set exclusion).
+
+use crate::evaluate::BulkScorer;
+use crate::ranked::{top_k_into, RankedList};
+use clapf_data::{Interactions, ItemId, UserId};
+
+/// Top-k candidates of user `u` from a precomputed score vector, excluding
+/// the items `u` interacted with in `train`. Writes into `items` so hot
+/// loops (the evaluator, the server) stay allocation-free after warm-up.
+///
+/// This is the single definition of "the recommendation list": the
+/// evaluator's top-k prefix and the serving layer both call it, which is
+/// what makes online responses bit-identical to offline metrics.
+pub fn top_k_from_scores(
+    scores: &[f32],
+    train: &Interactions,
+    u: UserId,
+    k: usize,
+    items: &mut Vec<ItemId>,
+) {
+    top_k_into(scores, k, |i| !train.contains(u, i), items);
+}
+
+/// [`top_k_for_user`] writing into caller-owned buffers (`scores` for the
+/// full score sweep, `items` for the resulting list).
+pub fn top_k_for_user_into<S: BulkScorer + ?Sized>(
+    scorer: &S,
+    train: &Interactions,
+    u: UserId,
+    k: usize,
+    scores: &mut Vec<f32>,
+    items: &mut Vec<ItemId>,
+) {
+    scorer.scores_into(u, scores);
+    top_k_from_scores(scores, train, u, k, items);
+}
+
+/// The top-k items for user `u` — scored with `scorer`, excluding the items
+/// observed in `train` — as a [`RankedList`] (descending score, ascending
+/// item id on ties).
+pub fn top_k_for_user<S: BulkScorer + ?Sized>(
+    scorer: &S,
+    train: &Interactions,
+    u: UserId,
+    k: usize,
+) -> RankedList {
+    let mut scores = Vec::new();
+    let mut items = Vec::new();
+    top_k_for_user_into(scorer, train, u, k, &mut scores, &mut items);
+    RankedList { items }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rank_all;
+    use clapf_data::InteractionsBuilder;
+
+    fn train() -> Interactions {
+        let mut b = InteractionsBuilder::new(2, 6);
+        b.push(UserId(0), ItemId(1)).unwrap();
+        b.push(UserId(0), ItemId(4)).unwrap();
+        b.push(UserId(1), ItemId(0)).unwrap();
+        b.build().unwrap()
+    }
+
+    fn scorer() -> impl BulkScorer {
+        |u: UserId, out: &mut Vec<f32>| {
+            out.clear();
+            for i in 0..6u32 {
+                out.push(((u.0 * 7 + i * 13) % 5) as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn excludes_train_items_and_orders_by_score() {
+        let train = train();
+        let s = scorer();
+        let got = top_k_for_user(&s, &train, UserId(0), 6);
+        // Reference: rank everything, drop train items.
+        let mut scores = Vec::new();
+        s.scores_into(UserId(0), &mut scores);
+        let full = rank_all(&scores, |i| !train.contains(UserId(0), i));
+        assert_eq!(got.items, full.items);
+        assert!(!got.items.contains(&ItemId(1)));
+        assert!(!got.items.contains(&ItemId(4)));
+    }
+
+    #[test]
+    fn k_truncates() {
+        let train = train();
+        let s = scorer();
+        let all = top_k_for_user(&s, &train, UserId(1), 10);
+        let two = top_k_for_user(&s, &train, UserId(1), 2);
+        assert_eq!(two.items.len(), 2);
+        assert_eq!(&all.items[..2], &two.items[..]);
+    }
+
+    #[test]
+    fn buffered_variant_matches_and_reuses() {
+        let train = train();
+        let s = scorer();
+        let mut scores = Vec::new();
+        let mut items = Vec::new();
+        top_k_for_user_into(&s, &train, UserId(0), 3, &mut scores, &mut items);
+        let direct = top_k_for_user(&s, &train, UserId(0), 3);
+        assert_eq!(items, direct.items);
+        // Second call must fully overwrite, not append.
+        top_k_for_user_into(&s, &train, UserId(1), 3, &mut scores, &mut items);
+        let direct = top_k_for_user(&s, &train, UserId(1), 3);
+        assert_eq!(items, direct.items);
+    }
+}

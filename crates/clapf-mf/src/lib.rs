@@ -22,6 +22,7 @@
 
 pub mod linalg;
 mod model;
+mod scorer;
 mod shared;
 
 pub use model::{Init, MfModel, SgdConfig};

@@ -308,6 +308,47 @@ impl MfModel {
     pub fn mean_item_norm(&self) -> f64 {
         mean_row_norm(&self.item_factors, self.n_items as usize, self.dim)
     }
+
+    /// Structural integrity check for models that crossed a trust boundary
+    /// (deserialized from disk, received over the network). The serde derive
+    /// fills fields independently, so a corrupt document can claim
+    /// `n_users = 10` while shipping five factor rows — every accessor
+    /// would then panic on a slice out of range. Returns a description of
+    /// the first inconsistency instead.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.dim == 0 {
+            return Err("latent dimension is zero".into());
+        }
+        let want_u = (self.n_users as usize).checked_mul(self.dim);
+        if want_u != Some(self.user_factors.len()) {
+            return Err(format!(
+                "user factor block has {} floats, expected {} users × dim {}",
+                self.user_factors.len(),
+                self.n_users,
+                self.dim
+            ));
+        }
+        let want_i = (self.n_items as usize).checked_mul(self.dim);
+        if want_i != Some(self.item_factors.len()) {
+            return Err(format!(
+                "item factor block has {} floats, expected {} items × dim {}",
+                self.item_factors.len(),
+                self.n_items,
+                self.dim
+            ));
+        }
+        if self.item_bias.len() != self.n_items as usize {
+            return Err(format!(
+                "item bias block has {} floats, expected {}",
+                self.item_bias.len(),
+                self.n_items
+            ));
+        }
+        if self.has_non_finite() {
+            return Err("model contains non-finite parameters".into());
+        }
+        Ok(())
+    }
 }
 
 fn mean_row_norm(flat: &[f32], rows: usize, dim: usize) -> f64 {
@@ -495,5 +536,25 @@ mod tests {
     fn zero_dim_panics() {
         let mut rng = SmallRng::seed_from_u64(0);
         MfModel::new(1, 1, 0, Init::Zeros, &mut rng);
+    }
+
+    #[test]
+    fn validate_accepts_fresh_and_rejects_corrupt() {
+        let mut m = model(3);
+        assert!(m.validate().is_ok());
+        // A deserialized document can disagree about block sizes.
+        m.user_factors.truncate(1);
+        let err = m.validate().unwrap_err();
+        assert!(err.contains("user factor"), "{err}");
+
+        let mut m = model(3);
+        m.item_bias.push(0.0);
+        let err = m.validate().unwrap_err();
+        assert!(err.contains("bias"), "{err}");
+
+        let mut m = model(3);
+        m.item_mut(ItemId(0))[0] = f32::INFINITY;
+        let err = m.validate().unwrap_err();
+        assert!(err.contains("non-finite"), "{err}");
     }
 }

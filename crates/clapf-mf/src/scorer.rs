@@ -1,0 +1,48 @@
+//! [`MfModel`] as a [`BulkScorer`]: the one canonical bridge between the
+//! factor model and everything that ranks (the evaluator, the top-k
+//! helpers, the online server). Historically each consumer wrapped the
+//! model in its own newtype to forward these two calls; implementing the
+//! trait here removes the copies and guarantees every ranking path hits
+//! the same blocked batch kernel.
+
+use crate::MfModel;
+use clapf_data::UserId;
+use clapf_metrics::BulkScorer;
+
+impl BulkScorer for MfModel {
+    fn scores_into(&self, u: UserId, out: &mut Vec<f32>) {
+        self.scores_for_user(u, out);
+    }
+
+    fn scores_into_batch(&self, users: &[UserId], out: &mut [Vec<f32>]) {
+        self.scores_for_users(users, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Init;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn trait_scoring_matches_inherent_kernels() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let m = MfModel::new(4, 9, 5, Init::default(), &mut rng);
+        let mut direct = Vec::new();
+        m.scores_for_user(UserId(2), &mut direct);
+        let mut via_trait = Vec::new();
+        BulkScorer::scores_into(&m, UserId(2), &mut via_trait);
+        assert_eq!(direct, via_trait);
+
+        let users = [UserId(0), UserId(3)];
+        let mut batch = vec![Vec::new(), Vec::new()];
+        BulkScorer::scores_into_batch(&m, &users, &mut batch);
+        for (&u, scores) in users.iter().zip(&batch) {
+            let mut want = Vec::new();
+            m.scores_for_user(u, &mut want);
+            assert_eq!(&want, scores);
+        }
+    }
+}

@@ -1,0 +1,468 @@
+//! A hand-rolled HTTP/1.1 subset over `std::io` — just what the
+//! recommendation endpoints need, hardened against hostile input.
+//!
+//! Scope: request line + headers (no request bodies beyond a bounded
+//! discard), `GET`/`POST`, percent-decoded paths and query strings,
+//! keep-alive. Everything else is answered with a 4xx/5xx and the
+//! connection is closed. The parser is total: any byte stream produces
+//! `Ok(Request)` or a typed [`ParseError`] — never a panic — which the
+//! `http_parser_never_panics` property test pins down.
+
+use std::io::{BufRead, Write};
+
+/// Longest accepted request line (method + target + version).
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Longest accepted header line.
+pub const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Most headers accepted per request.
+pub const MAX_HEADERS: usize = 64;
+/// Largest request body we are willing to read (and discard).
+pub const MAX_BODY: usize = 64 * 1024;
+
+/// The request methods the server routes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// `GET`.
+    Get,
+    /// `POST`.
+    Post,
+}
+
+/// A parsed request, decoded and bounded.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Percent-decoded path (always starts with `/`).
+    pub path: String,
+    /// Percent-decoded query pairs in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of query parameter `name`, if present.
+    pub fn query_value(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum ParseError {
+    /// The peer closed the connection before sending anything — the normal
+    /// end of a keep-alive session, not an error to report.
+    Eof,
+    /// A read timed out before the first byte of a request arrived; the
+    /// caller's poll loop decides whether to keep waiting.
+    Idle,
+    /// An I/O error mid-request (including timeouts after the first byte).
+    Io(std::io::Error),
+    /// The bytes are not an acceptable request; answer with `status` and
+    /// close.
+    Bad {
+        /// HTTP status to answer with (4xx/5xx).
+        status: u16,
+        /// Human-readable reason for the response body.
+        reason: &'static str,
+    },
+}
+
+impl ParseError {
+    fn bad(status: u16, reason: &'static str) -> Self {
+        ParseError::Bad { status, reason }
+    }
+}
+
+/// Reads one CRLF- (or LF-) terminated line, rejecting lines longer than
+/// `cap` bytes. `first` marks the first read of a request, where EOF and
+/// timeouts mean "no request" rather than "broken request".
+fn read_line_capped<R: BufRead>(
+    r: &mut R,
+    cap: usize,
+    over_cap: ParseError,
+    first: bool,
+) -> Result<String, ParseError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = match r.fill_buf() {
+            Ok(b) => b,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if first && line.is_empty() {
+                    return Err(ParseError::Idle);
+                }
+                return Err(ParseError::bad(408, "request timed out"));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ParseError::Io(e)),
+        };
+        if buf.is_empty() {
+            // EOF.
+            if first && line.is_empty() {
+                return Err(ParseError::Eof);
+            }
+            return Err(ParseError::bad(400, "connection closed mid-request"));
+        }
+        let nl = buf.iter().position(|&b| b == b'\n');
+        let take = nl.map(|p| p + 1).unwrap_or(buf.len());
+        if line.len() + take > cap + 2 {
+            // +2 tolerates the CRLF itself on an exactly-cap-sized line.
+            // Consume what we peeked so a caller that keeps the connection
+            // cannot re-read it, then reject.
+            r.consume(take);
+            return Err(over_cap);
+        }
+        line.extend_from_slice(&buf[..take]);
+        r.consume(take);
+        if nl.is_some() {
+            while line.last() == Some(&b'\n') || line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return String::from_utf8(line)
+                .map_err(|_| ParseError::bad(400, "request is not valid UTF-8"));
+        }
+    }
+}
+
+/// Percent-decodes `s`; `plus_is_space` applies the query-string `+` rule.
+fn percent_decode(s: &str, plus_is_space: bool) -> Result<String, ParseError> {
+    let bytes = s.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hi = bytes.get(i + 1).and_then(|b| (*b as char).to_digit(16));
+                let lo = bytes.get(i + 2).and_then(|b| (*b as char).to_digit(16));
+                match (hi, lo) {
+                    (Some(h), Some(l)) => {
+                        out.push((h * 16 + l) as u8);
+                        i += 3;
+                    }
+                    _ => return Err(ParseError::bad(400, "bad percent-escape")),
+                }
+            }
+            b'+' if plus_is_space => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| ParseError::bad(400, "escape is not valid UTF-8"))
+}
+
+/// Splits and decodes `a=1&b=two` into ordered pairs.
+fn parse_query(q: &str) -> Result<Vec<(String, String)>, ParseError> {
+    let mut out = Vec::new();
+    for pair in q.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        out.push((percent_decode(k, true)?, percent_decode(v, true)?));
+    }
+    Ok(out)
+}
+
+/// Reads and parses one request from `r`.
+///
+/// Total over arbitrary input: every outcome is `Ok` or a typed error.
+/// Request bodies (announced via `Content-Length`) are read and discarded
+/// up to [`MAX_BODY`]; chunked transfer encoding is rejected.
+pub fn parse_request<R: BufRead>(r: &mut R) -> Result<Request, ParseError> {
+    let line = read_line_capped(
+        r,
+        MAX_REQUEST_LINE,
+        ParseError::bad(414, "request line too long"),
+        true,
+    )?;
+    let mut parts = line.split_ascii_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => return Err(ParseError::bad(400, "malformed request line")),
+    };
+    let method = match method {
+        "GET" => Method::Get,
+        "POST" => Method::Post,
+        _ => return Err(ParseError::bad(405, "method not allowed")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::bad(505, "HTTP version not supported"));
+    }
+    if !target.starts_with('/') {
+        return Err(ParseError::bad(400, "target must be an absolute path"));
+    }
+
+    // Headers: we care about Connection, Content-Length and the absence of
+    // Transfer-Encoding; everything else is skipped (but still bounded).
+    let mut keep_alive = true; // HTTP/1.1 default
+    let mut content_length: usize = 0;
+    let mut n_headers = 0;
+    loop {
+        let header = read_line_capped(
+            r,
+            MAX_HEADER_LINE,
+            ParseError::bad(431, "header line too long"),
+            false,
+        )?;
+        if header.is_empty() {
+            break;
+        }
+        n_headers += 1;
+        if n_headers > MAX_HEADERS {
+            return Err(ParseError::bad(431, "too many headers"));
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(ParseError::bad(400, "malformed header"));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        } else if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse::<usize>()
+                .map_err(|_| ParseError::bad(400, "bad content-length"))?;
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(ParseError::bad(501, "transfer-encoding not supported"));
+        }
+    }
+
+    // Discard any body so the next keep-alive request starts clean.
+    if content_length > MAX_BODY {
+        return Err(ParseError::bad(413, "request body too large"));
+    }
+    let mut remaining = content_length;
+    while remaining > 0 {
+        let buf = match r.fill_buf() {
+            Ok([]) => return Err(ParseError::bad(400, "connection closed mid-body")),
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(ParseError::bad(408, "request timed out")),
+        };
+        let take = buf.len().min(remaining);
+        r.consume(take);
+        remaining -= take;
+    }
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    Ok(Request {
+        method,
+        path: percent_decode(raw_path, false)?,
+        query: parse_query(raw_query)?,
+        keep_alive,
+    })
+}
+
+/// Canonical reason phrase for the statuses this server emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        414 => "URI Too Long",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// A response ready to serialize.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4",
+            body,
+        }
+    }
+
+    /// A JSON error envelope: `{"error": …}`.
+    pub fn error(status: u16, message: &str) -> Self {
+        let body = clapf_telemetry::JsonValue::Obj(vec![(
+            "error".into(),
+            clapf_telemetry::JsonValue::Str(message.into()),
+        )])
+        .render();
+        Response::json(status, body)
+    }
+
+    /// Writes the response (status line, headers, body) to `w`.
+    pub fn write_to<W: Write>(&self, w: &mut W, keep_alive: bool) -> std::io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.status,
+            reason_phrase(self.status),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        )?;
+        w.write_all(self.body.as_bytes())?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(s: &str) -> Result<Request, ParseError> {
+        parse_request(&mut Cursor::new(s.as_bytes().to_vec()))
+    }
+
+    #[test]
+    fn parses_a_plain_get() {
+        let r = parse("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, Method::Get);
+        assert_eq!(r.path, "/healthz");
+        assert!(r.query.is_empty());
+        assert!(r.keep_alive);
+    }
+
+    #[test]
+    fn parses_query_and_percent_escapes() {
+        let r = parse("GET /recommend/u%2F1?k=5&tag=a+b%21 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.path, "/recommend/u/1");
+        assert_eq!(r.query_value("k"), Some("5"));
+        assert_eq!(r.query_value("tag"), Some("a b!"));
+        assert_eq!(r.query_value("missing"), None);
+    }
+
+    #[test]
+    fn connection_close_is_honored() {
+        let r = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!r.keep_alive);
+        let r = parse("GET / HTTP/1.1\r\nConnection: Keep-Alive\r\n\r\n").unwrap();
+        assert!(r.keep_alive);
+    }
+
+    #[test]
+    fn lf_only_line_endings_are_accepted() {
+        let r = parse("GET /x HTTP/1.1\nHost: y\n\n").unwrap();
+        assert_eq!(r.path, "/x");
+    }
+
+    fn expect_bad(input: &str, want_status: u16) {
+        match parse(input) {
+            Err(ParseError::Bad { status, .. }) => assert_eq!(status, want_status, "{input:?}"),
+            other => panic!("expected Bad({want_status}) for {input:?}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejections_carry_the_right_status() {
+        expect_bad("NONSENSE\r\n\r\n", 400);
+        expect_bad("DELETE /x HTTP/1.1\r\n\r\n", 405);
+        expect_bad("GET /x SPDY/3\r\n\r\n", 505);
+        expect_bad("GET relative HTTP/1.1\r\n\r\n", 400);
+        expect_bad("GET /x HTTP/1.1\r\nbroken header\r\n\r\n", 400);
+        expect_bad("GET /%zz HTTP/1.1\r\n\r\n", 400);
+        expect_bad("GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n", 400);
+        expect_bad("GET /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 501);
+        expect_bad(
+            "POST /x HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n",
+            413,
+        );
+    }
+
+    #[test]
+    fn oversized_request_line_is_414() {
+        let input = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE));
+        expect_bad(&input, 414);
+    }
+
+    #[test]
+    fn oversized_header_is_431_and_too_many_headers_is_431() {
+        let input = format!("GET /x HTTP/1.1\r\nX: {}\r\n\r\n", "b".repeat(MAX_HEADER_LINE));
+        expect_bad(&input, 431);
+        let mut input = String::from("GET /x HTTP/1.1\r\n");
+        for n in 0..=MAX_HEADERS {
+            input.push_str(&format!("X-{n}: v\r\n"));
+        }
+        input.push_str("\r\n");
+        expect_bad(&input, 431);
+    }
+
+    #[test]
+    fn empty_input_is_eof_and_partial_is_bad() {
+        assert!(matches!(parse(""), Err(ParseError::Eof)));
+        assert!(matches!(
+            parse("GET /x HTT"),
+            Err(ParseError::Bad { status: 400, .. })
+        ));
+        assert!(matches!(
+            parse("GET /x HTTP/1.1\r\nHost: y"),
+            Err(ParseError::Bad { status: 400, .. })
+        ));
+    }
+
+    #[test]
+    fn body_is_discarded_for_keep_alive() {
+        let input = "POST /reload HTTP/1.1\r\nContent-Length: 5\r\n\r\nhelloGET /healthz HTTP/1.1\r\n\r\n";
+        let mut cur = Cursor::new(input.as_bytes().to_vec());
+        let first = parse_request(&mut cur).unwrap();
+        assert_eq!(first.method, Method::Post);
+        assert_eq!(first.path, "/reload");
+        let second = parse_request(&mut cur).unwrap();
+        assert_eq!(second.path, "/healthz");
+    }
+
+    #[test]
+    fn response_serializes_with_content_length() {
+        let mut out = Vec::new();
+        Response::json(200, "{\"a\":1}".into())
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 7\r\n"), "{text}");
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{\"a\":1}"), "{text}");
+    }
+
+    #[test]
+    fn error_envelope_escapes_the_message() {
+        let r = Response::error(404, "no user \"x\"");
+        assert_eq!(r.body, "{\"error\":\"no user \\\"x\\\"\"}");
+    }
+}

@@ -1,0 +1,39 @@
+//! Online recommendation serving for CLAPF models.
+//!
+//! This crate turns a saved [`ModelBundle`] into a network service without
+//! adding a single external dependency: a hand-rolled HTTP/1.1 subset over
+//! `std::net`, a fixed worker pool, a sharded generation-stamped top-k
+//! cache, and atomic model hot-swap (file watcher or `POST /reload`).
+//!
+//! Endpoints:
+//!
+//! | Endpoint | Answer |
+//! |---|---|
+//! | `GET /recommend/{user}?k=N` | Top-k unseen items for a raw user id, JSON |
+//! | `GET /healthz` | Liveness + model generation |
+//! | `GET /metrics` | Prometheus text dump of the telemetry registry |
+//! | `POST /reload` | Hot-swap to the bundle currently on disk |
+//! | `POST /shutdown` | Graceful drain-and-stop |
+//!
+//! The serving path reuses the exact offline machinery — scoring through
+//! [`clapf_metrics::top_k_for_user`] — so a served list is bit-identical to
+//! what the evaluator would rank for the same user (the integration tests
+//! assert this). Consistency under hot-swap is by construction, not by
+//! locking the request path: see [`model`] for the pin-then-swap protocol
+//! and [`cache`] for generation stamping.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bundle;
+mod cache;
+mod http;
+mod model;
+mod server;
+mod watch;
+
+pub use bundle::{BundleError, ModelBundle};
+pub use cache::TopKCache;
+pub use http::{parse_request, Method, ParseError, Request, Response};
+pub use model::{ModelSlot, ServingModel};
+pub use server::{start, ServeConfig, ServeError, ServerHandle};

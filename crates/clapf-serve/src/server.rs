@@ -1,0 +1,473 @@
+//! The server proper: listener, worker pool, routing, reload, shutdown.
+//!
+//! Thread layout (all `std::thread`, no async runtime):
+//!
+//! * one **accept** thread pulling connections off the `TcpListener` and
+//!   pushing them down an mpsc channel,
+//! * `workers` **worker** threads pulling connections from the (mutexed)
+//!   receiver and running the keep-alive request loop,
+//! * optionally one **watcher** thread polling the bundle file for changes
+//!   (see [`crate::watch`]).
+//!
+//! Shutdown is cooperative and std-only: a flag flips, a loopback
+//! connection wakes the blocked `accept`, the accept thread drops the
+//! channel sender, and each worker finishes the request it is serving
+//! (connections poll the flag via short read timeouts) before exiting —
+//! in-flight requests drain, new ones are refused.
+
+use crate::bundle::BundleError;
+use crate::cache::TopKCache;
+use crate::http::{parse_request, Method, ParseError, Request, Response};
+use crate::model::{ModelSlot, ServingModel};
+use clapf_telemetry::{Histogram, JsonValue, Registry};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How a server is sized and where it listens.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Total top-k cache entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Cache lock shards.
+    pub cache_shards: usize,
+    /// `k` used when the request has no `?k=` parameter.
+    pub default_k: usize,
+    /// Largest accepted `k` (caps per-request work).
+    pub max_k: usize,
+    /// Poll interval for the bundle-file watcher; `None` disables watching
+    /// (reloads then only happen via `POST /reload`).
+    pub watch_poll: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            cache_capacity: 4096,
+            cache_shards: 8,
+            default_k: 10,
+            max_k: 1000,
+            watch_poll: None,
+        }
+    }
+}
+
+/// Why the server failed to start or reload.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The initial bundle could not be loaded.
+    Bundle(BundleError),
+    /// Binding or socket configuration failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Bundle(e) => write!(f, "loading bundle: {e}"),
+            ServeError::Io(e) => write!(f, "socket: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// How often a blocked connection read wakes to poll the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(250);
+/// Idle keep-alive connections are closed after this long without a request.
+const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(30);
+
+/// State shared by every thread of one server.
+struct Shared {
+    slot: ModelSlot,
+    cache: TopKCache,
+    registry: Arc<Registry>,
+    bundle_path: PathBuf,
+    /// Serializes reloads (watcher vs. `POST /reload`).
+    reload_lock: Mutex<()>,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    default_k: usize,
+    max_k: usize,
+}
+
+fn latency_histogram() -> Histogram {
+    // 0.01 ms … ~160 ms in ×2 steps, plus the overflow bucket.
+    Histogram::exponential(0.01, 2.0, 15)
+}
+
+impl Shared {
+    fn observe(&self, endpoint: &str, started: Instant) {
+        self.registry
+            .counter(&format!("serve.{endpoint}.requests"))
+            .inc();
+        self.registry
+            .histogram(&format!("serve.{endpoint}.latency_ms"), latency_histogram)
+            .record(started.elapsed().as_secs_f64() * 1e3);
+    }
+
+    /// Loads the bundle from disk and publishes it; the live model is
+    /// untouched on failure. Returns the new generation.
+    fn reload(&self) -> Result<u64, BundleError> {
+        let _guard = self.reload_lock.lock().expect("reload lock poisoned");
+        let next_gen = self.cache.generation() + 1;
+        match ServingModel::load(&self.bundle_path, next_gen) {
+            Ok(model) => {
+                // Order matters: publish the model first, then invalidate
+                // the cache. A handler between the two steps pins the new
+                // model and misses (its generation is ahead of the cache's),
+                // which costs one recompute — never a stale or torn answer.
+                self.slot.swap(model);
+                self.cache.bump_generation();
+                self.registry.counter("serve.reload.ok").inc();
+                Ok(next_gen)
+            }
+            Err(e) => {
+                self.registry.counter("serve.reload.errors").inc();
+                Err(e)
+            }
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Wake the accept thread out of its blocking accept().
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running server. Dropping the handle does **not** stop it; call
+/// [`shutdown`](ServerHandle::shutdown) or [`wait`](ServerHandle::wait).
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The current model generation.
+    pub fn generation(&self) -> u64 {
+        self.shared.slot.current().generation
+    }
+
+    /// Triggers a reload from the bundle path, as `POST /reload` would.
+    pub fn reload(&self) -> Result<u64, BundleError> {
+        self.shared.reload()
+    }
+
+    /// Initiates a graceful shutdown and blocks until every worker has
+    /// drained its in-flight connection.
+    pub fn shutdown(self) {
+        self.shared.begin_shutdown();
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+
+    /// Blocks until something else (e.g. `POST /shutdown`) stops the
+    /// server, then drains exactly like [`shutdown`](ServerHandle::shutdown).
+    pub fn wait(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Loads the bundle at `bundle_path` and starts serving it per `config`.
+/// Metrics land in `registry` (exposed at `GET /metrics`).
+pub fn start(
+    bundle_path: PathBuf,
+    config: ServeConfig,
+    registry: Arc<Registry>,
+) -> Result<ServerHandle, ServeError> {
+    let model = ServingModel::load(&bundle_path, 0).map_err(ServeError::Bundle)?;
+    let listener = TcpListener::bind(&config.addr).map_err(ServeError::Io)?;
+    let addr = listener.local_addr().map_err(ServeError::Io)?;
+
+    let shared = Arc::new(Shared {
+        slot: ModelSlot::new(model),
+        cache: TopKCache::new(config.cache_capacity, config.cache_shards),
+        registry,
+        bundle_path,
+        reload_lock: Mutex::new(()),
+        shutdown: AtomicBool::new(false),
+        addr,
+        default_k: config.default_k,
+        max_k: config.max_k.max(1),
+    });
+
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    let mut threads = Vec::new();
+
+    for n in 0..config.workers.max(1) {
+        let rx = Arc::clone(&rx);
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("clapf-serve-worker-{n}"))
+                .spawn(move || loop {
+                    let conn = rx.lock().expect("worker receiver poisoned").recv();
+                    match conn {
+                        Ok(stream) => serve_connection(stream, &shared),
+                        Err(_) => return, // accept thread gone: drain complete
+                    }
+                })
+                .expect("spawn worker"),
+        );
+    }
+
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("clapf-serve-accept".into())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if shared.shutdown.load(Ordering::Acquire) {
+                            break; // drops tx; workers drain and exit
+                        }
+                        if let Ok(stream) = conn {
+                            if tx.send(stream).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                })
+                .expect("spawn accept thread"),
+        );
+    }
+
+    if let Some(poll) = config.watch_poll {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("clapf-serve-watch".into())
+                .spawn(move || crate::watch::watch_bundle(&shared_watch(&shared), poll))
+                .expect("spawn watcher"),
+        );
+    }
+
+    Ok(ServerHandle { shared, threads })
+}
+
+/// The narrow view of [`Shared`] the watcher needs, kept private to this
+/// crate so `watch.rs` cannot touch routing state.
+pub(crate) struct WatchCtx {
+    shared: Arc<Shared>,
+}
+
+fn shared_watch(shared: &Arc<Shared>) -> WatchCtx {
+    WatchCtx {
+        shared: Arc::clone(shared),
+    }
+}
+
+impl WatchCtx {
+    pub(crate) fn bundle_path(&self) -> &std::path::Path {
+        &self.shared.bundle_path
+    }
+
+    pub(crate) fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn reload(&self) -> Result<u64, BundleError> {
+        self.shared.reload()
+    }
+}
+
+/// Runs the keep-alive request loop on one connection.
+fn serve_connection(stream: TcpStream, shared: &Shared) {
+    // Short read timeouts turn blocked reads into shutdown-flag polls.
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    // Responses are one small write each; Nagle + delayed ACK would add
+    // tens of milliseconds per keep-alive round trip otherwise.
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut idle = Duration::ZERO;
+    loop {
+        match parse_request(&mut reader) {
+            Ok(req) => {
+                idle = Duration::ZERO;
+                let keep_alive = req.keep_alive && !shared.shutdown.load(Ordering::Acquire);
+                let response = route(&req, shared);
+                if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Err(ParseError::Idle) => {
+                idle += READ_POLL;
+                if shared.shutdown.load(Ordering::Acquire) || idle >= KEEP_ALIVE_IDLE {
+                    return;
+                }
+            }
+            Err(ParseError::Eof) | Err(ParseError::Io(_)) => return,
+            Err(ParseError::Bad { status, reason }) => {
+                shared.registry.counter("serve.http_errors").inc();
+                let _ = Response::error(status, reason).write_to(&mut writer, false);
+                return;
+            }
+        }
+    }
+}
+
+/// Dispatches one parsed request to its endpoint handler.
+fn route(req: &Request, shared: &Shared) -> Response {
+    let started = Instant::now();
+    match (req.method, req.path.as_str()) {
+        (Method::Get, "/healthz") => {
+            let r = healthz(shared);
+            shared.observe("healthz", started);
+            r
+        }
+        (Method::Get, "/metrics") => {
+            let r = metrics(shared);
+            shared.observe("metrics", started);
+            r
+        }
+        (Method::Get, path) if path.starts_with("/recommend/") => {
+            let r = recommend(&path["/recommend/".len()..], req, shared);
+            shared.observe("recommend", started);
+            r
+        }
+        (Method::Post, "/reload") => {
+            let r = match shared.reload() {
+                Ok(gen) => Response::json(
+                    200,
+                    JsonValue::Obj(vec![
+                        ("status".into(), JsonValue::Str("reloaded".into())),
+                        ("generation".into(), JsonValue::UInt(gen)),
+                    ])
+                    .render(),
+                ),
+                Err(e) => Response::error(500, &format!("reload rejected: {e}")),
+            };
+            shared.observe("reload", started);
+            r
+        }
+        (Method::Post, "/shutdown") => {
+            shared.begin_shutdown();
+            shared.observe("shutdown", started);
+            Response::json(
+                200,
+                JsonValue::Obj(vec![(
+                    "status".into(),
+                    JsonValue::Str("shutting down".into()),
+                )])
+                .render(),
+            )
+        }
+        _ => {
+            shared.registry.counter("serve.not_found").inc();
+            Response::error(404, "no such endpoint")
+        }
+    }
+}
+
+fn healthz(shared: &Shared) -> Response {
+    let model = shared.slot.current();
+    Response::json(
+        200,
+        JsonValue::Obj(vec![
+            ("status".into(), JsonValue::Str("ok".into())),
+            ("generation".into(), JsonValue::UInt(model.generation)),
+            (
+                "model".into(),
+                JsonValue::Str(model.bundle.description.clone()),
+            ),
+        ])
+        .render(),
+    )
+}
+
+fn metrics(shared: &Shared) -> Response {
+    // Gauges are sampled at scrape time; everything else is push-updated.
+    shared
+        .registry
+        .gauge("serve.cache.entries")
+        .set(shared.cache.len() as f64);
+    shared
+        .registry
+        .gauge("serve.model.generation")
+        .set(shared.slot.current().generation as f64);
+    Response::text(200, shared.registry.render_text())
+}
+
+fn recommend(raw_user: &str, req: &Request, shared: &Shared) -> Response {
+    if raw_user.is_empty() || raw_user.contains('/') {
+        return Response::error(404, "expected /recommend/{user}");
+    }
+    let k = match req.query_value("k") {
+        None => shared.default_k,
+        Some(v) => match v.parse::<usize>() {
+            Ok(k) if (1..=shared.max_k).contains(&k) => k,
+            Ok(_) => {
+                return Response::error(
+                    400,
+                    &format!("k must be between 1 and {}", shared.max_k),
+                )
+            }
+            Err(_) => return Response::error(400, "k must be a positive integer"),
+        },
+    };
+
+    // Pin the model FIRST; its generation keys every cache interaction, so
+    // the cached list and the id map used to render it always come from the
+    // same bundle (DESIGN.md §11).
+    let model = shared.slot.current();
+    let Some(u) = model.dense_user(raw_user) else {
+        return Response::error(404, &format!("user {raw_user:?} not in the training data"));
+    };
+
+    let (items, cached) = match shared.cache.get(u.0, k, model.generation) {
+        Some(items) => {
+            shared.registry.counter("serve.cache.hits").inc();
+            (items, true)
+        }
+        None => {
+            shared.registry.counter("serve.cache.misses").inc();
+            let mut scores = Vec::new();
+            let items = Arc::new(model.top_k_dense(u, k, &mut scores));
+            shared
+                .cache
+                .put(u.0, k, model.generation, Arc::clone(&items));
+            (items, false)
+        }
+    };
+
+    let rendered: Vec<JsonValue> = items
+        .iter()
+        .map(|&i| JsonValue::Str(model.raw_item(i).to_string()))
+        .collect();
+    Response::json(
+        200,
+        JsonValue::Obj(vec![
+            ("user".into(), JsonValue::Str(raw_user.to_string())),
+            ("k".into(), JsonValue::UInt(k as u64)),
+            ("generation".into(), JsonValue::UInt(model.generation)),
+            ("cached".into(), JsonValue::Bool(cached)),
+            ("items".into(), JsonValue::Arr(rendered)),
+        ])
+        .render(),
+    )
+}

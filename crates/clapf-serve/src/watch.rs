@@ -1,0 +1,63 @@
+//! Bundle-file watcher: polls the bundle path and hot-swaps on change.
+//!
+//! Polling (`fs::metadata` mtime + length) instead of inotify keeps the
+//! crate std-only and portable. A change triggers a reload through the same
+//! serialized path as `POST /reload`; a failed reload (half-written or
+//! corrupt file) leaves the live model serving and is retried only when the
+//! file changes again, so a persistently bad file does not spin the error
+//! counter forever.
+
+use crate::server::WatchCtx;
+use std::time::{Duration, SystemTime};
+
+/// One observation of the bundle file, used to detect change.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Signature {
+    mtime: Option<SystemTime>,
+    len: u64,
+}
+
+fn observe(path: &std::path::Path) -> Option<Signature> {
+    let meta = std::fs::metadata(path).ok()?;
+    Some(Signature {
+        mtime: meta.modified().ok(),
+        len: meta.len(),
+    })
+}
+
+/// Runs until shutdown: every `poll`, compare the bundle file's signature to
+/// the last seen one and reload on change.
+pub(crate) fn watch_bundle(ctx: &WatchCtx, poll: Duration) {
+    let mut last_seen = observe(ctx.bundle_path());
+    let mut last_failed: Option<Signature> = None;
+    // Sleep in small steps so shutdown is prompt even with long polls.
+    let step = poll.min(Duration::from_millis(100)).max(Duration::from_millis(1));
+    let mut since_poll = Duration::ZERO;
+    loop {
+        if ctx.is_shutting_down() {
+            return;
+        }
+        std::thread::sleep(step);
+        since_poll += step;
+        if since_poll < poll {
+            continue;
+        }
+        since_poll = Duration::ZERO;
+
+        let now = observe(ctx.bundle_path());
+        if now.is_none() || now == last_seen || now == last_failed {
+            continue;
+        }
+        match ctx.reload() {
+            Ok(_) => {
+                last_seen = now;
+                last_failed = None;
+            }
+            Err(_) => {
+                // Keep serving the old model; retry only if the file changes
+                // again (a half-written file will, once the writer finishes).
+                last_failed = now;
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests: the HTTP parser is total over arbitrary byte streams.
+//!
+//! Whatever a client throws at the socket, `parse_request` must return
+//! `Ok(Request)` or a typed `ParseError` — never panic — and every `Bad`
+//! rejection must carry a 4xx/5xx status the connection loop can answer
+//! with before closing. Three generators attack from different angles:
+//! raw bytes, almost-valid request lines, and valid requests with fuzzed
+//! query strings.
+
+use clapf_serve::{parse_request, ParseError};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+fn parse_bytes(bytes: &[u8]) -> Result<clapf_serve::Request, ParseError> {
+    parse_request(&mut Cursor::new(bytes.to_vec()))
+}
+
+/// Every `Bad` rejection must be answerable: a 4xx/5xx with a reason.
+fn assert_well_formed_outcome(out: &Result<clapf_serve::Request, ParseError>) {
+    match out {
+        Ok(req) => {
+            assert!(req.path.starts_with('/'), "parsed path {:?}", req.path);
+        }
+        Err(ParseError::Bad { status, reason }) => {
+            assert!(
+                (400..=599).contains(status),
+                "non-error status {status} ({reason})"
+            );
+            assert!(!reason.is_empty());
+        }
+        Err(ParseError::Eof | ParseError::Idle | ParseError::Io(_)) => {}
+    }
+}
+
+proptest! {
+    /// Raw fuzz: arbitrary bytes never panic the parser.
+    #[test]
+    fn parser_is_total_over_raw_bytes(
+        bytes in proptest::collection::vec((0u16..256).prop_map(|b| b as u8), 0..512),
+    ) {
+        let out = parse_bytes(&bytes);
+        assert_well_formed_outcome(&out);
+    }
+
+    /// Structured fuzz: method-ish token, path-ish bytes, version-ish
+    /// token, plus trailing noise. Exercises the deeper branches (request
+    /// line splitting, header parsing) that raw bytes rarely reach.
+    #[test]
+    fn parser_is_total_over_almost_requests(
+        method in proptest::collection::vec(33u8..127, 0..8),
+        path in proptest::collection::vec(32u8..127, 0..64),
+        version in proptest::collection::vec(33u8..127, 0..12),
+        headers in proptest::collection::vec(
+            proptest::collection::vec(32u8..127, 0..48),
+            0..6,
+        ),
+    ) {
+        let mut req: Vec<u8> = Vec::new();
+        req.extend_from_slice(&method);
+        req.push(b' ');
+        req.extend_from_slice(&path);
+        req.push(b' ');
+        req.extend_from_slice(&version);
+        req.extend_from_slice(b"\r\n");
+        for h in &headers {
+            req.extend_from_slice(h);
+            req.extend_from_slice(b"\r\n");
+        }
+        req.extend_from_slice(b"\r\n");
+        let out = parse_bytes(&req);
+        assert_well_formed_outcome(&out);
+    }
+
+    /// Valid request frame with a fuzzed query string: either parses (with
+    /// a decoded path) or rejects cleanly on a bad escape.
+    #[test]
+    fn query_fuzz_parses_or_rejects_cleanly(
+        query in proptest::collection::vec(33u8..127, 0..96),
+    ) {
+        let mut req: Vec<u8> = Vec::new();
+        req.extend_from_slice(b"GET /recommend/u1?");
+        // Strip whitespace-ish bytes that would split the request line.
+        let q: Vec<u8> = query.into_iter().filter(|&b| b != b' ').collect();
+        req.extend_from_slice(&q);
+        req.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        let out = parse_bytes(&req);
+        assert_well_formed_outcome(&out);
+        if let Ok(r) = out {
+            assert_eq!(r.path, "/recommend/u1");
+        }
+    }
+
+    /// Truncating a valid request at any byte never panics and never
+    /// yields a parsed request claiming the full path.
+    #[test]
+    fn truncation_at_any_point_is_safe(cut in 0usize..78) {
+        let full = b"GET /recommend/user42?k=10 HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+        let cut = cut.min(full.len());
+        let out = parse_bytes(&full[..cut]);
+        assert_well_formed_outcome(&out);
+        if cut < full.len() {
+            // A truncated request must not parse successfully.
+            assert!(out.is_err(), "cut at {cut} unexpectedly parsed");
+        }
+    }
+}

@@ -31,6 +31,7 @@ mod metrics;
 mod observer;
 mod registry;
 mod sink;
+mod text;
 mod timer;
 
 pub use json::JsonValue;

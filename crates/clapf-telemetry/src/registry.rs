@@ -13,9 +13,9 @@ use std::sync::{Arc, Mutex};
 /// independent subsystems can share a series by name.
 #[derive(Debug, Default)]
 pub struct Registry {
-    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
-    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
-    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    pub(crate) counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    pub(crate) gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    pub(crate) histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
 }
 
 impl Registry {

@@ -1,0 +1,131 @@
+//! Prometheus-style text exposition of a [`Registry`].
+//!
+//! The serving layer's `/metrics` endpoint speaks the de-facto scrape
+//! format: one `# TYPE` line per family, `name value` samples, histograms
+//! as cumulative `_bucket{le="…"}` series plus `_sum`/`_count`. Hand-rolled
+//! like the rest of the crate — no client library, no allocation beyond the
+//! output string.
+//!
+//! Registry names use dots (`serve.recommend.latency_ms`); the exposition
+//! format only allows `[a-zA-Z0-9_:]`, so dots (and any other illegal byte)
+//! become underscores: `serve_recommend_latency_ms`.
+
+use crate::registry::Registry;
+use std::fmt::Write;
+
+/// Sanitizes a registry name into a legal exposition metric name.
+fn metric_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
+        .collect();
+    if out.is_empty() || out.as_bytes()[0].is_ascii_digit() {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Formats an `f64` the way Prometheus expects (`+Inf`, `-Inf`, `NaN`
+/// spelled out; everything else via Rust's shortest round-trip `{:?}`).
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v == f64::INFINITY {
+        "+Inf".into()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".into()
+    } else {
+        format!("{v:?}")
+    }
+}
+
+impl Registry {
+    /// Renders every registered metric in the Prometheus text exposition
+    /// format (version 0.0.4): counters and gauges as single samples,
+    /// histograms as cumulative buckets with the implicit `+Inf` bucket,
+    /// `_sum` and `_count`. Families are emitted in name order, so the
+    /// output is deterministic for a fixed registry state.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, c) in self.counters.lock().expect("registry lock").iter() {
+            let n = metric_name(name);
+            let _ = writeln!(out, "# TYPE {n} counter");
+            let _ = writeln!(out, "{n} {}", c.get());
+        }
+        for (name, g) in self.gauges.lock().expect("registry lock").iter() {
+            let n = metric_name(name);
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let _ = writeln!(out, "{n} {}", fmt_f64(g.get()));
+        }
+        for (name, h) in self.histograms.lock().expect("registry lock").iter() {
+            let n = metric_name(name);
+            let snap = h.snapshot();
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            let mut cum = 0u64;
+            for (bound, count) in snap.bounds.iter().zip(&snap.counts) {
+                cum += count;
+                let _ = writeln!(out, "{n}_bucket{{le=\"{}\"}} {cum}", fmt_f64(*bound));
+            }
+            let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", snap.count);
+            let _ = writeln!(out, "{n}_sum {}", fmt_f64(snap.sum));
+            let _ = writeln!(out, "{n}_count {}", snap.count);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Histogram;
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(metric_name("serve.recommend.latency_ms"), "serve_recommend_latency_ms");
+        assert_eq!(metric_name("a-b c"), "a_b_c");
+        assert_eq!(metric_name("2fast"), "_2fast");
+        assert_eq!(metric_name(""), "_");
+    }
+
+    #[test]
+    fn counters_and_gauges_render() {
+        let r = Registry::new();
+        r.counter("serve.requests").add(7);
+        r.gauge("serve.generation").set(3.0);
+        let text = r.render_text();
+        assert!(text.contains("# TYPE serve_requests counter\nserve_requests 7\n"), "{text}");
+        assert!(text.contains("# TYPE serve_generation gauge\nserve_generation 3.0\n"), "{text}");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let r = Registry::new();
+        let h = r.histogram("lat", || Histogram::new(vec![1.0, 2.0, 4.0]));
+        for v in [0.5, 1.5, 3.0, 100.0] {
+            h.record(v);
+        }
+        let text = r.render_text();
+        assert!(text.contains("# TYPE lat histogram"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"1.0\"} 1"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"2.0\"} 2"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"4.0\"} 3"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 4"), "{text}");
+        assert!(text.contains("lat_count 4"), "{text}");
+        assert!(text.contains("lat_sum 105.0"), "{text}");
+    }
+
+    #[test]
+    fn non_finite_gauges_spell_out() {
+        let r = Registry::new();
+        r.gauge("nan").set(f64::NAN);
+        r.gauge("inf").set(f64::INFINITY);
+        let text = r.render_text();
+        assert!(text.contains("nan NaN"), "{text}");
+        assert!(text.contains("inf +Inf"), "{text}");
+    }
+
+    #[test]
+    fn empty_registry_renders_empty() {
+        assert_eq!(Registry::new().render_text(), "");
+    }
+}
