@@ -6,6 +6,8 @@
 //! both provides the baseline and cross-checks the reduction.
 
 use crate::observe::{build_epoch_stats, epoch_control, epoch_len, StepTally};
+use crate::resume::{fit_resumable_loop, ResumeReport};
+use clapf_core::checkpoint::{self, CheckpointConfig, CheckpointError};
 use clapf_core::objective::{ln_sigmoid, sigmoid};
 use clapf_core::{FactorRecommender, ParallelConfig};
 use clapf_data::Interactions;
@@ -138,6 +140,77 @@ impl Bpr {
         }
     }
 
+    /// Trains **crash-safely** with the same checkpoint machinery as
+    /// [`Clapf::fit_resumable`](clapf_core::Clapf::fit_resumable):
+    /// checkpoints to `ckpt.dir` at synthetic-epoch edges, resumes from the
+    /// newest valid checkpoint when `ckpt.resume` is set, and recovers from
+    /// divergence by rolling back with a shrunk learning rate (at most
+    /// `ckpt.max_retries` times).
+    ///
+    /// BPR's negative sampler is stateless, so a checkpoint (model + RNG
+    /// state + epoch) captures the whole run: an uninterrupted resumable fit
+    /// is bit-identical to [`fit`](Bpr::fit) with
+    /// `SmallRng::seed_from_u64(base_seed)`, and an interrupted-and-resumed
+    /// fit is bit-identical to the uninterrupted one (both pinned by tests).
+    pub fn fit_resumable(
+        &self,
+        data: &Interactions,
+        base_seed: u64,
+        ckpt: &CheckpointConfig,
+        observer: &mut dyn TrainObserver,
+    ) -> Result<(FactorRecommender, ResumeReport), CheckpointError> {
+        let cfg = &self.config;
+        assert!(cfg.dim > 0, "dim must be positive");
+        let iterations = resolve_iterations(cfg.iterations, data.n_pairs());
+        let epoch_steps = epoch_len(iterations, data.n_pairs());
+        let fp = checkpoint::fingerprint(&[
+            ("model", "BPR".to_string()),
+            ("dim", cfg.dim.to_string()),
+            ("sgd", format!("{:?}", cfg.sgd)),
+            ("init", format!("{:?}", cfg.init)),
+            ("iterations", iterations.to_string()),
+            ("epoch", epoch_steps.to_string()),
+            ("sampler", "UniformNegative".to_string()),
+            ("seed", base_seed.to_string()),
+            (
+                "data",
+                format!("{}x{}:{}", data.n_users(), data.n_items(), data.n_pairs()),
+            ),
+        ]);
+        let meta = FitMeta {
+            model: "BPR".to_string(),
+            sampler: "UniformNegative".to_string(),
+            dim: cfg.dim,
+            iterations,
+            threads: 1,
+            n_users: data.n_users(),
+            n_items: data.n_items(),
+            n_pairs: data.n_pairs(),
+        };
+        let mut u_old = vec![0.0f32; cfg.dim];
+        let mut grad_u = vec![0.0f32; cfg.dim];
+        let (model, report) = fit_resumable_loop(
+            data,
+            cfg.dim,
+            cfg.init,
+            iterations,
+            meta,
+            fp,
+            base_seed,
+            ckpt,
+            observer,
+            |scale| BprParams::scaled(&cfg.sgd, scale),
+            |shared, rng, p, tally| bpr_step(shared, data, rng, p, &mut u_old, &mut grad_u, tally),
+        )?;
+        Ok((
+            FactorRecommender {
+                model,
+                label: "BPR".into(),
+            },
+            report,
+        ))
+    }
+
     /// Fits with Hogwild-style lock-free parallel SGD, sharing the model
     /// across `config.parallel.threads` workers (0 = all cores). BPR's
     /// negative sampler is stateless, so workers need no epoch barrier —
@@ -253,7 +326,14 @@ struct BprParams {
 
 impl BprParams {
     fn new(sgd: &SgdConfig) -> Self {
-        let lr = sgd.learning_rate;
+        Self::scaled(sgd, 1.0)
+    }
+
+    /// `lr_scale` multiplies the learning rate (divergence-recovery
+    /// backoff); `1.0` is bitwise-exact, so the resumable path at scale 1
+    /// steps identically to [`new`](BprParams::new).
+    fn scaled(sgd: &SgdConfig, lr_scale: f32) -> Self {
+        let lr = sgd.learning_rate * lr_scale;
         BprParams {
             lr,
             decay_u: lr * sgd.reg_user,
@@ -469,6 +549,118 @@ mod tests {
         let summary = obs.summary.expect("fit_end fired");
         assert_eq!(summary.steps, 4_000);
         assert!(!summary.diverged);
+    }
+
+    fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("clapf-bpr-ckpt-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Simulates a crash at an epoch edge: aborts after `0` reaches zero.
+    /// `enabled()` is false so the RNG stream matches an unobserved fit.
+    struct AbortAfterEpochs(usize);
+    impl TrainObserver for AbortAfterEpochs {
+        fn enabled(&self) -> bool {
+            false
+        }
+        fn on_epoch(&mut self, _: &clapf_telemetry::EpochStats) -> clapf_telemetry::Control {
+            self.0 -= 1;
+            if self.0 == 0 {
+                clapf_telemetry::Control::Abort
+            } else {
+                clapf_telemetry::Control::Continue
+            }
+        }
+    }
+
+    #[test]
+    fn resumable_uninterrupted_matches_fit_bitwise() {
+        let data = generate(&WorldConfig::tiny(), &mut SmallRng::seed_from_u64(70)).unwrap();
+        let trainer = Bpr {
+            config: BprConfig {
+                dim: 6,
+                iterations: 4_000,
+                ..BprConfig::default()
+            },
+        };
+        let plain = trainer.fit(&data, &mut SmallRng::seed_from_u64(71));
+        let dir = ckpt_dir("uninterrupted");
+        let ckpt = CheckpointConfig::new(&dir);
+        let (resumable, report) = trainer
+            .fit_resumable(&data, 71, &ckpt, &mut NoopObserver)
+            .unwrap();
+        assert!(report.resumed_from.is_none());
+        assert_eq!(report.steps, 4_000);
+        assert_eq!(report.recoveries, 0);
+        for u in data.users() {
+            for i in data.items() {
+                assert_eq!(plain.score(u, i).to_bits(), resumable.score(u, i).to_bits());
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_after_interrupt_is_bit_identical() {
+        let data = generate(&WorldConfig::tiny(), &mut SmallRng::seed_from_u64(72)).unwrap();
+        let trainer = Bpr {
+            config: BprConfig {
+                dim: 6,
+                iterations: 4_000,
+                ..BprConfig::default()
+            },
+        };
+        let full = trainer.fit(&data, &mut SmallRng::seed_from_u64(73));
+        let dir = ckpt_dir("interrupt");
+        let ckpt = CheckpointConfig::new(&dir);
+        // First run "crashes" two synthetic epochs in.
+        let (_, first) = trainer
+            .fit_resumable(&data, 73, &ckpt, &mut AbortAfterEpochs(2))
+            .unwrap();
+        assert!(first.aborted_at.is_some(), "abort fired mid-run");
+
+        let (resumed, report) = trainer
+            .fit_resumable(&data, 73, &ckpt, &mut NoopObserver)
+            .unwrap();
+        assert!(report.resumed_from.unwrap() >= 1, "resumed mid-run");
+        assert_eq!(report.steps, 4_000);
+        for u in data.users() {
+            for i in data.items() {
+                assert_eq!(full.score(u, i).to_bits(), resumed.score(u, i).to_bits());
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn divergence_recovery_rolls_back_and_completes() {
+        let data = generate(&WorldConfig::tiny(), &mut SmallRng::seed_from_u64(74)).unwrap();
+        let trainer = Bpr {
+            config: BprConfig {
+                dim: 6,
+                iterations: 4_000,
+                sgd: SgdConfig {
+                    learning_rate: 1e5,
+                    ..SgdConfig::default()
+                },
+                ..BprConfig::default()
+            },
+        };
+        let dir = ckpt_dir("diverge");
+        let ckpt = CheckpointConfig {
+            lr_backoff: 1e-6,
+            max_retries: 2,
+            ..CheckpointConfig::new(&dir)
+        };
+        let (model, report) = trainer
+            .fit_resumable(&data, 75, &ckpt, &mut NoopObserver)
+            .unwrap();
+        assert!(report.recoveries >= 1, "lr 1e5 should diverge at least once");
+        assert!(!report.diverged, "recovered run ends finite");
+        assert!(!model.model.has_non_finite());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -25,11 +25,13 @@ mod mpr;
 mod observe;
 mod poprank;
 mod randomwalk;
+mod resume;
 mod wmf;
 
 pub use bpr::{Bpr, BprConfig};
 pub use climf::{Climf, ClimfConfig};
 pub use mpr::{Mpr, MprConfig};
+pub use resume::ResumeReport;
 pub use poprank::{PopRank, PopRankModel};
 pub use randomwalk::{RandomWalk, RandomWalkConfig, RandomWalkModel};
 pub use wmf::{Wmf, WmfConfig};

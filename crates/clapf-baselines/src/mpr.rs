@@ -14,6 +14,8 @@
 
 use crate::bpr::resolve_iterations;
 use crate::observe::{build_epoch_stats, epoch_control, epoch_len, StepTally};
+use crate::resume::{fit_resumable_loop, ResumeReport};
+use clapf_core::checkpoint::{self, CheckpointConfig, CheckpointError};
 use clapf_core::objective::{ln_sigmoid, sigmoid};
 use clapf_core::{FactorRecommender, ParallelConfig};
 use clapf_data::{Interactions, ItemId, UserId};
@@ -152,6 +154,75 @@ impl Mpr {
             model,
             label: format!("MPR(λ={:.1})", cfg.lambda),
         }
+    }
+
+    /// Trains **crash-safely**, mirroring
+    /// [`Bpr::fit_resumable`](crate::Bpr::fit_resumable): checkpoints at
+    /// synthetic-epoch edges, resumes from the newest valid checkpoint, and
+    /// rolls back with a shrunk learning rate on divergence.
+    ///
+    /// MPR's popularity pools are rebuilt deterministically from the data on
+    /// every run, so — like the CLAPF trainer's rank-aware samplers — they
+    /// never need to be serialized; a checkpoint (model + RNG state + epoch)
+    /// captures the whole run and the bit-identity contracts hold.
+    pub fn fit_resumable(
+        &self,
+        data: &Interactions,
+        base_seed: u64,
+        ckpt: &CheckpointConfig,
+        observer: &mut dyn TrainObserver,
+    ) -> Result<(FactorRecommender, ResumeReport), CheckpointError> {
+        let cfg = &self.config;
+        cfg.check();
+        let iterations = resolve_iterations(cfg.iterations, data.n_pairs());
+        let epoch_steps = epoch_len(iterations, data.n_pairs());
+        let pools = ItemPools::from_popularity(data, cfg.uncertain_fraction);
+        let label = format!("MPR(λ={:.1})", cfg.lambda);
+        let fp = checkpoint::fingerprint(&[
+            ("model", "MPR".to_string()),
+            ("dim", cfg.dim.to_string()),
+            // λ at full precision — the display label rounds to one decimal.
+            ("lambda", format!("{}", cfg.lambda)),
+            ("uncertain", format!("{}", cfg.uncertain_fraction)),
+            ("sgd", format!("{:?}", cfg.sgd)),
+            ("init", format!("{:?}", cfg.init)),
+            ("iterations", iterations.to_string()),
+            ("epoch", epoch_steps.to_string()),
+            ("sampler", "PopularityPools".to_string()),
+            ("seed", base_seed.to_string()),
+            (
+                "data",
+                format!("{}x{}:{}", data.n_users(), data.n_items(), data.n_pairs()),
+            ),
+        ]);
+        let meta = FitMeta {
+            model: label.clone(),
+            sampler: "PopularityPools".to_string(),
+            dim: cfg.dim,
+            iterations,
+            threads: 1,
+            n_users: data.n_users(),
+            n_items: data.n_items(),
+            n_pairs: data.n_pairs(),
+        };
+        let mut u_old = vec![0.0f32; cfg.dim];
+        let mut grad_u = vec![0.0f32; cfg.dim];
+        let (model, report) = fit_resumable_loop(
+            data,
+            cfg.dim,
+            cfg.init,
+            iterations,
+            meta,
+            fp,
+            base_seed,
+            ckpt,
+            observer,
+            |scale| MprParams::scaled(cfg, scale),
+            |shared, rng, p, tally| {
+                mpr_step(shared, data, &pools, rng, p, &mut u_old, &mut grad_u, tally)
+            },
+        )?;
+        Ok((FactorRecommender { model, label }, report))
     }
 
     /// Fits with Hogwild-style lock-free parallel SGD. The popularity pools
@@ -295,8 +366,15 @@ struct MprParams {
 
 impl MprParams {
     fn new(cfg: &MprConfig) -> Self {
+        Self::scaled(cfg, 1.0)
+    }
+
+    /// `lr_scale` multiplies the learning rate (divergence-recovery
+    /// backoff); `1.0` is bitwise-exact, so the resumable path at scale 1
+    /// steps identically to [`new`](MprParams::new).
+    fn scaled(cfg: &MprConfig, lr_scale: f32) -> Self {
         let lambda = cfg.lambda;
-        let lr = cfg.sgd.learning_rate;
+        let lr = cfg.sgd.learning_rate * lr_scale;
         MprParams {
             lambda,
             // R = λ f_ui + (1 − 2λ) f_uk − (1 − λ) f_uj
@@ -519,6 +597,89 @@ mod tests {
             assert!(e.loss.is_finite() && e.loss > 0.0);
             assert!(e.item_norm.is_finite() && e.item_norm > 0.0);
         }
+    }
+
+    fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("clapf-mpr-ckpt-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Simulates a crash at an epoch edge; `enabled()` is false so the RNG
+    /// stream matches an unobserved fit.
+    struct AbortAfterEpochs(usize);
+    impl TrainObserver for AbortAfterEpochs {
+        fn enabled(&self) -> bool {
+            false
+        }
+        fn on_epoch(&mut self, _: &clapf_telemetry::EpochStats) -> clapf_telemetry::Control {
+            self.0 -= 1;
+            if self.0 == 0 {
+                clapf_telemetry::Control::Abort
+            } else {
+                clapf_telemetry::Control::Continue
+            }
+        }
+    }
+
+    #[test]
+    fn resumable_uninterrupted_matches_fit_bitwise() {
+        let data = generate(&WorldConfig::tiny(), &mut SmallRng::seed_from_u64(80)).unwrap();
+        let trainer = Mpr {
+            config: MprConfig {
+                dim: 6,
+                lambda: 0.4,
+                iterations: 4_000,
+                ..MprConfig::default()
+            },
+        };
+        let plain = trainer.fit(&data, &mut SmallRng::seed_from_u64(81));
+        let dir = ckpt_dir("uninterrupted");
+        let ckpt = clapf_core::CheckpointConfig::new(&dir);
+        let (resumable, report) = trainer
+            .fit_resumable(&data, 81, &ckpt, &mut clapf_core::NoopObserver)
+            .unwrap();
+        assert!(report.resumed_from.is_none());
+        assert_eq!(report.steps, 4_000);
+        for u in data.users() {
+            for i in data.items() {
+                assert_eq!(plain.score(u, i).to_bits(), resumable.score(u, i).to_bits());
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_after_interrupt_is_bit_identical() {
+        let data = generate(&WorldConfig::tiny(), &mut SmallRng::seed_from_u64(82)).unwrap();
+        let trainer = Mpr {
+            config: MprConfig {
+                dim: 6,
+                lambda: 0.4,
+                iterations: 4_000,
+                ..MprConfig::default()
+            },
+        };
+        let full = trainer.fit(&data, &mut SmallRng::seed_from_u64(83));
+        let dir = ckpt_dir("interrupt");
+        let ckpt = clapf_core::CheckpointConfig::new(&dir);
+        let (_, first) = trainer
+            .fit_resumable(&data, 83, &ckpt, &mut AbortAfterEpochs(2))
+            .unwrap();
+        assert!(first.aborted_at.is_some(), "abort fired mid-run");
+
+        let (resumed, report) = trainer
+            .fit_resumable(&data, 83, &ckpt, &mut clapf_core::NoopObserver)
+            .unwrap();
+        assert!(report.resumed_from.unwrap() >= 1, "resumed mid-run");
+        assert_eq!(report.steps, 4_000);
+        for u in data.users() {
+            for i in data.items() {
+                assert_eq!(full.score(u, i).to_bits(), resumed.score(u, i).to_bits());
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

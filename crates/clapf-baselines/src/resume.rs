@@ -1,0 +1,227 @@
+//! Crash-safe resumable fitting shared by the SGD baselines.
+//!
+//! BPR and MPR reuse the core checkpoint machinery (`clapf_core::checkpoint`)
+//! wholesale: their samplers are stateless (BPR's uniform negatives) or
+//! rebuilt deterministically from the data (MPR's popularity pools), so a
+//! checkpoint at a synthetic-epoch edge needs exactly what the CLAPF
+//! trainer's does — model, RNG state, epoch index — and the same
+//! resume-equals-uninterrupted bit-identity contract holds (pinned by tests
+//! in `bpr.rs`/`mpr.rs`).
+
+use crate::observe::{build_epoch_stats, epoch_len, StepTally};
+use clapf_core::checkpoint::{
+    self, Checkpoint, CheckpointConfig, CheckpointError, CHECKPOINT_VERSION,
+};
+use clapf_data::Interactions;
+use clapf_mf::{Init, MfModel, SharedMfModel};
+use clapf_telemetry::{Control, FitMeta, FitSummary, TrainObserver};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// What a crash-safe baseline fit did — the baselines' analog of
+/// [`clapf_core::FitReport`] (they return a bare
+/// [`FactorRecommender`](clapf_core::FactorRecommender), so resume/recovery
+/// accounting needs its own report).
+#[derive(Clone, Debug)]
+pub struct ResumeReport {
+    /// SGD steps completed (including steps replayed after a rollback).
+    pub steps: usize,
+    /// Wall-clock time of *this* process's training (pre-crash runs are
+    /// not included).
+    pub elapsed: Duration,
+    /// Epoch the run resumed from, `None` for a fresh start.
+    pub resumed_from: Option<usize>,
+    /// Divergence rollbacks performed.
+    pub recoveries: u32,
+    /// Whether the final model contains non-finite parameters.
+    pub diverged: bool,
+    /// Steps completed when the run aborted early, if it did.
+    pub aborted_at: Option<usize>,
+}
+
+/// Captures the run state at an epoch edge into a [`Checkpoint`].
+fn snapshot(
+    fp: &str,
+    epoch: usize,
+    steps_done: usize,
+    rng: &SmallRng,
+    lr_scale: f32,
+    retries: u32,
+    model: &MfModel,
+) -> Checkpoint {
+    Checkpoint {
+        version: CHECKPOINT_VERSION,
+        fingerprint: fp.to_string(),
+        epoch,
+        steps_done,
+        rng_state: rng.state().to_vec(),
+        lr_scale,
+        retries,
+        model: model.clone(),
+    }
+}
+
+/// The crash-safe serial loop behind `Bpr::fit_resumable` and
+/// `Mpr::fit_resumable`, generic over the per-step parameter block `P`.
+///
+/// Mirrors the baselines' `fit_observed` loops exactly on the RNG stream —
+/// same init, same flat step order chunked into synthetic epochs — so an
+/// uninterrupted run is bit-identical to `fit` with
+/// `SmallRng::seed_from_u64(base_seed)`. Checkpoint writes, divergence
+/// rollback (via `make_params` rebuilding `P` at a shrunk learning-rate
+/// scale) and resume all happen *off* the RNG stream at epoch edges.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fit_resumable_loop<P>(
+    data: &Interactions,
+    dim: usize,
+    init: Init,
+    iterations: usize,
+    meta: FitMeta,
+    fp: String,
+    base_seed: u64,
+    ckpt_cfg: &CheckpointConfig,
+    observer: &mut dyn TrainObserver,
+    make_params: impl Fn(f32) -> P,
+    mut step: impl FnMut(&SharedMfModel, &mut SmallRng, &P, &mut StepTally),
+) -> Result<(MfModel, ResumeReport), CheckpointError> {
+    let start = Instant::now();
+    let epoch_steps = epoch_len(iterations, data.n_pairs());
+    let n_epochs = iterations.div_ceil(epoch_steps);
+    let every = ckpt_cfg.every_epochs.max(1);
+    let observing = observer.enabled();
+
+    std::fs::create_dir_all(&ckpt_cfg.dir)?;
+    if !ckpt_cfg.resume {
+        // A non-resuming run must never leave stale snapshots a later
+        // `--resume` could silently pick up.
+        checkpoint::clear(&ckpt_cfg.dir)?;
+    }
+    let resumed = if ckpt_cfg.resume {
+        checkpoint::latest(&ckpt_cfg.dir, &fp)?
+    } else {
+        None
+    };
+
+    let (mut shared, mut rng, mut epoch, mut lr_scale, mut retries, resumed_from) = match resumed {
+        Some(c) => {
+            let rng = SmallRng::from_state(c.rng_words()?);
+            let epoch = c.epoch;
+            (
+                SharedMfModel::new(c.model),
+                rng,
+                epoch,
+                c.lr_scale,
+                c.retries,
+                Some(epoch),
+            )
+        }
+        None => {
+            let mut rng = SmallRng::seed_from_u64(base_seed);
+            let model = MfModel::new(data.n_users(), data.n_items(), dim, init, &mut rng);
+            // Epoch-0 checkpoint: the rollback target if the very first
+            // epoch diverges, and the resume point for a crash before the
+            // first cadence save.
+            checkpoint::save(ckpt_cfg, &snapshot(&fp, 0, 0, &rng, 1.0, 0, &model))?;
+            (SharedMfModel::new(model), rng, 0, 1.0f32, 0u32, None)
+        }
+    };
+
+    observer.on_fit_start(&meta);
+
+    let mut tally = StepTally::new(observing);
+    let mut aborted_at = None;
+    let mut recoveries = 0u32;
+    let mut steps_done = (epoch * epoch_steps).min(iterations);
+    let mut params = make_params(lr_scale);
+    let mut epoch_clock = Instant::now();
+
+    while epoch < n_epochs {
+        let epoch_start = epoch * epoch_steps;
+        let epoch_end = ((epoch + 1) * epoch_steps).min(iterations);
+        for _ in epoch_start..epoch_end {
+            step(&shared, &mut rng, &params, &mut tally);
+        }
+        steps_done = epoch_end;
+
+        let now = Instant::now();
+        let stats = build_epoch_stats(
+            epoch,
+            epoch_end - epoch_start,
+            steps_done,
+            now - epoch_clock,
+            tally.take(),
+            observing.then(|| shared.view()),
+        );
+        epoch_clock = now;
+        let control = observer.on_epoch(&stats);
+        // Divergence recovery is this path's contract whether or not an
+        // enabled observer paid for the per-epoch model scan.
+        let bad = if observing {
+            stats.non_finite
+        } else {
+            shared.view().has_non_finite()
+        };
+        if bad {
+            observer.on_divergence(steps_done);
+            if retries < ckpt_cfg.max_retries {
+                if let Some(c) = checkpoint::latest(&ckpt_cfg.dir, &fp)? {
+                    retries += 1;
+                    recoveries += 1;
+                    lr_scale = c.lr_scale * ckpt_cfg.lr_backoff;
+                    params = make_params(lr_scale);
+                    rng = SmallRng::from_state(c.rng_words()?);
+                    epoch = c.epoch;
+                    steps_done = c.steps_done;
+                    shared = SharedMfModel::new(c.model);
+                    // Persist the shrunk learning rate: a crash right after
+                    // the rollback must resume with it, not re-diverge.
+                    checkpoint::save(
+                        ckpt_cfg,
+                        &snapshot(&fp, epoch, steps_done, &rng, lr_scale, retries, shared.view()),
+                    )?;
+                    continue;
+                }
+            }
+            if steps_done < iterations {
+                aborted_at = Some(steps_done);
+            }
+            break;
+        }
+        if control == Control::Abort {
+            if steps_done < iterations {
+                aborted_at = Some(steps_done);
+            }
+            break;
+        }
+
+        epoch += 1;
+        if epoch % every == 0 || epoch == n_epochs {
+            checkpoint::save(
+                ckpt_cfg,
+                &snapshot(&fp, epoch, steps_done, &rng, lr_scale, retries, shared.view()),
+            )?;
+        }
+    }
+
+    let model = shared.into_inner();
+    let elapsed = start.elapsed();
+    let diverged = model.has_non_finite();
+    observer.on_fit_end(&FitSummary {
+        steps: steps_done,
+        elapsed,
+        diverged,
+        aborted_at,
+    });
+    Ok((
+        model,
+        ResumeReport {
+            steps: steps_done,
+            elapsed,
+            resumed_from,
+            recoveries,
+            diverged,
+            aborted_at,
+        },
+    ))
+}

@@ -91,6 +91,13 @@ pub struct FitArgs {
     pub metrics_out: Option<PathBuf>,
     /// Output verbosity.
     pub log_level: LogLevel,
+    /// Directory for crash-safe checkpoints (enables the resumable path;
+    /// requires the serial trainer, `--threads 1`).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Checkpoint cadence in epochs.
+    pub checkpoint_every: usize,
+    /// Resume from the newest matching checkpoint instead of starting fresh.
+    pub resume: bool,
 }
 
 /// `clapf trace` arguments.
@@ -125,6 +132,11 @@ pub struct ServeArgs {
     /// Watch the bundle file and hot-swap on change, polling this often
     /// (seconds). `None` reloads only on `POST /reload`.
     pub watch_secs: Option<f64>,
+    /// Bounded accept-queue depth; connections beyond it are shed with 503.
+    pub queue: usize,
+    /// Admission deadline in milliseconds: a connection that waited longer
+    /// than this in the queue is shed instead of served.
+    pub deadline_ms: u64,
 }
 
 /// A parsed `clapf` invocation.
@@ -154,22 +166,38 @@ USAGE:
             [--dss] [--dim N] [--iterations N] [--holdout F] [--seed N]
             [--threads N] [--save model.json] [--metrics-out run.jsonl]
             [--log-level quiet|info|debug]
+            [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
+  (clapf train is an alias for clapf fit)
 
   --threads N trains with N lock-free (Hogwild) workers; 1 (the default)
   is the exactly-reproducible serial path, 0 uses all cores.
   --metrics-out streams a structured JSONL run trace (fit_start, epoch,
   fit_end, eval, summary events); --log-level debug echoes per-epoch
   statistics, quiet keeps only results.
+  --checkpoint-dir makes training crash-safe: the model, RNG state and
+  epoch index are written atomically to DIR every --checkpoint-every
+  epochs (default 1). --resume picks up from the newest matching
+  checkpoint; with or without an interruption the result is bit-identical
+  to the uninterrupted run. Requires --threads 1 (the replayable path).
+  Divergence rolls back to the last checkpoint with a shrunk learning
+  rate instead of aborting.
   clapf recommend --load model.json --user RAW_ID [-k N]
   clapf serve --load model.json [--addr 127.0.0.1:7878] [--workers N]
-              [--cache N] [--watch SECS]
+              [--cache N] [--watch SECS] [--queue N] [--deadline-ms N]
 
   serve answers GET /recommend/{user}?k=N, /healthz and /metrics, and
   hot-swaps the bundle on POST /reload (or automatically with --watch).
   --cache sizes the top-k result cache (0 disables it); POST /shutdown
   drains in-flight requests and stops.
+  --queue bounds the accept queue (default 64) and --deadline-ms the
+  time a connection may wait in it (default 5000); anything beyond either
+  limit is shed with a typed 503 + Retry-After instead of queueing
+  unboundedly.
   clapf trace --file run.jsonl
   clapf help
+
+EXIT CODES:
+  0 success   2 configuration/usage error   3 I/O error   4 training abort
 ";
 
 impl Command {
@@ -226,7 +254,7 @@ impl Command {
                     seed,
                 }))
             }
-            "fit" => {
+            "fit" | "train" => {
                 let data = PathBuf::from(required("--data")?);
                 let model = match value("--model")? {
                     Some(v) => ModelKind::parse(v)?,
@@ -266,6 +294,23 @@ impl Command {
                     Some(v) => LogLevel::parse(v)?,
                     None => LogLevel::Info,
                 };
+                let checkpoint_dir = value("--checkpoint-dir")?.map(PathBuf::from);
+                let checkpoint_every = match value("--checkpoint-every")? {
+                    Some(v) => {
+                        let n = parse_num("--checkpoint-every", v)? as usize;
+                        if n == 0 {
+                            return Err("--checkpoint-every must be at least 1".to_string());
+                        }
+                        n
+                    }
+                    None => 1,
+                };
+                let resume = flag("--resume");
+                if checkpoint_dir.is_none() && (resume || value("--checkpoint-every")?.is_some()) {
+                    return Err(
+                        "--resume/--checkpoint-every require --checkpoint-dir".to_string()
+                    );
+                }
                 Ok(Command::Fit(FitArgs {
                     data,
                     model,
@@ -279,6 +324,9 @@ impl Command {
                     save: value("--save")?.map(PathBuf::from),
                     metrics_out: value("--metrics-out")?.map(PathBuf::from),
                     log_level,
+                    checkpoint_dir,
+                    checkpoint_every,
+                    resume,
                 }))
             }
             "trace" => {
@@ -321,12 +369,28 @@ impl Command {
                     }
                     None => None,
                 };
+                let queue = match value("--queue")? {
+                    Some(v) => parse_num("--queue", v)? as usize,
+                    None => 64,
+                };
+                let deadline_ms = match value("--deadline-ms")? {
+                    Some(v) => {
+                        let ms = parse_num("--deadline-ms", v)?;
+                        if ms.is_nan() || ms <= 0.0 {
+                            return Err(format!("--deadline-ms must be positive, got {ms}"));
+                        }
+                        ms as u64
+                    }
+                    None => 5000,
+                };
                 Ok(Command::Serve(ServeArgs {
                     load,
                     addr,
                     workers: workers.max(1),
                     cache,
                     watch_secs,
+                    queue: queue.max(1),
+                    deadline_ms,
                 }))
             }
             other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
@@ -387,9 +451,50 @@ mod tests {
                 assert!(f.save.is_none());
                 assert!(f.metrics_out.is_none());
                 assert_eq!(f.log_level, LogLevel::Info);
+                assert!(f.checkpoint_dir.is_none());
+                assert_eq!(f.checkpoint_every, 1);
+                assert!(!f.resume);
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn train_is_an_alias_for_fit() {
+        let a = Command::parse(&args(&["fit", "--data", "u.data"])).unwrap();
+        let b = Command::parse(&args(&["train", "--data", "u.data"])).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fit_checkpoint_flags() {
+        let c = Command::parse(&args(&[
+            "train", "--data", "u.data", "--checkpoint-dir", "ckpts", "--checkpoint-every",
+            "3", "--resume",
+        ]))
+        .unwrap();
+        match c {
+            Command::Fit(f) => {
+                assert_eq!(f.checkpoint_dir, Some(PathBuf::from("ckpts")));
+                assert_eq!(f.checkpoint_every, 3);
+                assert!(f.resume);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_flags_require_a_dir_and_a_positive_cadence() {
+        let err = Command::parse(&args(&["fit", "--data", "x", "--resume"])).unwrap_err();
+        assert!(err.contains("--checkpoint-dir"), "{err}");
+        let err =
+            Command::parse(&args(&["fit", "--data", "x", "--checkpoint-every", "2"])).unwrap_err();
+        assert!(err.contains("--checkpoint-dir"), "{err}");
+        let err = Command::parse(&args(&[
+            "fit", "--data", "x", "--checkpoint-dir", "d", "--checkpoint-every", "0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
     }
 
     #[test]
@@ -472,11 +577,13 @@ mod tests {
                 workers: 4,
                 cache: 4096,
                 watch_secs: None,
+                queue: 64,
+                deadline_ms: 5000,
             })
         );
         let c = Command::parse(&args(&[
             "serve", "--load", "m.json", "--addr", "0.0.0.0:9000", "--workers", "8",
-            "--cache", "0", "--watch", "2.5",
+            "--cache", "0", "--watch", "2.5", "--queue", "16", "--deadline-ms", "250",
         ]))
         .unwrap();
         assert_eq!(
@@ -487,6 +594,8 @@ mod tests {
                 workers: 8,
                 cache: 0,
                 watch_secs: Some(2.5),
+                queue: 16,
+                deadline_ms: 250,
             })
         );
     }
@@ -497,6 +606,9 @@ mod tests {
         let err =
             Command::parse(&args(&["serve", "--load", "m.json", "--watch", "0"])).unwrap_err();
         assert!(err.contains("--watch"), "{err}");
+        let err = Command::parse(&args(&["serve", "--load", "m.json", "--deadline-ms", "0"]))
+            .unwrap_err();
+        assert!(err.contains("--deadline-ms"), "{err}");
     }
 
     #[test]

@@ -17,8 +17,47 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::io::Write;
 
+/// What went wrong, classified so scripts can branch on the exit code
+/// (mirrors the convention at the bottom of `clapf help`).
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad flags, unknown names, invalid combinations — exit code 2.
+    Config(String),
+    /// A file could not be read, written or parsed — exit code 3.
+    Io(String),
+    /// Training aborted (divergence with the retry budget spent) — exit
+    /// code 4.
+    Train(String),
+}
+
+impl CliError {
+    /// The process exit code this error maps to.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Config(_) => 2,
+            CliError::Io(_) => 3,
+            CliError::Train(_) => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Config(m) | CliError::Io(m) | CliError::Train(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Shorthand: human-output write failures are I/O errors.
+fn werr(e: std::io::Error) -> CliError {
+    CliError::Io(format!("write output: {e}"))
+}
+
 /// Runs a parsed command, writing human output to `out`. Returns the
-/// process exit code.
+/// process exit code (0 ok, 2 config, 3 I/O, 4 training abort).
 pub fn run<W: Write>(cmd: Command, out: &mut W) -> i32 {
     let result = match cmd {
         Command::Help => {
@@ -35,23 +74,23 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> i32 {
         Ok(()) => 0,
         Err(e) => {
             let _ = writeln!(out, "error: {e}");
-            1
+            e.exit_code()
         }
     }
 }
 
-fn spec_by_name(name: &str) -> Result<DatasetSpec, String> {
+fn spec_by_name(name: &str) -> Result<DatasetSpec, CliError> {
     synthetic::paper_datasets()
         .into_iter()
         .find(|s| s.name.eq_ignore_ascii_case(name))
         .ok_or_else(|| {
-            format!(
+            CliError::Config(format!(
                 "unknown dataset {name:?} (expected one of ml100k, ml1m, usertag, ml20m, flixter, netflix)"
-            )
+            ))
         })
 }
 
-fn generate<W: Write>(a: GenerateArgs, out: &mut W) -> Result<(), String> {
+fn generate<W: Write>(a: GenerateArgs, out: &mut W) -> Result<(), CliError> {
     let mut spec = spec_by_name(&a.dataset)?;
     if a.shrink > 1 {
         let s = a.shrink;
@@ -65,9 +104,12 @@ fn generate<W: Write>(a: GenerateArgs, out: &mut W) -> Result<(), String> {
         };
     }
     let mut rng = SmallRng::seed_from_u64(a.seed);
-    let data = synthetic::generate(&spec.config, &mut rng).map_err(|e| e.to_string())?;
-    let file = std::fs::File::create(&a.out).map_err(|e| format!("create {:?}: {e}", a.out))?;
-    export::write_csv(&data, std::io::BufWriter::new(file)).map_err(|e| e.to_string())?;
+    let data = synthetic::generate(&spec.config, &mut rng)
+        .map_err(|e| CliError::Config(e.to_string()))?;
+    let file = std::fs::File::create(&a.out)
+        .map_err(|e| CliError::Io(format!("create {:?}: {e}", a.out)))?;
+    export::write_csv(&data, std::io::BufWriter::new(file))
+        .map_err(|e| CliError::Io(e.to_string()))?;
     writeln!(
         out,
         "wrote {} ({} users × {} items, {} pairs, {:.2}% dense)",
@@ -77,7 +119,7 @@ fn generate<W: Write>(a: GenerateArgs, out: &mut W) -> Result<(), String> {
         data.n_pairs(),
         data.density() * 100.0
     )
-    .map_err(|e| e.to_string())
+    .map_err(werr)
 }
 
 fn fit_model(
@@ -86,7 +128,7 @@ fn fit_model(
     rng: &mut SmallRng,
     observer: &mut dyn TrainObserver,
     registry: Option<&Registry>,
-) -> (clapf_mf::MfModel, String, FitReport) {
+) -> Result<(clapf_mf::MfModel, String, FitReport), CliError> {
     let (mode, lambda) = match a.model {
         ModelKind::Bpr => (ClapfMode::Map, 0.0), // CLAPF at λ = 0 ≡ BPR
         ModelKind::ClapfMap => (ClapfMode::Map, a.lambda),
@@ -122,7 +164,34 @@ fn fit_model(
         }
         s
     };
-    let (model, report) = if workers == 1 {
+    let (model, report) = if let Some(dir) = &a.checkpoint_dir {
+        // Crash-safe path: serial only (the Hogwild interleaving is not
+        // replayable), checkpointing at epoch edges and resuming from the
+        // newest matching checkpoint when asked to.
+        if workers != 1 {
+            return Err(CliError::Config(format!(
+                "--checkpoint-dir requires the serial trainer (--threads 1), got {workers} workers"
+            )));
+        }
+        let ckpt = clapf_core::CheckpointConfig {
+            every_epochs: a.checkpoint_every,
+            resume: a.resume,
+            ..clapf_core::CheckpointConfig::new(dir.clone())
+        };
+        let mut sampler: Box<dyn TripleSampler> = if a.dss {
+            Box::new(make_dss())
+        } else {
+            Box::new(UniformSampler)
+        };
+        trainer
+            .fit_resumable(train, sampler.as_mut(), a.seed, &ckpt, observer)
+            .map_err(|e| match e {
+                clapf_core::CheckpointError::Mismatch { .. } => CliError::Config(format!(
+                    "{e} (pass a fresh --checkpoint-dir or drop --resume after changing the run config)"
+                )),
+                other => CliError::Io(other.to_string()),
+            })?
+    } else if workers == 1 {
         let mut sampler: Box<dyn TripleSampler> = if a.dss {
             Box::new(make_dss())
         } else {
@@ -147,7 +216,7 @@ fn fit_model(
         workers,
         if workers == 1 { "" } else { "s" }
     );
-    (model.mf, description, report)
+    Ok((model.mf, description, report))
 }
 
 /// A no-output observer whose `enabled()` is true, so the trainer pays for
@@ -155,10 +224,10 @@ fn fit_model(
 struct StatsOnly;
 impl TrainObserver for StatsOnly {}
 
-fn fit<W: Write>(a: FitArgs, out: &mut W) -> Result<(), String> {
+fn fit<W: Write>(a: FitArgs, out: &mut W) -> Result<(), CliError> {
     let chatty = a.log_level != LogLevel::Quiet;
     let loaded = load_ratings_path(&a.data, PAPER_RATING_THRESHOLD)
-        .map_err(|e| format!("load {:?}: {e}", a.data))?;
+        .map_err(|e| CliError::Io(format!("load {:?}: {e}", a.data)))?;
     if chatty {
         writeln!(
             out,
@@ -168,7 +237,7 @@ fn fit<W: Write>(a: FitArgs, out: &mut W) -> Result<(), String> {
             loaded.interactions.n_items(),
             loaded.interactions.n_pairs()
         )
-        .map_err(|e| e.to_string())?;
+        .map_err(werr)?;
     }
 
     let mut rng = SmallRng::seed_from_u64(a.seed);
@@ -179,7 +248,7 @@ fn fit<W: Write>(a: FitArgs, out: &mut W) -> Result<(), String> {
             1.0 - a.holdout,
             &mut rng,
         )
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::Config(e.to_string()))?;
         (s.train, Some(s.test))
     } else {
         (loaded.interactions.clone(), None)
@@ -192,7 +261,9 @@ fn fit<W: Write>(a: FitArgs, out: &mut W) -> Result<(), String> {
     let tracing = a.metrics_out.is_some();
     let mut cli_obs = match &a.metrics_out {
         Some(p) => {
-            let sink = JsonlSink::to_file(p).map_err(|e| format!("create {p:?}: {e}"))?;
+            let sink = JsonlSink::to_file(p)
+                .map_err(|e| CliError::Io(format!("create {p:?}: {e}")))?
+                .with_drop_counter(registry.counter("telemetry.dropped"));
             Some(CliObserver::new(sink))
         }
         None => None,
@@ -206,9 +277,28 @@ fn fit<W: Write>(a: FitArgs, out: &mut W) -> Result<(), String> {
     };
 
     let (model, mut description, report) =
-        fit_model(&a, &train, &mut rng, observer, tracing.then_some(&registry));
+        fit_model(&a, &train, &mut rng, observer, tracing.then_some(&registry))?;
+    if let Some(epoch) = report.resumed_from {
+        registry.counter("train.resumed").inc();
+        if chatty {
+            writeln!(out, "resumed from checkpoint at epoch {epoch}").map_err(werr)?;
+        }
+    }
+    if report.recoveries > 0 {
+        registry
+            .counter("train.divergence.recoveries")
+            .add(report.recoveries as u64);
+        if chatty {
+            writeln!(
+                out,
+                "recovered from divergence {} time(s) by rolling back to the last checkpoint",
+                report.recoveries
+            )
+            .map_err(werr)?;
+        }
+    }
     if chatty {
-        writeln!(out, "trained {description}").map_err(|e| e.to_string())?;
+        writeln!(out, "trained {description}").map_err(werr)?;
     }
     if a.log_level == LogLevel::Debug {
         for e in &report.epochs {
@@ -223,12 +313,23 @@ fn fit<W: Write>(a: FitArgs, out: &mut W) -> Result<(), String> {
                 e.user_norm,
                 e.item_norm
             )
-            .map_err(|e| e.to_string())?;
+            .map_err(werr)?;
         }
     }
+    if report.diverged {
+        if let Some(obs) = &cli_obs {
+            obs.sink().flush();
+        }
+        return Err(CliError::Train(match report.aborted_at {
+            Some(at) => format!(
+                "training aborted at step {at}: parameters diverged (lower the learning rate, \
+                 or use --checkpoint-dir for automatic rollback-and-retry)"
+            ),
+            None => "training aborted: parameters diverged".to_string(),
+        }));
+    }
     if let Some(at) = report.aborted_at {
-        writeln!(out, "training aborted at step {at} (divergence detected)")
-            .map_err(|e| e.to_string())?;
+        writeln!(out, "training stopped early at step {at} (observer abort)").map_err(werr)?;
     }
 
     if let Some(test) = test {
@@ -251,13 +352,13 @@ fn fit<W: Write>(a: FitArgs, out: &mut W) -> Result<(), String> {
             report.mrr,
             report.auc
         )
-        .map_err(|e| e.to_string())?;
+        .map_err(werr)?;
         if chatty {
             writeln!(
                 out,
                 "evaluated in {eval_secs:.2}s ({users_per_sec:.0} users/sec, full ranking)"
             )
-            .map_err(|e| e.to_string())?;
+            .map_err(werr)?;
         }
         description = format!("{description}; eval {eval_secs:.2}s ({users_per_sec:.0} users/sec)");
         if let Some(obs) = &cli_obs {
@@ -285,15 +386,17 @@ fn fit<W: Write>(a: FitArgs, out: &mut W) -> Result<(), String> {
     if let Some(path) = &a.save {
         let bundle = ModelBundle::new(description, model, loaded.ids, &train)
             .with_metrics(metrics_snapshot.map(|s| s.render()));
-        bundle.save(path).map_err(|e| format!("save {path:?}: {e}"))?;
+        bundle
+            .save(path)
+            .map_err(|e| CliError::Io(format!("save {path:?}: {e}")))?;
         if chatty {
-            writeln!(out, "saved model bundle to {}", path.display()).map_err(|e| e.to_string())?;
+            writeln!(out, "saved model bundle to {}", path.display()).map_err(werr)?;
         }
     }
     if let (Some(obs), Some(p)) = (&cli_obs, &a.metrics_out) {
         obs.sink().flush();
         if chatty {
-            writeln!(out, "wrote run trace to {}", p.display()).map_err(|e| e.to_string())?;
+            writeln!(out, "wrote run trace to {}", p.display()).map_err(werr)?;
         }
     }
     Ok(())
@@ -301,19 +404,24 @@ fn fit<W: Write>(a: FitArgs, out: &mut W) -> Result<(), String> {
 
 /// Validates a `--metrics-out` JSONL trace: every line must parse as a JSON
 /// object with an `ev` kind. Prints a tally of the event kinds.
-fn trace<W: Write>(a: TraceArgs, out: &mut W) -> Result<(), String> {
-    let body =
-        std::fs::read_to_string(&a.file).map_err(|e| format!("read {:?}: {e}", a.file))?;
+fn trace<W: Write>(a: TraceArgs, out: &mut W) -> Result<(), CliError> {
+    let body = std::fs::read_to_string(&a.file)
+        .map_err(|e| CliError::Io(format!("read {:?}: {e}", a.file)))?;
     let mut kinds: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
     let mut total = 0usize;
     for (n, line) in body.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        let v: serde::Value = serde_json::from_str(line)
-            .map_err(|e| format!("{}:{}: invalid JSON: {e}", a.file.display(), n + 1))?;
+        let v: serde::Value = serde_json::from_str(line).map_err(|e| {
+            CliError::Io(format!("{}:{}: invalid JSON: {e}", a.file.display(), n + 1))
+        })?;
         let serde::Value::Map(fields) = &v else {
-            return Err(format!("{}:{}: not a JSON object", a.file.display(), n + 1));
+            return Err(CliError::Io(format!(
+                "{}:{}: not a JSON object",
+                a.file.display(),
+                n + 1
+            )));
         };
         let kind = fields
             .iter()
@@ -323,14 +431,18 @@ fn trace<W: Write>(a: TraceArgs, out: &mut W) -> Result<(), String> {
                 _ => None,
             })
             .ok_or_else(|| {
-                format!("{}:{}: missing \"ev\" event kind", a.file.display(), n + 1)
+                CliError::Io(format!(
+                    "{}:{}: missing \"ev\" event kind",
+                    a.file.display(),
+                    n + 1
+                ))
             })?;
         *kinds.entry(kind).or_insert(0) += 1;
         total += 1;
     }
-    writeln!(out, "{}: {} events", a.file.display(), total).map_err(|e| e.to_string())?;
+    writeln!(out, "{}: {} events", a.file.display(), total).map_err(werr)?;
     for (kind, count) in &kinds {
-        writeln!(out, "  {kind:<12} {count}").map_err(|e| e.to_string())?;
+        writeln!(out, "  {kind:<12} {count}").map_err(werr)?;
     }
     Ok(())
 }
@@ -339,17 +451,19 @@ fn trace<W: Write>(a: TraceArgs, out: &mut W) -> Result<(), String> {
 /// down (`POST /shutdown`, or the process is killed). The `listening on`
 /// line is written (and flushed) before blocking so wrappers can scrape
 /// the resolved port when binding to port 0.
-fn serve<W: Write>(a: ServeArgs, out: &mut W) -> Result<(), String> {
+fn serve<W: Write>(a: ServeArgs, out: &mut W) -> Result<(), CliError> {
     let config = clapf_serve::ServeConfig {
         addr: a.addr.clone(),
         workers: a.workers,
         cache_capacity: a.cache,
         watch_poll: a.watch_secs.map(std::time::Duration::from_secs_f64),
+        queue_bound: a.queue,
+        queue_deadline: std::time::Duration::from_millis(a.deadline_ms),
         ..clapf_serve::ServeConfig::default()
     };
     let registry = std::sync::Arc::new(Registry::new());
-    let handle =
-        clapf_serve::start(a.load.clone(), config, registry).map_err(|e| e.to_string())?;
+    let handle = clapf_serve::start(a.load.clone(), config, registry)
+        .map_err(|e| CliError::Io(e.to_string()))?;
     writeln!(
         out,
         "serving {} (cache {} entries, {} workers{})",
@@ -361,21 +475,22 @@ fn serve<W: Write>(a: ServeArgs, out: &mut W) -> Result<(), String> {
             None => String::new(),
         }
     )
-    .map_err(|e| e.to_string())?;
-    writeln!(out, "listening on http://{}", handle.addr()).map_err(|e| e.to_string())?;
-    out.flush().map_err(|e| e.to_string())?;
+    .map_err(werr)?;
+    writeln!(out, "listening on http://{}", handle.addr()).map_err(werr)?;
+    out.flush().map_err(werr)?;
     handle.wait();
-    writeln!(out, "server drained and stopped").map_err(|e| e.to_string())?;
+    writeln!(out, "server drained and stopped").map_err(werr)?;
     Ok(())
 }
 
-fn recommend<W: Write>(a: RecommendArgs, out: &mut W) -> Result<(), String> {
-    let bundle = ModelBundle::load(&a.load).map_err(|e| e.to_string())?;
-    writeln!(out, "model: {}", bundle.description).map_err(|e| e.to_string())?;
-    let recs = bundle.recommend_raw(&a.user, a.k)?;
-    writeln!(out, "top-{} for user {}:", a.k, a.user).map_err(|e| e.to_string())?;
+fn recommend<W: Write>(a: RecommendArgs, out: &mut W) -> Result<(), CliError> {
+    let bundle = ModelBundle::load(&a.load).map_err(|e| CliError::Io(e.to_string()))?;
+    writeln!(out, "model: {}", bundle.description).map_err(werr)?;
+    // An unknown user is a usage problem, not a broken file.
+    let recs = bundle.recommend_raw(&a.user, a.k).map_err(CliError::Config)?;
+    writeln!(out, "top-{} for user {}:", a.k, a.user).map_err(werr)?;
     for (rank, item) in recs.iter().enumerate() {
-        writeln!(out, "  {:>2}. {item}", rank + 1).map_err(|e| e.to_string())?;
+        writeln!(out, "  {:>2}. {item}", rank + 1).map_err(werr)?;
     }
     Ok(())
 }
@@ -649,29 +764,104 @@ mod tests {
         let bad = dir.join("bad.jsonl");
         std::fs::write(&bad, "{\"ev\":\"epoch\"}\nnot json\n").unwrap();
         let (code, text) = run_cmd(&["trace", "--file", bad.to_str().unwrap()]);
-        assert_eq!(code, 1);
+        assert_eq!(code, 3, "{text}");
         assert!(text.contains("invalid JSON"), "{text}");
 
         std::fs::write(&bad, "{\"epoch\":3}\n").unwrap();
         let (code, text) = run_cmd(&["trace", "--file", bad.to_str().unwrap()]);
-        assert_eq!(code, 1);
+        assert_eq!(code, 3, "{text}");
         assert!(text.contains("missing \"ev\""), "{text}");
 
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
-    fn unknown_dataset_fails_cleanly() {
+    fn unknown_dataset_is_a_config_error() {
         let (code, text) = run_cmd(&["generate", "--dataset", "pinterest", "--out", "/tmp/x.csv"]);
-        assert_eq!(code, 1);
+        assert_eq!(code, 2, "{text}");
         assert!(text.contains("unknown dataset"));
     }
 
     #[test]
-    fn missing_model_file_fails_cleanly() {
+    fn missing_model_file_is_an_io_error() {
         let (code, text) = run_cmd(&["recommend", "--load", "/nonexistent.json", "--user", "1"]);
-        assert_eq!(code, 1);
+        assert_eq!(code, 3, "{text}");
         assert!(text.contains("error"));
+    }
+
+    #[test]
+    fn missing_data_file_is_an_io_error() {
+        let (code, text) = run_cmd(&["fit", "--data", "/nonexistent.csv"]);
+        assert_eq!(code, 3, "{text}");
+        assert!(text.contains("load"), "{text}");
+    }
+
+    #[test]
+    fn checkpointing_with_threads_is_a_config_error() {
+        let dir = std::env::temp_dir().join("clapf-cli-ckpt-threads");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.csv");
+        let (code, text) = run_cmd(&[
+            "generate", "--dataset", "ml100k", "--shrink", "24", "--out",
+            data.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{text}");
+
+        let ckpts = dir.join("ckpts");
+        let (code, text) = run_cmd(&[
+            "fit", "--data", data.to_str().unwrap(), "--threads", "4",
+            "--checkpoint-dir", ckpts.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 2, "{text}");
+        assert!(text.contains("--threads 1"), "{text}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn train_with_checkpoints_writes_them_and_resumes() {
+        let dir = std::env::temp_dir().join("clapf-cli-ckpt-resume");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.csv");
+        let ckpts = dir.join("ckpts");
+        let (code, text) = run_cmd(&[
+            "generate", "--dataset", "ml100k", "--shrink", "24", "--out",
+            data.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{text}");
+
+        // The `train` alias runs the crash-safe path and leaves checkpoints.
+        let (code, text) = run_cmd(&[
+            "train", "--data", data.to_str().unwrap(), "--dim", "8", "--iterations",
+            "10000", "--checkpoint-dir", ckpts.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("held-out metrics"), "{text}");
+        let n_ckpts = std::fs::read_dir(&ckpts)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with("ckpt-"))
+            .count();
+        assert!(n_ckpts > 0, "no checkpoints written");
+
+        // Re-running with --resume picks up the finished run's final
+        // checkpoint: no training left to do, identical metrics line.
+        let metrics_line = |t: &str| {
+            t.lines()
+                .find(|l| l.contains("held-out metrics"))
+                .map(str::to_string)
+                .expect("metrics line")
+        };
+        let first = metrics_line(&text);
+        let (code, text) = run_cmd(&[
+            "train", "--data", data.to_str().unwrap(), "--dim", "8", "--iterations",
+            "10000", "--checkpoint-dir", ckpts.to_str().unwrap(), "--resume",
+        ]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("resumed from checkpoint"), "{text}");
+        assert_eq!(metrics_line(&text), first, "resume changed the result");
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

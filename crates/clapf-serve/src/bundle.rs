@@ -85,10 +85,37 @@ impl ModelBundle {
         self
     }
 
-    /// Serializes to JSON at `path`.
+    /// Serializes to JSON at `path`, **atomically**: write to `<path>.tmp`,
+    /// `fsync`, rename over `path`, `fsync` the directory. A crash (or an
+    /// injected fault) at any instant leaves either the previous bundle or
+    /// the new one on disk — never a torn file a watcher could try to serve.
+    ///
+    /// Failpoints: `bundle.save.write`, `bundle.save.sync`,
+    /// `bundle.save.rename`.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
         let body = serde_json::to_string(self).expect("bundle serializes");
-        std::fs::write(path, body)
+        let tmp = std::path::PathBuf::from(format!("{}.tmp", path.display()));
+        let result = (|| -> std::io::Result<()> {
+            let mut f = std::fs::File::create(&tmp)?;
+            clapf_faults::write_all("bundle.save.write", &mut f, body.as_bytes())?;
+            clapf_faults::check("bundle.save.sync")?;
+            f.sync_all()?;
+            drop(f);
+            clapf_faults::check("bundle.save.rename")?;
+            std::fs::rename(&tmp, path)?;
+            // Persist the rename itself; best-effort (the data is durable).
+            if let Some(dir) = path.parent() {
+                if let Ok(d) = std::fs::File::open(dir) {
+                    let _ = d.sync_all();
+                }
+            }
+            Ok(())
+        })();
+        if result.is_err() {
+            // A failed save must not leave `.tmp` debris behind.
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result
     }
 
     /// Loads **and validates** a bundle from `path`.
@@ -98,7 +125,10 @@ impl ModelBundle {
     /// with inconsistent contents as [`BundleError::Invalid`]. The validated
     /// invariants are exactly the ones the accessors below rely on, so a
     /// loaded bundle cannot panic later.
+    ///
+    /// Failpoint: `bundle.load.read` (I/O errors at read time).
     pub fn load(path: &Path) -> Result<Self, BundleError> {
+        clapf_faults::check("bundle.load.read").map_err(BundleError::Io)?;
         let bytes = std::fs::read(path).map_err(BundleError::Io)?;
         let body = String::from_utf8(bytes)
             .map_err(|_| BundleError::Parse("bundle is not valid UTF-8".into()))?;
@@ -231,6 +261,55 @@ mod tests {
         let stripped = serde_json::to_string(&v).unwrap();
         let loaded: ModelBundle = serde_json::from_str(&stripped).unwrap();
         assert_eq!(loaded.metrics, None);
+    }
+
+    #[test]
+    fn interrupted_save_leaves_the_previous_bundle_intact() {
+        // The atomic-save contract: a save that dies at any stage (torn
+        // write, failed fsync, failed rename) leaves the previous bundle
+        // loadable and no `.tmp` debris.
+        let _guard = clapf_faults::exclusive();
+        let b = bundle();
+        let dir = temp_dir("atomic");
+        let path = dir.join("m.json");
+        b.save(&path).unwrap();
+
+        let mut updated = bundle();
+        updated.description = "updated".into();
+        for (point, fault) in [
+            ("bundle.save.write", clapf_faults::Fault::Torn { keep: 32 }),
+            ("bundle.save.sync", clapf_faults::Fault::Io),
+            ("bundle.save.rename", clapf_faults::Fault::Io),
+        ] {
+            clapf_faults::arm(point, fault);
+            assert!(updated.save(&path).is_err(), "{point} should fail save");
+            assert!(clapf_faults::hits(point) >= 1);
+            clapf_faults::disarm(point);
+            let survivor = ModelBundle::load(&path).expect("old bundle survives");
+            assert_eq!(survivor.description, "test", "{point} tore the bundle");
+            assert!(
+                !std::path::PathBuf::from(format!("{}.tmp", path.display())).exists(),
+                "{point} left tmp debris"
+            );
+        }
+        updated.save(&path).unwrap();
+        assert_eq!(ModelBundle::load(&path).unwrap().description, "updated");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_read_failpoint_is_an_io_error() {
+        let _guard = clapf_faults::exclusive();
+        let b = bundle();
+        let dir = temp_dir("load-fault");
+        let path = dir.join("m.json");
+        b.save(&path).unwrap();
+        clapf_faults::arm_nth("bundle.load.read", clapf_faults::Fault::Io, 0, Some(1));
+        let err = ModelBundle::load(&path).unwrap_err();
+        assert!(matches!(err, BundleError::Io(_)), "{err}");
+        // The fault was one-shot: the next load succeeds.
+        assert!(ModelBundle::load(&path).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! `http_parser_never_panics` property test pins down.
 
 use std::io::{BufRead, Write};
+use std::time::{Duration, Instant};
 
 /// Longest accepted request line (method + target + version).
 pub const MAX_REQUEST_LINE: usize = 8 * 1024;
@@ -78,6 +79,38 @@ impl ParseError {
     }
 }
 
+/// Wall-clock budget for reading one request, measured from its **first
+/// byte** — an idle keep-alive connection spends nothing. Once started, a
+/// request that has not fully arrived by the deadline is rejected with 408,
+/// which defeats slow-loris clients trickling header bytes forever (each
+/// byte resets the per-read socket timeout, so only a total cap helps).
+struct ReadBudget {
+    cap: Option<Duration>,
+    started: Option<Instant>,
+}
+
+impl ReadBudget {
+    fn new(cap: Option<Duration>) -> Self {
+        ReadBudget { cap, started: None }
+    }
+
+    /// Marks the request as started (idempotent); call on the first byte.
+    fn start(&mut self) {
+        if self.cap.is_some() && self.started.is_none() {
+            self.started = Some(Instant::now());
+        }
+    }
+
+    fn check(&self) -> Result<(), ParseError> {
+        if let (Some(cap), Some(started)) = (self.cap, self.started) {
+            if started.elapsed() > cap {
+                return Err(ParseError::bad(408, "request read exceeded time budget"));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Reads one CRLF- (or LF-) terminated line, rejecting lines longer than
 /// `cap` bytes. `first` marks the first read of a request, where EOF and
 /// timeouts mean "no request" rather than "broken request".
@@ -86,9 +119,11 @@ fn read_line_capped<R: BufRead>(
     cap: usize,
     over_cap: ParseError,
     first: bool,
+    budget: &mut ReadBudget,
 ) -> Result<String, ParseError> {
     let mut line: Vec<u8> = Vec::new();
     loop {
+        budget.check()?;
         let buf = match r.fill_buf() {
             Ok(b) => b,
             Err(e)
@@ -123,6 +158,7 @@ fn read_line_capped<R: BufRead>(
         }
         line.extend_from_slice(&buf[..take]);
         r.consume(take);
+        budget.start();
         if nl.is_some() {
             while line.last() == Some(&b'\n') || line.last() == Some(&b'\r') {
                 line.pop();
@@ -180,11 +216,24 @@ fn parse_query(q: &str) -> Result<Vec<(String, String)>, ParseError> {
 /// Request bodies (announced via `Content-Length`) are read and discarded
 /// up to [`MAX_BODY`]; chunked transfer encoding is rejected.
 pub fn parse_request<R: BufRead>(r: &mut R) -> Result<Request, ParseError> {
+    parse_request_deadline(r, None)
+}
+
+/// [`parse_request`] with a **total** wall-clock cap on reading one request
+/// (line + headers + body), measured from the request's first byte so idle
+/// keep-alive connections are unaffected. Exceeding the cap is a
+/// [`ParseError::Bad`] 408. `None` means uncapped.
+pub fn parse_request_deadline<R: BufRead>(
+    r: &mut R,
+    read_cap: Option<Duration>,
+) -> Result<Request, ParseError> {
+    let mut budget = ReadBudget::new(read_cap);
     let line = read_line_capped(
         r,
         MAX_REQUEST_LINE,
         ParseError::bad(414, "request line too long"),
         true,
+        &mut budget,
     )?;
     let mut parts = line.split_ascii_whitespace();
     let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
@@ -214,6 +263,7 @@ pub fn parse_request<R: BufRead>(r: &mut R) -> Result<Request, ParseError> {
             MAX_HEADER_LINE,
             ParseError::bad(431, "header line too long"),
             false,
+            &mut budget,
         )?;
         if header.is_empty() {
             break;
@@ -243,6 +293,7 @@ pub fn parse_request<R: BufRead>(r: &mut R) -> Result<Request, ParseError> {
     }
     let mut remaining = content_length;
     while remaining > 0 {
+        budget.check()?;
         let buf = match r.fill_buf() {
             Ok([]) => return Err(ParseError::bad(400, "connection closed mid-body")),
             Ok(b) => b,
@@ -292,6 +343,9 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Additional headers (e.g. `Retry-After` on a load-shed 503), written
+    /// verbatim after the standard ones.
+    pub extra_headers: Vec<(&'static str, String)>,
     /// Response body.
     pub body: String,
 }
@@ -302,6 +356,7 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
+            extra_headers: Vec::new(),
             body,
         }
     }
@@ -311,8 +366,15 @@ impl Response {
         Response {
             status,
             content_type: "text/plain; version=0.0.4",
+            extra_headers: Vec::new(),
             body,
         }
+    }
+
+    /// Adds one extra header (builder style).
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.extra_headers.push((name, value.into()));
+        self
     }
 
     /// A JSON error envelope: `{"error": …}`.
@@ -329,13 +391,17 @@ impl Response {
     pub fn write_to<W: Write>(&self, w: &mut W, keep_alive: bool) -> std::io::Result<()> {
         write!(
             w,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             reason_phrase(self.status),
             self.content_type,
             self.body.len(),
             if keep_alive { "keep-alive" } else { "close" },
         )?;
+        for (name, value) in &self.extra_headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
         w.write_all(self.body.as_bytes())?;
         w.flush()
     }
@@ -464,5 +530,74 @@ mod tests {
     fn error_envelope_escapes_the_message() {
         let r = Response::error(404, "no user \"x\"");
         assert_eq!(r.body, "{\"error\":\"no user \\\"x\\\"\"}");
+    }
+
+    #[test]
+    fn extra_headers_are_written_before_the_body() {
+        let mut out = Vec::new();
+        Response::error(503, "overloaded")
+            .with_header("Retry-After", "1")
+            .write_to(&mut out, false)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{text}");
+        assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+        let headers = text.split_once("\r\n\r\n").unwrap().0;
+        assert!(headers.contains("Retry-After"), "header landed in the body");
+    }
+
+    /// Feeds one byte per `fill_buf`, sleeping between bytes — a slow-loris
+    /// client that never triggers a per-read socket timeout.
+    struct Trickle {
+        data: Vec<u8>,
+        pos: usize,
+        delay: Duration,
+    }
+
+    impl std::io::Read for Trickle {
+        fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+            unreachable!("parse_request uses fill_buf/consume only")
+        }
+    }
+
+    impl BufRead for Trickle {
+        fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+            if self.pos > 0 {
+                std::thread::sleep(self.delay);
+            }
+            let end = (self.pos + 1).min(self.data.len());
+            Ok(&self.data[self.pos..end])
+        }
+        fn consume(&mut self, amt: usize) {
+            self.pos += amt;
+        }
+    }
+
+    #[test]
+    fn slow_loris_trips_the_read_budget() {
+        let mut r = Trickle {
+            data: b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n".to_vec(),
+            pos: 0,
+            delay: Duration::from_millis(5),
+        };
+        match parse_request_deadline(&mut r, Some(Duration::from_millis(1))) {
+            Err(ParseError::Bad { status: 408, .. }) => {}
+            other => panic!("expected 408 budget rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_budget_does_not_charge_idle_connections() {
+        // No bytes at all: the budget clock never starts, so an empty
+        // stream is still a clean Eof (idle keep-alive), not a 408.
+        let mut cur = Cursor::new(Vec::new());
+        assert!(matches!(
+            parse_request_deadline(&mut cur, Some(Duration::ZERO)),
+            Err(ParseError::Eof)
+        ));
+        // A prompt, complete request well under the cap parses fine.
+        let mut cur = Cursor::new(b"GET /x HTTP/1.1\r\n\r\n".to_vec());
+        let r = parse_request_deadline(&mut cur, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(r.path, "/x");
     }
 }

@@ -34,6 +34,6 @@ mod watch;
 
 pub use bundle::{BundleError, ModelBundle};
 pub use cache::TopKCache;
-pub use http::{parse_request, Method, ParseError, Request, Response};
+pub use http::{parse_request, parse_request_deadline, Method, ParseError, Request, Response};
 pub use model::{ModelSlot, ServingModel};
 pub use server::{start, ServeConfig, ServeError, ServerHandle};

@@ -17,11 +17,12 @@
 
 use crate::bundle::BundleError;
 use crate::cache::TopKCache;
-use crate::http::{parse_request, Method, ParseError, Request, Response};
+use crate::http::{parse_request_deadline, Method, ParseError, Request, Response};
 use crate::model::{ModelSlot, ServingModel};
 use clapf_telemetry::{Histogram, JsonValue, Registry};
-use std::io::BufReader;
+use std::io::{BufReader, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -45,6 +46,21 @@ pub struct ServeConfig {
     /// Poll interval for the bundle-file watcher; `None` disables watching
     /// (reloads then only happen via `POST /reload`).
     pub watch_poll: Option<Duration>,
+    /// Most accepted connections allowed to wait for a worker; the next one
+    /// is **shed** — answered `503` with `Retry-After` and closed — instead
+    /// of queueing unboundedly (`0` resolves to `64`).
+    pub queue_bound: usize,
+    /// A queued connection older than this when a worker dequeues it is
+    /// shed rather than served: under sustained overload its client has
+    /// likely timed out already, and serving it starves fresher requests.
+    pub queue_deadline: Duration,
+    /// Total wall-clock budget for reading one request (line + headers +
+    /// body), measured from its first byte. Defeats slow-loris clients;
+    /// idle keep-alive connections are unaffected.
+    pub read_cap: Duration,
+    /// Socket write timeout for responses (a peer that stops reading
+    /// cannot pin a worker forever).
+    pub write_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -57,6 +73,10 @@ impl Default for ServeConfig {
             default_k: 10,
             max_k: 1000,
             watch_poll: None,
+            queue_bound: 64,
+            queue_deadline: Duration::from_secs(5),
+            read_cap: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -98,6 +118,9 @@ struct Shared {
     addr: SocketAddr,
     default_k: usize,
     max_k: usize,
+    queue_deadline: Duration,
+    read_cap: Duration,
+    write_timeout: Duration,
 }
 
 fn latency_histogram() -> Histogram {
@@ -207,9 +230,15 @@ pub fn start(
         addr,
         default_k: config.default_k,
         max_k: config.max_k.max(1),
+        queue_deadline: config.queue_deadline,
+        read_cap: config.read_cap,
+        write_timeout: config.write_timeout,
     });
 
-    let (tx, rx) = mpsc::channel::<TcpStream>();
+    // Bounded queue: `try_send` from the accept thread never blocks, so a
+    // full queue becomes an immediate load-shed 503 instead of an unbounded
+    // backlog of connections whose clients have long since given up.
+    let (tx, rx) = mpsc::sync_channel::<(TcpStream, Instant)>(config.queue_bound.max(1));
     let rx = Arc::new(Mutex::new(rx));
     let mut threads = Vec::new();
 
@@ -222,7 +251,17 @@ pub fn start(
                 .spawn(move || loop {
                     let conn = rx.lock().expect("worker receiver poisoned").recv();
                     match conn {
-                        Ok(stream) => serve_connection(stream, &shared),
+                        Ok((stream, enqueued)) => {
+                            // Admission deadline: a connection that sat in
+                            // the queue past the deadline is shed, not
+                            // served — its answer would arrive too late to
+                            // matter and would delay fresher requests more.
+                            if enqueued.elapsed() > shared.queue_deadline {
+                                shed(stream, &shared);
+                            } else {
+                                serve_connection(stream, &shared);
+                            }
+                        }
                         Err(_) => return, // accept thread gone: drain complete
                     }
                 })
@@ -241,8 +280,12 @@ pub fn start(
                             break; // drops tx; workers drain and exit
                         }
                         if let Ok(stream) = conn {
-                            if tx.send(stream).is_err() {
-                                break;
+                            match tx.try_send((stream, Instant::now())) {
+                                Ok(()) => {}
+                                Err(mpsc::TrySendError::Full((stream, _))) => {
+                                    shed(stream, &shared);
+                                }
+                                Err(mpsc::TrySendError::Disconnected(_)) => break,
                             }
                         }
                     }
@@ -290,10 +333,42 @@ impl WatchCtx {
     }
 }
 
+/// Sheds one connection: typed 503 + `Retry-After`, counted, closed.
+/// Called from the accept thread (queue full) and from workers (admission
+/// deadline exceeded); both writes are bounded by a short timeout so a
+/// hostile peer cannot turn the shed path itself into a stall.
+fn shed(stream: TcpStream, shared: &Shared) {
+    shared.registry.counter("serve.shed").inc();
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = stream.set_nodelay(true);
+    let mut stream = stream;
+    let _ = Response::error(503, "server overloaded, retry shortly")
+        .with_header("Retry-After", "1")
+        .write_to(&mut stream, false);
+    // Closing with unread request bytes in the receive buffer makes the
+    // kernel send RST, which can destroy the 503 still in flight to the
+    // peer. Signal end-of-response, then drain briefly so the close is a
+    // clean FIN. Bounded: a hostile trickler costs at most ~600ms here.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let started = Instant::now();
+    let mut scratch = [0u8; 1024];
+    while started.elapsed() < Duration::from_millis(500) {
+        match stream.read(&mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
 /// Runs the keep-alive request loop on one connection.
 fn serve_connection(stream: TcpStream, shared: &Shared) {
     // Short read timeouts turn blocked reads into shutdown-flag polls.
     if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    // A peer that stops reading must not pin the worker on a write.
+    if stream.set_write_timeout(Some(shared.write_timeout)).is_err() {
         return;
     }
     // Responses are one small write each; Nagle + delayed ACK would add
@@ -306,11 +381,20 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
     let mut reader = BufReader::new(stream);
     let mut idle = Duration::ZERO;
     loop {
-        match parse_request(&mut reader) {
+        match parse_request_deadline(&mut reader, Some(shared.read_cap)) {
             Ok(req) => {
                 idle = Duration::ZERO;
                 let keep_alive = req.keep_alive && !shared.shutdown.load(Ordering::Acquire);
-                let response = route(&req, shared);
+                // Handler isolation: a panic in routing answers 500 and is
+                // counted, but the worker thread — and every other queued
+                // connection behind it — survives.
+                let response = match catch_unwind(AssertUnwindSafe(|| route(&req, shared))) {
+                    Ok(r) => r,
+                    Err(_) => {
+                        shared.registry.counter("serve.panics").inc();
+                        Response::error(500, "internal error: handler panicked")
+                    }
+                };
                 if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
                     return;
                 }
@@ -334,6 +418,11 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
 /// Dispatches one parsed request to its endpoint handler.
 fn route(req: &Request, shared: &Shared) -> Response {
     let started = Instant::now();
+    // Failpoint: tests inject handler I/O errors (typed 500) and panics
+    // (exercising the worker's catch_unwind isolation) here.
+    if let Err(e) = clapf_faults::check("serve.handler") {
+        return Response::error(500, &format!("handler fault: {e}"));
+    }
     match (req.method, req.path.as_str()) {
         (Method::Get, "/healthz") => {
             let r = healthz(shared);

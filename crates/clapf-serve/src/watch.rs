@@ -18,6 +18,10 @@ struct Signature {
 }
 
 fn observe(path: &std::path::Path) -> Option<Signature> {
+    // Failpoint: an injected poll error reads as "file unobservable this
+    // round" — the watcher must skip the round and keep serving, exactly
+    // like a real transient stat failure.
+    clapf_faults::check("serve.watch.poll").ok()?;
     let meta = std::fs::metadata(path).ok()?;
     Some(Signature {
         mtime: meta.modified().ok(),

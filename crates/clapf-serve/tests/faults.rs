@@ -1,0 +1,338 @@
+//! Hot-reload and overload behaviour under injected faults (ISSUE 5).
+//!
+//! Every test serializes on `clapf_faults::exclusive()` — failpoints are
+//! process-global, so a concurrently armed `serve.handler` fault would
+//! bleed into an unrelated test's requests.
+
+use clapf_data::loader::{load_ratings_reader, Separator};
+use clapf_data::ItemId;
+use clapf_mf::{Init, MfModel};
+use clapf_serve::{start, ModelBundle, ServeConfig};
+use clapf_telemetry::Registry;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------- fixtures
+
+fn bundle(slope: f32, tag: &str) -> ModelBundle {
+    let csv = "u1,i0,5\nu1,i1,5\nu2,i1,4\nu2,i2,5\nu3,i3,5\n";
+    let loaded = load_ratings_reader(std::io::Cursor::new(csv), Separator::Comma, 3.0).unwrap();
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut model = MfModel::new(
+        loaded.interactions.n_users(),
+        loaded.interactions.n_items(),
+        2,
+        Init::Zeros,
+        &mut rng,
+    );
+    for i in 0..loaded.interactions.n_items() {
+        *model.bias_mut(ItemId(i)) = slope * (i as f32 + 1.0);
+    }
+    ModelBundle::new(format!("fault-{tag}"), model, loaded.ids, &loaded.interactions)
+}
+
+fn temp_bundle_file(tag: &str, b: &ModelBundle) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("clapf-serve-faults-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bundle.json");
+    b.save(&path).unwrap();
+    path
+}
+
+fn start_server(path: PathBuf, config: ServeConfig) -> clapf_serve::ServerHandle {
+    start(path, config, Arc::new(Registry::new())).expect("server starts")
+}
+
+// ---------------------------------------------------------- tiny TCP client
+
+/// One-shot request; returns (status, headers, body).
+fn http(addr: SocketAddr, method: &str, path: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {raw:?}"));
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .map(|(h, b)| (h.to_string(), b.to_string()))
+        .unwrap_or_default();
+    (status, head, body)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let (status, _, body) = http(addr, "GET", path);
+    (status, body)
+}
+
+fn post(addr: SocketAddr, path: &str) -> (u16, String) {
+    let (status, _, body) = http(addr, "POST", path);
+    (status, body)
+}
+
+fn generation_of(addr: SocketAddr) -> u64 {
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 200, "{body}");
+    let key = "\"generation\":";
+    let rest = &body[body.find(key).expect("generation field") + key.len()..];
+    rest.chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("generation is a number")
+}
+
+/// Reads one full HTTP response off an already-open stream.
+fn read_response(stream: &mut TcpStream) -> (u16, String) {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut head = String::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read header line");
+        if line == "\r\n" || line == "\n" || line.is_empty() {
+            break;
+        }
+        head.push_str(&line);
+    }
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {head:?}"));
+    (status, head)
+}
+
+// ------------------------------------------------------------------- tests
+
+#[test]
+fn torn_external_write_is_never_served_and_recovery_is_automatic() {
+    // A non-atomic external writer (not our atomic `save`) crashes midway:
+    // the watcher must reject the torn file, keep serving the old model,
+    // and pick up the next complete write without intervention.
+    let _guard = clapf_faults::exclusive();
+    let a = bundle(1.0, "torn-a");
+    let b = bundle(-1.0, "torn-b");
+    let path = temp_bundle_file("torn", &a);
+    let server = start_server(
+        path.clone(),
+        ServeConfig {
+            watch_poll: Some(Duration::from_millis(20)),
+            ..ServeConfig::default()
+        },
+    );
+    let addr = server.addr();
+    assert_eq!(generation_of(addr), 0);
+
+    // Tear the bundle on disk the way a crashed plain `fs::write` would.
+    let body = serde_json::to_string(&b).unwrap();
+    std::fs::write(&path, &body[..body.len() / 2]).unwrap();
+
+    // Give the watcher several polls on the torn file; it must not swap.
+    std::thread::sleep(Duration::from_millis(150));
+    assert_eq!(generation_of(addr), 0, "torn bundle was served");
+    let (status, body_r) = get(addr, "/recommend/u1?k=2");
+    assert_eq!(status, 200, "{body_r}");
+
+    // The writer finishes (a complete file lands); the watcher recovers.
+    b.save(&path).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while generation_of(addr) != 1 {
+        assert!(Instant::now() < deadline, "watcher never recovered");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    server.shutdown();
+    std::fs::remove_dir_all(path.parent().unwrap()).ok();
+}
+
+#[test]
+fn watcher_survives_injected_poll_errors() {
+    let _guard = clapf_faults::exclusive();
+    let a = bundle(1.0, "poll-a");
+    let b = bundle(-1.0, "poll-b");
+    let path = temp_bundle_file("poll", &a);
+    let server = start_server(
+        path.clone(),
+        ServeConfig {
+            watch_poll: Some(Duration::from_millis(20)),
+            ..ServeConfig::default()
+        },
+    );
+    let addr = server.addr();
+
+    // The next few stat polls fail; the watcher must skip those rounds,
+    // keep serving, and reload once polling works again.
+    clapf_faults::arm_nth("serve.watch.poll", clapf_faults::Fault::Io, 0, Some(3));
+    b.save(&path).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while generation_of(addr) != 1 {
+        assert!(Instant::now() < deadline, "watcher never reloaded");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(
+        clapf_faults::hits("serve.watch.poll") >= 3,
+        "poll failpoint was not exercised"
+    );
+
+    server.shutdown();
+    std::fs::remove_dir_all(path.parent().unwrap()).ok();
+}
+
+#[test]
+fn rapid_repeated_reloads_never_serve_a_torn_model() {
+    let _guard = clapf_faults::exclusive();
+    let a = bundle(1.0, "rapid-a");
+    let b = bundle(-1.0, "rapid-b");
+    let path = temp_bundle_file("rapid", &a);
+    let server = start_server(path.clone(), ServeConfig::default());
+    let addr = server.addr();
+
+    for round in 0..10u64 {
+        let next = if round % 2 == 0 { &b } else { &a };
+        next.save(&path).unwrap();
+        let (status, body) = post(addr, "/reload");
+        assert_eq!(status, 200, "round {round}: {body}");
+        assert_eq!(generation_of(addr), round + 1);
+        let (status, body) = get(addr, "/recommend/u2?k=2");
+        assert_eq!(status, 200, "round {round}: {body}");
+    }
+
+    server.shutdown();
+    std::fs::remove_dir_all(path.parent().unwrap()).ok();
+}
+
+#[test]
+fn handler_panic_is_isolated_to_one_response() {
+    let _guard = clapf_faults::exclusive();
+    let a = bundle(1.0, "panic");
+    let path = temp_bundle_file("panic", &a);
+    let server = start_server(path.clone(), ServeConfig::default());
+    let addr = server.addr();
+
+    clapf_faults::arm_nth("serve.handler", clapf_faults::Fault::Panic, 0, Some(1));
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 500, "{body}");
+    assert!(body.contains("panicked"), "{body}");
+
+    // The worker survived: subsequent requests are served normally and the
+    // panic is visible in the metrics.
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 200, "{body}");
+    let (_, metrics) = get(addr, "/metrics");
+    assert!(metrics.contains("serve_panics 1"), "{metrics}");
+
+    server.shutdown();
+    std::fs::remove_dir_all(path.parent().unwrap()).ok();
+}
+
+#[test]
+fn handler_io_fault_is_a_typed_500() {
+    let _guard = clapf_faults::exclusive();
+    let a = bundle(1.0, "io500");
+    let path = temp_bundle_file("io500", &a);
+    let server = start_server(path.clone(), ServeConfig::default());
+    let addr = server.addr();
+
+    clapf_faults::arm_nth("serve.handler", clapf_faults::Fault::Io, 0, Some(1));
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 500, "{body}");
+    assert!(body.contains("handler fault"), "{body}");
+    assert_eq!(get(addr, "/healthz").0, 200);
+
+    server.shutdown();
+    std::fs::remove_dir_all(path.parent().unwrap()).ok();
+}
+
+#[test]
+fn overload_sheds_with_typed_503_and_recovers() {
+    let _guard = clapf_faults::exclusive();
+    let a = bundle(1.0, "shed");
+    let path = temp_bundle_file("shed", &a);
+    let server = start_server(
+        path.clone(),
+        ServeConfig {
+            workers: 1,
+            queue_bound: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let addr = server.addr();
+
+    // Occupy the single worker: a keep-alive connection that has served one
+    // request parks in the worker's idle-poll loop.
+    let mut held = TcpStream::connect(addr).unwrap();
+    write!(held, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+    let (status, _) = read_response(&mut held);
+    assert_eq!(status, 200);
+
+    // Fill the queue (capacity 1) with a second idle connection.
+    let queued = TcpStream::connect(addr).unwrap();
+
+    // The third connection must be shed immediately: typed 503 with a
+    // Retry-After hint, not a hang.
+    let mut shed_conn = TcpStream::connect(addr).unwrap();
+    let started = Instant::now();
+    let (status, head) = read_response(&mut shed_conn);
+    assert_eq!(status, 503, "{head}");
+    assert!(head.contains("Retry-After"), "{head}");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "shed response was not prompt"
+    );
+
+    // Release the worker; the queued connection gets served.
+    drop(held);
+    let mut queued = queued;
+    write!(queued, "GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").unwrap();
+    let (status, _) = read_response(&mut queued);
+    assert_eq!(status, 200);
+    drop(queued);
+
+    let (_, metrics) = get(addr, "/metrics");
+    assert!(metrics.contains("serve_shed 1"), "{metrics}");
+
+    server.shutdown();
+    std::fs::remove_dir_all(path.parent().unwrap()).ok();
+}
+
+#[test]
+fn expired_queue_deadline_sheds_instead_of_serving() {
+    let _guard = clapf_faults::exclusive();
+    let a = bundle(1.0, "deadline");
+    let path = temp_bundle_file("deadline", &a);
+    let server = start_server(
+        path.clone(),
+        ServeConfig {
+            // Zero admission budget: every dequeued connection is already
+            // "too old", so the shed path runs deterministically.
+            queue_deadline: Duration::ZERO,
+            ..ServeConfig::default()
+        },
+    );
+    let addr = server.addr();
+
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("overloaded"), "{body}");
+
+    server.shutdown();
+    std::fs::remove_dir_all(path.parent().unwrap()).ok();
+}

@@ -1,8 +1,10 @@
 //! Structured run traces: one JSON object per line.
 
 use crate::json::JsonValue;
+use crate::metrics::Counter;
 use std::io::{BufWriter, Write};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{SystemTime, UNIX_EPOCH};
 
 /// A JSONL event sink. Every event is one line:
@@ -14,8 +16,14 @@ use std::time::{SystemTime, UNIX_EPOCH};
 /// The writer sits behind a mutex, so events from concurrent threads are
 /// line-atomic; emitting is off every hot path (a handful of events per
 /// epoch), so the lock never matters for throughput.
+/// IO errors never fail the run, but they are not silent either: each failed
+/// write or flush bumps a drop counter (wire it to a registry's
+/// `telemetry.dropped` with [`JsonlSink::with_drop_counter`]) and the first
+/// one prints a single warning to stderr.
 pub struct JsonlSink {
     w: Mutex<BufWriter<Box<dyn Write + Send>>>,
+    dropped: Arc<Counter>,
+    warned: AtomicBool,
 }
 
 impl std::fmt::Debug for JsonlSink {
@@ -29,6 +37,30 @@ impl JsonlSink {
     pub fn new(w: Box<dyn Write + Send>) -> Self {
         JsonlSink {
             w: Mutex::new(BufWriter::new(w)),
+            dropped: Arc::new(Counter::new()),
+            warned: AtomicBool::new(false),
+        }
+    }
+
+    /// Counts drops into `counter` (e.g. a registry's `telemetry.dropped`)
+    /// instead of the sink's private counter.
+    pub fn with_drop_counter(mut self, counter: Arc<Counter>) -> Self {
+        self.dropped = counter;
+        self
+    }
+
+    /// How many emits/flushes have been lost to IO errors so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+
+    fn record_drop(&self) {
+        self.dropped.inc();
+        if !self.warned.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "warning: telemetry sink hit an IO error; events are being \
+                 dropped (see the telemetry.dropped counter)"
+            );
         }
     }
 
@@ -39,7 +71,8 @@ impl JsonlSink {
 
     /// Emits one event line. `kind` becomes the `"ev"` field and a
     /// wall-clock `"ts_ms"` timestamp is added; `fields` follow in order.
-    /// IO errors are swallowed — telemetry must never fail the run.
+    /// IO errors never propagate — telemetry must never fail the run — but
+    /// each one is counted as a dropped event and warned about once.
     pub fn emit(&self, kind: &str, fields: Vec<(String, JsonValue)>) {
         let mut obj = Vec::with_capacity(fields.len() + 2);
         obj.push(("ev".to_string(), JsonValue::Str(kind.to_string())));
@@ -48,14 +81,20 @@ impl JsonlSink {
         let mut line = JsonValue::Obj(obj).render();
         line.push('\n');
         if let Ok(mut w) = self.w.lock() {
-            let _ = w.write_all(line.as_bytes());
+            if w.write_all(line.as_bytes()).is_err() {
+                self.record_drop();
+            }
+        } else {
+            self.record_drop();
         }
     }
 
     /// Flushes buffered events to the underlying writer.
     pub fn flush(&self) {
         if let Ok(mut w) = self.w.lock() {
-            let _ = w.flush();
+            if w.flush().is_err() {
+                self.record_drop();
+            }
         }
     }
 }
@@ -90,6 +129,52 @@ mod tests {
         fn flush(&mut self) -> std::io::Result<()> {
             Ok(())
         }
+    }
+
+    /// A `Write` that fails every call.
+    struct Broken;
+
+    impl Write for Broken {
+        fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::other("disk gone"))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Err(std::io::Error::other("disk gone"))
+        }
+    }
+
+    #[test]
+    fn io_errors_are_counted_not_propagated() {
+        let sink = JsonlSink::new(Box::new(Broken));
+        assert_eq!(sink.dropped(), 0);
+        // Small lines park in the BufWriter; the failure surfaces on flush.
+        sink.emit("tick", vec![("i".into(), 1usize.into())]);
+        sink.flush();
+        assert_eq!(sink.dropped(), 1);
+        sink.flush();
+        assert_eq!(sink.dropped(), 2);
+    }
+
+    #[test]
+    fn drop_counter_can_be_shared_with_a_registry() {
+        let registry = crate::Registry::new();
+        let counter = registry.counter("telemetry.dropped");
+        let sink = JsonlSink::new(Box::new(Broken)).with_drop_counter(counter.clone());
+        sink.emit("tick", vec![]);
+        sink.flush();
+        assert_eq!(counter.get(), 1);
+        assert_eq!(sink.dropped(), 1);
+    }
+
+    #[test]
+    fn healthy_sinks_never_count_drops() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let sink = JsonlSink::new(Box::new(Shared(buf.clone())));
+        for i in 0..10usize {
+            sink.emit("tick", vec![("i".into(), i.into())]);
+        }
+        sink.flush();
+        assert_eq!(sink.dropped(), 0);
     }
 
     #[test]

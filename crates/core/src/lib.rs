@@ -29,11 +29,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 mod config;
 pub mod objective;
 mod recommender;
 mod trainer;
 
+pub use checkpoint::{Checkpoint, CheckpointConfig, CheckpointError};
 pub use config::{ClapfConfig, ClapfMode, ParallelConfig};
 pub use recommender::{FactorRecommender, Recommender};
 pub use trainer::{Clapf, ClapfModel, FitReport};

@@ -1,5 +1,6 @@
 //! The CLAPF SGD trainer (Sec 4.3 of the paper).
 
+use crate::checkpoint::{self, Checkpoint, CheckpointConfig, CheckpointError, CHECKPOINT_VERSION};
 use crate::objective::{ln_sigmoid, sigmoid, CriterionWeights};
 use crate::{ClapfConfig, Recommender};
 use clapf_data::{Interactions, ItemId, UserId};
@@ -31,6 +32,13 @@ pub struct FitReport {
     /// Step count at which an observer (or divergence detection) aborted
     /// the run early, if it did.
     pub aborted_at: Option<usize>,
+    /// Divergence recoveries performed by [`Clapf::fit_resumable`]: each one
+    /// rolled the model back to the last checkpoint and shrank the learning
+    /// rate. Always 0 on the non-resumable paths.
+    pub recoveries: u32,
+    /// Epoch a resumable fit restarted from, when it picked up an existing
+    /// checkpoint. `None` for fresh runs and the non-resumable paths.
+    pub resumed_from: Option<usize>,
 }
 
 /// A fitted CLAPF model. Serializable (JSON via serde) for persistence;
@@ -213,6 +221,53 @@ impl Clapf {
         fit_inner(cfg, weights, data, sampler, rng, 0, |_, _| {}, &mut NoopObserver)
     }
 
+    /// Trains **crash-safely**: checkpoints to `ckpt.dir` at epoch edges,
+    /// resumes from the newest valid checkpoint when `ckpt.resume` is set,
+    /// and recovers from divergence by rolling back to the last checkpoint
+    /// with a shrunk learning rate (at most `ckpt.max_retries` times).
+    ///
+    /// Determinism contract (pinned by tests):
+    ///
+    /// * An **uninterrupted** resumable fit is bit-identical to
+    ///   [`fit`](Clapf::fit) with `SmallRng::seed_from_u64(base_seed)` —
+    ///   checkpoint writes happen off the RNG stream at epoch edges.
+    /// * An **interrupted-and-resumed** fit is bit-identical to the
+    ///   uninterrupted one: a checkpoint carries the model, the full RNG
+    ///   state and the epoch index, and rank-aware samplers rebuild their
+    ///   state deterministically from the checkpointed model at the next
+    ///   refresh, so nothing else needs to be persisted.
+    ///
+    /// This is a serial-only path (the Hogwild interleaving is not
+    /// replayable); combine with [`fit_parallel`](Clapf::fit_parallel) by
+    /// resolving `parallel.threads == 1`.
+    ///
+    /// Divergence handling differs from the other paths: where they abort,
+    /// this one reloads the last checkpoint, multiplies the learning rate by
+    /// `ckpt.lr_backoff`, and continues; `FitReport::recoveries` counts the
+    /// rollbacks, and the run only reports `diverged` once the retry budget
+    /// is exhausted.
+    pub fn fit_resumable<S: TripleSampler + ?Sized>(
+        &self,
+        data: &Interactions,
+        sampler: &mut S,
+        base_seed: u64,
+        ckpt: &CheckpointConfig,
+        observer: &mut dyn TrainObserver,
+    ) -> Result<(ClapfModel, FitReport), CheckpointError> {
+        let cfg = &self.config;
+        cfg.validate();
+        let weights = CriterionWeights::from_mode(cfg.mode, cfg.lambda);
+        let (model, report) =
+            fit_resumable_inner(cfg, weights, data, sampler, base_seed, ckpt, observer)?;
+        Ok((
+            ClapfModel {
+                mf: model,
+                config: *cfg,
+            },
+            report,
+        ))
+    }
+
     /// Trains with Hogwild-style lock-free parallel SGD (Recht et al.,
     /// NIPS 2011): `config.parallel.threads` workers share one model through
     /// [`SharedMfModel`] and apply updates without locks. Each worker owns a
@@ -285,7 +340,15 @@ struct StepParams {
 
 impl StepParams {
     fn new(cfg: &ClapfConfig, weights: CriterionWeights) -> Self {
-        let lr = cfg.sgd.learning_rate;
+        Self::scaled(cfg, weights, 1.0)
+    }
+
+    /// Like [`StepParams::new`] with the learning rate multiplied by
+    /// `lr_scale` — the divergence-recovery knob. `lr_scale = 1.0` is
+    /// bit-identical to `new` (multiplying an `f32` by 1.0 is exact), which
+    /// is what keeps an uninterrupted resumable fit bitwise equal to `fit`.
+    fn scaled(cfg: &ClapfConfig, weights: CriterionWeights, lr_scale: f32) -> Self {
+        let lr = cfg.sgd.learning_rate * lr_scale;
         StepParams {
             weights,
             lr,
@@ -552,8 +615,224 @@ where
         diverged,
         epochs,
         aborted_at,
+        recoveries: 0,
+        resumed_from: None,
     };
     (model, report)
+}
+
+/// Captures the run state at an epoch edge into a [`Checkpoint`].
+fn snapshot(
+    fp: &str,
+    epoch: usize,
+    steps_done: usize,
+    rng: &SmallRng,
+    lr_scale: f32,
+    retries: u32,
+    model: &MfModel,
+) -> Checkpoint {
+    Checkpoint {
+        version: CHECKPOINT_VERSION,
+        fingerprint: fp.to_string(),
+        epoch,
+        steps_done,
+        rng_state: rng.state().to_vec(),
+        lr_scale,
+        retries,
+        model: model.clone(),
+    }
+}
+
+/// The crash-safe serial loop behind [`Clapf::fit_resumable`].
+///
+/// Mirrors [`fit_inner`] exactly on the RNG stream — same init, same
+/// per-epoch refresh → step order — so an uninterrupted run is bit-identical
+/// to `fit`. Everything this loop adds (checkpoint writes, divergence
+/// rollback, resume) happens *off* the RNG stream at epoch edges.
+#[allow(clippy::too_many_arguments)]
+fn fit_resumable_inner<S>(
+    cfg: &ClapfConfig,
+    weights: CriterionWeights,
+    data: &Interactions,
+    sampler: &mut S,
+    base_seed: u64,
+    ckpt_cfg: &CheckpointConfig,
+    observer: &mut dyn TrainObserver,
+) -> Result<(MfModel, FitReport), CheckpointError>
+where
+    S: TripleSampler + ?Sized,
+{
+    let start = Instant::now();
+    let iterations = cfg.resolve_iterations(data.n_pairs());
+    let refresh_every = cfg.resolve_refresh(data.n_pairs());
+    let n_epochs = iterations.div_ceil(refresh_every);
+    let every = ckpt_cfg.resolve_every();
+    let observing = observer.enabled();
+
+    let fp = checkpoint::fingerprint(&[
+        ("model", model_label(cfg)),
+        ("dim", cfg.dim.to_string()),
+        ("sgd", format!("{:?}", cfg.sgd)),
+        ("init", format!("{:?}", cfg.init)),
+        ("iterations", iterations.to_string()),
+        ("refresh", refresh_every.to_string()),
+        ("sampler", sampler.name().to_string()),
+        ("seed", base_seed.to_string()),
+        (
+            "data",
+            format!("{}x{}:{}", data.n_users(), data.n_items(), data.n_pairs()),
+        ),
+    ]);
+
+    std::fs::create_dir_all(&ckpt_cfg.dir)?;
+    if !ckpt_cfg.resume {
+        // A non-resuming run must also never leave stale snapshots a later
+        // `--resume` could silently pick up.
+        checkpoint::clear(&ckpt_cfg.dir)?;
+    }
+    let resumed = if ckpt_cfg.resume {
+        checkpoint::latest(&ckpt_cfg.dir, &fp)?
+    } else {
+        None
+    };
+
+    let (mut shared, mut rng, mut epoch, mut lr_scale, mut retries, resumed_from) = match resumed {
+        Some(c) => {
+            let rng = SmallRng::from_state(c.rng_words()?);
+            let epoch = c.epoch;
+            (
+                SharedMfModel::new(c.model),
+                rng,
+                epoch,
+                c.lr_scale,
+                c.retries,
+                Some(epoch),
+            )
+        }
+        None => {
+            let mut rng = SmallRng::seed_from_u64(base_seed);
+            let model = MfModel::new(data.n_users(), data.n_items(), cfg.dim, cfg.init, &mut rng);
+            // Epoch-0 checkpoint: the rollback target if the very first
+            // epoch diverges, and the resume point for a crash before the
+            // first cadence save.
+            checkpoint::save(ckpt_cfg, &snapshot(&fp, 0, 0, &rng, 1.0, 0, &model))?;
+            (SharedMfModel::new(model), rng, 0, 1.0f32, 0u32, None)
+        }
+    };
+
+    observer.on_fit_start(&FitMeta {
+        model: model_label(cfg),
+        sampler: sampler.name().to_string(),
+        dim: cfg.dim,
+        iterations,
+        threads: 1,
+        n_users: data.n_users(),
+        n_items: data.n_items(),
+        n_pairs: data.n_pairs(),
+    });
+
+    let mut u_old = vec![0.0f32; cfg.dim];
+    let mut grad_u = vec![0.0f32; cfg.dim];
+    let mut local = StepLocal::new(observing);
+    let mut epochs = Vec::with_capacity(n_epochs.saturating_sub(epoch));
+    let mut aborted_at = None;
+    let mut recoveries = 0u32;
+    let mut steps_done = (epoch * refresh_every).min(iterations);
+    let mut params = StepParams::scaled(cfg, weights, lr_scale);
+    let mut epoch_clock = Instant::now();
+
+    while epoch < n_epochs {
+        sampler.refresh(shared.view());
+        let epoch_start = epoch * refresh_every;
+        let epoch_end = ((epoch + 1) * refresh_every).min(iterations);
+        for _ in epoch_start..epoch_end {
+            sgd_step(
+                &shared, data, sampler, &mut rng, &params, &mut u_old, &mut grad_u, &mut local,
+            );
+        }
+        steps_done = epoch_end;
+
+        let now = Instant::now();
+        let stats = build_epoch_stats(
+            epoch,
+            epoch_end - epoch_start,
+            steps_done,
+            now - epoch_clock,
+            local.take(),
+            observing.then(|| shared.view()),
+        );
+        epoch_clock = now;
+        let control = observer.on_epoch(&stats);
+        // Divergence detection must not depend on an enabled observer on
+        // this path — recovery is its contract, observed or not.
+        let bad = if observing {
+            stats.non_finite
+        } else {
+            shared.view().has_non_finite()
+        };
+        epochs.push(stats);
+        if bad {
+            observer.on_divergence(steps_done);
+            if retries < ckpt_cfg.max_retries {
+                if let Some(c) = checkpoint::latest(&ckpt_cfg.dir, &fp)? {
+                    retries += 1;
+                    recoveries += 1;
+                    lr_scale = c.lr_scale * ckpt_cfg.lr_backoff;
+                    params = StepParams::scaled(cfg, weights, lr_scale);
+                    rng = SmallRng::from_state(c.rng_words()?);
+                    epoch = c.epoch;
+                    steps_done = c.steps_done;
+                    shared = SharedMfModel::new(c.model);
+                    // Persist the shrunk learning rate: a crash right after
+                    // the rollback must resume with it, not re-diverge.
+                    checkpoint::save(
+                        ckpt_cfg,
+                        &snapshot(&fp, epoch, steps_done, &rng, lr_scale, retries, shared.view()),
+                    )?;
+                    continue;
+                }
+            }
+            if steps_done < iterations {
+                aborted_at = Some(steps_done);
+            }
+            break;
+        }
+        if control == Control::Abort {
+            if steps_done < iterations {
+                aborted_at = Some(steps_done);
+            }
+            break;
+        }
+
+        epoch += 1;
+        if epoch % every == 0 || epoch == n_epochs {
+            checkpoint::save(
+                ckpt_cfg,
+                &snapshot(&fp, epoch, steps_done, &rng, lr_scale, retries, shared.view()),
+            )?;
+        }
+    }
+
+    let model = shared.into_inner();
+    let elapsed = start.elapsed();
+    let diverged = model.has_non_finite();
+    observer.on_fit_end(&FitSummary {
+        steps: steps_done,
+        elapsed,
+        diverged,
+        aborted_at,
+    });
+    let report = FitReport {
+        iterations: steps_done,
+        elapsed,
+        sampler: sampler.name(),
+        diverged,
+        epochs,
+        aborted_at,
+        recoveries,
+        resumed_from,
+    };
+    Ok((model, report))
 }
 
 /// The Hogwild parallel loop: workers share the model through
@@ -769,6 +1048,8 @@ where
         diverged,
         epochs,
         aborted_at,
+        recoveries: 0,
+        resumed_from: None,
     };
     (model, report)
 }
@@ -1349,6 +1630,249 @@ mod tests {
         assert!(at < 50_000, "aborted at {at}");
         assert!(report.epochs.last().unwrap().non_finite);
         assert_eq!(obs.summary.unwrap().aborted_at, Some(at));
+    }
+
+    fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "clapf-trainer-ckpt-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Aborts (as if killed) once `limit` epochs have completed.
+    struct AbortAfterEpochs(usize);
+    impl TrainObserver for AbortAfterEpochs {
+        fn enabled(&self) -> bool {
+            false
+        }
+        fn on_epoch(&mut self, stats: &EpochStats) -> Control {
+            if stats.epoch + 1 >= self.0 {
+                Control::Abort
+            } else {
+                Control::Continue
+            }
+        }
+    }
+
+    #[test]
+    fn resumable_uninterrupted_matches_fit_bitwise() {
+        let data = world(30);
+        let trainer = Clapf::new(ClapfConfig {
+            iterations: 6_000,
+            refresh_every: 1_500,
+            ..quick_config(ClapfMode::Map, 0.4)
+        });
+        let plain = {
+            let mut rng = SmallRng::seed_from_u64(31);
+            let mut sampler = DssSampler::dss(DssMode::Map);
+            trainer.fit(&data, &mut sampler, &mut rng).0
+        };
+        let dir = ckpt_dir("uninterrupted");
+        let (resumable, report) = trainer
+            .fit_resumable(
+                &data,
+                &mut DssSampler::dss(DssMode::Map),
+                31,
+                &CheckpointConfig::new(&dir),
+                &mut NoopObserver,
+            )
+            .unwrap();
+        assert_same_scores(&plain, &resumable, &data, "resumable vs fit");
+        assert_eq!(report.resumed_from, None);
+        assert_eq!(report.recoveries, 0);
+        assert_eq!(report.iterations, 6_000);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_after_interrupt_is_bit_identical() {
+        // The tentpole contract: interrupt a serial fit at an epoch edge,
+        // resume from the checkpoint, and land on the exact bits an
+        // uninterrupted run produces.
+        let data = world(31);
+        let trainer = Clapf::new(ClapfConfig {
+            iterations: 6_000,
+            refresh_every: 1_500,
+            ..quick_config(ClapfMode::Map, 0.4)
+        });
+        let uninterrupted = {
+            let mut rng = SmallRng::seed_from_u64(77);
+            let mut sampler = DssSampler::dss(DssMode::Map);
+            trainer.fit(&data, &mut sampler, &mut rng).0
+        };
+
+        let dir = ckpt_dir("interrupt");
+        let ckpt = CheckpointConfig::new(&dir);
+        // First run "crashes" after two of the four epochs.
+        let (_, first) = trainer
+            .fit_resumable(
+                &data,
+                &mut DssSampler::dss(DssMode::Map),
+                77,
+                &ckpt,
+                &mut AbortAfterEpochs(2),
+            )
+            .unwrap();
+        assert_eq!(first.aborted_at, Some(3_000));
+
+        let (resumed, report) = trainer
+            .fit_resumable(
+                &data,
+                &mut DssSampler::dss(DssMode::Map),
+                77,
+                &ckpt,
+                &mut NoopObserver,
+            )
+            .unwrap();
+        assert!(report.resumed_from.is_some());
+        assert!(report.resumed_from.unwrap() >= 1, "resumed mid-run");
+        assert_same_scores(&uninterrupted, &resumed, &data, "resumed vs uninterrupted");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_false_restarts_from_scratch() {
+        let data = world(32);
+        let trainer = Clapf::new(ClapfConfig {
+            iterations: 3_000,
+            refresh_every: 1_000,
+            ..quick_config(ClapfMode::Map, 0.4)
+        });
+        let dir = ckpt_dir("fresh");
+        let ckpt = CheckpointConfig::new(&dir);
+        let (a, _) = trainer
+            .fit_resumable(&data, &mut UniformSampler, 5, &ckpt, &mut NoopObserver)
+            .unwrap();
+        let fresh = CheckpointConfig {
+            resume: false,
+            ..ckpt.clone()
+        };
+        let (b, report) = trainer
+            .fit_resumable(&data, &mut UniformSampler, 5, &fresh, &mut NoopObserver)
+            .unwrap();
+        assert_eq!(report.resumed_from, None);
+        assert_same_scores(&a, &b, &data, "fresh restart is a full deterministic rerun");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn divergence_recovery_rolls_back_and_completes() {
+        // A blow-up learning rate diverges; the resumable path must roll
+        // back to the last checkpoint, shrink the rate, and finish the run
+        // finite instead of aborting. The aggressive backoff turns the
+        // absurd 1e5 rate into a sane one in a single retry.
+        let data = world(33);
+        let mut cfg = ClapfConfig {
+            iterations: 8_000,
+            refresh_every: 1_000,
+            ..quick_config(ClapfMode::Map, 0.4)
+        };
+        cfg.sgd.learning_rate = 1e5;
+        let trainer = Clapf::new(cfg);
+        let dir = ckpt_dir("recovery");
+        let ckpt = CheckpointConfig {
+            lr_backoff: 1e-6,
+            max_retries: 2,
+            ..CheckpointConfig::new(&dir)
+        };
+        let (model, report) = trainer
+            .fit_resumable(&data, &mut UniformSampler, 3, &ckpt, &mut NoopObserver)
+            .unwrap();
+        assert!(report.recoveries >= 1, "recovered at least once");
+        assert!(!report.diverged, "recovery must end finite");
+        assert_eq!(report.aborted_at, None);
+        assert_eq!(report.iterations, 8_000);
+        assert!(!model.mf.has_non_finite());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn divergence_without_retry_budget_aborts_like_before() {
+        let data = world(34);
+        let mut cfg = ClapfConfig {
+            iterations: 20_000,
+            refresh_every: 1_000,
+            ..quick_config(ClapfMode::Map, 0.4)
+        };
+        cfg.sgd.learning_rate = 1e5;
+        let trainer = Clapf::new(cfg);
+        let dir = ckpt_dir("no-retries");
+        let ckpt = CheckpointConfig {
+            max_retries: 0,
+            ..CheckpointConfig::new(&dir)
+        };
+        let (_, report) = trainer
+            .fit_resumable(&data, &mut UniformSampler, 3, &ckpt, &mut NoopObserver)
+            .unwrap();
+        assert!(report.diverged);
+        assert_eq!(report.recoveries, 0);
+        assert!(report.aborted_at.expect("aborted") < 20_000);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_with_different_config_is_rejected() {
+        let data = world(35);
+        let dir = ckpt_dir("mismatch");
+        let ckpt = CheckpointConfig::new(&dir);
+        let mk = |lambda: f32| {
+            Clapf::new(ClapfConfig {
+                iterations: 2_000,
+                refresh_every: 1_000,
+                ..quick_config(ClapfMode::Map, lambda)
+            })
+        };
+        mk(0.4)
+            .fit_resumable(&data, &mut UniformSampler, 1, &ckpt, &mut NoopObserver)
+            .unwrap();
+        let err = mk(0.3)
+            .fit_resumable(&data, &mut UniformSampler, 1, &ckpt, &mut NoopObserver)
+            .unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_checkpoint_mid_run_resumes_bit_identical() {
+        // Crash *during* a checkpoint write (torn tmp file): the run dies
+        // with an I/O error, but the directory still holds the previous
+        // good checkpoint, and resuming lands on the uninterrupted bits.
+        let _guard = clapf_faults::exclusive();
+        let data = world(36);
+        let trainer = Clapf::new(ClapfConfig {
+            iterations: 6_000,
+            refresh_every: 1_500,
+            ..quick_config(ClapfMode::Map, 0.4)
+        });
+        let uninterrupted = {
+            let mut rng = SmallRng::seed_from_u64(9);
+            trainer.fit(&data, &mut UniformSampler, &mut rng).0
+        };
+
+        let dir = ckpt_dir("torn-mid-run");
+        let ckpt = CheckpointConfig::new(&dir);
+        // Saves fire at epochs 0 (init), 1, 2, …; tear the third one.
+        clapf_faults::arm_nth(
+            "checkpoint.save.write",
+            clapf_faults::Fault::Torn { keep: 64 },
+            2,
+            Some(1),
+        );
+        let err = trainer
+            .fit_resumable(&data, &mut UniformSampler, 9, &ckpt, &mut NoopObserver)
+            .unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)), "{err}");
+        assert!(clapf_faults::hits("checkpoint.save.write") >= 3);
+        clapf_faults::reset();
+
+        let (resumed, report) = trainer
+            .fit_resumable(&data, &mut UniformSampler, 9, &ckpt, &mut NoopObserver)
+            .unwrap();
+        assert_eq!(report.resumed_from, Some(1), "epoch-2 save was torn");
+        assert_same_scores(&uninterrupted, &resumed, &data, "resume after torn save");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

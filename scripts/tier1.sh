@@ -64,4 +64,70 @@ exec 3>&-
 wait "$serve_pid" \
   || { echo "serve smoke: server exited non-zero" >&2; exit 1; }
 
+echo "==> crash smoke: SIGKILL mid-train, resume, identical metrics"
+train_args=(train --data "$smoke_dir/data.csv" --dim 8 --iterations 2000000 \
+  --seed 9 --log-level quiet)
+# Reference: the same crash-safe path, never interrupted.
+"$clapf" "${train_args[@]}" --checkpoint-dir "$smoke_dir/ckpt_ref" \
+  > "$smoke_dir/ref.log"
+ref_line="$(grep 'held-out metrics' "$smoke_dir/ref.log")"
+[ -n "$ref_line" ] || { echo "crash smoke: no reference metrics" >&2; exit 1; }
+# Victim: same run, killed the moment a post-initial checkpoint lands.
+"$clapf" "${train_args[@]}" --checkpoint-dir "$smoke_dir/ckpt_kill" \
+  > "$smoke_dir/kill.log" 2>&1 &
+train_pid=$!
+for _ in $(seq 1 200); do
+  if ls "$smoke_dir"/ckpt_kill/ckpt-* >/dev/null 2>&1 \
+     && ! ls "$smoke_dir"/ckpt_kill/ckpt-00000000.json >/dev/null 2>&1; then
+    break  # epoch-0 already pruned => at least one mid-run checkpoint
+  fi
+  kill -0 "$train_pid" 2>/dev/null || break
+  sleep 0.05
+done
+kill -9 "$train_pid" 2>/dev/null || true
+wait "$train_pid" 2>/dev/null || true
+# Resume must land on the byte-identical metrics line.
+"$clapf" "${train_args[@]}" --checkpoint-dir "$smoke_dir/ckpt_kill" --resume \
+  > "$smoke_dir/resume.log"
+resume_line="$(grep 'held-out metrics' "$smoke_dir/resume.log")"
+[ "$ref_line" = "$resume_line" ] \
+  || { echo "crash smoke: resumed metrics diverged:" >&2; \
+       echo "  ref:    $ref_line" >&2; echo "  resume: $resume_line" >&2; exit 1; }
+
+echo "==> overload smoke: burst past the queue sheds 503s, server stays up"
+"$clapf" serve --load "$smoke_dir/model.json" --addr 127.0.0.1:0 \
+  --workers 1 --queue 1 > "$smoke_dir/overload.log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's#^listening on http://##p' "$smoke_dir/overload.log")"
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "overload smoke: no port announced" >&2; exit 1; }
+# Pin the single worker with an idle keep-alive connection, fill the
+# 1-deep queue with a second, then a third must be shed promptly.
+exec 4<>"/dev/tcp/${addr%:*}/${addr##*:}"
+sleep 0.3
+exec 5<>"/dev/tcp/${addr%:*}/${addr##*:}"
+sleep 0.1
+shed_response="$(serve_get /healthz)"
+echo "$shed_response" | grep -q '503' \
+  || { echo "overload smoke: expected 503, got: $shed_response" >&2; exit 1; }
+echo "$shed_response" | grep -qi 'retry-after' \
+  || { echo "overload smoke: 503 missing Retry-After" >&2; exit 1; }
+exec 4>&-
+exec 5>&-
+sleep 0.3
+serve_get /healthz | grep -q '"status":"ok"' \
+  || { echo "overload smoke: server did not recover after shed" >&2; exit 1; }
+serve_get /metrics | grep -q 'serve_shed' \
+  || { echo "overload smoke: shed counter missing from /metrics" >&2; exit 1; }
+exec 3<>"/dev/tcp/${addr%:*}/${addr##*:}"
+printf 'POST /shutdown HTTP/1.1\r\nHost: s\r\nConnection: close\r\n\r\n' >&3
+cat <&3 >/dev/null
+exec 3>&-
+wait "$serve_pid" \
+  || { echo "overload smoke: server exited non-zero" >&2; exit 1; }
+
 echo "tier-1: OK"
