@@ -1,5 +1,6 @@
 //! The core one-class interaction matrix.
 
+use crate::storage::Buf;
 use crate::{ItemId, UserId};
 
 /// An immutable binary user–item interaction matrix in compressed sparse
@@ -13,18 +14,23 @@ use crate::{ItemId, UserId};
 /// Internally this is a CSR matrix (user → sorted item list) plus its
 /// transpose (item → sorted user list). Per-user and per-item slices are
 /// `O(1)` to obtain, membership checks are `O(log n)` binary searches.
+///
+/// The four index arrays are `Buf`s: heap-owned for matrices built in
+/// memory, file-backed for matrices reopened with
+/// [`open_csr`](Interactions::open_csr). Every accessor works identically
+/// on both.
 #[derive(Clone, Debug)]
 pub struct Interactions {
     pub(crate) n_users: u32,
     pub(crate) n_items: u32,
     /// CSR offsets: items of user `u` live at `user_items[user_ptr[u]..user_ptr[u+1]]`.
-    pub(crate) user_ptr: Vec<usize>,
+    pub(crate) user_ptr: Buf<usize>,
     /// Concatenated, per-user-sorted item ids.
-    pub(crate) user_items: Vec<ItemId>,
+    pub(crate) user_items: Buf<ItemId>,
     /// CSC offsets: users of item `i` live at `item_users[item_ptr[i]..item_ptr[i+1]]`.
-    pub(crate) item_ptr: Vec<usize>,
+    pub(crate) item_ptr: Buf<usize>,
     /// Concatenated, per-item-sorted user ids.
-    pub(crate) item_users: Vec<UserId>,
+    pub(crate) item_users: Buf<UserId>,
 }
 
 impl Interactions {
@@ -186,10 +192,10 @@ impl Interactions {
         Interactions {
             n_users,
             n_items,
-            user_ptr,
-            user_items,
-            item_ptr,
-            item_users,
+            user_ptr: user_ptr.into(),
+            user_items: user_items.into(),
+            item_ptr: item_ptr.into(),
+            item_users: item_users.into(),
         }
     }
 }

@@ -32,6 +32,8 @@ pub enum DataError {
     },
     /// A split fraction outside `(0, 1)` was requested.
     BadFraction(f64),
+    /// A binary CSR file had a bad magic, version, size or structure.
+    Format(String),
 }
 
 impl fmt::Display for DataError {
@@ -49,6 +51,7 @@ impl fmt::Display for DataError {
             DataError::BadFraction(x) => {
                 write!(f, "split fraction {x} must be strictly between 0 and 1")
             }
+            DataError::Format(msg) => write!(f, "bad CSR file: {msg}"),
         }
     }
 }

@@ -4,6 +4,10 @@
 //! tables, popularity counts, CSR offsets) by user and by item. Newtypes make
 //! it a compile error to index a user table with an item id, which is a
 //! classic silent-corruption bug in recommender code.
+//!
+//! Both ids are `#[repr(transparent)]` wrappers over `u32`: the file-backed
+//! CSR storage reinterprets memory-mapped `u32` arrays as id slices, which
+//! is only sound with a guaranteed identical layout.
 
 use serde::{Deserialize, Serialize};
 
@@ -12,6 +16,7 @@ use serde::{Deserialize, Serialize};
     Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize, Default,
 )]
 #[serde(transparent)]
+#[repr(transparent)]
 pub struct UserId(pub u32);
 
 /// Identifier of an item, dense in `0..n_items`.
@@ -19,6 +24,7 @@ pub struct UserId(pub u32);
     Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize, Default,
 )]
 #[serde(transparent)]
+#[repr(transparent)]
 pub struct ItemId(pub u32);
 
 impl UserId {

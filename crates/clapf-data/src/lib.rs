@@ -20,11 +20,21 @@
 //!   binarization, used whenever the real dumps are available on disk.
 //! * [`export`] — CSV round-tripping and down-sampling utilities.
 //! * [`stats`] — the Table 1 dataset-description statistics.
+//! * [`stream`] — chunked, constant-memory synthetic worlds at the
+//!   million-user scale, streamable straight to the binary CSR format.
+//! * `storage` — that binary CSR file format:
+//!   [`Interactions::write_csr`] serializes, [`Interactions::open_csr`]
+//!   reopens it memory-mapped (on 64-bit little-endian Unix) so a
+//!   10M-pair world costs file-backed pages instead of heap.
 //!
-//! All randomness is taken through explicit [`rand::Rng`] arguments so every
-//! experiment in the workspace is reproducible from a seed.
+//! All randomness is taken through explicit [`rand::Rng`] arguments (or
+//! explicit seeds, in [`stream`]) so every experiment in the workspace is
+//! reproducible from a seed.
 
-#![forbid(unsafe_code)]
+// Unsafe is denied by default and allowed in exactly one module: the mmap
+// FFI + typed-slice casts in `storage` (see its module docs for the
+// soundness argument). Everything else in the crate stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod builder;
@@ -35,9 +45,12 @@ mod ids;
 pub mod loader;
 pub mod split;
 pub mod stats;
+mod storage;
+pub mod stream;
 pub mod synthetic;
 
 pub use builder::InteractionsBuilder;
 pub use dataset::Interactions;
 pub use error::DataError;
 pub use ids::{ItemId, UserId};
+pub use storage::{CSR_MAGIC, CSR_VERSION};

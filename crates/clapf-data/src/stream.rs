@@ -1,0 +1,534 @@
+//! Chunked, constant-memory synthetic worlds at the million scale.
+//!
+//! [`crate::synthetic::generate`] materializes every candidate score for
+//! every user — fine for the paper-sized worlds, hopeless for a
+//! 2.5M-user × 1M-item world. This module generates the same *kind* of
+//! world (planted low-rank preferences + long-tail popularity) as a
+//! **stream**: each user's item list is a pure function of
+//! `(config.seed, user id)`, so the generator can
+//!
+//! * produce users in any chunking and get bit-identical output
+//!   ([`StreamWorld::build_chunked`] with any chunk size equals
+//!   [`StreamWorld::build`]),
+//! * write a CSR file without ever holding the user-major pair list in
+//!   memory ([`StreamWorld::write_csr`] streams the user→item array
+//!   straight to disk and keeps only the `u32` transpose slab), and
+//! * answer "what are user u's items?" on demand
+//!   ([`StreamWorld::items_for_user`]) without building anything.
+//!
+//! # World model
+//!
+//! For user `u` (everything seeded by `splitmix64` hashes of
+//! `(seed, u)` — no global RNG stream, hence chunk invariance):
+//!
+//! 1. **Activity**: a heavy-tailed degree multiplier `(1−β)·x^(−β)`
+//!    (mean 1 over `x ∈ (0,1)`, `β = user_activity_exponent`) scales
+//!    `avg_degree` into this user's target degree.
+//! 2. **Popularity**: `candidate_factor × degree` candidate *ranks* are
+//!    drawn from a Zipf(`popularity_exponent`) distribution by inverse
+//!    CDF; a seed-derived affine bijection `rank ↦ (a·rank + b) mod
+//!    n_items` (with `gcd(a, n_items) = 1`) maps popularity ranks to item
+//!    ids, so "popular" items are scattered over the id space instead of
+//!    clustered at 0.
+//! 3. **Preference**: candidates are scored `affinity_weight ·
+//!    ⟨f_u, f_i⟩ + Gumbel noise` against planted Gaussian latent factors
+//!    and the top `degree` distinct items win — Gumbel-top-k, the same
+//!    selection rule as the in-memory generator.
+//!
+//! The planted structure is what gives trained models a signal to find;
+//! the Zipf prior is what gives samplers and the popularity baseline
+//! something realistic to exploit.
+
+use crate::storage;
+use crate::{DataError, Interactions, ItemId, UserId};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Shape and distribution parameters of a streamed synthetic world.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamConfig {
+    /// Number of users.
+    pub n_users: u32,
+    /// Number of items.
+    pub n_items: u32,
+    /// Mean observed items per user (before the per-user activity tail).
+    pub avg_degree: f64,
+    /// Dimension of the planted latent preference structure.
+    pub latent_dim: usize,
+    /// Weight of the planted affinity relative to the Gumbel noise;
+    /// higher = easier world.
+    pub affinity_weight: f32,
+    /// Zipf exponent of item popularity (`s` in `p(rank) ∝ rank^(−s)`).
+    pub popularity_exponent: f64,
+    /// Tail exponent of per-user activity, clamped to `[0, 0.95)`; 0 means
+    /// every user targets `avg_degree`.
+    pub user_activity_exponent: f64,
+    /// Hard cap on any single user's degree.
+    pub max_degree: usize,
+    /// Candidates drawn per selected item; higher = popularity matters
+    /// more relative to preference.
+    pub candidate_factor: usize,
+    /// Master seed; two worlds with equal configs are bit-identical.
+    pub seed: u64,
+}
+
+impl StreamConfig {
+    /// A world of the given shape with the default distribution knobs
+    /// (latent dim 8, Zipf 1.05 popularity, mild activity tail).
+    pub fn scale(n_users: u32, n_items: u32, avg_degree: f64, seed: u64) -> Self {
+        StreamConfig {
+            n_users,
+            n_items,
+            avg_degree,
+            latent_dim: 8,
+            affinity_weight: 1.5,
+            popularity_exponent: 1.05,
+            user_activity_exponent: 0.4,
+            max_degree: 512,
+            candidate_factor: 4,
+            seed,
+        }
+    }
+}
+
+// Distinct hash domains so the degree/candidate stream, the user factors
+// and the item factors never alias.
+const DOMAIN_USER: u64 = 0x55AA_33CC_0F0F_F0F0;
+const DOMAIN_USER_FACTOR: u64 = 0x1234_5678_9ABC_DEF0;
+const DOMAIN_ITEM_FACTOR: u64 = 0x0FED_CBA9_8765_4321;
+const DOMAIN_PERM: u64 = 0xA5A5_A5A5_5A5A_5A5A;
+
+/// One `splitmix64` output step (Steele et al.); a high-quality 64-bit
+/// mixer, used both as a stateless hash and as the per-entity RNG.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Stateless combine of a seed, a domain tag and an entity id.
+fn hash3(seed: u64, domain: u64, id: u64) -> u64 {
+    let mut s = seed ^ domain;
+    let a = splitmix64(&mut s);
+    let mut s2 = a ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    splitmix64(&mut s2)
+}
+
+/// A tiny deterministic RNG stream over `splitmix64`.
+struct Mix(u64);
+
+impl Mix {
+    fn new(seed: u64) -> Self {
+        Mix(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.0)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `(0, 1)` — safe to take logarithms of.
+    fn next_open_f64(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64 + 0.5) * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Standard normal via Box–Muller.
+    fn next_gaussian(&mut self) -> f64 {
+        let u1 = self.next_open_f64();
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Standard Gumbel (for Gumbel-top-k selection).
+    fn next_gumbel(&mut self) -> f64 {
+        -(-self.next_open_f64().ln()).ln()
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// Zipf(`s`) rank in `0..m` by inverse CDF of the continuous density
+/// `∝ x^(−s)` on `[1, m+1]`.
+fn zipf_rank(u: f64, m: u64, s: f64) -> u64 {
+    let mf = m as f64;
+    let x = if (s - 1.0).abs() < 1e-9 {
+        (mf + 1.0).powf(u)
+    } else {
+        let t = (mf + 1.0).powf(1.0 - s);
+        (1.0 + u * (t - 1.0)).powf(1.0 / (1.0 - s))
+    };
+    (x.floor() as u64).clamp(1, m) - 1
+}
+
+/// A fully specified streamed world: config plus the derived rank→item
+/// permutation and the planted item factor table.
+///
+/// Construction precomputes the `n_items × latent_dim` item factor table
+/// (the only O(n_items) memory the generator holds); everything per-user
+/// is derived on demand.
+#[derive(Clone, Debug)]
+pub struct StreamWorld {
+    cfg: StreamConfig,
+    perm_a: u64,
+    perm_b: u64,
+    item_factors: Vec<f32>,
+}
+
+/// Reusable per-call buffers for user generation.
+struct Scratch {
+    user_factor: Vec<f32>,
+    candidates: Vec<(u32, f64)>,
+}
+
+impl Scratch {
+    fn new() -> Self {
+        Scratch {
+            user_factor: Vec::new(),
+            candidates: Vec::new(),
+        }
+    }
+}
+
+impl StreamWorld {
+    /// Validates the config and derives the world.
+    ///
+    /// # Errors
+    /// [`DataError::Empty`] if the id space is degenerate or the target
+    /// degree is not positive.
+    pub fn new(cfg: StreamConfig) -> Result<StreamWorld, DataError> {
+        if cfg.n_users == 0 || cfg.n_items == 0 || cfg.avg_degree < 1.0 || cfg.latent_dim == 0 {
+            return Err(DataError::Empty);
+        }
+        let m = cfg.n_items as u64;
+        let mut rng = Mix::new(hash3(cfg.seed, DOMAIN_PERM, 0));
+        let (perm_a, perm_b) = if m == 1 {
+            (0, 0)
+        } else {
+            let mut a = rng.next_u64() % (m - 1) + 1;
+            while gcd(a, m) != 1 {
+                a = a % (m - 1) + 1;
+            }
+            (a, rng.next_u64() % m)
+        };
+        let d = cfg.latent_dim;
+        let mut item_factors = Vec::with_capacity(cfg.n_items as usize * d);
+        for i in 0..cfg.n_items as u64 {
+            let mut f = Mix::new(hash3(cfg.seed, DOMAIN_ITEM_FACTOR, i));
+            for _ in 0..d {
+                item_factors.push(f.next_gaussian() as f32);
+            }
+        }
+        Ok(StreamWorld {
+            cfg,
+            perm_a,
+            perm_b,
+            item_factors,
+        })
+    }
+
+    /// The config this world was derived from.
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
+    }
+
+    /// Expected total pair count (`n_users × avg_degree`); the exact count
+    /// differs slightly through rounding, caps and candidate collisions.
+    pub fn expected_pairs(&self) -> u64 {
+        (self.cfg.n_users as f64 * self.cfg.avg_degree) as u64
+    }
+
+    /// Writes user `u`'s observed items into `out` (cleared first), sorted
+    /// strictly ascending — a pure function of `(config, u)`.
+    ///
+    /// # Panics
+    /// Panics if `u` is outside the configured user space.
+    pub fn items_for_user(&self, u: UserId, out: &mut Vec<ItemId>) {
+        assert!(u.0 < self.cfg.n_users, "user id out of range");
+        let mut scratch = Scratch::new();
+        self.fill_user(u.0, &mut scratch, out);
+    }
+
+    /// The generation kernel behind every build path.
+    fn fill_user(&self, u: u32, scratch: &mut Scratch, out: &mut Vec<ItemId>) {
+        out.clear();
+        let cfg = &self.cfg;
+        let mut rng = Mix::new(hash3(cfg.seed, DOMAIN_USER, u as u64));
+
+        // Target degree: heavy-tailed multiplier with mean 1.
+        let beta = cfg.user_activity_exponent.clamp(0.0, 0.95);
+        let mult = (1.0 - beta) * rng.next_open_f64().powf(-beta);
+        let cap = cfg.max_degree.clamp(1, cfg.n_items as usize);
+        let deg = ((cfg.avg_degree * mult).round() as usize).clamp(1, cap);
+
+        // Planted user preference vector.
+        let d = cfg.latent_dim;
+        let fu = &mut scratch.user_factor;
+        fu.clear();
+        let mut frng = Mix::new(hash3(cfg.seed, DOMAIN_USER_FACTOR, u as u64));
+        for _ in 0..d {
+            fu.push(frng.next_gaussian() as f32);
+        }
+
+        // Zipf-popular candidates, scored by affinity + Gumbel noise.
+        let m = cfg.n_items as u64;
+        let n_cand = (deg * cfg.candidate_factor.max(1)).min(cfg.n_items as usize);
+        let cand = &mut scratch.candidates;
+        cand.clear();
+        for _ in 0..n_cand {
+            let rank = zipf_rank(rng.next_f64(), m, cfg.popularity_exponent);
+            let item = if m == 1 {
+                0
+            } else {
+                (self.perm_a.wrapping_mul(rank).wrapping_add(self.perm_b) % m) as u32
+            };
+            let base = item as usize * d;
+            let mut dot = 0.0f32;
+            for (a, b) in fu.iter().zip(&self.item_factors[base..base + d]) {
+                dot += a * b;
+            }
+            let score = (cfg.affinity_weight * dot) as f64 + rng.next_gumbel();
+            cand.push((item, score));
+        }
+
+        // Distinct candidates only, keeping each item's best draw…
+        cand.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(b.1.total_cmp(&a.1)));
+        cand.dedup_by_key(|c| c.0);
+        // …then the top `deg` by score, emitted in id order for CSR.
+        if cand.len() > deg {
+            cand.select_nth_unstable_by(deg - 1, |a, b| b.1.total_cmp(&a.1));
+            cand.truncate(deg);
+        }
+        cand.sort_unstable_by_key(|c| c.0);
+        out.extend(cand.iter().map(|c| ItemId(c.0)));
+    }
+
+    /// Builds the full in-memory [`Interactions`] with the default chunk
+    /// size. Equivalent to [`build_chunked`](StreamWorld::build_chunked)
+    /// with any chunk size — chunking never changes the result.
+    pub fn build(&self) -> Interactions {
+        self.build_chunked(1 << 16)
+    }
+
+    /// Builds the matrix processing `chunk` users at a time.
+    ///
+    /// Unlike the dense generator there is no COO pair list and no global
+    /// sort: users stream out in id order directly into the CSR arrays,
+    /// and the transpose is a counting scatter over the finished user-major
+    /// array. Peak memory is the output CSR itself plus one chunk of
+    /// scratch.
+    ///
+    /// # Panics
+    /// Panics if `chunk == 0`.
+    pub fn build_chunked(&self, chunk: usize) -> Interactions {
+        assert!(chunk > 0, "chunk size must be positive");
+        let nu = self.cfg.n_users as usize;
+        let ni = self.cfg.n_items as usize;
+
+        let mut user_ptr = Vec::with_capacity(nu + 1);
+        user_ptr.push(0usize);
+        let mut user_items: Vec<ItemId> = Vec::with_capacity(self.expected_pairs() as usize);
+        let mut item_counts = vec![0usize; ni];
+
+        let mut scratch = Scratch::new();
+        let mut row: Vec<ItemId> = Vec::new();
+        for chunk_start in (0..nu).step_by(chunk) {
+            let chunk_end = (chunk_start + chunk).min(nu);
+            for u in chunk_start..chunk_end {
+                self.fill_user(u as u32, &mut scratch, &mut row);
+                for &i in &row {
+                    item_counts[i.index()] += 1;
+                }
+                user_items.extend_from_slice(&row);
+                user_ptr.push(user_items.len());
+            }
+        }
+
+        // Transpose: prefix-sum the counts, then scatter users in id order
+        // (which leaves every per-item list already sorted).
+        let mut item_ptr = Vec::with_capacity(ni + 1);
+        item_ptr.push(0usize);
+        for c in &item_counts {
+            item_ptr.push(item_ptr.last().unwrap() + c);
+        }
+        let mut cursor: Vec<usize> = item_ptr[..ni].to_vec();
+        let mut item_users = vec![UserId(0); user_items.len()];
+        for u in 0..nu {
+            for &i in &user_items[user_ptr[u]..user_ptr[u + 1]] {
+                item_users[cursor[i.index()]] = UserId(u as u32);
+                cursor[i.index()] += 1;
+            }
+        }
+
+        Interactions {
+            n_users: self.cfg.n_users,
+            n_items: self.cfg.n_items,
+            user_ptr: user_ptr.into(),
+            user_items: user_items.into(),
+            item_ptr: item_ptr.into(),
+            item_users: item_users.into(),
+        }
+    }
+
+    /// Streams the world straight into a CSR file (the format of
+    /// [`Interactions::open_csr`]) without building the matrix in memory.
+    ///
+    /// Two generation passes: the first counts per-user and per-item
+    /// degrees (fixing every file offset), the second streams the
+    /// user-major item array to disk as it is generated and scatters the
+    /// transpose into a `u32` slab — the only pair-sized allocation. Peak
+    /// memory is roughly *half* of [`build`](StreamWorld::build) plus the
+    /// offset arrays, and the written file reopens with
+    /// [`Interactions::open_csr`] at near-zero heap cost.
+    ///
+    /// Returns the number of pairs written.
+    ///
+    /// # Errors
+    /// Any I/O error from creating or writing the file.
+    pub fn write_csr(&self, path: &Path) -> Result<u64, DataError> {
+        let nu = self.cfg.n_users as usize;
+        let ni = self.cfg.n_items as usize;
+        let mut scratch = Scratch::new();
+        let mut row: Vec<ItemId> = Vec::new();
+
+        // Pass 1: degrees only → both offset arrays.
+        let mut user_ptr = Vec::with_capacity(nu + 1);
+        user_ptr.push(0usize);
+        let mut item_counts = vec![0usize; ni];
+        for u in 0..nu {
+            self.fill_user(u as u32, &mut scratch, &mut row);
+            for &i in &row {
+                item_counts[i.index()] += 1;
+            }
+            user_ptr.push(user_ptr.last().unwrap() + row.len());
+        }
+        let n_pairs = *user_ptr.last().unwrap();
+        let mut item_ptr = Vec::with_capacity(ni + 1);
+        item_ptr.push(0usize);
+        for c in &item_counts {
+            item_ptr.push(item_ptr.last().unwrap() + c);
+        }
+        drop(item_counts);
+
+        let mut w = BufWriter::new(std::fs::File::create(path)?);
+        storage::write_prefix(
+            &mut w,
+            self.cfg.n_users as u64,
+            self.cfg.n_items as u64,
+            &user_ptr,
+            &item_ptr,
+        )?;
+        drop(user_ptr);
+
+        // Pass 2: regenerate, stream user_items to disk, scatter the
+        // transpose into the slab.
+        let mut cursor: Vec<usize> = item_ptr[..ni].to_vec();
+        drop(item_ptr);
+        let mut slab = vec![0u32; n_pairs];
+        for u in 0..nu {
+            self.fill_user(u as u32, &mut scratch, &mut row);
+            for &i in &row {
+                w.write_all(&i.0.to_le_bytes())?;
+                slab[cursor[i.index()]] = u as u32;
+                cursor[i.index()] += 1;
+            }
+        }
+        storage::write_u32s(&mut w, &slab)?;
+        w.flush()?;
+        Ok(n_pairs as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> StreamConfig {
+        StreamConfig {
+            max_degree: 16,
+            ..StreamConfig::scale(50, 80, 5.0, 7)
+        }
+    }
+
+    #[test]
+    fn rows_are_sorted_distinct_and_in_range() {
+        let w = StreamWorld::new(tiny()).unwrap();
+        let mut row = Vec::new();
+        for u in 0..50 {
+            w.items_for_user(UserId(u), &mut row);
+            assert!(!row.is_empty());
+            assert!(row.windows(2).all(|p| p[0] < p[1]), "user {u} not sorted");
+            assert!(row.iter().all(|i| i.0 < 80));
+        }
+    }
+
+    #[test]
+    fn build_matches_items_for_user() {
+        let w = StreamWorld::new(tiny()).unwrap();
+        let d = w.build();
+        let mut row = Vec::new();
+        for u in d.users() {
+            w.items_for_user(u, &mut row);
+            assert_eq!(d.items_of(u), &row[..]);
+        }
+        d.validate_csr().unwrap();
+    }
+
+    #[test]
+    fn mean_degree_tracks_config() {
+        let cfg = StreamConfig::scale(2_000, 500, 6.0, 3);
+        let d = StreamWorld::new(cfg).unwrap().build();
+        let mean = d.n_pairs() as f64 / d.n_users() as f64;
+        assert!(
+            (mean - 6.0).abs() < 1.0,
+            "mean degree {mean} far from target 6"
+        );
+    }
+
+    #[test]
+    fn popularity_is_long_tailed() {
+        let cfg = StreamConfig::scale(3_000, 400, 8.0, 11);
+        let d = StreamWorld::new(cfg).unwrap().build();
+        let mut pop = d.item_popularity();
+        pop.sort_unstable_by(|a, b| b.cmp(a));
+        let total: usize = pop.iter().sum();
+        let top_decile: usize = pop[..40].iter().sum();
+        assert!(
+            top_decile as f64 > 0.3 * total as f64,
+            "top 10% of items hold only {top_decile}/{total} pairs"
+        );
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        for cfg in [
+            StreamConfig::scale(0, 10, 3.0, 1),
+            StreamConfig::scale(10, 0, 3.0, 1),
+            StreamConfig::scale(10, 10, 0.0, 1),
+            StreamConfig {
+                latent_dim: 0,
+                ..StreamConfig::scale(10, 10, 3.0, 1)
+            },
+        ] {
+            assert!(matches!(StreamWorld::new(cfg), Err(DataError::Empty)));
+        }
+    }
+
+    #[test]
+    fn single_item_world_works() {
+        let cfg = StreamConfig::scale(5, 1, 1.0, 9);
+        let d = StreamWorld::new(cfg).unwrap().build();
+        assert_eq!(d.n_pairs(), 5);
+        assert!(d.users().all(|u| d.items_of(u) == [ItemId(0)]));
+    }
+}

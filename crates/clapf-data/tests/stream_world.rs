@@ -1,0 +1,168 @@
+//! End-to-end guarantees of the streaming data path: chunking never
+//! changes the world, the file round-trip is exact, and the mmap-backed
+//! view agrees bit-for-bit with the heap build.
+
+use clapf_data::stream::{StreamConfig, StreamWorld};
+use clapf_data::{Interactions, ItemId, UserId};
+use std::path::PathBuf;
+
+fn world_100k() -> StreamWorld {
+    // ~100k pairs: 20k users × 8k items × avg degree 5.
+    StreamWorld::new(StreamConfig::scale(20_000, 8_000, 5.0, 20260807)).unwrap()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("clapf_stream_world_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn assert_bit_identical(a: &Interactions, b: &Interactions) {
+    assert_eq!(a.n_users(), b.n_users());
+    assert_eq!(a.n_items(), b.n_items());
+    assert_eq!(a.n_pairs(), b.n_pairs());
+    for u in a.users() {
+        assert_eq!(a.items_of(u), b.items_of(u), "items of {u} differ");
+    }
+    for i in a.items() {
+        assert_eq!(a.users_of(i), b.users_of(i), "users of {i} differ");
+    }
+}
+
+/// The tentpole determinism property: one chunk, many tiny chunks and an
+/// uneven chunk size all produce the identical matrix.
+#[test]
+fn chunk_size_never_changes_the_world() {
+    let w = StreamWorld::new(StreamConfig::scale(3_000, 900, 4.0, 99)).unwrap();
+    let whole = w.build_chunked(3_000);
+    for chunk in [1usize, 7, 256, 2_999, 100_000] {
+        let chunked = w.build_chunked(chunk);
+        assert_bit_identical(&whole, &chunked);
+    }
+    assert_bit_identical(&whole, &w.build());
+}
+
+/// Same config ⇒ same world, across independently derived `StreamWorld`s.
+#[test]
+fn same_seed_is_reproducible_different_seed_is_not() {
+    let cfg = StreamConfig::scale(1_000, 400, 3.0, 5);
+    let a = StreamWorld::new(cfg.clone()).unwrap().build();
+    let b = StreamWorld::new(cfg.clone()).unwrap().build();
+    assert_bit_identical(&a, &b);
+
+    let c = StreamWorld::new(StreamConfig {
+        seed: 6,
+        ..cfg
+    })
+    .unwrap()
+    .build();
+    assert!(
+        a.users().any(|u| a.items_of(u) != c.items_of(u)),
+        "different seeds produced the same world"
+    );
+}
+
+/// `items_for_user` answers point queries identically to the bulk build —
+/// the generator really is a pure function of `(config, user)`.
+#[test]
+fn point_queries_match_bulk_build() {
+    let w = StreamWorld::new(StreamConfig::scale(500, 300, 6.0, 17)).unwrap();
+    let d = w.build();
+    let mut row = Vec::new();
+    for u in d.users() {
+        w.items_for_user(u, &mut row);
+        assert_eq!(d.items_of(u), &row[..]);
+    }
+}
+
+/// The streaming writer and the in-memory build describe the same world:
+/// `write_csr` → `open_csr` (mmap where supported) and → `load_csr_heap`
+/// both reproduce the heap build bit-for-bit on a ~100k-pair world.
+#[test]
+fn mmap_and_heap_loads_agree_with_direct_build() {
+    let w = world_100k();
+    let built = w.build();
+
+    let path = tmp("world_100k.csr");
+    let written = w.write_csr(&path).unwrap();
+    assert_eq!(written as usize, built.n_pairs());
+
+    let heap = Interactions::load_csr_heap(&path).unwrap();
+    assert!(!heap.is_mapped());
+    assert_bit_identical(&built, &heap);
+
+    let mapped = Interactions::open_csr(&path).unwrap();
+    if cfg!(all(unix, target_pointer_width = "64", target_endian = "little")) {
+        assert!(mapped.is_mapped(), "expected the mmap fast path here");
+    }
+    assert_bit_identical(&built, &mapped);
+    mapped.validate_csr().unwrap();
+
+    // Random access through the mapped arrays (pair_at binary-searches
+    // user_ptr, contains binary-searches a row) behaves identically too.
+    for idx in [0usize, 1, built.n_pairs() / 2, built.n_pairs() - 1] {
+        assert_eq!(built.pair_at(idx), mapped.pair_at(idx));
+    }
+    for u in [UserId(0), UserId(9_999), UserId(19_999)] {
+        for i in [ItemId(0), ItemId(4_000), ItemId(7_999)] {
+            assert_eq!(built.contains(u, i), mapped.contains(u, i));
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// `Interactions::write_csr` (serialize an existing matrix) and
+/// `StreamWorld::write_csr` (stream the world directly) emit identical
+/// bytes.
+#[test]
+fn streaming_writer_matches_in_memory_writer() {
+    let w = StreamWorld::new(StreamConfig::scale(800, 250, 4.0, 23)).unwrap();
+    let streamed = tmp("streamed.csr");
+    let serialized = tmp("serialized.csr");
+    w.write_csr(&streamed).unwrap();
+    w.build().write_csr(&serialized).unwrap();
+    assert_eq!(
+        std::fs::read(&streamed).unwrap(),
+        std::fs::read(&serialized).unwrap(),
+        "the two writers disagree byte-for-byte"
+    );
+    std::fs::remove_file(&streamed).ok();
+    std::fs::remove_file(&serialized).ok();
+}
+
+/// Corrupt files are rejected up front (shallow checks) or by the deep
+/// validator — never by UB or a garbage matrix that looks fine.
+#[test]
+fn corrupt_files_are_rejected() {
+    let w = StreamWorld::new(StreamConfig::scale(300, 100, 3.0, 41)).unwrap();
+    let path = tmp("corrupt.csr");
+    w.write_csr(&path).unwrap();
+    let pristine = std::fs::read(&path).unwrap();
+
+    // Bad magic.
+    let mut bytes = pristine.clone();
+    bytes[0] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(Interactions::open_csr(&path).is_err());
+
+    // Truncation.
+    std::fs::write(&path, &pristine[..pristine.len() - 1]).unwrap();
+    assert!(Interactions::open_csr(&path).is_err());
+
+    // Header claims more pairs than the file holds.
+    let mut bytes = pristine.clone();
+    bytes[32] = bytes[32].wrapping_add(1);
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(Interactions::open_csr(&path).is_err());
+
+    // In-bounds corruption of an offset: shallow open may succeed, but the
+    // deep validator catches it and the heap loader rejects outright.
+    let mut bytes = pristine.clone();
+    bytes[40 + 8] = 0xEE;
+    std::fs::write(&path, &bytes).unwrap();
+    if let Ok(d) = Interactions::open_csr(&path) {
+        assert!(d.validate_csr().is_err());
+    }
+    assert!(Interactions::load_csr_heap(&path).is_err());
+    std::fs::remove_file(&path).ok();
+}

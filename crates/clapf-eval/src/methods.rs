@@ -5,8 +5,8 @@ use clapf_baselines::{
     Bpr, BprConfig, Climf, ClimfConfig, Mpr, MprConfig, PopRank, RandomWalk, Wmf, WmfConfig,
 };
 use clapf_core::{Clapf, ClapfConfig, ClapfMode, Recommender};
-use clapf_data::{Interactions, UserId};
-use clapf_metrics::{evaluate, BulkScorer, EvalConfig, EvalReport};
+use clapf_data::Interactions;
+use clapf_metrics::{evaluate, EvalConfig, EvalReport};
 use clapf_neural::{DeepIcf, DeepIcfConfig, NeuMf, NeuMfConfig, NeuPr, NeuPrConfig};
 use clapf_sampling::{DssMode, DssSampler, TripleSampler, UniformSampler};
 use rand::rngs::SmallRng;
@@ -238,29 +238,23 @@ impl Method {
 }
 
 /// Scores a fitted recommender through the parallel evaluator.
+///
+/// `dyn Recommender` is itself a `BulkScorer` (the blanket impl lives in
+/// `clapf-core`), so the trait object goes straight into `evaluate`.
 pub(crate) fn evaluate_fitted(
     rec: &dyn Recommender,
     train: &Interactions,
     test: &Interactions,
     config: &EvalConfig,
 ) -> EvalReport {
-    struct Adapter<'a>(&'a dyn Recommender);
-    impl BulkScorer for Adapter<'_> {
-        fn scores_into(&self, u: UserId, out: &mut Vec<f32>) {
-            self.0.scores_into(u, out);
-        }
-
-        fn scores_into_batch(&self, users: &[UserId], out: &mut [Vec<f32>]) {
-            self.0.scores_into_batch(users, out);
-        }
-    }
-    evaluate(&Adapter(rec), train, test, config)
+    evaluate(rec, train, test, config)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use clapf_data::synthetic::{generate, WorldConfig};
+    use clapf_data::UserId;
 
     fn tiny_scale() -> RunScale {
         RunScale {

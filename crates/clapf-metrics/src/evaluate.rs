@@ -41,15 +41,29 @@ pub trait BulkScorer: Sync {
 
     /// Scores a whole block of users, `out[b]` receiving the scores of
     /// `users[b]`. The default falls back to per-user [`scores_into`]
-    /// (`BulkScorer::scores_into`) calls; factor models override it with a
-    /// blocked kernel that streams the item table through cache once per
-    /// block instead of once per user. Implementations must produce exactly
-    /// the scores `scores_into` would.
+    /// (`BulkScorer::scores_into`) calls via [`score_block_serially`];
+    /// factor models override it with a blocked kernel that streams the
+    /// item table through cache once per block instead of once per user.
+    /// Implementations must produce exactly the scores `scores_into` would.
     fn scores_into_batch(&self, users: &[UserId], out: &mut [Vec<f32>]) {
-        debug_assert_eq!(users.len(), out.len());
-        for (&u, buf) in users.iter().zip(out.iter_mut()) {
-            self.scores_into(u, buf);
-        }
+        score_block_serially(|u, buf| self.scores_into(u, buf), users, out);
+    }
+}
+
+/// Scores `out[b] ← per_user(users[b])` one user at a time.
+///
+/// This is the single fallback body behind every `scores_into_batch`
+/// default in the workspace — this trait's and the `Recommender` trait's in
+/// `clapf-core` — so the "a batch is exactly a per-user loop" contract has
+/// one definition rather than a copy per trait.
+pub fn score_block_serially<F: FnMut(UserId, &mut Vec<f32>)>(
+    mut per_user: F,
+    users: &[UserId],
+    out: &mut [Vec<f32>],
+) {
+    debug_assert_eq!(users.len(), out.len());
+    for (&u, buf) in users.iter().zip(out.iter_mut()) {
+        per_user(u, buf);
     }
 }
 
@@ -246,7 +260,7 @@ fn eval_user_sortfree(
 /// [`BulkScorer::scores_into_batch`] call, then evaluated in order — so the
 /// accumulation order (and therefore every reported average) is identical
 /// to scoring one user at a time.
-fn eval_users_blocked<S: BulkScorer>(
+fn eval_users_blocked<S: BulkScorer + ?Sized>(
     scorer: &S,
     train: &Interactions,
     test: &Interactions,
@@ -270,7 +284,7 @@ fn eval_users_blocked<S: BulkScorer>(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn flush_block<S: BulkScorer>(
+fn flush_block<S: BulkScorer + ?Sized>(
     scorer: &S,
     train: &Interactions,
     test: &Interactions,
@@ -300,7 +314,7 @@ fn flush_block<S: BulkScorer>(
 /// [`rank_all`], walk the list. Kept as the differential-testing and
 /// benchmarking reference for the sort-free engine (see
 /// [`evaluate_serial_naive`]); not used on any hot path.
-fn eval_user_naive<S: BulkScorer>(
+fn eval_user_naive<S: BulkScorer + ?Sized>(
     scorer: &S,
     train: &Interactions,
     test: &Interactions,
@@ -355,7 +369,7 @@ fn finalize(mut sums: Sums, ks: &[usize]) -> EvalReport {
 
 /// Evaluates `scorer` against `test`, excluding `train` pairs from the
 /// candidate set, single-threaded, via the sort-free ranking engine.
-pub fn evaluate_serial<S: BulkScorer>(
+pub fn evaluate_serial<S: BulkScorer + ?Sized>(
     scorer: &S,
     train: &Interactions,
     test: &Interactions,
@@ -368,7 +382,7 @@ pub fn evaluate_serial<S: BulkScorer>(
 /// engine records every relevant item's exact rank (from the counting pass,
 /// at no extra ranking cost), the user count, and the run's wall time and
 /// throughput. The reported metrics are identical either way.
-pub fn evaluate_serial_instrumented<S: BulkScorer>(
+pub fn evaluate_serial_instrumented<S: BulkScorer + ?Sized>(
     scorer: &S,
     train: &Interactions,
     test: &Interactions,
@@ -391,7 +405,7 @@ pub fn evaluate_serial_instrumented<S: BulkScorer>(
 /// this path bit-for-bit — and as the baseline of the `eval_full_ranking`
 /// bench and `scripts/bench_eval.sh`. A `log m` factor slower per user than
 /// [`evaluate_serial`] and unbatched; do not use it for real evaluation.
-pub fn evaluate_serial_naive<S: BulkScorer>(
+pub fn evaluate_serial_naive<S: BulkScorer + ?Sized>(
     scorer: &S,
     train: &Interactions,
     test: &Interactions,
@@ -410,7 +424,7 @@ pub fn evaluate_serial_naive<S: BulkScorer>(
 /// Per-thread partial sums are merged in thread order, so the result is
 /// deterministic for a fixed thread count (and equal to
 /// [`evaluate_serial`] up to floating-point association).
-pub fn evaluate<S: BulkScorer>(
+pub fn evaluate<S: BulkScorer + ?Sized>(
     scorer: &S,
     train: &Interactions,
     test: &Interactions,
@@ -423,7 +437,7 @@ pub fn evaluate<S: BulkScorer>(
 /// [`evaluate_serial_instrumented`]. The stats primitives are lock-free, so
 /// the parallel workers record into them concurrently and the merged counts
 /// are exact.
-pub fn evaluate_instrumented<S: BulkScorer>(
+pub fn evaluate_instrumented<S: BulkScorer + ?Sized>(
     scorer: &S,
     train: &Interactions,
     test: &Interactions,

@@ -37,7 +37,7 @@ mod topk;
 pub use aggregate::{paired_t_test, Aggregate, PairedComparison};
 pub use evaluate::{
     evaluate, evaluate_instrumented, evaluate_serial, evaluate_serial_instrumented,
-    evaluate_serial_naive, BulkScorer, EvalConfig, EvalReport, TopKMetrics,
+    evaluate_serial_naive, score_block_serially, BulkScorer, EvalConfig, EvalReport, TopKMetrics,
 };
 pub use stats::EvalStats;
 pub use ranked::{rank_all, top_k_into, top_k_ranked, CountingRanks, RankedList};

@@ -12,10 +12,15 @@
 //!   Cholesky solves) used by the WMF/ALS baseline,
 //! * [`SgdConfig`] — the shared learning-rate/regularization bundle,
 //! * [`SharedMfModel`] — the lock-free shared view that Hogwild-style
-//!   parallel trainers mutate from many threads at once.
+//!   parallel trainers mutate from many threads at once,
+//! * [`simd`] — the wide-f32 score/update kernels (portable 8-lane
+//!   reference plus a runtime-dispatched AVX2 path) behind every dense hot
+//!   loop; the `simd` cargo feature (default on) gates the arch path, and
+//!   disabling it leaves the always-compiled portable kernels.
 //!
 //! Unsafe code is denied crate-wide and allowed only inside the audited
-//! [`shared`](SharedMfModel) module; every other module is safe Rust.
+//! [`shared`](SharedMfModel) and [`simd`] modules; every other module is
+//! safe Rust.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,6 +29,8 @@ pub mod linalg;
 mod model;
 mod scorer;
 mod shared;
+pub mod simd;
 
 pub use model::{Init, MfModel, SgdConfig};
 pub use shared::SharedMfModel;
+pub use simd::{arch_dispatch_active, dot, dot_bias, dot_bias_wide, dot_wide};

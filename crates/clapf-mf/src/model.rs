@@ -1,5 +1,13 @@
 //! The factor-model parameter container and its SGD kernels.
+//!
+//! The dense-f32 arithmetic lives in [`crate::simd`]; this module only
+//! decides *which* kernel each entry point uses. [`MfModel::score`] stays on
+//! the scalar kernel (its exact operation order is what default training
+//! trajectories are pinned to), while the bulk inference paths
+//! ([`MfModel::scores_for_user`], [`MfModel::scores_for_users`]) use the
+//! wide kernels.
 
+use crate::simd::{self, dot_bias, dot_bias_wide};
 use clapf_data::{ItemId, UserId};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -171,39 +179,80 @@ impl MfModel {
     }
 
     /// Predicted relevance `f_ui = U_u · V_i + b_i`.
+    ///
+    /// Uses the scalar [`dot_bias`] kernel on purpose: this is the scoring
+    /// path inside `sgd_step` and the samplers, and its exact operation
+    /// order is what keeps default training trajectories bit-identical
+    /// across releases. The trainer's opt-in SIMD mode goes through
+    /// [`score_wide`](MfModel::score_wide) instead.
     #[inline]
     pub fn score(&self, u: UserId, i: ItemId) -> f32 {
         dot_bias(self.user(u), self.item(i), self.item_bias[i.index()])
     }
 
+    /// Predicted relevance via the wide (8-lane) kernel — the same value as
+    /// [`score`](MfModel::score) up to f32 summation order, and exactly the
+    /// per-pair arithmetic of [`scores_for_user`](MfModel::scores_for_user).
+    /// The trainer uses it when the `simd_training` config flag is set.
+    #[inline]
+    pub fn score_wide(&self, u: UserId, i: ItemId) -> f32 {
+        dot_bias_wide(self.user(u), self.item(i), self.item_bias[i.index()])
+    }
+
     /// Writes the scores of user `u` against every item into `out`
-    /// (resized to `n_items`). One pass, no allocation when `out` has
-    /// capacity; `chunks_exact` over the item table keeps the loop free of
-    /// per-item bounds checks. This is the kernel behind every full-ranking
-    /// evaluation; blocks of users go through the faster
+    /// (resized to `n_items`). One pass over the item table with the wide
+    /// [`dot_bias_wide`] kernel, no allocation when `out` has capacity.
+    /// This is the kernel behind every full-ranking evaluation; blocks of
+    /// users go through the faster
     /// [`scores_for_users`](MfModel::scores_for_users).
     pub fn scores_for_user(&self, u: UserId, out: &mut Vec<f32>) {
         out.clear();
         out.reserve(self.n_items as usize);
         let uf = self.user(u);
         for (vf, &b) in self.item_factors.chunks_exact(self.dim).zip(&self.item_bias) {
-            out.push(dot_bias(uf, vf, b));
+            out.push(dot_bias_wide(uf, vf, b));
         }
     }
 
-    /// Blocked batch-scoring kernel: scores every item for a whole block of
-    /// users, `outs[b]` receiving the scores of `users[b]` (each resized to
-    /// `n_items`).
+    /// Cache-blocked batch-scoring kernel: scores every item for a whole
+    /// block of users, `outs[b]` receiving the scores of `users[b]` (each
+    /// resized to `n_items`).
     ///
-    /// The sweep order is item-major: each item row `V_i` is loaded once and
-    /// dotted against every user factor in the block, so the item table —
-    /// the part that outgrows cache first (`n_items · d` floats) — streams
-    /// through memory once per block instead of once per user. The block's
-    /// user rows (`B · d` floats) stay resident in L1. Scores are produced
-    /// by the same [`dot_bias`] kernel as [`score`](MfModel::score) and
-    /// [`scores_for_user`](MfModel::scores_for_user), so the results are
-    /// bit-identical to per-user scoring.
+    /// The item table — the part that outgrows cache first (`n_items · d`
+    /// floats) — is cut into tiles sized to stay L2-resident; each tile is
+    /// swept once per user in the block before the next tile streams in, so
+    /// item rows are read from memory once per block instead of once per
+    /// user. Scores are produced by the same [`dot_bias_wide`] kernel as
+    /// [`scores_for_user`](MfModel::scores_for_user), and each `(u, i)`
+    /// score is an independent dot product, so the results are bit-identical
+    /// to per-user scoring.
     pub fn scores_for_users(&self, users: &[UserId], outs: &mut [Vec<f32>]) {
+        assert_eq!(
+            users.len(),
+            outs.len(),
+            "one output buffer per user in the block"
+        );
+        let ni = self.n_items as usize;
+        for out in outs.iter_mut() {
+            out.clear();
+            out.resize(ni, 0.0);
+        }
+        simd::blocked_scores(
+            &self.user_factors,
+            &self.item_factors,
+            &self.item_bias,
+            self.dim,
+            users,
+            outs,
+        );
+    }
+
+    /// The pre-wide batch sweep, kept as the scalar-kernel reference: same
+    /// item-major traversal the batch kernel used before the wide kernels
+    /// landed, scoring through the scalar [`dot_bias`]. The scale bench
+    /// measures the wide [`scores_for_users`](MfModel::scores_for_users)
+    /// against this path; it is not used on any production route.
+    pub fn scores_for_users_scalar(&self, users: &[UserId], outs: &mut [Vec<f32>]) {
         assert_eq!(
             users.len(),
             outs.len(),
@@ -243,23 +292,19 @@ impl MfModel {
     /// SGD step on a user row: `U_u += step · grad − lr·reg · U_u`.
     ///
     /// `grad` must have length `dim`. The regularization term uses the same
-    /// `lr` folded into `step` by the caller; this helper applies the decay
-    /// explicitly so the call site reads like Eq. (22).
+    /// `lr` folded into `step` by the caller; the decay is applied
+    /// explicitly so the call site reads like Eq. (22). Runs through the
+    /// elementwise [`simd::axpy_update`] kernel, which is bit-identical to
+    /// the scalar loop it replaced (no cross-element reassociation).
     #[inline]
     pub fn sgd_user(&mut self, u: UserId, step: f32, grad: &[f32], decay: f32) {
-        let row = self.user_mut(u);
-        for (w, g) in row.iter_mut().zip(grad) {
-            *w += step * g - decay * *w;
-        }
+        simd::axpy_update(self.user_mut(u), grad, step, decay);
     }
 
     /// SGD step on an item row: `V_i += step · grad − decay · V_i`.
     #[inline]
     pub fn sgd_item(&mut self, i: ItemId, step: f32, grad: &[f32], decay: f32) {
-        let row = self.item_mut(i);
-        for (w, g) in row.iter_mut().zip(grad) {
-            *w += step * g - decay * *w;
-        }
+        simd::axpy_update(self.item_mut(i), grad, step, decay);
     }
 
     /// SGD step on an item bias: `b_i += step · grad − decay · b_i`.
@@ -359,41 +404,6 @@ fn mean_row_norm(flat: &[f32], rows: usize, dim: usize) -> f64 {
     acc / (rows.max(1) as f64)
 }
 
-/// Dense dot product; the hottest few lines in the workspace.
-///
-/// Accumulates four independent lanes so the compiler can keep the
-/// multiply-adds in flight instead of serializing on one accumulator
-/// (f32 addition is not associative, so a single-lane loop forms a
-/// dependency chain the optimizer must preserve).
-/// `dot(user, item) + bias`, the full scoring kernel. The bias is added
-/// after the lane reduction — the exact operation order of the historical
-/// `dot(...) + bias` call sites — so hoisting it here changes no bits.
-/// `#[inline]` so the batch kernel's inner loop fuses it with the lane
-/// accumulation instead of paying a call per (user, item) pair.
-#[inline]
-pub(crate) fn dot_bias(a: &[f32], b: &[f32], bias: f32) -> f32 {
-    dot(a, b) + bias
-}
-
-#[inline]
-pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut lanes = [0.0f32; 4];
-    let a4 = a.chunks_exact(4);
-    let b4 = b.chunks_exact(4);
-    let mut tail = 0.0f32;
-    for (x, y) in a4.remainder().iter().zip(b4.remainder()) {
-        tail += x * y;
-    }
-    for (ca, cb) in a4.zip(b4) {
-        lanes[0] += ca[0] * cb[0];
-        lanes[1] += ca[1] * cb[1];
-        lanes[2] += ca[2] * cb[2];
-        lanes[3] += ca[3] * cb[3];
-    }
-    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -455,6 +465,34 @@ mod tests {
                     "user {u:?} item {i}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn scalar_batch_reference_matches_scalar_score_bitwise() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let m = MfModel::new(6, 29, 7, Init::SmallUniform { scale: 0.5 }, &mut rng);
+        let users = [UserId(0), UserId(5), UserId(2)];
+        let mut outs: Vec<Vec<f32>> = vec![Vec::new(); users.len()];
+        m.scores_for_users_scalar(&users, &mut outs);
+        for (b, &u) in users.iter().enumerate() {
+            for i in 0..29u32 {
+                assert_eq!(
+                    outs[b][i as usize].to_bits(),
+                    m.score(u, ItemId(i)).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wide_score_agrees_with_scalar_score() {
+        let mut rng = SmallRng::seed_from_u64(22);
+        let m = MfModel::new(4, 9, 20, Init::SmallUniform { scale: 0.5 }, &mut rng);
+        for i in 0..9u32 {
+            let s = m.score(UserId(1), ItemId(i));
+            let w = m.score_wide(UserId(1), ItemId(i));
+            assert!((s - w).abs() < 1e-5, "item {i}: {s} vs {w}");
         }
     }
 

@@ -110,8 +110,12 @@ impl SharedMfModel {
     /// SGD step on a user row: `U_u += step · grad − decay · U_u`.
     ///
     /// Bit-for-bit the same arithmetic and update order as
-    /// [`MfModel::sgd_user`], so a single-threaded run through this view
-    /// reproduces the serial trainer exactly.
+    /// [`MfModel::sgd_user`] — both route through the elementwise
+    /// [`crate::simd::axpy_update`] kernel family — so a single-threaded
+    /// run through this view reproduces the serial trainer exactly. The
+    /// vector path widens torn writes from one `f32` to one 32-byte store;
+    /// the module contract's benign-race argument is unchanged (lane `t`
+    /// still only touches element `t`).
     #[inline]
     pub fn sgd_user(&self, u: UserId, step: f32, grad: &[f32], decay: f32) {
         debug_assert!(u.index() < self.n_users as usize);
@@ -121,12 +125,7 @@ impl SharedMfModel {
         // any UserId valid for this model). Races with other workers on
         // these plain stores are the documented Hogwild trade-off.
         unsafe {
-            let row = self.users.add(u.index() * self.dim);
-            for (q, &g) in grad.iter().enumerate() {
-                let p = row.add(q);
-                let w = p.read();
-                p.write(w + (step * g - decay * w));
-            }
+            crate::simd::axpy_update_raw(self.users.add(u.index() * self.dim), grad, step, decay);
         }
     }
 
@@ -138,12 +137,7 @@ impl SharedMfModel {
         debug_assert_eq!(grad.len(), self.dim);
         // SAFETY: as in `sgd_user`, for the item-factor buffer.
         unsafe {
-            let row = self.items.add(i.index() * self.dim);
-            for (q, &g) in grad.iter().enumerate() {
-                let p = row.add(q);
-                let w = p.read();
-                p.write(w + (step * g - decay * w));
-            }
+            crate::simd::axpy_update_raw(self.items.add(i.index() * self.dim), grad, step, decay);
         }
     }
 

@@ -1,0 +1,186 @@
+//! Property tests pinning the SIMD kernels to their scalar/portable
+//! references, plus the end-to-end check that turning SIMD scoring on does
+//! not change a single evaluation number relative to the portable kernel.
+//!
+//! The contract (DESIGN.md §13): the portable 8-lane kernel is the reference
+//! for everything wide; the arch-gated (AVX2) path must match it *bit for
+//! bit* on every input, including non-multiple-of-lane tails. Elementwise
+//! kernels (`axpy_update`, `saxpy`) must match their scalar loops bit for
+//! bit on both paths, because training uses them unconditionally.
+
+use clapf_data::{InteractionsBuilder, ItemId, UserId};
+use clapf_metrics::{evaluate_serial, BulkScorer, EvalConfig};
+use clapf_mf::simd::{
+    self, axpy_update, axpy_update_portable, dot_wide, dot_wide_arch, dot_wide_portable, saxpy,
+    saxpy_portable,
+};
+use clapf_mf::{Init, MfModel};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Equal-length f32 vector pairs across every tail shape the kernels have:
+/// lengths 0..=257 cover empty, sub-lane, one-vector, the 16-element unroll
+/// boundary and a 256+1 tail.
+fn vec_pair() -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+    (0usize..258, 0u32..2).prop_flat_map(|(len, magnitude)| {
+        // Alternate between well-scaled values (the common case for
+        // factors) and magnitude-spread values that make any accidental
+        // reassociation visible.
+        let elem = if magnitude == 0 {
+            -2.0f32..2.0
+        } else {
+            -1e4f32..1e4
+        };
+        (
+            proptest::collection::vec(elem.clone(), len),
+            proptest::collection::vec(elem, len),
+        )
+    })
+}
+
+proptest! {
+    /// Dispatched wide dot == portable wide dot, to the bit.
+    #[test]
+    fn dispatched_dot_matches_portable_bitwise((a, b) in vec_pair()) {
+        prop_assert_eq!(
+            dot_wide(&a, &b).to_bits(),
+            dot_wide_portable(&a, &b).to_bits()
+        );
+    }
+
+    /// The arch-gated path (when present on this CPU) == portable, to the
+    /// bit. On machines without AVX2 this degenerates to the dispatch test,
+    /// which is exactly the scalar-fallback guarantee.
+    #[test]
+    fn arch_dot_matches_portable_bitwise((a, b) in vec_pair()) {
+        if let Some(arch) = dot_wide_arch(&a, &b) {
+            prop_assert_eq!(arch.to_bits(), dot_wide_portable(&a, &b).to_bits());
+        }
+    }
+
+    /// Wide and scalar dots agree numerically (they reassociate, so bitwise
+    /// equality is not expected — closeness in f64 is).
+    #[test]
+    fn wide_dot_is_close_to_scalar((a, b) in vec_pair()) {
+        let exact: f64 = a.iter().zip(&b).map(|(&x, &y)| x as f64 * y as f64).sum();
+        let wide = dot_wide(&a, &b) as f64;
+        let scalar = simd::dot(&a, &b) as f64;
+        let scale = 1.0 + a.iter().zip(&b).map(|(&x, &y)| (x as f64 * y as f64).abs()).sum::<f64>();
+        prop_assert!((wide - exact).abs() <= 1e-3 * scale, "wide {wide} vs exact {exact}");
+        prop_assert!((scalar - exact).abs() <= 1e-3 * scale, "scalar {scalar} vs exact {exact}");
+    }
+
+    /// The elementwise row update never reassociates: dispatched == scalar
+    /// loop, to the bit, for every length and tail.
+    #[test]
+    fn axpy_matches_scalar_bitwise(
+        (row, grad) in vec_pair(),
+        step in -0.5f32..0.5,
+        decay in 0.0f32..0.1,
+    ) {
+        let mut wide = row.clone();
+        let mut reference = row;
+        axpy_update(&mut wide, &grad, step, decay);
+        axpy_update_portable(&mut reference, &grad, step, decay);
+        for (w, r) in wide.iter().zip(&reference) {
+            prop_assert_eq!(w.to_bits(), r.to_bits());
+        }
+    }
+
+    /// Same for the gradient-accumulation kernel.
+    #[test]
+    fn saxpy_matches_scalar_bitwise((out, x) in vec_pair(), c in -2.0f32..2.0) {
+        let mut wide = out.clone();
+        let mut reference = out;
+        saxpy(&mut wide, c, &x);
+        saxpy_portable(&mut reference, c, &x);
+        for (w, r) in wide.iter().zip(&reference) {
+            prop_assert_eq!(w.to_bits(), r.to_bits());
+        }
+    }
+}
+
+/// Exhaustive (non-proptest) sweep of every length 0..=257: the dispatched
+/// kernel, the arch kernel and the portable kernel agree bitwise. Proptest
+/// samples lengths; this loop guarantees no tail length is ever skipped.
+#[test]
+fn every_length_0_to_257_matches_bitwise() {
+    let mut mism = 0u32;
+    for len in 0..=257usize {
+        let a: Vec<f32> = (0..len).map(|t| ((t * 37 + 11) % 23) as f32 - 11.0).collect();
+        let b: Vec<f32> = (0..len).map(|t| ((t * 53 + 7) % 19) as f32 - 9.0).collect();
+        let portable = dot_wide_portable(&a, &b);
+        if dot_wide(&a, &b).to_bits() != portable.to_bits() {
+            mism += 1;
+        }
+        if let Some(arch) = dot_wide_arch(&a, &b) {
+            if arch.to_bits() != portable.to_bits() {
+                mism += 1;
+            }
+        }
+    }
+    assert_eq!(mism, 0);
+}
+
+/// End-to-end pin: a full `evaluate` run through the model's SIMD scoring
+/// path (dispatched wide kernels, blocked batch sweep) produces *exactly*
+/// the report of a plain closure scorer computing every score with the
+/// portable wide kernel. This is the "evaluate output is unchanged with
+/// SIMD scoring on" guarantee — bit-identity is pinned against the
+/// portable scalar-fallback kernel, not against historical outputs.
+#[test]
+fn evaluate_with_simd_scoring_is_pinned_to_portable_kernel() {
+    let n_users = 40u32;
+    let n_items = 73u32; // non-multiple-of-lane item table
+    let dim = 20; // the paper's d, a 16+4 tail for the wide kernel
+    let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+    let model = MfModel::new(n_users, n_items, dim, Init::SmallUniform { scale: 0.6 }, &mut rng);
+
+    let mut tr = InteractionsBuilder::new(n_users, n_items);
+    let mut te = InteractionsBuilder::new(n_users, n_items);
+    for u in 0..n_users {
+        for i in 0..n_items {
+            match (u.wrapping_mul(31).wrapping_add(i * 7)) % 6 {
+                0 => tr.push(UserId(u), ItemId(i)).unwrap(),
+                1 => te.push(UserId(u), ItemId(i)).unwrap(),
+                _ => {}
+            }
+        }
+    }
+    let train = tr.build().unwrap();
+    let test = te.build().unwrap();
+
+    // Reference scorer: per-user loop over the item table with the portable
+    // wide kernel — no dispatch, no blocking, no batch path.
+    let reference = |u: UserId, out: &mut Vec<f32>| {
+        out.clear();
+        for i in 0..n_items {
+            let i = ItemId(i);
+            out.push(dot_wide_portable(model.user(u), model.item(i)) + model.bias(i));
+        }
+    };
+
+    let cfg = EvalConfig::default();
+    let simd_report = evaluate_serial(&model, &train, &test, &cfg);
+    let portable_report = evaluate_serial(&reference, &train, &test, &cfg);
+    assert_eq!(simd_report, portable_report); // exact, not approximate
+}
+
+/// The batch (blocked) scorer exposed through `BulkScorer` matches per-user
+/// SIMD scoring bitwise — the property the evaluator's block loop relies on.
+#[test]
+fn bulk_scorer_batch_is_bitwise_per_user() {
+    let mut rng = SmallRng::seed_from_u64(99);
+    let model = MfModel::new(50, 201, 16, Init::SmallUniform { scale: 0.4 }, &mut rng);
+    let users: Vec<UserId> = (0..50).step_by(3).map(UserId).collect();
+    let mut outs: Vec<Vec<f32>> = vec![Vec::new(); users.len()];
+    BulkScorer::scores_into_batch(&model, &users, &mut outs);
+    let mut single = Vec::new();
+    for (b, &u) in users.iter().enumerate() {
+        BulkScorer::scores_into(&model, u, &mut single);
+        for i in 0..201 {
+            assert_eq!(outs[b][i].to_bits(), single[i].to_bits(), "user {u} item {i}");
+        }
+    }
+}

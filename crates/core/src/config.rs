@@ -92,6 +92,17 @@ pub struct ClapfConfig {
     pub refresh_every: usize,
     /// Multi-threaded training settings used by `Clapf::fit_parallel`.
     pub parallel: ParallelConfig,
+    /// Use the reassociating wide (SIMD) dot kernel for the three score
+    /// evaluations inside each SGD step. Off by default: the wide kernel
+    /// sums lanes in a different order than the scalar kernel, so enabling
+    /// it changes the training trajectory (by float-rounding noise, not by
+    /// statistics) and breaks bit-reproducibility against serial runs
+    /// recorded with it off. Elementwise update kernels vectorize
+    /// unconditionally — they never reassociate, so they are exempt.
+    /// `#[serde(default)]` keeps models and checkpoints saved before this
+    /// field existed loadable (they trained with the scalar kernel).
+    #[serde(default)]
+    pub simd_training: bool,
 }
 
 impl ClapfConfig {
@@ -106,6 +117,7 @@ impl ClapfConfig {
             init: Init::default(),
             refresh_every: 0,
             parallel: ParallelConfig::default(),
+            simd_training: false,
         }
     }
 
@@ -209,6 +221,20 @@ mod tests {
         };
         assert!(p.resolve_threads() >= 1);
         assert_eq!(p.resolve_chunk(), 256);
+    }
+
+    #[test]
+    fn simd_training_defaults_off_and_deserializes_when_absent() {
+        assert!(!ClapfConfig::map(0.4).simd_training);
+        // A config serialized before the field existed must still load —
+        // and must load with the kernel it actually trained with (scalar).
+        let json = serde_json::to_string(&ClapfConfig::map(0.4)).unwrap();
+        let stripped = json
+            .replace(",\"simd_training\":false", "")
+            .replace("\"simd_training\":false,", "");
+        assert_ne!(json, stripped, "field not found in serialized config");
+        let old: ClapfConfig = serde_json::from_str(&stripped).unwrap();
+        assert!(!old.simd_training);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The model-agnostic recommendation interface.
 
 use clapf_data::{Interactions, ItemId, UserId};
+use clapf_metrics::{score_block_serially, BulkScorer};
 use clapf_mf::MfModel;
 
 /// A fitted recommender: scores user–item pairs and produces top-k lists.
@@ -34,14 +35,12 @@ pub trait Recommender: Send + Sync {
     }
 
     /// Scores a block of users at once, one output buffer per user. The
-    /// default loops over [`scores_into`](Recommender::scores_into); factor
-    /// models override it with a blocked kernel that streams the item table
-    /// through cache once per block instead of once per user.
+    /// default loops over [`scores_into`](Recommender::scores_into) via the
+    /// shared [`score_block_serially`] fallback; factor models override it
+    /// with a blocked kernel that streams the item table through cache once
+    /// per block instead of once per user.
     fn scores_into_batch(&self, users: &[UserId], out: &mut [Vec<f32>]) {
-        debug_assert_eq!(users.len(), out.len());
-        for (&u, buf) in users.iter().zip(out.iter_mut()) {
-            self.scores_into(u, buf);
-        }
+        score_block_serially(|u, buf| self.scores_into(u, buf), users, out);
     }
 
     /// The top-`k` items for user `u`, excluding the user's observed items
@@ -70,6 +69,22 @@ pub trait Recommender: Send + Sync {
         }
         items.sort_unstable_by(cmp);
         items
+    }
+}
+
+/// Every (possibly type-erased) recommender is an evaluation scorer.
+///
+/// Implemented on `dyn Recommender` so harness code holding `&dyn
+/// Recommender` (or a boxed model) can hand it straight to
+/// `clapf_metrics::evaluate` without wrapping it in an adapter newtype —
+/// the evaluator's entry points take `S: BulkScorer + ?Sized`.
+impl<'a> BulkScorer for dyn Recommender + 'a {
+    fn scores_into(&self, u: UserId, out: &mut Vec<f32>) {
+        Recommender::scores_into(self, u, out);
+    }
+
+    fn scores_into_batch(&self, users: &[UserId], out: &mut [Vec<f32>]) {
+        Recommender::scores_into_batch(self, users, out);
     }
 }
 

@@ -336,6 +336,11 @@ struct StepParams {
     decay_u: f32,
     decay_v: f32,
     decay_b: f32,
+    /// Score triples with the reassociating wide dot kernel
+    /// (`ClapfConfig::simd_training`). Changes the rounding of each score —
+    /// and therefore the trajectory — so it is part of the checkpoint
+    /// fingerprint.
+    wide: bool,
 }
 
 impl StepParams {
@@ -355,6 +360,7 @@ impl StepParams {
             decay_u: lr * cfg.sgd.reg_user,
             decay_v: lr * cfg.sgd.reg_item,
             decay_b: lr * cfg.sgd.reg_bias,
+            wide: cfg.simd_training,
         }
     }
 }
@@ -454,9 +460,17 @@ fn sgd_step<S: TripleSampler + ?Sized>(
         return;
     };
 
-    let f_ui = model.score(u, i);
-    let f_uk = if k == i { f_ui } else { model.score(u, k) };
-    let f_uj = model.score(u, j);
+    // Kernel choice is per-fit, not per-step: the scalar dot (default)
+    // preserves historical trajectories bit-for-bit; the wide dot
+    // (`simd_training`) reassociates the lane sum for throughput.
+    let score: fn(&MfModel, UserId, ItemId) -> f32 = if p.wide {
+        MfModel::score_wide
+    } else {
+        MfModel::score
+    };
+    let f_ui = score(model, u, i);
+    let f_uk = if k == i { f_ui } else { score(model, u, k) };
+    let f_uj = score(model, u, j);
     let r = p.weights.criterion(f_ui, f_uk, f_uj);
     // Eq. 23: every parameter gradient carries the scale 1 − σ(R).
     let g = sigmoid(-r);
@@ -475,13 +489,14 @@ fn sgd_step<S: TripleSampler + ?Sized>(
         c_j: cj,
     } = p.weights;
 
-    // ∂R/∂U_u = c_i V_i + c_k V_k + c_j V_j.
+    // ∂R/∂U_u = c_i V_i + c_k V_k + c_j V_j. The saxpy kernel is
+    // elementwise (lane t only ever touches slot t), so vectorizing it is
+    // bit-identical to the scalar loop it replaced and safe to use
+    // unconditionally, wide flag or not.
     grad_u.fill(0.0);
     for (t, c) in [(i, ci), (k, ck), (j, cj)] {
         if c != 0.0 {
-            for (gslot, &w) in grad_u.iter_mut().zip(model.item(t)) {
-                *gslot += c * w;
-            }
+            clapf_mf::simd::saxpy(grad_u, c, model.item(t));
         }
     }
     shared.sgd_user(u, p.lr * g, grad_u, p.decay_u);
@@ -678,6 +693,10 @@ where
         ("refresh", refresh_every.to_string()),
         ("sampler", sampler.name().to_string()),
         ("seed", base_seed.to_string()),
+        // The score-kernel choice changes per-step rounding, so resuming a
+        // scalar-kernel checkpoint under the wide kernel (or vice versa)
+        // would splice two different trajectories.
+        ("kernel", if cfg.simd_training { "wide" } else { "scalar" }.to_string()),
         (
             "data",
             format!("{}x{}:{}", data.n_users(), data.n_items(), data.n_pairs()),

@@ -130,4 +130,17 @@ exec 3>&-
 wait "$serve_pid" \
   || { echo "overload smoke: server exited non-zero" >&2; exit 1; }
 
+echo "==> scale smoke: streaming build + mmap open + SIMD eval gates"
+# The binary itself asserts the smoke gates: nonzero training throughput,
+# mmap peak-RSS delta < 60% of the heap build, SIMD/scalar agreement.
+target/release/scale --smoke --out "$smoke_dir/scale" > /dev/null
+[ -s "$smoke_dir/scale/BENCH_scale.json" ] \
+  || { echo "scale smoke: no BENCH_scale.json written" >&2; exit 1; }
+grep -q '"tag": *"smoke"' "$smoke_dir/scale/BENCH_scale.json" \
+  || { echo "scale smoke: smoke row missing from report" >&2; exit 1; }
+
+echo "==> cargo build -p clapf-mf --no-default-features"
+# The portable kernels must stand alone with the simd feature off.
+cargo build -p clapf-mf --no-default-features
+
 echo "tier-1: OK"

@@ -121,6 +121,20 @@ pub fn field<T: Deserialize>(fields: &[(String, Value)], name: &str) -> Result<T
     }
 }
 
+/// Like [`field`], but an absent key yields `T::default()` — the behaviour
+/// of real serde's `#[serde(default)]` field attribute.
+pub fn field_or_default<T: Deserialize + Default>(
+    fields: &[(String, Value)],
+    name: &str,
+) -> Result<T, Error> {
+    match fields.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => {
+            T::from_value(v).map_err(|e| Error::msg(format!("field `{name}`: {e}")))
+        }
+        None => Ok(T::default()),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Implementations for std types used across the workspace.
 // ---------------------------------------------------------------------------

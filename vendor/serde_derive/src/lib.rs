@@ -5,7 +5,8 @@
 //! `#[serde(transparent)]`), and enums with unit or struct variants —
 //! exactly the shapes this workspace derives on. Field attributes
 //! understood: `#[serde(skip)]` (omit on serialize, `Default` on
-//! deserialize) and `#[serde(transparent)]` (implied for newtypes).
+//! deserialize), `#[serde(default)]` (`Default` when the key is absent)
+//! and `#[serde(transparent)]` (implied for newtypes).
 //! Generics are not supported and abort with a clear message.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
@@ -13,6 +14,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     skip: bool,
+    default: bool,
 }
 
 struct Variant {
@@ -118,6 +120,7 @@ fn parse_named_fields(body: &[TokenTree]) -> Vec<Field> {
         fields.push(Field {
             name,
             skip: markers.iter().any(|m| m == "skip"),
+            default: markers.iter().any(|m| m == "default"),
         });
     }
     fields
@@ -272,23 +275,29 @@ fn gen_serialize(input: &Input) -> String {
     )
 }
 
+/// One `name: <expr>,` initializer for a deserialized struct field:
+/// skipped fields always default, `#[serde(default)]` fields default when
+/// the key is absent, everything else is required.
+fn field_init(f: &Field) -> String {
+    if f.skip {
+        format!("{}: ::core::default::Default::default(),\n", f.name)
+    } else if f.default {
+        format!(
+            "{0}: ::serde::field_or_default(fields, \"{0}\")?,\n",
+            f.name
+        )
+    } else {
+        format!("{0}: ::serde::field(fields, \"{0}\")?,\n", f.name)
+    }
+}
+
 fn gen_deserialize(input: &Input) -> String {
     let name = &input.name;
     let body = match &input.kind {
         Kind::Named(fields) => {
             let mut inits = String::new();
             for f in fields {
-                if f.skip {
-                    inits.push_str(&format!(
-                        "{}: ::core::default::Default::default(),\n",
-                        f.name
-                    ));
-                } else {
-                    inits.push_str(&format!(
-                        "{0}: ::serde::field(fields, \"{0}\")?,\n",
-                        f.name
-                    ));
-                }
+                inits.push_str(&field_init(f));
             }
             format!(
                 "let fields = ::serde::expect_map(v, \"{name}\")?;\n\
@@ -314,17 +323,7 @@ fn gen_deserialize(input: &Input) -> String {
                 if let Some(fields) = &v.fields {
                     let mut inits = String::new();
                     for f in fields {
-                        if f.skip {
-                            inits.push_str(&format!(
-                                "{}: ::core::default::Default::default(),\n",
-                                f.name
-                            ));
-                        } else {
-                            inits.push_str(&format!(
-                                "{0}: ::serde::field(fields, \"{0}\")?,\n",
-                                f.name
-                            ));
-                        }
+                        inits.push_str(&field_init(f));
                     }
                     struct_arms.push_str(&format!(
                         "\"{v}\" => {{\n\
