@@ -1,0 +1,62 @@
+//! Micro-bench for the serve miss-path compute floor: per-user cost of
+//! `scores_into_batch` + `top_k_from_scores` at the serve_load fast scale
+//! (5k items, dim 32, k 10), across batch sizes. This is the ceiling on
+//! uncached QPS before any transport overhead — useful for telling "the
+//! kernel is slow" apart from "the server is slow" when serve_load moves.
+use clapf_data::loader::{load_ratings_reader, Separator};
+use clapf_metrics::BulkScorer;
+use clapf_mf::{Init, MfModel};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let (n_users, n_items, dim) = (2000u32, 5000u32, 32usize);
+    let mut csv = String::new();
+    for u in 0..n_users {
+        for t in 0..8u32 {
+            let i = (u * 13 + t * 97) % n_items;
+            csv.push_str(&format!("u{u},i{i},5\n"));
+        }
+    }
+    let loaded = load_ratings_reader(std::io::Cursor::new(csv), Separator::Comma, 3.0).unwrap();
+    let mut rng = SmallRng::seed_from_u64(7);
+    let model = MfModel::new(
+        loaded.interactions.n_users(),
+        loaded.interactions.n_items(),
+        dim,
+        Init::default(),
+        &mut rng,
+    );
+    for batch in [1usize, 4, 16, 32] {
+        let users: Vec<clapf_data::UserId> =
+            (0..batch as u32).map(clapf_data::UserId).collect();
+        let mut bufs: Vec<Vec<f32>> = (0..batch).map(|_| Vec::new()).collect();
+        let iters = 2000 / batch;
+        let t = Instant::now();
+        for _ in 0..iters {
+            model.scores_into_batch(&users, &mut bufs);
+        }
+        let score_us = t.elapsed().as_secs_f64() * 1e6 / (iters * batch) as f64;
+        let mut items = Vec::new();
+        let t = Instant::now();
+        for _ in 0..iters {
+            for b in &bufs {
+                clapf_metrics::top_k_from_scores(
+                    b,
+                    &loaded.interactions,
+                    clapf_data::UserId(0),
+                    10,
+                    &mut items,
+                );
+            }
+        }
+        let topk_us = t.elapsed().as_secs_f64() * 1e6 / (iters * batch) as f64;
+        println!(
+            "batch {batch:>2}: score {score_us:.1} us/user, topk {topk_us:.1} us/user, \
+             total {:.1} us/user -> {:.0} users/sec",
+            score_us + topk_us,
+            1e6 / (score_us + topk_us)
+        );
+    }
+}

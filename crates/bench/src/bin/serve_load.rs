@@ -1,18 +1,31 @@
-//! Closed-loop load generator for the `clapf-serve` HTTP server.
+//! Load generator for the `clapf-serve` HTTP server.
 //!
-//! Boots a real server (in-process, ephemeral port) on a synthetic bundle
-//! and hammers `GET /recommend/{user}?k=10` from keep-alive client threads
-//! whose user ids follow a Zipf distribution — the skew that makes a top-k
-//! cache pay. Two runs, identical except for the cache (on, then off),
-//! land in `results/BENCH_serve.json` alongside the other BENCH artifacts:
-//! QPS, p50/p95/p99 latency, and the measured cache hit rate.
+//! Boots real servers (in-process, ephemeral ports) on a synthetic bundle
+//! and drives `GET /recommend/{user}?k=10` from keep-alive clients whose
+//! user ids follow a Zipf distribution — the skew that makes a top-k cache
+//! pay. Results land in `results/BENCH_serve.json`.
+//!
+//! Two modes per leg:
+//!
+//! * **closed** — each client sends its next request the moment the
+//!   previous response lands; measures saturated QPS and in-flight latency.
+//! * **open** — requests arrive on a fixed schedule regardless of how the
+//!   server is doing; latency is measured from the *intended* send time, so
+//!   queueing delay is charged honestly (no coordinated omission), and
+//!   overload shows up as a shed (503) rate instead of a silently slower
+//!   client.
+//!
+//! The leg matrix compares the thread-per-connection transport against the
+//! event loop with micro-batched scoring (batch 32 vs. 1 — the batching
+//! A/B), each with the cache on and off. The headline number for ISSUE 7:
+//! uncached event-loop QPS must land within 2× of cached.
 
 use bench::Cli;
 use clapf_data::loader::{load_ratings_reader, Separator};
 use clapf_eval::report;
 use clapf_mf::{Init, MfModel};
-use clapf_serve::{start, ModelBundle, ServeConfig};
-use clapf_telemetry::Registry;
+use clapf_serve::{start, ModelBundle, ServeConfig, Transport};
+use clapf_telemetry::{Histogram, Registry};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
@@ -47,18 +60,22 @@ impl Zipf {
     }
 }
 
-/// One keep-alive request; returns latency. Panics on any protocol error —
-/// a load generator that silently drops errors measures nothing.
-fn request(
-    writer: &mut TcpStream,
-    reader: &mut BufReader<TcpStream>,
-    path: &str,
-) -> Duration {
-    let started = Instant::now();
+/// One keep-alive request; returns the response status. Panics on protocol
+/// errors — a load generator that silently drops errors measures nothing —
+/// but passes 503 through so open-loop legs can count sheds.
+fn request(writer: &mut TcpStream, reader: &mut BufReader<TcpStream>, path: &str) -> u16 {
     write!(writer, "GET {path} HTTP/1.1\r\nHost: b\r\n\r\n").expect("send request");
     let mut line = String::new();
     reader.read_line(&mut line).expect("status line");
-    assert!(line.contains("200"), "unexpected response: {line:?}");
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {line:?}"));
+    assert!(
+        status == 200 || status == 503,
+        "unexpected response: {line:?}"
+    );
     let mut content_length = 0usize;
     loop {
         line.clear();
@@ -77,19 +94,33 @@ fn request(
     }
     let mut body = vec![0u8; content_length];
     std::io::Read::read_exact(reader, &mut body).expect("body");
-    started.elapsed()
+    status
 }
 
 #[derive(Serialize)]
 struct LoadRun {
+    label: String,
+    transport: &'static str,
+    mode: &'static str,
     cache: &'static str,
     cache_capacity: usize,
+    batch_max: usize,
+    /// Open-loop arrival rate (0 for closed-loop legs).
+    target_qps: f64,
+    clients: usize,
     requests: u64,
+    /// 503 responses (open-loop overload sheds).
+    shed: u64,
+    shed_rate: f64,
     qps: f64,
     p50_ms: f64,
     p95_ms: f64,
     p99_ms: f64,
     cache_hit_rate: f64,
+    /// Misses answered by coalescing onto an in-flight computation.
+    coalesced: u64,
+    /// Mean users per scorer micro-batch (0 for the threaded transport).
+    mean_batch_size: f64,
 }
 
 #[derive(Serialize)]
@@ -102,6 +133,12 @@ struct ServeLoadReport {
     zipf_s: f64,
     duration_secs: f64,
     available_cores: usize,
+    /// Headline (ISSUE 7): event-loop cached QPS / uncached QPS at
+    /// saturating concurrency, where micro-batches fill. Target ≤ 2.0.
+    cached_over_uncached: f64,
+    /// Uncached event-loop QPS, batch_max 32 vs. 1, same concurrency —
+    /// what micro-batching itself buys.
+    batch_speedup: f64,
     runs: Vec<LoadRun>,
 }
 
@@ -113,7 +150,22 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     sorted_ms[idx]
 }
 
-/// Everything one load run needs besides the cache setting.
+/// One leg of the matrix.
+struct Leg {
+    label: String,
+    transport: Transport,
+    cache_capacity: usize,
+    cache_label: &'static str,
+    batch_max: usize,
+    /// `Some(rate)` runs open-loop at `rate` requests/sec; `None` closed.
+    open_rate: Option<f64>,
+    /// Concurrent keep-alive clients; `None` uses the scale default (the
+    /// low-concurrency p99 legs). Micro-batching legs override upward —
+    /// cross-request batches only fill when requests actually overlap.
+    clients: Option<usize>,
+}
+
+/// Everything every leg shares.
 struct LoadSpec {
     clients: usize,
     duration: Duration,
@@ -121,20 +173,24 @@ struct LoadSpec {
     seed: u64,
 }
 
-fn run_load(
-    bundle_path: &std::path::Path,
-    cache_capacity: usize,
-    cache_label: &'static str,
-    spec: &LoadSpec,
-    zipf: &Zipf,
-) -> LoadRun {
-    let LoadSpec { clients, duration, k, seed } = *spec;
+fn run_leg(bundle_path: &std::path::Path, leg: &Leg, spec: &LoadSpec, zipf: &Zipf) -> LoadRun {
+    let LoadSpec {
+        duration, k, seed, ..
+    } = *spec;
+    let clients = leg.clients.unwrap_or(spec.clients);
     let registry = Arc::new(Registry::new());
     let server = start(
         bundle_path.to_path_buf(),
         ServeConfig {
-            cache_capacity,
-            workers: clients.max(2),
+            cache_capacity: leg.cache_capacity,
+            workers: match leg.transport {
+                // Threaded: a worker per client or responses serialize.
+                Transport::Threaded => clients.max(2),
+                // Event loop: scorers contend with the loop for cores.
+                Transport::EventLoop => 2,
+            },
+            transport: leg.transport,
+            batch_max: leg.batch_max,
             ..ServeConfig::default()
         },
         Arc::clone(&registry),
@@ -147,6 +203,11 @@ fn run_load(
     for c in 0..clients {
         let mut rng = SmallRng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9E37));
         let zipf_cdf = zipf.cdf.clone();
+        // Open loop: the aggregate arrival rate is split evenly across
+        // clients, each ticking on its own fixed schedule.
+        let tick = leg
+            .open_rate
+            .map(|rate| Duration::from_secs_f64(clients as f64 / rate));
         threads.push(std::thread::spawn(move || {
             let zipf = Zipf { cdf: zipf_cdf };
             let stream = TcpStream::connect(addr).expect("connect");
@@ -154,39 +215,88 @@ fn run_load(
             let mut writer = stream.try_clone().expect("clone stream");
             let mut reader = BufReader::new(stream);
             let mut latencies_ms = Vec::new();
-            while started.elapsed() < duration {
+            let mut shed = 0u64;
+            let mut n = 0u64;
+            loop {
+                // Intended send time: closed-loop = now; open-loop = the
+                // schedule slot, whether or not we are running behind.
+                let intended = match tick {
+                    None => Instant::now(),
+                    Some(t) => {
+                        let slot = started + t.mul_f64(n as f64);
+                        if let Some(wait) = slot.checked_duration_since(Instant::now()) {
+                            std::thread::sleep(wait);
+                        }
+                        slot
+                    }
+                };
+                if started.elapsed() >= duration {
+                    break;
+                }
+                n += 1;
                 let user = zipf.sample(&mut rng);
-                let wall = request(
+                let status = request(
                     &mut writer,
                     &mut reader,
                     &format!("/recommend/u{user}?k={k}"),
                 );
-                latencies_ms.push(wall.as_secs_f64() * 1e3);
+                if status == 503 {
+                    shed += 1;
+                } else {
+                    latencies_ms.push(intended.elapsed().as_secs_f64() * 1e3);
+                }
             }
-            latencies_ms
+            (latencies_ms, shed)
         }));
     }
-    let mut latencies_ms: Vec<f64> = threads
-        .into_iter()
-        .flat_map(|t| t.join().expect("client thread"))
-        .collect();
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    let mut shed = 0u64;
+    for t in threads {
+        let (l, s) = t.join().expect("client thread");
+        latencies_ms.extend(l);
+        shed += s;
+    }
     let wall = started.elapsed();
     latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
 
     let hits = registry.counter("serve.cache.hits").get();
     let misses = registry.counter("serve.cache.misses").get();
+    let coalesced = registry.counter("serve.cache.coalesced").get();
+    let batch_hist = registry.histogram("serve.batch.size", || Histogram::exponential(1.0, 2.0, 6));
+    let mean_batch_size = if batch_hist.count() > 0 {
+        batch_hist.mean()
+    } else {
+        0.0
+    };
     server.shutdown();
 
-    let requests = latencies_ms.len() as u64;
+    let requests = latencies_ms.len() as u64 + shed;
     LoadRun {
-        cache: cache_label,
-        cache_capacity,
+        label: leg.label.clone(),
+        transport: match leg.transport {
+            Transport::Threaded => "threaded",
+            Transport::EventLoop => "event",
+        },
+        mode: if leg.open_rate.is_some() {
+            "open"
+        } else {
+            "closed"
+        },
+        cache: leg.cache_label,
+        cache_capacity: leg.cache_capacity,
+        batch_max: leg.batch_max,
+        target_qps: leg.open_rate.unwrap_or(0.0),
+        clients,
         requests,
-        qps: requests as f64 / wall.as_secs_f64(),
+        shed,
+        shed_rate: shed as f64 / (requests as f64).max(1.0),
+        qps: (requests - shed) as f64 / wall.as_secs_f64(),
         p50_ms: percentile(&latencies_ms, 0.50),
         p95_ms: percentile(&latencies_ms, 0.95),
         p99_ms: percentile(&latencies_ms, 0.99),
-        cache_hit_rate: hits as f64 / (hits + misses).max(1) as f64,
+        cache_hit_rate: hits as f64 / (hits + misses + coalesced).max(1) as f64,
+        coalesced,
+        mean_batch_size,
     }
 }
 
@@ -239,21 +349,156 @@ fn main() {
         k,
         seed: cli.scale.seed,
     };
+    let cache_cap = 2 * n_users as usize;
+
+    // Closed-loop matrix: the old thread-per-worker numbers stay in the
+    // report next to the event-loop ones, and batch 32 vs. 1 isolates what
+    // micro-batching itself buys on the uncached path.
+    let mut legs = vec![
+        Leg {
+            label: "threaded cache=on".into(),
+            transport: Transport::Threaded,
+            cache_capacity: cache_cap,
+            cache_label: "on",
+            batch_max: 32,
+            open_rate: None,
+            clients: None,
+        },
+        Leg {
+            label: "threaded cache=off".into(),
+            transport: Transport::Threaded,
+            cache_capacity: 0,
+            cache_label: "off",
+            batch_max: 32,
+            open_rate: None,
+            clients: None,
+        },
+        Leg {
+            label: "event batch=32 cache=on".into(),
+            transport: Transport::EventLoop,
+            cache_capacity: cache_cap,
+            cache_label: "on",
+            batch_max: 32,
+            open_rate: None,
+            clients: None,
+        },
+        Leg {
+            label: "event batch=32 cache=off".into(),
+            transport: Transport::EventLoop,
+            cache_capacity: 0,
+            cache_label: "off",
+            batch_max: 32,
+            open_rate: None,
+            clients: None,
+        },
+        Leg {
+            label: "event batch=1 cache=off".into(),
+            transport: Transport::EventLoop,
+            cache_capacity: 0,
+            cache_label: "off",
+            batch_max: 1,
+            open_rate: None,
+            clients: None,
+        },
+    ];
+    // Saturating-concurrency legs: cross-request micro-batches only fill
+    // when many requests overlap, so the headline cached-vs-uncached ratio
+    // is measured here, where the batcher actually amortizes the item-table
+    // sweep. The low-concurrency legs above carry the p99 criterion.
+    let hi_clients = clients * 6;
+    for (label, cap, cache_label, batch_max) in [
+        (format!("event batch=32 cache=on x{hi_clients}"), cache_cap, "on", 32),
+        (format!("event batch=32 cache=off x{hi_clients}"), 0, "off", 32),
+        (format!("event batch=1 cache=off x{hi_clients}"), 0, "off", 1),
+    ] {
+        legs.push(Leg {
+            label,
+            transport: Transport::EventLoop,
+            cache_capacity: cap,
+            cache_label,
+            batch_max,
+            open_rate: None,
+            clients: Some(hi_clients),
+        });
+    }
+
     let mut runs = Vec::new();
-    for (capacity, label) in [(2 * n_users as usize, "on"), (0usize, "off")] {
-        let run = run_load(&bundle_path, capacity, label, &spec, &zipf);
+    let mut event_cached_qps = 0.0f64;
+    for leg in &legs {
+        let run = run_leg(&bundle_path, leg, &spec, &zipf);
         eprintln!(
-            "cache {}: {} req, {:.0} qps, p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms, hit rate {:.1}%",
-            run.cache,
+            "{:>26} [{}]: {} req ({} shed), {:.0} qps, p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms, \
+             hit rate {:.1}%, mean batch {:.1}",
+            run.label,
+            run.mode,
             run.requests,
+            run.shed,
             run.qps,
             run.p50_ms,
             run.p95_ms,
             run.p99_ms,
-            run.cache_hit_rate * 100.0
+            run.cache_hit_rate * 100.0,
+            run.mean_batch_size,
+        );
+        if run.label == "event batch=32 cache=on" {
+            event_cached_qps = run.qps;
+        }
+        runs.push(run);
+    }
+
+    // Open-loop legs: a fixed arrival rate at ~60% of the measured cached
+    // capacity (healthy) and ~150% (overload — shed rate becomes the
+    // signal). Derived from the closed-loop measurement so the legs stay
+    // meaningful across machines and scales.
+    let healthy = (event_cached_qps * 0.6).max(50.0);
+    let overload = (event_cached_qps * 1.5).max(200.0);
+    legs.clear();
+    for (tag, rate, cap, cache_label) in [
+        ("open 60pct cache=on", healthy, cache_cap, "on"),
+        ("open 150pct cache=off", overload, 0usize, "off"),
+    ] {
+        legs.push(Leg {
+            label: format!("event batch=32 {tag}"),
+            transport: Transport::EventLoop,
+            cache_capacity: cap,
+            cache_label,
+            batch_max: 32,
+            open_rate: Some(rate),
+            clients: None,
+        });
+    }
+    for leg in &legs {
+        let run = run_leg(&bundle_path, leg, &spec, &zipf);
+        eprintln!(
+            "{:>38} [{}] target {:.0} qps: {} req ({} shed, {:.1}%), {:.0} qps, p50 {:.3} ms, \
+             p99 {:.3} ms",
+            run.label,
+            run.mode,
+            run.target_qps,
+            run.requests,
+            run.shed,
+            run.shed_rate * 100.0,
+            run.qps,
+            run.p50_ms,
+            run.p99_ms,
         );
         runs.push(run);
     }
+
+    let qps_of = |label: &str| {
+        runs.iter()
+            .find(|r| r.label == label)
+            .map(|r| r.qps)
+            .unwrap_or(f64::NAN)
+    };
+    let cached_over_uncached = qps_of(&format!("event batch=32 cache=on x{hi_clients}"))
+        / qps_of(&format!("event batch=32 cache=off x{hi_clients}"));
+    let batch_speedup = qps_of(&format!("event batch=32 cache=off x{hi_clients}"))
+        / qps_of(&format!("event batch=1 cache=off x{hi_clients}"));
+    eprintln!(
+        "headline @ {hi_clients} clients: cached/uncached = {cached_over_uncached:.2}x \
+         (target <= 2.0), batch=32 vs batch=1 speedup = {batch_speedup:.2}x"
+    );
 
     let out = ServeLoadReport {
         n_users,
@@ -266,6 +511,8 @@ fn main() {
         available_cores: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
+        cached_over_uncached,
+        batch_speedup,
         runs,
     };
     let path = cli.out_dir.join("BENCH_serve.json");

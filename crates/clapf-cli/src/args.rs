@@ -137,6 +137,15 @@ pub struct ServeArgs {
     /// Admission deadline in milliseconds: a connection that waited longer
     /// than this in the queue is shed instead of served.
     pub deadline_ms: u64,
+    /// Serve with the event-driven transport (epoll readiness loop +
+    /// micro-batched scoring) instead of thread-per-connection workers.
+    /// Defaults on where the epoll backend exists (Linux).
+    pub event_loop: bool,
+    /// Most `/recommend` misses scored in one micro-batch (event loop).
+    pub batch_max: usize,
+    /// Longest an underfull batch is held open, in microseconds (event
+    /// loop; 0 disables the hold).
+    pub batch_hold_us: u64,
 }
 
 /// A parsed `clapf` invocation.
@@ -184,6 +193,7 @@ USAGE:
   clapf recommend --load model.json --user RAW_ID [-k N]
   clapf serve --load model.json [--addr 127.0.0.1:7878] [--workers N]
               [--cache N] [--watch SECS] [--queue N] [--deadline-ms N]
+              [--event-loop on|off] [--batch-max N] [--batch-hold-us N]
 
   serve answers GET /recommend/{user}?k=N, /healthz and /metrics, and
   hot-swaps the bundle on POST /reload (or automatically with --watch).
@@ -193,6 +203,12 @@ USAGE:
   time a connection may wait in it (default 5000); anything beyond either
   limit is shed with a typed 503 + Retry-After instead of queueing
   unboundedly.
+  --event-loop (default on for Linux) serves every connection from one
+  epoll readiness loop and scores concurrent cache misses in micro-
+  batches of up to --batch-max users (default 32), holding an underfull
+  batch at most --batch-hold-us microseconds (default 100); --workers
+  then sizes the scorer pool. --event-loop off restores the
+  thread-per-connection transport.
   clapf trace --file run.jsonl
   clapf help
 
@@ -383,6 +399,34 @@ impl Command {
                     }
                     None => 5000,
                 };
+                let event_loop = match value("--event-loop")?.map(|s| s.as_str()) {
+                    None => cfg!(target_os = "linux"),
+                    Some("on") => true,
+                    Some("off") => false,
+                    Some(other) => {
+                        return Err(format!("--event-loop takes on|off, got {other:?}"))
+                    }
+                };
+                let batch_max = match value("--batch-max")? {
+                    Some(v) => {
+                        let n = parse_num("--batch-max", v)?;
+                        if n.is_nan() || n < 1.0 {
+                            return Err(format!("--batch-max must be at least 1, got {n}"));
+                        }
+                        n as usize
+                    }
+                    None => 32,
+                };
+                let batch_hold_us = match value("--batch-hold-us")? {
+                    Some(v) => {
+                        let us = parse_num("--batch-hold-us", v)?;
+                        if us.is_nan() || us < 0.0 {
+                            return Err(format!("--batch-hold-us must be >= 0, got {us}"));
+                        }
+                        us as u64
+                    }
+                    None => 100,
+                };
                 Ok(Command::Serve(ServeArgs {
                     load,
                     addr,
@@ -391,6 +435,9 @@ impl Command {
                     watch_secs,
                     queue: queue.max(1),
                     deadline_ms,
+                    event_loop,
+                    batch_max,
+                    batch_hold_us,
                 }))
             }
             other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
@@ -579,11 +626,15 @@ mod tests {
                 watch_secs: None,
                 queue: 64,
                 deadline_ms: 5000,
+                event_loop: cfg!(target_os = "linux"),
+                batch_max: 32,
+                batch_hold_us: 100,
             })
         );
         let c = Command::parse(&args(&[
             "serve", "--load", "m.json", "--addr", "0.0.0.0:9000", "--workers", "8",
             "--cache", "0", "--watch", "2.5", "--queue", "16", "--deadline-ms", "250",
+            "--event-loop", "on", "--batch-max", "8", "--batch-hold-us", "0",
         ]))
         .unwrap();
         assert_eq!(
@@ -596,8 +647,27 @@ mod tests {
                 watch_secs: Some(2.5),
                 queue: 16,
                 deadline_ms: 250,
+                event_loop: true,
+                batch_max: 8,
+                batch_hold_us: 0,
             })
         );
+    }
+
+    #[test]
+    fn serve_event_loop_flag_parses_and_validates() {
+        let off = Command::parse(&args(&["serve", "--load", "m.json", "--event-loop", "off"]))
+            .unwrap();
+        match off {
+            Command::Serve(a) => assert!(!a.event_loop),
+            other => panic!("{other:?}"),
+        }
+        let err = Command::parse(&args(&["serve", "--load", "m.json", "--event-loop", "maybe"]))
+            .unwrap_err();
+        assert!(err.contains("--event-loop"), "{err}");
+        let err = Command::parse(&args(&["serve", "--load", "m.json", "--batch-max", "0"]))
+            .unwrap_err();
+        assert!(err.contains("--batch-max"), "{err}");
     }
 
     #[test]

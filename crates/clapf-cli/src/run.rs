@@ -452,6 +452,11 @@ fn trace<W: Write>(a: TraceArgs, out: &mut W) -> Result<(), CliError> {
 /// line is written (and flushed) before blocking so wrappers can scrape
 /// the resolved port when binding to port 0.
 fn serve<W: Write>(a: ServeArgs, out: &mut W) -> Result<(), CliError> {
+    let transport = if a.event_loop {
+        clapf_serve::Transport::EventLoop
+    } else {
+        clapf_serve::Transport::Threaded
+    };
     let config = clapf_serve::ServeConfig {
         addr: a.addr.clone(),
         workers: a.workers,
@@ -459,6 +464,9 @@ fn serve<W: Write>(a: ServeArgs, out: &mut W) -> Result<(), CliError> {
         watch_poll: a.watch_secs.map(std::time::Duration::from_secs_f64),
         queue_bound: a.queue,
         queue_deadline: std::time::Duration::from_millis(a.deadline_ms),
+        transport,
+        batch_max: a.batch_max,
+        batch_hold: std::time::Duration::from_micros(a.batch_hold_us),
         ..clapf_serve::ServeConfig::default()
     };
     let registry = std::sync::Arc::new(Registry::new());
@@ -466,10 +474,17 @@ fn serve<W: Write>(a: ServeArgs, out: &mut W) -> Result<(), CliError> {
         .map_err(|e| CliError::Io(e.to_string()))?;
     writeln!(
         out,
-        "serving {} (cache {} entries, {} workers{})",
+        "serving {} (cache {} entries, {} workers, {}{})",
         a.load.display(),
         a.cache,
         a.workers,
+        match transport {
+            clapf_serve::Transport::EventLoop => format!(
+                "event loop, batches of {} held {}us",
+                a.batch_max, a.batch_hold_us
+            ),
+            clapf_serve::Transport::Threaded => "threaded transport".to_string(),
+        },
         match a.watch_secs {
             Some(s) => format!(", watching every {s}s"),
             None => String::new(),

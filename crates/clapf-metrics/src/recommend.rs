@@ -25,7 +25,23 @@ pub fn top_k_from_scores(
     k: usize,
     items: &mut Vec<ItemId>,
 ) {
-    top_k_into(scores, k, |i| !train.contains(u, i), items);
+    // `top_k_into` visits item ids in ascending order, so the train-set
+    // exclusion is a linear merge-walk over the user's sorted item list —
+    // O(1) amortized per item, vs. a binary search per item for
+    // `train.contains`, which dominated the miss path at 5k+ items.
+    let observed = train.items_of(u);
+    let mut ptr = 0usize;
+    top_k_into(
+        scores,
+        k,
+        move |i| {
+            while ptr < observed.len() && observed[ptr] < i {
+                ptr += 1;
+            }
+            ptr >= observed.len() || observed[ptr] != i
+        },
+        items,
+    );
 }
 
 /// [`top_k_for_user`] writing into caller-owned buffers (`scores` for the

@@ -1,0 +1,312 @@
+//! Cross-request micro-batched scoring.
+//!
+//! Concurrent `/recommend` cache misses do not each sweep the item table:
+//! the event transport queues a [`ScoreJob`] per distinct key and a small
+//! scorer pool drains the queue in blocks of up to `batch_max` users
+//! through [`clapf_metrics::BulkScorer::scores_into_batch`] — the blocked
+//! (and on x86-64, AVX2 4-user register-blocked) kernel that streams the
+//! item table through cache once per block instead of once per request.
+//!
+//! Invariants:
+//!
+//! * **Generation purity.** A batch never mixes model generations. Jobs
+//!   carry the `Arc<ServingModel>` their request pinned; batch formation
+//!   stops at the first job whose generation differs from the front of the
+//!   queue. Across a hot-swap, in-flight jobs drain on the old generation
+//!   (the `Arc` keeps that model alive) and the next batch starts on the
+//!   new one — so a batched answer is always exactly what single-request
+//!   scoring under the same pinned model would produce.
+//! * **Bounded hold.** A scorer that finds fewer than `batch_max` jobs may
+//!   wait at most `batch_hold` for stragglers, so light-load p99 pays a
+//!   bounded, configurable premium (default 100µs) for batching.
+//! * **Panic isolation at batch granularity.** Scoring runs under
+//!   `catch_unwind`; a panic fails that batch's requests with a 500 and a
+//!   `serve.panics` count, and the scorer thread survives. The
+//!   `serve.batch.flush` failpoint injects errors/panics here.
+//!
+//! Batch identity with the single-request path is structural: the
+//! `BulkScorer` contract says `scores_into_batch` "must produce exactly
+//! the scores `scores_into` would", and the top-k cut below is the same
+//! [`clapf_metrics::top_k_from_scores`] everything else uses.
+
+use crate::model::ServingModel;
+use clapf_metrics::BulkScorer;
+use clapf_telemetry::Histogram;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::TcpStream;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Identity of one scoring computation: dense user, list length, and the
+/// model generation it must be computed under. `seq` is 0 whenever results
+/// are shareable (cache enabled); with the cache disabled each request gets
+/// a unique `seq` so keys never coalesce and every request is scored.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub(crate) struct ScoreKey {
+    /// Dense user id.
+    pub user: u32,
+    /// Requested list length.
+    pub k: usize,
+    /// Generation of the pinned model.
+    pub generation: u64,
+    /// Uniqueness salt (0 = coalescible).
+    pub seq: u64,
+}
+
+/// One queued scoring request.
+pub(crate) struct ScoreJob {
+    /// What to compute.
+    pub key: ScoreKey,
+    /// The model the request pinned; keeps the generation alive across a
+    /// hot-swap until the batch drains.
+    pub model: Arc<ServingModel>,
+    /// When the job entered the queue (feeds `serve.batch.hold_us`).
+    pub enqueued: Instant,
+}
+
+/// A finished scoring computation, fanned back to waiting connections by
+/// the event loop.
+pub(crate) struct Completion {
+    /// The key the result answers.
+    pub key: ScoreKey,
+    /// Top-k dense item ids, or `None` when scoring failed.
+    pub items: Option<Arc<Vec<u32>>>,
+    /// Failure detail for the 500 body when `items` is `None`.
+    pub error: &'static str,
+}
+
+struct Queue {
+    jobs: VecDeque<ScoreJob>,
+    shutdown: bool,
+}
+
+/// The scorer-pool front: a bounded job queue, a completion list the event
+/// loop drains, and a loopback waker that interrupts its poller wait.
+pub(crate) struct Batcher {
+    queue: Mutex<Queue>,
+    available: Condvar,
+    completions: Mutex<Vec<Completion>>,
+    /// Write end of the transport's loopback waker socket; one byte per
+    /// completion flush interrupts the poller wait.
+    waker: Mutex<TcpStream>,
+    batch_max: usize,
+    batch_hold: Duration,
+}
+
+impl Batcher {
+    pub fn new(waker: TcpStream, batch_max: usize, batch_hold: Duration) -> Batcher {
+        Batcher {
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            completions: Mutex::new(Vec::new()),
+            waker: Mutex::new(waker),
+            batch_max: batch_max.max(1),
+            batch_hold,
+        }
+    }
+
+    /// Jobs currently queued (the transport's pending-bound check).
+    pub fn queue_len(&self) -> usize {
+        self.queue.lock().expect("score queue poisoned").jobs.len()
+    }
+
+    /// Queues one job and wakes a scorer.
+    pub fn enqueue(&self, job: ScoreJob) {
+        self.queue
+            .lock()
+            .expect("score queue poisoned")
+            .jobs
+            .push_back(job);
+        self.available.notify_one();
+    }
+
+    /// Tells scorer threads to exit once the queue is empty.
+    pub fn begin_shutdown(&self) {
+        self.queue.lock().expect("score queue poisoned").shutdown = true;
+        self.available.notify_all();
+    }
+
+    /// Takes every completion accumulated since the last call.
+    pub fn take_completions(&self) -> Vec<Completion> {
+        std::mem::take(&mut *self.completions.lock().expect("completions poisoned"))
+    }
+
+    fn publish(&self, batch: Vec<Completion>) {
+        self.completions
+            .lock()
+            .expect("completions poisoned")
+            .extend(batch);
+        // Nonblocking write; a full pipe means a wake is already pending.
+        let _ = self.waker.lock().expect("waker poisoned").write(&[1]);
+    }
+
+    /// Pulls the next generation-pure batch, blocking until work arrives or
+    /// shutdown drains the queue. `None` means "exit the scorer thread".
+    fn next_batch(&self) -> Option<Vec<ScoreJob>> {
+        let mut q = self.queue.lock().expect("score queue poisoned");
+        loop {
+            if !q.jobs.is_empty() {
+                break;
+            }
+            if q.shutdown {
+                return None;
+            }
+            q = self.available.wait(q).expect("score queue poisoned");
+        }
+        let generation = q.jobs.front().expect("nonempty queue").key.generation;
+        let mut batch = Vec::with_capacity(self.batch_max);
+        let take_matching = |q: &mut Queue, batch: &mut Vec<ScoreJob>, cap: usize| {
+            while batch.len() < cap {
+                match q.jobs.front() {
+                    Some(job) if job.key.generation == generation => {
+                        batch.push(q.jobs.pop_front().expect("front exists"));
+                    }
+                    _ => break,
+                }
+            }
+        };
+        take_matching(&mut q, &mut batch, self.batch_max);
+        // Bounded hold: wait briefly for stragglers to fill the batch, but
+        // never past the deadline and never across a shutdown. The deadline
+        // runs from the *oldest job's arrival*, not from batch formation:
+        // under load, jobs already waited out their hold while the scorer
+        // was busy, so a saturated scorer never idles; only a genuinely
+        // lone request under light load pays the (bounded) wait.
+        if batch.len() < self.batch_max && !self.batch_hold.is_zero() {
+            let deadline = batch[0].enqueued + self.batch_hold;
+            while batch.len() < self.batch_max && !q.shutdown {
+                let now = Instant::now();
+                let Some(left) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+                else {
+                    break;
+                };
+                let (guard, timed_out) = self
+                    .available
+                    .wait_timeout(q, left)
+                    .expect("score queue poisoned");
+                q = guard;
+                take_matching(&mut q, &mut batch, self.batch_max);
+                if timed_out.timed_out() {
+                    break;
+                }
+            }
+        }
+        Some(batch)
+    }
+}
+
+fn batch_size_histogram() -> Histogram {
+    // 1 … 32+ users in ×2 steps.
+    Histogram::exponential(1.0, 2.0, 6)
+}
+
+fn batch_hold_histogram() -> Histogram {
+    // 1µs … ~1ms in ×2 steps, plus overflow.
+    Histogram::exponential(1.0, 2.0, 10)
+}
+
+/// The scorer-thread body: drain batches until shutdown empties the queue.
+pub(crate) fn scorer_loop(batcher: Arc<Batcher>, shared: Arc<crate::server::Shared>) {
+    let mut score_bufs: Vec<Vec<f32>> = (0..batcher.batch_max).map(|_| Vec::new()).collect();
+    let mut items_scratch = Vec::new();
+    while let Some(batch) = batcher.next_batch() {
+        if batch.is_empty() {
+            continue;
+        }
+        shared
+            .registry
+            .histogram("serve.batch.size", batch_size_histogram)
+            .record(batch.len() as f64);
+        let now = Instant::now();
+        let hold = shared
+            .registry
+            .histogram("serve.batch.hold_us", batch_hold_histogram);
+        for job in &batch {
+            hold.record(now.saturating_duration_since(job.enqueued).as_micros() as f64);
+        }
+        let completions = score_batch(&shared, &batch, &mut score_bufs, &mut items_scratch);
+        batcher.publish(completions);
+    }
+}
+
+/// Scores one generation-pure batch, with failpoint + panic isolation.
+fn score_batch(
+    shared: &crate::server::Shared,
+    batch: &[ScoreJob],
+    score_bufs: &mut [Vec<f32>],
+    items_scratch: &mut Vec<clapf_data::ItemId>,
+) -> Vec<Completion> {
+    let fail = |error: &'static str| {
+        batch
+            .iter()
+            .map(|job| Completion {
+                key: job.key,
+                items: None,
+                error,
+            })
+            .collect::<Vec<_>>()
+    };
+    // Failpoint: tests inject I/O errors (typed 500s for the whole batch)
+    // and panics (exercising batch-granular catch_unwind isolation) here.
+    if clapf_faults::check("serve.batch.flush").is_err() {
+        shared.registry.counter("serve.batch.faults").inc();
+        return fail("batch scoring fault injected");
+    }
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let model = &batch[0].model;
+        // Distinct users only: duplicate users in one batch (same user at
+        // different k, or uncoalesced cache-off traffic) share one sweep.
+        let mut users: Vec<clapf_data::UserId> = Vec::with_capacity(batch.len());
+        let mut user_idx = Vec::with_capacity(batch.len());
+        for job in batch {
+            let u = clapf_data::UserId(job.key.user);
+            match users.iter().position(|&v| v == u) {
+                Some(i) => user_idx.push(i),
+                None => {
+                    users.push(u);
+                    user_idx.push(users.len() - 1);
+                }
+            }
+        }
+        model
+            .bundle
+            .model
+            .scores_into_batch(&users, &mut score_bufs[..users.len()]);
+        batch
+            .iter()
+            .zip(&user_idx)
+            .map(|(job, &idx)| {
+                let u = clapf_data::UserId(job.key.user);
+                clapf_metrics::top_k_from_scores(
+                    &score_bufs[idx],
+                    &model.train,
+                    u,
+                    job.key.k,
+                    items_scratch,
+                );
+                let items: Arc<Vec<u32>> =
+                    Arc::new(items_scratch.iter().map(|i| i.0).collect());
+                shared
+                    .cache
+                    .put(job.key.user, job.key.k, job.key.generation, Arc::clone(&items));
+                Completion {
+                    key: job.key,
+                    items: Some(items),
+                    error: "",
+                }
+            })
+            .collect::<Vec<_>>()
+    }));
+    match result {
+        Ok(completions) => completions,
+        Err(_) => {
+            shared.registry.counter("serve.panics").inc();
+            fail("internal error: batch scorer panicked")
+        }
+    }
+}

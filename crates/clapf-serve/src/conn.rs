@@ -1,0 +1,207 @@
+//! Per-connection state for the event-driven transport.
+//!
+//! A [`Conn`] owns one nonblocking socket and carries everything its state
+//! machine needs between readiness events: an incremental parser
+//! ([`crate::http::FeedParser`]) accumulating request bytes, an outgoing
+//! byte buffer with a write cursor, and the timestamps the deadline sweeps
+//! (read budget, write timeout, keep-alive idle) are checked against. The
+//! transport decides *what* to do; this module only moves bytes.
+
+use crate::batch::ScoreKey;
+use crate::http::{FeedParser, Response};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// Result of flushing the outgoing buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum FlushState {
+    /// Everything buffered has been written to the socket.
+    Flushed,
+    /// The socket would block with bytes still queued; the transport must
+    /// arm write interest and retry on the next writable event.
+    Partial,
+}
+
+/// One live client connection.
+pub(crate) struct Conn {
+    /// The nonblocking socket.
+    pub stream: TcpStream,
+    /// Incremental request parser fed by `read_ready`.
+    pub parser: FeedParser,
+    /// Serialized responses not yet fully written.
+    out: Vec<u8>,
+    /// Bytes of `out` already written.
+    written: usize,
+    /// Close the socket once `out` drains and no response is pending.
+    pub close_after_flush: bool,
+    /// The score-queue key this connection is waiting on, if any. At most
+    /// one request per connection is in the scorer at a time; pipelined
+    /// requests behind it stay buffered in the parser.
+    pub awaiting: Option<ScoreKey>,
+    /// Monotonically increasing connection serial. Slab tokens are reused;
+    /// (token, serial) is the identity score-queue waiters are keyed by, so
+    /// a completion can never be delivered to a *successor* connection that
+    /// happens to occupy the same slab slot.
+    pub serial: u64,
+    /// Last time any request byte arrived or a response was queued.
+    pub last_active: Instant,
+    /// When the first byte of the currently-incomplete request arrived;
+    /// the read-budget sweep rejects requests older than `read_cap`.
+    pub request_started: Option<Instant>,
+    /// When the current write backlog first failed to flush; the write
+    /// timeout sweep drops peers that stop reading.
+    pub write_started: Option<Instant>,
+    /// Whether write interest is currently armed in the poller.
+    pub wants_write: bool,
+}
+
+impl Conn {
+    /// Wraps an accepted stream, switching it to nonblocking mode.
+    pub fn new(stream: TcpStream, serial: u64) -> std::io::Result<Conn> {
+        stream.set_nonblocking(true)?;
+        // One small write per response; without NODELAY, Nagle + delayed
+        // ACK costs tens of milliseconds per keep-alive round trip.
+        let _ = stream.set_nodelay(true);
+        Ok(Conn {
+            stream,
+            parser: FeedParser::new(),
+            out: Vec::new(),
+            written: 0,
+            close_after_flush: false,
+            awaiting: None,
+            serial,
+            last_active: Instant::now(),
+            request_started: None,
+            write_started: None,
+            wants_write: false,
+        })
+    }
+
+    /// Drains the socket into the parser until it would block. Returns
+    /// `Ok(true)` when the peer closed its write side (EOF seen).
+    pub fn read_ready(&mut self, scratch: &mut [u8]) -> std::io::Result<bool> {
+        loop {
+            match self.stream.read(scratch) {
+                Ok(0) => {
+                    self.parser.close();
+                    return Ok(true);
+                }
+                Ok(n) => {
+                    self.parser.feed(&scratch[..n]);
+                    self.last_active = Instant::now();
+                    if self.request_started.is_none() {
+                        self.request_started = Some(self.last_active);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Serializes `resp` onto the outgoing buffer. `keep_alive: false`
+    /// also marks the connection for close once the buffer drains.
+    pub fn push_response(&mut self, resp: &Response, keep_alive: bool) {
+        // Writing into a Vec cannot fail.
+        let _ = resp.write_to(&mut self.out, keep_alive);
+        if !keep_alive {
+            self.close_after_flush = true;
+        }
+        self.last_active = Instant::now();
+    }
+
+    /// Writes as much of the outgoing buffer as the socket accepts.
+    pub fn flush(&mut self) -> std::io::Result<FlushState> {
+        while self.written < self.out.len() {
+            match self.stream.write(&self.out[self.written..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "peer stopped accepting bytes",
+                    ))
+                }
+                Ok(n) => self.written += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if self.write_started.is_none() {
+                        self.write_started = Some(Instant::now());
+                    }
+                    return Ok(FlushState::Partial);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.out.clear();
+        self.written = 0;
+        self.write_started = None;
+        Ok(FlushState::Flushed)
+    }
+
+    /// Whether response bytes are still queued for this socket.
+    pub fn has_backlog(&self) -> bool {
+        self.written < self.out.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Feed;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn reads_feed_the_parser_and_eof_is_reported() {
+        let (mut client, server) = pair();
+        let mut conn = Conn::new(server, 1).unwrap();
+        let mut scratch = [0u8; 4096];
+
+        client.write_all(b"GET /healthz HTTP/1.1\r\n").unwrap();
+        // Wait for delivery, then drain: not EOF, request incomplete.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(!conn.read_ready(&mut scratch).unwrap());
+        assert!(matches!(conn.parser.next_request(), Feed::NeedMore));
+        assert!(conn.request_started.is_some());
+
+        client.write_all(b"\r\n").unwrap();
+        drop(client);
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(conn.read_ready(&mut scratch).unwrap(), "EOF not seen");
+        match conn.parser.next_request() {
+            Feed::Request(req) => assert_eq!(req.path, "/healthz"),
+            other => panic!("expected a request, got {other:?}"),
+        }
+        assert!(matches!(conn.parser.next_request(), Feed::Closed));
+    }
+
+    #[test]
+    fn responses_flush_and_mark_close() {
+        let (client, server) = pair();
+        let mut conn = Conn::new(server, 1).unwrap();
+        conn.push_response(&Response::json(200, "{}".into()), false);
+        assert!(conn.close_after_flush);
+        assert!(conn.has_backlog());
+        assert_eq!(conn.flush().unwrap(), FlushState::Flushed);
+        assert!(!conn.has_backlog());
+        drop(conn); // FIN: lets the client's read_to_end terminate
+
+        let mut client = client;
+        client
+            .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .unwrap();
+        let mut got = Vec::new();
+        client.read_to_end(&mut got).unwrap();
+        let text = String::from_utf8(got).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Connection: close"), "{text}");
+    }
+}

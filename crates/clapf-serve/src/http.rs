@@ -317,6 +317,169 @@ pub fn parse_request_deadline<R: BufRead>(
     })
 }
 
+/// What [`FeedParser::next_request`] found in the bytes fed so far.
+#[derive(Debug)]
+pub enum Feed {
+    /// A complete request was parsed (and its bytes consumed).
+    Request(Request),
+    /// The buffered bytes are a valid *prefix* of a request; feed more.
+    NeedMore,
+    /// The peer closed cleanly between requests — end of the session.
+    Closed,
+    /// The bytes can never become an acceptable request; answer with
+    /// `status` and close.
+    Bad {
+        /// HTTP status to answer with (4xx/5xx).
+        status: u16,
+        /// Human-readable reason for the response body.
+        reason: &'static str,
+    },
+}
+
+/// Upper bound on bytes one request can occupy before the parser must have
+/// produced a verdict: the request line, every header line the parser will
+/// read before rejecting (`MAX_HEADERS` + the one that trips "too many"),
+/// the body cap, and slack for line terminators. A `NeedMore` with more
+/// than this buffered would be a parser bug; [`FeedParser`] turns it into
+/// a 431 instead of buffering unboundedly.
+const FEED_MAX: usize = MAX_REQUEST_LINE + (MAX_HEADERS + 2) * MAX_HEADER_LINE + MAX_BODY + 4096;
+
+/// A [`BufRead`] over a byte slice that reports `WouldBlock` — not EOF —
+/// when the bytes run out, unless `eof` marks the stream as closed. Feeding
+/// the one-shot parser through this adapter is what makes incremental
+/// parsing *by construction* identical to one-shot parsing: the parser
+/// itself cannot tell a socket from a replayed buffer.
+struct FeedReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    eof: bool,
+}
+
+impl std::io::Read for FeedReader<'_> {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        let avail = self.fill_buf()?;
+        let n = avail.len().min(out.len());
+        out[..n].copy_from_slice(&avail[..n]);
+        self.consume(n);
+        Ok(n)
+    }
+}
+
+impl BufRead for FeedReader<'_> {
+    fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+        if self.pos < self.buf.len() {
+            Ok(&self.buf[self.pos..])
+        } else if self.eof {
+            Ok(&[])
+        } else {
+            Err(std::io::ErrorKind::WouldBlock.into())
+        }
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.pos += amt;
+    }
+}
+
+/// Incremental (push-style) request parsing for nonblocking transports.
+///
+/// The event loop reads whatever bytes the socket has, [`feed`]s them here,
+/// and asks for [`next_request`] until it answers [`Feed::NeedMore`]. The
+/// implementation re-runs the one-shot total parser ([`parse_request`])
+/// over the buffered bytes through a reader that reports `WouldBlock` at
+/// the end of the buffer: a mid-request `WouldBlock` (surfaced by the
+/// parser as its timeout rejection) means "incomplete, keep the bytes",
+/// every other outcome is final. Because the *same* parser runs over the
+/// *same* bytes, a request parsed from arbitrarily fragmented reads is
+/// bit-identical to one parsed in one shot — the
+/// `fragmented_feed_matches_one_shot` property test pins this down.
+///
+/// Re-parsing an incomplete request from its first byte on every feed is
+/// quadratic in the worst case, but the request size is capped (see
+/// [`FEED_MAX`], ~600 KiB) so the cost is bounded; typical requests are a
+/// few hundred bytes and complete in one or two feeds.
+///
+/// [`feed`]: FeedParser::feed
+/// [`next_request`]: FeedParser::next_request
+#[derive(Default)]
+pub struct FeedParser {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by completed requests.
+    start: usize,
+    /// The peer closed its write side; no more bytes will arrive.
+    eof: bool,
+}
+
+impl FeedParser {
+    /// An empty parser for a fresh connection.
+    pub fn new() -> Self {
+        FeedParser::default()
+    }
+
+    /// Appends bytes read off the socket.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact lazily: drop the consumed prefix once it dominates the
+        // buffer, so a long keep-alive session does not grow memory.
+        if self.start > 4096 && self.start * 2 >= self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Marks end-of-stream: the peer closed its write side.
+    pub fn close(&mut self) {
+        self.eof = true;
+    }
+
+    /// Unconsumed bytes currently buffered (a partial request in flight).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Tries to parse one request out of the buffered bytes.
+    pub fn next_request(&mut self) -> Feed {
+        let mut r = FeedReader {
+            buf: &self.buf[self.start..],
+            pos: 0,
+            eof: self.eof,
+        };
+        let result = parse_request(&mut r);
+        let used = r.pos;
+        match result {
+            Ok(req) => {
+                self.start += used;
+                Feed::Request(req)
+            }
+            Err(ParseError::Eof) => Feed::Closed,
+            Err(ParseError::Idle) => Feed::NeedMore,
+            // A 408 here is the parser hitting the reader's WouldBlock mid
+            // request: more bytes may still complete it. (The wall-clock
+            // budget that also answers 408 is not armed on this path, and a
+            // closed stream reads EOF, never WouldBlock — so the mapping is
+            // unambiguous.) Unbounded buffering is impossible: the line,
+            // header-count and body caps all reject before FEED_MAX.
+            Err(ParseError::Bad { status: 408, .. }) if !self.eof => {
+                if self.buffered() > FEED_MAX {
+                    Feed::Bad {
+                        status: 431,
+                        reason: "request too large",
+                    }
+                } else {
+                    Feed::NeedMore
+                }
+            }
+            Err(ParseError::Bad { status, reason }) => Feed::Bad { status, reason },
+            // Unreachable with FeedReader (its only error is WouldBlock,
+            // which the parser maps to Idle/408 above), but stay total.
+            Err(ParseError::Io(_)) => Feed::Bad {
+                status: 400,
+                reason: "malformed request",
+            },
+        }
+    }
+}
+
 /// Canonical reason phrase for the statuses this server emits.
 pub fn reason_phrase(status: u16) -> &'static str {
     match status {
@@ -599,5 +762,104 @@ mod tests {
         let mut cur = Cursor::new(b"GET /x HTTP/1.1\r\n\r\n".to_vec());
         let r = parse_request_deadline(&mut cur, Some(Duration::from_secs(5))).unwrap();
         assert_eq!(r.path, "/x");
+    }
+
+    #[test]
+    fn feed_parser_handles_byte_at_a_time_arrival() {
+        let input = b"GET /recommend/u1?k=3 HTTP/1.1\r\nHost: x\r\n\r\n";
+        let mut p = FeedParser::new();
+        for (i, b) in input.iter().enumerate() {
+            p.feed(std::slice::from_ref(b));
+            match p.next_request() {
+                Feed::NeedMore => assert!(i + 1 < input.len(), "complete request not parsed"),
+                Feed::Request(r) => {
+                    assert_eq!(i + 1, input.len(), "parsed before the final byte");
+                    assert_eq!(r.path, "/recommend/u1");
+                    assert_eq!(r.query_value("k"), Some("3"));
+                    return;
+                }
+                other => panic!("unexpected {other:?} after {} bytes", i + 1),
+            }
+        }
+        panic!("never produced a request");
+    }
+
+    #[test]
+    fn feed_parser_splits_pipelined_requests() {
+        let mut p = FeedParser::new();
+        p.feed(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nConnection: close\r\n\r\n");
+        match p.next_request() {
+            Feed::Request(r) => assert_eq!(r.path, "/a"),
+            other => panic!("first: {other:?}"),
+        }
+        match p.next_request() {
+            Feed::Request(r) => {
+                assert_eq!(r.path, "/b");
+                assert!(!r.keep_alive);
+            }
+            other => panic!("second: {other:?}"),
+        }
+        assert!(matches!(p.next_request(), Feed::NeedMore));
+    }
+
+    #[test]
+    fn feed_parser_reports_bad_requests_and_eof() {
+        let mut p = FeedParser::new();
+        p.feed(b"NONSENSE\r\n\r\n");
+        assert!(matches!(p.next_request(), Feed::Bad { status: 400, .. }));
+
+        // EOF with a buffered partial request is a hard 400, not NeedMore.
+        let mut p = FeedParser::new();
+        p.feed(b"GET /x HTT");
+        assert!(matches!(p.next_request(), Feed::NeedMore));
+        p.close();
+        assert!(matches!(p.next_request(), Feed::Bad { status: 400, .. }));
+
+        // EOF on an empty buffer is a clean close.
+        let mut p = FeedParser::new();
+        p.close();
+        assert!(matches!(p.next_request(), Feed::Closed));
+    }
+
+    #[test]
+    fn feed_parser_discards_bodies_between_pipelined_requests() {
+        let mut p = FeedParser::new();
+        p.feed(b"POST /reload HTTP/1.1\r\nContent-Length: 5\r\n\r\nhel");
+        assert!(matches!(p.next_request(), Feed::NeedMore), "body incomplete");
+        p.feed(b"loGET /healthz HTTP/1.1\r\n\r\n");
+        match p.next_request() {
+            Feed::Request(r) => assert_eq!(r.path, "/reload"),
+            other => panic!("first: {other:?}"),
+        }
+        match p.next_request() {
+            Feed::Request(r) => assert_eq!(r.path, "/healthz"),
+            other => panic!("second: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn feed_parser_caps_unbounded_buffers() {
+        let mut p = FeedParser::new();
+        // A "request" that never completes: header bytes forever.
+        let chunk = vec![b'a'; 64 * 1024];
+        p.feed(b"GET /x HTTP/1.1\r\n");
+        let mut verdict = None;
+        for _ in 0..((FEED_MAX / chunk.len()) + 2) {
+            p.feed(&chunk);
+            match p.next_request() {
+                Feed::NeedMore => continue,
+                other => {
+                    verdict = Some(other);
+                    break;
+                }
+            }
+        }
+        match verdict {
+            // 431 from the header-line cap or the feed cap — either bound
+            // fires before the buffer grows without limit.
+            Some(Feed::Bad { status, .. }) => assert_eq!(status, 431),
+            other => panic!("oversized feed not rejected: {other:?}"),
+        }
+        assert!(p.buffered() <= FEED_MAX + chunk.len());
     }
 }

@@ -2,8 +2,13 @@
 //!
 //! This crate turns a saved [`ModelBundle`] into a network service without
 //! adding a single external dependency: a hand-rolled HTTP/1.1 subset over
-//! `std::net`, a fixed worker pool, a sharded generation-stamped top-k
-//! cache, and atomic model hot-swap (file watcher or `POST /reload`).
+//! `std::net`, a sharded generation-stamped top-k cache, and atomic model
+//! hot-swap (file watcher or `POST /reload`). Two transports share every
+//! route: an event-driven readiness loop (epoll on Linux via a std-only
+//! FFI, a portable scan poller elsewhere) that owns thousands of
+//! keep-alive connections on one thread and scores concurrent cache
+//! misses in cross-request micro-batches ([`transport`], [`batch`]), and
+//! a thread-per-connection worker pool ([`Transport::Threaded`]).
 //!
 //! Endpoints:
 //!
@@ -25,15 +30,21 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod bundle;
 mod cache;
+mod conn;
 mod http;
 mod model;
+mod poller;
 mod server;
+mod transport;
 mod watch;
 
 pub use bundle::{BundleError, ModelBundle};
-pub use cache::TopKCache;
-pub use http::{parse_request, parse_request_deadline, Method, ParseError, Request, Response};
+pub use cache::{CacheOutcome, TopKCache};
+pub use http::{
+    parse_request, parse_request_deadline, Feed, FeedParser, Method, ParseError, Request, Response,
+};
 pub use model::{ModelSlot, ServingModel};
-pub use server::{start, ServeConfig, ServeError, ServerHandle};
+pub use server::{start, ServeConfig, ServeError, ServerHandle, Transport};

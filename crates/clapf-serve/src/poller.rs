@@ -1,0 +1,365 @@
+//! Readiness notification for the event-driven transport.
+//!
+//! Two backends behind one tiny API:
+//!
+//! * **epoll** (Linux, cargo feature `epoll`, on by default): a direct
+//!   `extern "C"` declaration of the three epoll calls against the libc
+//!   `std` already links — no external crate, same pattern as the raw
+//!   `mmap(2)` in `clapf-data::storage`. Level-triggered, so the event
+//!   loop never has to drain a socket completely to stay correct.
+//! * **scan**: a portable fallback with no FFI at all. Every registered
+//!   token is reported maybe-ready after a short sleep; the connection
+//!   state machines are written against nonblocking sockets, so a spurious
+//!   "ready" costs one `WouldBlock` syscall and nothing else. This is what
+//!   `--no-default-features` builds and non-Linux targets run, and what
+//!   `ServeConfig::force_scan_poller` selects for testing the fallback on
+//!   Linux.
+//!
+//! Correctness therefore never depends on the backend: epoll only changes
+//! *when* the loop looks at a connection, never *what* it does with it.
+
+// The one unsafe surface of this crate: the epoll(7) FFI. Everything else
+// in clapf-serve stays safe (the crate root carries `deny(unsafe_code)`).
+#![cfg_attr(all(target_os = "linux", feature = "epoll"), allow(unsafe_code))]
+
+use std::io;
+use std::time::Duration;
+
+/// Raw file descriptor type the poller registers.
+#[cfg(unix)]
+pub(crate) type Fd = std::os::unix::io::RawFd;
+/// Placeholder fd type on targets without raw descriptors; the scan
+/// backend never dereferences it.
+#[cfg(not(unix))]
+pub(crate) type Fd = usize;
+
+/// One readiness report. With the scan backend both flags are always set —
+/// "maybe ready" — and the nonblocking socket says no via `WouldBlock`.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Event {
+    /// The token the fd was registered under.
+    pub token: usize,
+    /// The fd is (maybe) readable, closed, or errored.
+    pub readable: bool,
+    /// The fd is (maybe) writable.
+    pub writable: bool,
+}
+
+/// A readiness poller: epoll where available, portable scan elsewhere.
+pub(crate) enum Poller {
+    #[cfg(all(target_os = "linux", feature = "epoll"))]
+    Epoll(epoll::Epoll),
+    Scan(Scan),
+}
+
+impl Poller {
+    /// Creates the best available backend; `prefer_epoll = false` forces
+    /// the scan fallback (used by tests and `force_scan_poller`).
+    pub fn new(prefer_epoll: bool) -> Poller {
+        #[cfg(all(target_os = "linux", feature = "epoll"))]
+        if prefer_epoll {
+            if let Ok(e) = epoll::Epoll::new() {
+                return Poller::Epoll(e);
+            }
+        }
+        let _ = prefer_epoll;
+        Poller::Scan(Scan::default())
+    }
+
+    /// Which backend is live (surfaced as a metric for tests/operators).
+    pub fn backend(&self) -> &'static str {
+        match self {
+            #[cfg(all(target_os = "linux", feature = "epoll"))]
+            Poller::Epoll(_) => "epoll",
+            Poller::Scan(_) => "scan",
+        }
+    }
+
+    /// Starts watching `fd` under `token`; `writable` adds write interest.
+    pub fn register(&mut self, fd: Fd, token: usize, writable: bool) -> io::Result<()> {
+        match self {
+            #[cfg(all(target_os = "linux", feature = "epoll"))]
+            Poller::Epoll(e) => e.ctl(epoll::EPOLL_CTL_ADD, fd, token, writable),
+            Poller::Scan(s) => {
+                let _ = writable; // scan reports every token writable anyway
+                s.tokens.push((fd, token));
+                Ok(())
+            }
+        }
+    }
+
+    /// Updates write interest for an already-registered fd.
+    pub fn set_writable(&mut self, fd: Fd, token: usize, writable: bool) -> io::Result<()> {
+        match self {
+            #[cfg(all(target_os = "linux", feature = "epoll"))]
+            Poller::Epoll(e) => e.ctl(epoll::EPOLL_CTL_MOD, fd, token, writable),
+            Poller::Scan(_) => {
+                let _ = (fd, token, writable);
+                Ok(())
+            }
+        }
+    }
+
+    /// Stops watching `fd`.
+    pub fn deregister(&mut self, fd: Fd, token: usize) -> io::Result<()> {
+        match self {
+            #[cfg(all(target_os = "linux", feature = "epoll"))]
+            Poller::Epoll(e) => {
+                let _ = token;
+                e.del(fd)
+            }
+            Poller::Scan(s) => {
+                s.tokens.retain(|&(f, t)| f != fd || t != token);
+                Ok(())
+            }
+        }
+    }
+
+    /// Fills `out` with ready (or, for scan, maybe-ready) tokens, blocking
+    /// for at most `timeout`.
+    pub fn wait(&mut self, out: &mut Vec<Event>, timeout: Duration) -> io::Result<()> {
+        out.clear();
+        match self {
+            #[cfg(all(target_os = "linux", feature = "epoll"))]
+            Poller::Epoll(e) => e.wait(out, timeout),
+            Poller::Scan(s) => {
+                // No readiness source: sleep a beat, then report everything
+                // as maybe-ready. 1ms bounds the added per-request latency
+                // while keeping an idle fallback server near-0% CPU.
+                std::thread::sleep(timeout.min(Duration::from_millis(1)));
+                out.extend(s.tokens.iter().map(|&(_, token)| Event {
+                    token,
+                    readable: true,
+                    writable: true,
+                }));
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The portable backend: a list of registered tokens, all reported
+/// maybe-ready each tick.
+#[derive(Default)]
+pub(crate) struct Scan {
+    tokens: Vec<(Fd, usize)>,
+}
+
+#[cfg(all(target_os = "linux", feature = "epoll"))]
+mod epoll {
+    //! Raw epoll(7) via the libc `std` links. Constants and the event
+    //! struct layout are the Linux UAPI values; `epoll_event` is packed on
+    //! x86-64 only (the kernel ABI quirk), matching glibc's declaration.
+
+    use super::{Event, Fd};
+    use std::io;
+    use std::os::raw::c_int;
+    use std::time::Duration;
+
+    pub(super) const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    pub(super) const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    /// Capacity of the per-wait event buffer; more ready fds than this are
+    /// simply delivered on the next (immediate) wait.
+    const WAIT_CAPACITY: usize = 1024;
+
+    pub(crate) struct Epoll {
+        epfd: c_int,
+        buf: Vec<EpollEvent>,
+    }
+
+    impl Epoll {
+        pub(super) fn new() -> io::Result<Epoll> {
+            // SAFETY: epoll_create1 takes no pointers; a negative return is
+            // the documented error signal, checked before use.
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Epoll {
+                epfd,
+                buf: vec![EpollEvent { events: 0, data: 0 }; WAIT_CAPACITY],
+            })
+        }
+
+        pub(super) fn ctl(
+            &mut self,
+            op: c_int,
+            fd: Fd,
+            token: usize,
+            writable: bool,
+        ) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: EPOLLIN | EPOLLRDHUP | if writable { EPOLLOUT } else { 0 },
+                data: token as u64,
+            };
+            // SAFETY: `ev` is a valid, initialized event for the duration
+            // of the call; epfd and fd are fds this process owns.
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub(super) fn del(&mut self, fd: Fd) -> io::Result<()> {
+            let mut ev = EpollEvent { events: 0, data: 0 };
+            // SAFETY: as in `ctl`; pre-2.6.9 kernels require a non-null
+            // event pointer for DEL, which this satisfies everywhere.
+            let rc = unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub(super) fn wait(&mut self, out: &mut Vec<Event>, timeout: Duration) -> io::Result<()> {
+            let timeout_ms = timeout.as_millis().min(i32::MAX as u128) as c_int;
+            loop {
+                // SAFETY: `buf` is a live allocation of WAIT_CAPACITY
+                // initialized events; the kernel writes at most that many.
+                let n = unsafe {
+                    epoll_wait(
+                        self.epfd,
+                        self.buf.as_mut_ptr(),
+                        self.buf.len() as c_int,
+                        timeout_ms,
+                    )
+                };
+                if n < 0 {
+                    let err = io::Error::last_os_error();
+                    if err.kind() == io::ErrorKind::Interrupted {
+                        continue;
+                    }
+                    return Err(err);
+                }
+                for slot in &self.buf[..n as usize] {
+                    // Copy out of the (possibly packed) struct before use.
+                    let ev = *slot;
+                    let bits = ev.events;
+                    out.push(Event {
+                        token: ev.data as usize,
+                        readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0,
+                        writable: bits & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0,
+                    });
+                }
+                return Ok(());
+            }
+        }
+    }
+
+    impl Drop for Epoll {
+        fn drop(&mut self) {
+            // SAFETY: epfd was returned by epoll_create1 and is closed once.
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[cfg(unix)]
+    fn fd(s: &TcpStream) -> Fd {
+        use std::os::unix::io::AsRawFd;
+        s.as_raw_fd()
+    }
+
+    /// Both backends must surface "bytes waiting" as a readable event for
+    /// the registered token (scan trivially, epoll via the kernel).
+    #[cfg(unix)]
+    fn readiness_roundtrip(prefer_epoll: bool) {
+        let (mut tx, rx) = pair();
+        rx.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new(prefer_epoll);
+        poller.register(fd(&rx), 7, false).unwrap();
+        tx.write_all(b"x").unwrap();
+        let mut events = Vec::new();
+        let mut saw = false;
+        for _ in 0..200 {
+            poller
+                .wait(&mut events, Duration::from_millis(50))
+                .unwrap();
+            if events.iter().any(|e| e.token == 7 && e.readable) {
+                saw = true;
+                break;
+            }
+        }
+        assert!(saw, "no readable event for the registered token");
+        let mut rx = rx;
+        let mut buf = [0u8; 8];
+        assert_eq!(rx.read(&mut buf).unwrap(), 1);
+        poller.deregister(fd(&rx), 7).unwrap();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn scan_backend_reports_readiness() {
+        readiness_roundtrip(false);
+    }
+
+    #[cfg(all(target_os = "linux", feature = "epoll"))]
+    #[test]
+    fn epoll_backend_reports_readiness() {
+        let p = Poller::new(true);
+        assert_eq!(p.backend(), "epoll");
+        readiness_roundtrip(true);
+    }
+
+    #[cfg(all(target_os = "linux", feature = "epoll"))]
+    #[test]
+    fn epoll_write_interest_toggles() {
+        let (tx, _rx) = pair();
+        tx.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new(true);
+        // Without write interest an idle socket produces no events.
+        poller.register(fd(&tx), 1, false).unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, Duration::from_millis(10)).unwrap();
+        assert!(events.iter().all(|e| !e.writable));
+        // With write interest, a socket with buffer space is writable.
+        poller.set_writable(fd(&tx), 1, true).unwrap();
+        poller.wait(&mut events, Duration::from_millis(100)).unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.writable));
+    }
+}

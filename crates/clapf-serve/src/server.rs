@@ -1,24 +1,29 @@
-//! The server proper: listener, worker pool, routing, reload, shutdown.
+//! The server proper: transports, routing, reload, shutdown.
 //!
-//! Thread layout (all `std::thread`, no async runtime):
+//! Two transports share all routing/model/cache state:
 //!
-//! * one **accept** thread pulling connections off the `TcpListener` and
-//!   pushing them down an mpsc channel,
-//! * `workers` **worker** threads pulling connections from the (mutexed)
-//!   receiver and running the keep-alive request loop,
-//! * optionally one **watcher** thread polling the bundle file for changes
-//!   (see [`crate::watch`]).
+//! * [`Transport::Threaded`] — the original blocking design: one accept
+//!   thread feeding a bounded mpsc queue, `workers` threads each running a
+//!   keep-alive request loop. Simple, and the right shape for a handful of
+//!   long-lived clients.
+//! * [`Transport::EventLoop`] — one readiness-loop thread owning every
+//!   nonblocking socket (epoll on Linux, portable scan fallback elsewhere;
+//!   see [`crate::poller`]), with `/recommend` cache misses scored by a
+//!   pool of `workers` scorer threads in cross-request micro-batches (see
+//!   [`crate::batch`]). This is the shape for thousands of concurrent
+//!   keep-alive connections and for uncached throughput: concurrent misses
+//!   amortize one item-table sweep across up to `batch_max` users.
 //!
-//! Shutdown is cooperative and std-only: a flag flips, a loopback
-//! connection wakes the blocked `accept`, the accept thread drops the
-//! channel sender, and each worker finishes the request it is serving
-//! (connections poll the flag via short read timeouts) before exiting —
-//! in-flight requests drain, new ones are refused.
+//! Shutdown is cooperative and std-only in both: a flag flips, a loopback
+//! connection wakes the blocked `accept` (threaded) or the poller wait
+//! (event loop — the listener becoming readable is itself an event), and
+//! in-flight work drains before the threads exit.
 
-use crate::bundle::BundleError;
-use crate::cache::TopKCache;
+use crate::batch::Batcher;
+use crate::cache::{CacheOutcome, TopKCache};
 use crate::http::{parse_request_deadline, Method, ParseError, Request, Response};
 use crate::model::{ModelSlot, ServingModel};
+use crate::{bundle::BundleError, transport::EventOpts};
 use clapf_telemetry::{Histogram, JsonValue, Registry};
 use std::io::{BufReader, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -28,12 +33,36 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
+/// Which connection-handling machinery a server runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// Blocking sockets, one worker thread per in-flight connection.
+    #[default]
+    Threaded,
+    /// One nonblocking readiness loop plus a micro-batching scorer pool.
+    EventLoop,
+}
+
+impl Transport {
+    /// The transport the CLI defaults to on this platform: the event loop
+    /// where the epoll backend exists (Linux), threaded elsewhere (the
+    /// scan-poller fallback works everywhere but burns a little CPU).
+    pub fn preferred() -> Transport {
+        if cfg!(target_os = "linux") {
+            Transport::EventLoop
+        } else {
+            Transport::Threaded
+        }
+    }
+}
+
 /// How a server is sized and where it listens.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
-    /// Worker threads handling connections.
+    /// Worker threads: connection handlers (threaded) or batch scorers
+    /// (event loop).
     pub workers: usize,
     /// Total top-k cache entries (0 disables caching).
     pub cache_capacity: usize,
@@ -48,7 +77,7 @@ pub struct ServeConfig {
     pub watch_poll: Option<Duration>,
     /// Most accepted connections allowed to wait for a worker; the next one
     /// is **shed** — answered `503` with `Retry-After` and closed — instead
-    /// of queueing unboundedly (`0` resolves to `64`).
+    /// of queueing unboundedly (`0` resolves to `64`). Threaded transport.
     pub queue_bound: usize,
     /// A queued connection older than this when a worker dequeues it is
     /// shed rather than served: under sustained overload its client has
@@ -61,6 +90,22 @@ pub struct ServeConfig {
     /// Socket write timeout for responses (a peer that stops reading
     /// cannot pin a worker forever).
     pub write_timeout: Duration,
+    /// Which transport serves connections.
+    pub transport: Transport,
+    /// Most `/recommend` requests scored in one batch (event loop).
+    pub batch_max: usize,
+    /// Longest a scorer holds an underfull batch open waiting for more
+    /// requests (event loop). Bounds the light-load latency premium.
+    pub batch_hold: Duration,
+    /// Most simultaneously open connections (event loop); beyond it new
+    /// accepts are shed with a 503.
+    pub max_conns: usize,
+    /// Most queued score jobs (event loop); beyond it misses are shed with
+    /// a 503 + `Retry-After` while the connection stays open.
+    pub pending_bound: usize,
+    /// Force the portable scan poller even where epoll is available —
+    /// exercises the fallback path in tests.
+    pub force_scan_poller: bool,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +122,12 @@ impl Default for ServeConfig {
             queue_deadline: Duration::from_secs(5),
             read_cap: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
+            transport: Transport::Threaded,
+            batch_max: 32,
+            batch_hold: Duration::from_micros(100),
+            max_conns: 10_000,
+            pending_bound: 4096,
+            force_scan_poller: false,
         }
     }
 }
@@ -104,23 +155,23 @@ impl std::error::Error for ServeError {}
 /// How often a blocked connection read wakes to poll the shutdown flag.
 const READ_POLL: Duration = Duration::from_millis(250);
 /// Idle keep-alive connections are closed after this long without a request.
-const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(30);
+pub(crate) const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(30);
 
 /// State shared by every thread of one server.
-struct Shared {
-    slot: ModelSlot,
-    cache: TopKCache,
-    registry: Arc<Registry>,
-    bundle_path: PathBuf,
+pub(crate) struct Shared {
+    pub(crate) slot: ModelSlot,
+    pub(crate) cache: TopKCache,
+    pub(crate) registry: Arc<Registry>,
+    pub(crate) bundle_path: PathBuf,
     /// Serializes reloads (watcher vs. `POST /reload`).
     reload_lock: Mutex<()>,
-    shutdown: AtomicBool,
-    addr: SocketAddr,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) addr: SocketAddr,
     default_k: usize,
     max_k: usize,
     queue_deadline: Duration,
-    read_cap: Duration,
-    write_timeout: Duration,
+    pub(crate) read_cap: Duration,
+    pub(crate) write_timeout: Duration,
 }
 
 fn latency_histogram() -> Histogram {
@@ -129,7 +180,7 @@ fn latency_histogram() -> Histogram {
 }
 
 impl Shared {
-    fn observe(&self, endpoint: &str, started: Instant) {
+    pub(crate) fn observe(&self, endpoint: &str, started: Instant) {
         self.registry
             .counter(&format!("serve.{endpoint}.requests"))
             .inc();
@@ -163,7 +214,8 @@ impl Shared {
 
     fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::Release);
-        // Wake the accept thread out of its blocking accept().
+        // Wake the transport out of its blocking accept / poller wait: a
+        // connection attempt makes the listener readable in both designs.
         let _ = TcpStream::connect(self.addr);
     }
 }
@@ -235,6 +287,31 @@ pub fn start(
         write_timeout: config.write_timeout,
     });
 
+    let mut threads = match config.transport {
+        Transport::Threaded => start_threaded(&shared, listener, &config)?,
+        Transport::EventLoop => start_event_loop(&shared, listener, &config)?,
+    };
+
+    if let Some(poll) = config.watch_poll {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("clapf-serve-watch".into())
+                .spawn(move || crate::watch::watch_bundle(&shared_watch(&shared), poll))
+                .expect("spawn watcher"),
+        );
+    }
+
+    Ok(ServerHandle { shared, threads })
+}
+
+/// The original blocking transport: accept thread + bounded queue +
+/// per-connection worker threads.
+fn start_threaded(
+    shared: &Arc<Shared>,
+    listener: TcpListener,
+    config: &ServeConfig,
+) -> Result<Vec<std::thread::JoinHandle<()>>, ServeError> {
     // Bounded queue: `try_send` from the accept thread never blocks, so a
     // full queue becomes an immediate load-shed 503 instead of an unbounded
     // backlog of connections whose clients have long since given up.
@@ -244,7 +321,7 @@ pub fn start(
 
     for n in 0..config.workers.max(1) {
         let rx = Arc::clone(&rx);
-        let shared = Arc::clone(&shared);
+        let shared = Arc::clone(shared);
         threads.push(
             std::thread::Builder::new()
                 .name(format!("clapf-serve-worker-{n}"))
@@ -270,7 +347,7 @@ pub fn start(
     }
 
     {
-        let shared = Arc::clone(&shared);
+        let shared = Arc::clone(shared);
         threads.push(
             std::thread::Builder::new()
                 .name("clapf-serve-accept".into())
@@ -294,17 +371,58 @@ pub fn start(
         );
     }
 
-    if let Some(poll) = config.watch_poll {
-        let shared = Arc::clone(&shared);
+    Ok(threads)
+}
+
+/// A connected loopback socket pair — the std-only self-pipe the scorer
+/// pool uses to interrupt the poller wait when completions are ready.
+fn loopback_pair() -> std::io::Result<(TcpStream, TcpStream)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let tx = TcpStream::connect(listener.local_addr()?)?;
+    let (rx, _) = listener.accept()?;
+    // The write side never blocks the scorer: a full pipe just means a
+    // wake is already pending.
+    tx.set_nonblocking(true)?;
+    Ok((tx, rx))
+}
+
+/// The event transport: one readiness-loop thread plus `workers` batch
+/// scorer threads.
+fn start_event_loop(
+    shared: &Arc<Shared>,
+    listener: TcpListener,
+    config: &ServeConfig,
+) -> Result<Vec<std::thread::JoinHandle<()>>, ServeError> {
+    let (waker_tx, waker_rx) = loopback_pair().map_err(ServeError::Io)?;
+    let batcher = Arc::new(Batcher::new(waker_tx, config.batch_max, config.batch_hold));
+    shared.registry.gauge("serve.conns").set(0.0);
+    let mut threads = Vec::new();
+    for n in 0..config.workers.max(1) {
+        let batcher = Arc::clone(&batcher);
+        let shared = Arc::clone(shared);
         threads.push(
             std::thread::Builder::new()
-                .name("clapf-serve-watch".into())
-                .spawn(move || crate::watch::watch_bundle(&shared_watch(&shared), poll))
-                .expect("spawn watcher"),
+                .name(format!("clapf-serve-scorer-{n}"))
+                .spawn(move || crate::batch::scorer_loop(batcher, shared))
+                .expect("spawn scorer"),
         );
     }
-
-    Ok(ServerHandle { shared, threads })
+    let opts = EventOpts {
+        max_conns: config.max_conns.max(1),
+        pending_bound: config.pending_bound.max(1),
+        prefer_epoll: !config.force_scan_poller,
+        coalesce: config.cache_capacity > 0,
+    };
+    {
+        let shared = Arc::clone(shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("clapf-serve-loop".into())
+                .spawn(move || crate::transport::run(shared, listener, waker_rx, batcher, opts))
+                .expect("spawn event loop"),
+        );
+    }
+    Ok(threads)
 }
 
 /// The narrow view of [`Shared`] the watcher needs, kept private to this
@@ -361,7 +479,7 @@ fn shed(stream: TcpStream, shared: &Shared) {
     }
 }
 
-/// Runs the keep-alive request loop on one connection.
+/// Runs the keep-alive request loop on one connection (threaded transport).
 fn serve_connection(stream: TcpStream, shared: &Shared) {
     // Short read timeouts turn blocked reads into shutdown-flag polls.
     if stream.set_read_timeout(Some(READ_POLL)).is_err() {
@@ -415,29 +533,92 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
     }
 }
 
-/// Dispatches one parsed request to its endpoint handler.
+/// A `/recommend` cache miss, split from routing so each transport can
+/// resolve it its own way: the threaded path computes synchronously (with
+/// miss coalescing), the event loop parks it on the batch scorer.
+pub(crate) struct PendingScore {
+    /// The raw user id as requested (echoed in the response).
+    pub raw_user: String,
+    /// Dense user id.
+    pub user: u32,
+    /// Requested list length.
+    pub k: usize,
+    /// The model this request pinned; its generation keys the cache.
+    pub model: Arc<ServingModel>,
+}
+
+/// What routing decided for one request.
+pub(crate) enum Routed {
+    /// The response is ready (every endpoint but a `/recommend` miss).
+    Immediate(Response),
+    /// A `/recommend` cache miss: the transport must score it.
+    Score(PendingScore),
+}
+
+/// Dispatches one parsed request (threaded transport): resolves a score
+/// synchronously through the coalescing cache.
 fn route(req: &Request, shared: &Shared) -> Response {
     let started = Instant::now();
+    match route_async(req, shared) {
+        Routed::Immediate(r) => r,
+        Routed::Score(p) => {
+            let model = Arc::clone(&p.model);
+            let (items, outcome) =
+                shared
+                    .cache
+                    .get_or_compute(p.user, p.k, model.generation, || {
+                        let mut scores = Vec::new();
+                        Arc::new(model.top_k_dense(clapf_data::UserId(p.user), p.k, &mut scores))
+                    });
+            match outcome {
+                CacheOutcome::Hit => shared.registry.counter("serve.cache.hits").inc(),
+                CacheOutcome::Miss => shared.registry.counter("serve.cache.misses").inc(),
+                CacheOutcome::Coalesced => {
+                    shared.registry.counter("serve.cache.coalesced").inc()
+                }
+            }
+            let r = render_recommend(
+                &p.model,
+                &p.raw_user,
+                p.k,
+                &items,
+                outcome == CacheOutcome::Hit,
+            );
+            shared.observe("recommend", started);
+            r
+        }
+    }
+}
+
+/// Dispatches one parsed request to its endpoint handler, without blocking
+/// on scoring: a `/recommend` cache miss comes back as [`Routed::Score`]
+/// for the calling transport to resolve.
+pub(crate) fn route_async(req: &Request, shared: &Shared) -> Routed {
+    let started = Instant::now();
     // Failpoint: tests inject handler I/O errors (typed 500) and panics
-    // (exercising the worker's catch_unwind isolation) here.
+    // (exercising the transports' catch_unwind isolation) here.
     if let Err(e) = clapf_faults::check("serve.handler") {
-        return Response::error(500, &format!("handler fault: {e}"));
+        return Routed::Immediate(Response::error(500, &format!("handler fault: {e}")));
     }
     match (req.method, req.path.as_str()) {
         (Method::Get, "/healthz") => {
             let r = healthz(shared);
             shared.observe("healthz", started);
-            r
+            Routed::Immediate(r)
         }
         (Method::Get, "/metrics") => {
             let r = metrics(shared);
             shared.observe("metrics", started);
-            r
+            Routed::Immediate(r)
         }
         (Method::Get, path) if path.starts_with("/recommend/") => {
-            let r = recommend(&path["/recommend/".len()..], req, shared);
-            shared.observe("recommend", started);
-            r
+            match recommend_route(&path["/recommend/".len()..], req, shared) {
+                Routed::Immediate(r) => {
+                    shared.observe("recommend", started);
+                    Routed::Immediate(r)
+                }
+                score => score, // the transport observes at completion
+            }
         }
         (Method::Post, "/reload") => {
             let r = match shared.reload() {
@@ -452,23 +633,23 @@ fn route(req: &Request, shared: &Shared) -> Response {
                 Err(e) => Response::error(500, &format!("reload rejected: {e}")),
             };
             shared.observe("reload", started);
-            r
+            Routed::Immediate(r)
         }
         (Method::Post, "/shutdown") => {
             shared.begin_shutdown();
             shared.observe("shutdown", started);
-            Response::json(
+            Routed::Immediate(Response::json(
                 200,
                 JsonValue::Obj(vec![(
                     "status".into(),
                     JsonValue::Str("shutting down".into()),
                 )])
                 .render(),
-            )
+            ))
         }
         _ => {
             shared.registry.counter("serve.not_found").inc();
-            Response::error(404, "no such endpoint")
+            Routed::Immediate(Response::error(404, "no such endpoint"))
         }
     }
 }
@@ -502,21 +683,25 @@ fn metrics(shared: &Shared) -> Response {
     Response::text(200, shared.registry.render_text())
 }
 
-fn recommend(raw_user: &str, req: &Request, shared: &Shared) -> Response {
+/// Validates a `/recommend/{user}` request and answers it from the cache,
+/// or hands back a [`PendingScore`] for the transport to compute.
+fn recommend_route(raw_user: &str, req: &Request, shared: &Shared) -> Routed {
     if raw_user.is_empty() || raw_user.contains('/') {
-        return Response::error(404, "expected /recommend/{user}");
+        return Routed::Immediate(Response::error(404, "expected /recommend/{user}"));
     }
     let k = match req.query_value("k") {
         None => shared.default_k,
         Some(v) => match v.parse::<usize>() {
             Ok(k) if (1..=shared.max_k).contains(&k) => k,
             Ok(_) => {
-                return Response::error(
+                return Routed::Immediate(Response::error(
                     400,
                     &format!("k must be between 1 and {}", shared.max_k),
-                )
+                ))
             }
-            Err(_) => return Response::error(400, "k must be a positive integer"),
+            Err(_) => {
+                return Routed::Immediate(Response::error(400, "k must be a positive integer"))
+            }
         },
     };
 
@@ -525,25 +710,36 @@ fn recommend(raw_user: &str, req: &Request, shared: &Shared) -> Response {
     // same bundle (DESIGN.md §11).
     let model = shared.slot.current();
     let Some(u) = model.dense_user(raw_user) else {
-        return Response::error(404, &format!("user {raw_user:?} not in the training data"));
+        return Routed::Immediate(Response::error(
+            404,
+            &format!("user {raw_user:?} not in the training data"),
+        ));
     };
 
-    let (items, cached) = match shared.cache.get(u.0, k, model.generation) {
+    match shared.cache.get(u.0, k, model.generation) {
         Some(items) => {
             shared.registry.counter("serve.cache.hits").inc();
-            (items, true)
+            Routed::Immediate(render_recommend(&model, raw_user, k, &items, true))
         }
-        None => {
-            shared.registry.counter("serve.cache.misses").inc();
-            let mut scores = Vec::new();
-            let items = Arc::new(model.top_k_dense(u, k, &mut scores));
-            shared
-                .cache
-                .put(u.0, k, model.generation, Arc::clone(&items));
-            (items, false)
-        }
-    };
+        None => Routed::Score(PendingScore {
+            raw_user: raw_user.to_string(),
+            user: u.0,
+            k,
+            model,
+        }),
+    }
+}
 
+/// Renders the `/recommend` JSON body — the single definition both
+/// transports (and the batch scorer's fan-out) serialize through, so a
+/// batched answer is byte-identical to a single-request one.
+pub(crate) fn render_recommend(
+    model: &ServingModel,
+    raw_user: &str,
+    k: usize,
+    items: &[u32],
+    cached: bool,
+) -> Response {
     let rendered: Vec<JsonValue> = items
         .iter()
         .map(|&i| JsonValue::Str(model.raw_item(i).to_string()))

@@ -7,7 +7,7 @@
 //! raw bytes, almost-valid request lines, and valid requests with fuzzed
 //! query strings.
 
-use clapf_serve::{parse_request, ParseError};
+use clapf_serve::{parse_request, Feed, FeedParser, ParseError, Request};
 use proptest::prelude::*;
 use std::io::Cursor;
 
@@ -102,5 +102,146 @@ proptest! {
             // A truncated request must not parse successfully.
             assert!(out.is_err(), "cut at {cut} unexpectedly parsed");
         }
+    }
+
+    /// Incremental/one-shot identity: feeding a request stream in arbitrary
+    /// fragments (down to one byte at a time) through `FeedParser` yields
+    /// exactly the requests one-shot `parse_request` yields on the whole
+    /// stream, in order, with identical fields.
+    #[test]
+    fn fragmented_feed_matches_one_shot(
+        paths in proptest::collection::vec(
+            proptest::collection::vec(97u8..123, 1..12)
+                .prop_map(|b| String::from_utf8(b).expect("ascii")),
+            1..5,
+        ),
+        ks in proptest::collection::vec(1u32..100, 1..5),
+        cuts in proptest::collection::vec(0usize..512, 0..24),
+    ) {
+        let mut stream: Vec<u8> = Vec::new();
+        for (i, p) in paths.iter().enumerate() {
+            let k = ks[i % ks.len()];
+            stream.extend_from_slice(
+                format!("GET /recommend/{p}?k={k} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes(),
+            );
+        }
+        let expected = one_shot_all(&stream);
+        assert_eq!(expected.len(), paths.len());
+
+        // Cut points define the fragmentation; dedup/sort to get a split.
+        let mut splits: Vec<usize> = cuts.iter().map(|&c| c % (stream.len() + 1)).collect();
+        splits.sort_unstable();
+        splits.dedup();
+        let got = feed_all(&stream, &splits);
+        assert_requests_eq(&got, &expected);
+    }
+
+    /// The worst fragmentation — every byte its own TCP segment — still
+    /// matches one-shot parsing exactly.
+    #[test]
+    fn byte_at_a_time_feed_matches_one_shot(
+        paths in proptest::collection::vec(
+            proptest::collection::vec(97u8..123, 1..8)
+                .prop_map(|b| String::from_utf8(b).expect("ascii")),
+            1..4,
+        ),
+    ) {
+        let mut stream: Vec<u8> = Vec::new();
+        for p in &paths {
+            stream.extend_from_slice(format!("GET /{p} HTTP/1.1\r\n\r\n").as_bytes());
+        }
+        let expected = one_shot_all(&stream);
+        let every_byte: Vec<usize> = (1..stream.len()).collect();
+        let got = feed_all(&stream, &every_byte);
+        assert_requests_eq(&got, &expected);
+    }
+
+    /// The incremental parser is total: arbitrary bytes in arbitrary
+    /// fragments never panic it, and every rejection is a typed 4xx/5xx.
+    #[test]
+    fn feed_parser_is_total_over_raw_fragments(
+        bytes in proptest::collection::vec((0u16..256).prop_map(|b| b as u8), 0..512),
+        cuts in proptest::collection::vec(0usize..512, 0..16),
+    ) {
+        let mut splits: Vec<usize> = cuts.iter().map(|&c| c % (bytes.len() + 1)).collect();
+        splits.sort_unstable();
+        splits.dedup();
+        let mut p = FeedParser::new();
+        let mut start = 0;
+        for &s in splits.iter().chain(std::iter::once(&bytes.len())) {
+            p.feed(&bytes[start..s]);
+            start = s;
+            loop {
+                match p.next_request() {
+                    Feed::Request(req) => assert!(req.path.starts_with('/')),
+                    Feed::NeedMore | Feed::Closed => break,
+                    Feed::Bad { status, reason } => {
+                        assert!((400..=599).contains(&status), "status {status} ({reason})");
+                        // Terminal: the transport closes here.
+                        return Ok(());
+                    }
+                }
+            }
+        }
+        p.close();
+        loop {
+            match p.next_request() {
+                Feed::Request(req) => assert!(req.path.starts_with('/')),
+                Feed::NeedMore => unreachable!("NeedMore after close()"),
+                Feed::Closed => break,
+                Feed::Bad { status, reason } => {
+                    assert!((400..=599).contains(&status), "status {status} ({reason})");
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Parses every pipelined request in `stream` with the one-shot parser.
+fn one_shot_all(stream: &[u8]) -> Vec<Request> {
+    let mut cur = Cursor::new(stream.to_vec());
+    let mut out = Vec::new();
+    loop {
+        match parse_request(&mut cur) {
+            Ok(r) => out.push(r),
+            Err(ParseError::Eof) => return out,
+            Err(e) => panic!("one-shot parse failed on valid stream: {e:?}"),
+        }
+    }
+}
+
+/// Feeds `stream` to a `FeedParser` split at `splits` (sorted byte offsets)
+/// and collects every parsed request.
+fn feed_all(stream: &[u8], splits: &[usize]) -> Vec<Request> {
+    let mut p = FeedParser::new();
+    let mut out = Vec::new();
+    let mut start = 0;
+    let drain = |p: &mut FeedParser, out: &mut Vec<Request>| loop {
+        match p.next_request() {
+            Feed::Request(r) => out.push(r),
+            Feed::NeedMore | Feed::Closed => break,
+            Feed::Bad { status, reason } => {
+                panic!("incremental parse rejected valid stream: {status} {reason}")
+            }
+        }
+    };
+    for &s in splits.iter().chain(std::iter::once(&stream.len())) {
+        p.feed(&stream[start..s]);
+        start = s;
+        drain(&mut p, &mut out);
+    }
+    p.close();
+    drain(&mut p, &mut out);
+    out
+}
+
+fn assert_requests_eq(got: &[Request], expected: &[Request]) {
+    assert_eq!(got.len(), expected.len(), "request count differs");
+    for (g, e) in got.iter().zip(expected) {
+        assert_eq!(g.method, e.method);
+        assert_eq!(g.path, e.path);
+        assert_eq!(g.query, e.query);
+        assert_eq!(g.keep_alive, e.keep_alive);
     }
 }

@@ -95,8 +95,12 @@ resume_line="$(grep 'held-out metrics' "$smoke_dir/resume.log")"
        echo "  ref:    $ref_line" >&2; echo "  resume: $resume_line" >&2; exit 1; }
 
 echo "==> overload smoke: burst past the queue sheds 503s, server stays up"
+# Pinned to the threaded transport: this smoke exercises the worker-queue
+# admission path (--queue), which the event loop replaces with a pending
+# bound. The event transport's shed paths are covered by serve_conns below
+# and the clapf-serve integration tests.
 "$clapf" serve --load "$smoke_dir/model.json" --addr 127.0.0.1:0 \
-  --workers 1 --queue 1 > "$smoke_dir/overload.log" 2>&1 &
+  --workers 1 --queue 1 --event-loop off > "$smoke_dir/overload.log" 2>&1 &
 serve_pid=$!
 addr=""
 for _ in $(seq 1 100); do
@@ -130,6 +134,12 @@ exec 3>&-
 wait "$serve_pid" \
   || { echo "overload smoke: server exited non-zero" >&2; exit 1; }
 
+echo "==> serve_conns smoke: ~2k concurrent conns on the event loop"
+# The binary asserts the gates itself: every response bit-identical to the
+# offline evaluator across keep-alive rounds, the serve.conns gauge reaches
+# the connection count, and no server thread survives graceful shutdown.
+CLAPF_SERVE_CONNS=2000 target/release/serve_conns > /dev/null
+
 echo "==> scale smoke: streaming build + mmap open + SIMD eval gates"
 # The binary itself asserts the smoke gates: nonzero training throughput,
 # mmap peak-RSS delta < 60% of the heap build, SIMD/scalar agreement.
@@ -142,5 +152,9 @@ grep -q '"tag": *"smoke"' "$smoke_dir/scale/BENCH_scale.json" \
 echo "==> cargo build -p clapf-mf --no-default-features"
 # The portable kernels must stand alone with the simd feature off.
 cargo build -p clapf-mf --no-default-features
+
+echo "==> cargo build -p clapf-serve --no-default-features"
+# The serve crate must build without the epoll FFI (scan-poller fallback).
+cargo build -p clapf-serve --no-default-features
 
 echo "tier-1: OK"
