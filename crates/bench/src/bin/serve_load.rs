@@ -28,11 +28,16 @@ use clapf_serve::{start, ModelBundle, ServeConfig, Transport};
 use clapf_telemetry::{Histogram, Registry};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use serde::Serialize;
-use std::io::{BufRead, BufReader, Write};
+use serde::{Serialize, Value};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Every leg samples 1-in-this requests into the trace ring; the per-stage
+/// means below attribute where cached vs. uncached time actually goes.
+/// Sparse enough that the overhead gate (≤ 2%, `trace_overhead`) applies.
+const TRACE_SAMPLE: u64 = 32;
 
 /// Zipf(s) sampler over `0..n` via a precomputed CDF and binary search.
 /// Hand-rolled: the vendored `rand` has no distribution zoo.
@@ -97,6 +102,85 @@ fn request(writer: &mut TcpStream, reader: &mut BufReader<TcpStream>, path: &str
     status
 }
 
+/// Mean duration of one trace stage across a leg's sampled requests.
+#[derive(Serialize)]
+struct StageMean {
+    stage: String,
+    mean_us: f64,
+    /// Sampled spans the mean is over.
+    count: u64,
+}
+
+/// Fetches a path over a one-shot connection, returning the body.
+fn get_body(addr: SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: b\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    raw.split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default()
+}
+
+/// Per-stage mean durations over the sampled traces in a `/debug/traces`
+/// body — the leg's answer to "where did the time go".
+fn stage_means(debug_traces_body: &str) -> Vec<StageMean> {
+    let v: Value = serde_json::from_str(debug_traces_body).expect("debug traces JSON");
+    let field = |v: &Value, key: &str| -> Value {
+        match v {
+            Value::Map(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("no field {key:?}")),
+            other => panic!("expected object, got {other:?}"),
+        }
+    };
+    let uint = |v: &Value| -> u64 {
+        match v {
+            Value::Int(n) => u64::try_from(*n).expect("non-negative"),
+            Value::UInt(n) => *n,
+            other => panic!("not an integer: {other:?}"),
+        }
+    };
+    let mut acc: Vec<(String, u64, u64)> = Vec::new();
+    let Value::Seq(traces) = field(&v, "traces") else {
+        panic!("traces is not an array")
+    };
+    for trace in &traces {
+        let Value::Seq(spans) = field(trace, "spans") else {
+            continue;
+        };
+        for span in &spans {
+            let Value::Str(stage) = field(span, "stage") else {
+                continue;
+            };
+            let dur = uint(&field(span, "dur_us"));
+            match acc.iter_mut().find(|(s, _, _)| *s == stage) {
+                Some((_, sum, n)) => {
+                    *sum += dur;
+                    *n += 1;
+                }
+                None => acc.push((stage, dur, 1)),
+            }
+        }
+    }
+    let mut means: Vec<StageMean> = acc
+        .into_iter()
+        .map(|(stage, sum, n)| StageMean {
+            stage,
+            mean_us: sum as f64 / n as f64,
+            count: n,
+        })
+        .collect();
+    means.sort_by(|a, b| b.mean_us.partial_cmp(&a.mean_us).expect("finite means"));
+    means
+}
+
 #[derive(Serialize)]
 struct LoadRun {
     label: String,
@@ -121,6 +205,10 @@ struct LoadRun {
     coalesced: u64,
     /// Mean users per scorer micro-batch (0 for the threaded transport).
     mean_batch_size: f64,
+    /// Per-stage mean latency over the leg's sampled traces, slowest
+    /// first — attributes the cached/uncached gap (queue wait vs. scoring
+    /// vs. parse/render overheads).
+    stage_means: Vec<StageMean>,
 }
 
 #[derive(Serialize)]
@@ -191,6 +279,7 @@ fn run_leg(bundle_path: &std::path::Path, leg: &Leg, spec: &LoadSpec, zipf: &Zip
             },
             transport: leg.transport,
             batch_max: leg.batch_max,
+            trace_sample: TRACE_SAMPLE,
             ..ServeConfig::default()
         },
         Arc::clone(&registry),
@@ -268,6 +357,7 @@ fn run_leg(bundle_path: &std::path::Path, leg: &Leg, spec: &LoadSpec, zipf: &Zip
     } else {
         0.0
     };
+    let stage_means = stage_means(&get_body(addr, "/debug/traces?n=128"));
     server.shutdown();
 
     let requests = latencies_ms.len() as u64 + shed;
@@ -297,6 +387,7 @@ fn run_leg(bundle_path: &std::path::Path, leg: &Leg, spec: &LoadSpec, zipf: &Zip
         cache_hit_rate: hits as f64 / (hits + misses + coalesced).max(1) as f64,
         coalesced,
         mean_batch_size,
+        stage_means,
     }
 }
 
@@ -440,6 +531,13 @@ fn main() {
             run.cache_hit_rate * 100.0,
             run.mean_batch_size,
         );
+        let top: Vec<String> = run
+            .stage_means
+            .iter()
+            .take(4)
+            .map(|s| format!("{} {:.0}µs", s.stage, s.mean_us))
+            .collect();
+        eprintln!("{:>26}  slowest stages: {}", "", top.join(", "));
         if run.label == "event batch=32 cache=on" {
             event_cached_qps = run.qps;
         }

@@ -146,6 +146,10 @@ pub struct ServeArgs {
     /// Longest an underfull batch is held open, in microseconds (event
     /// loop; 0 disables the hold).
     pub batch_hold_us: u64,
+    /// Trace one in this many `/recommend` requests (0 disables tracing).
+    /// Sampled requests record a per-stage span breakdown, visible at
+    /// `GET /debug/traces` and `GET /debug/slow`.
+    pub trace_sample: u64,
 }
 
 /// A parsed `clapf` invocation.
@@ -194,6 +198,7 @@ USAGE:
   clapf serve --load model.json [--addr 127.0.0.1:7878] [--workers N]
               [--cache N] [--watch SECS] [--queue N] [--deadline-ms N]
               [--event-loop on|off] [--batch-max N] [--batch-hold-us N]
+              [--trace-sample N]
 
   serve answers GET /recommend/{user}?k=N, /healthz and /metrics, and
   hot-swaps the bundle on POST /reload (or automatically with --watch).
@@ -209,6 +214,11 @@ USAGE:
   batch at most --batch-hold-us microseconds (default 100); --workers
   then sizes the scorer pool. --event-loop off restores the
   thread-per-connection transport.
+  --trace-sample N traces one in N /recommend requests (0, the default,
+  disables tracing): sampled requests record per-stage spans (parse,
+  cache, queue, score, render, write), exposed as JSON at
+  GET /debug/traces?n=K (the K most recent) and GET /debug/slow (the
+  slowest seen), and as exemplars on /metrics latency buckets.
   clapf trace --file run.jsonl
   clapf help
 
@@ -427,6 +437,16 @@ impl Command {
                     }
                     None => 100,
                 };
+                let trace_sample = match value("--trace-sample")? {
+                    Some(v) => {
+                        let n = parse_num("--trace-sample", v)?;
+                        if n.is_nan() || n < 0.0 {
+                            return Err(format!("--trace-sample must be >= 0, got {n}"));
+                        }
+                        n as u64
+                    }
+                    None => 0,
+                };
                 Ok(Command::Serve(ServeArgs {
                     load,
                     addr,
@@ -438,6 +458,7 @@ impl Command {
                     event_loop,
                     batch_max,
                     batch_hold_us,
+                    trace_sample,
                 }))
             }
             other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
@@ -629,12 +650,14 @@ mod tests {
                 event_loop: cfg!(target_os = "linux"),
                 batch_max: 32,
                 batch_hold_us: 100,
+                trace_sample: 0,
             })
         );
         let c = Command::parse(&args(&[
             "serve", "--load", "m.json", "--addr", "0.0.0.0:9000", "--workers", "8",
             "--cache", "0", "--watch", "2.5", "--queue", "16", "--deadline-ms", "250",
             "--event-loop", "on", "--batch-max", "8", "--batch-hold-us", "0",
+            "--trace-sample", "64",
         ]))
         .unwrap();
         assert_eq!(
@@ -650,8 +673,16 @@ mod tests {
                 event_loop: true,
                 batch_max: 8,
                 batch_hold_us: 0,
+                trace_sample: 64,
             })
         );
+    }
+
+    #[test]
+    fn serve_trace_sample_validates() {
+        let err = Command::parse(&args(&["serve", "--load", "m.json", "--trace-sample", "-1"]))
+            .unwrap_err();
+        assert!(err.contains("--trace-sample"), "{err}");
     }
 
     #[test]

@@ -373,6 +373,16 @@ fn fit<W: Write>(a: FitArgs, out: &mut W) -> Result<(), CliError> {
                     ("auc".into(), report.auc.into()),
                 ],
             );
+            // Evaluation as a span too, under its own trace id (far from
+            // the per-epoch sequence), so `clapf trace` folds it into the
+            // same latency table as the training phases.
+            crate::telemetry::emit_span(
+                obs.sink(),
+                clapf_telemetry::TraceId::from_seq(1 << 32),
+                "eval.rank",
+                0,
+                (eval_secs * 1e6) as u64,
+            );
         }
     }
 
@@ -402,13 +412,34 @@ fn fit<W: Write>(a: FitArgs, out: &mut W) -> Result<(), CliError> {
     Ok(())
 }
 
+/// One parsed `span` event from a JSONL trace.
+struct SpanEvent {
+    trace: String,
+    stage: String,
+    start_us: u64,
+    dur_us: u64,
+}
+
+/// The `p`-th percentile (0..=100, nearest-rank) of a sorted slice.
+fn percentile(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p * sorted.len()).div_ceil(100).max(1);
+    sorted[rank - 1]
+}
+
 /// Validates a `--metrics-out` JSONL trace: every line must parse as a JSON
-/// object with an `ev` kind. Prints a tally of the event kinds.
+/// object with an `ev` kind. Prints a tally of the event kinds; when the
+/// stream carries `span` events (training phase spans, serve request
+/// traces), also prints a per-stage latency table (p50/p95/p99 of the span
+/// durations) and a stage-by-stage breakdown of the slowest trace.
 fn trace<W: Write>(a: TraceArgs, out: &mut W) -> Result<(), CliError> {
     let body = std::fs::read_to_string(&a.file)
         .map_err(|e| CliError::Io(format!("read {:?}: {e}", a.file)))?;
     let mut kinds: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
     let mut total = 0usize;
+    let mut spans: Vec<SpanEvent> = Vec::new();
     for (n, line) in body.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -423,26 +454,97 @@ fn trace<W: Write>(a: TraceArgs, out: &mut W) -> Result<(), CliError> {
                 n + 1
             )));
         };
-        let kind = fields
-            .iter()
-            .find(|(k, _)| k == "ev")
-            .and_then(|(_, v)| match v {
+        let str_field = |name: &str| {
+            fields.iter().find(|(k, _)| k == name).and_then(|(_, v)| match v {
                 serde::Value::Str(s) => Some(s.clone()),
                 _ => None,
             })
-            .ok_or_else(|| {
-                CliError::Io(format!(
-                    "{}:{}: missing \"ev\" event kind",
-                    a.file.display(),
-                    n + 1
-                ))
-            })?;
+        };
+        let num_field = |name: &str| {
+            fields.iter().find(|(k, _)| k == name).and_then(|(_, v)| match v {
+                serde::Value::Int(i) => u64::try_from(*i).ok(),
+                serde::Value::UInt(u) => Some(*u),
+                serde::Value::Float(f) => Some(*f as u64),
+                _ => None,
+            })
+        };
+        let kind = str_field("ev").ok_or_else(|| {
+            CliError::Io(format!(
+                "{}:{}: missing \"ev\" event kind",
+                a.file.display(),
+                n + 1
+            ))
+        })?;
+        if kind == "span" {
+            if let (Some(trace), Some(stage)) = (str_field("trace"), str_field("stage")) {
+                spans.push(SpanEvent {
+                    trace,
+                    stage,
+                    start_us: num_field("start_us").unwrap_or(0),
+                    dur_us: num_field("dur_us").unwrap_or(0),
+                });
+            }
+        }
         *kinds.entry(kind).or_insert(0) += 1;
         total += 1;
     }
     writeln!(out, "{}: {} events", a.file.display(), total).map_err(werr)?;
     for (kind, count) in &kinds {
         writeln!(out, "  {kind:<12} {count}").map_err(werr)?;
+    }
+    if spans.is_empty() {
+        return Ok(());
+    }
+
+    // Per-stage duration percentiles.
+    let mut by_stage: std::collections::BTreeMap<&str, Vec<u64>> =
+        std::collections::BTreeMap::new();
+    for s in &spans {
+        by_stage.entry(&s.stage).or_default().push(s.dur_us);
+    }
+    writeln!(out, "\nper-stage latency (us):").map_err(werr)?;
+    writeln!(
+        out,
+        "  {:<20} {:>7} {:>10} {:>10} {:>10}",
+        "stage", "count", "p50", "p95", "p99"
+    )
+    .map_err(werr)?;
+    for (stage, durs) in &mut by_stage {
+        durs.sort_unstable();
+        writeln!(
+            out,
+            "  {:<20} {:>7} {:>10} {:>10} {:>10}",
+            stage,
+            durs.len(),
+            percentile(durs, 50),
+            percentile(durs, 95),
+            percentile(durs, 99)
+        )
+        .map_err(werr)?;
+    }
+
+    // The slowest trace, stage by stage. A trace's wall time is the far
+    // edge of its furthest span (spans may nest, so summing would double
+    // count).
+    let mut by_trace: std::collections::BTreeMap<&str, (u64, Vec<&SpanEvent>)> =
+        std::collections::BTreeMap::new();
+    for s in &spans {
+        let e = by_trace.entry(&s.trace).or_default();
+        e.0 = e.0.max(s.start_us + s.dur_us);
+        e.1.push(s);
+    }
+    let (id, (end_us, trace_spans)) = by_trace
+        .iter()
+        .max_by_key(|(_, (end, _))| *end)
+        .expect("spans nonempty");
+    writeln!(out, "\nslowest trace {id} ({end_us} us):").map_err(werr)?;
+    for s in trace_spans {
+        writeln!(
+            out,
+            "  {:<20} @{:>8} +{:>8}",
+            s.stage, s.start_us, s.dur_us
+        )
+        .map_err(werr)?;
     }
     Ok(())
 }
@@ -467,6 +569,7 @@ fn serve<W: Write>(a: ServeArgs, out: &mut W) -> Result<(), CliError> {
         transport,
         batch_max: a.batch_max,
         batch_hold: std::time::Duration::from_micros(a.batch_hold_us),
+        trace_sample: a.trace_sample,
         ..clapf_serve::ServeConfig::default()
     };
     let registry = std::sync::Arc::new(Registry::new());

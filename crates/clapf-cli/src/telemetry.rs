@@ -12,13 +12,17 @@
 //! * `fit_end` — steps, secs, diverged, aborted_at.
 //! * `eval` — users, secs, users_per_sec plus headline metrics (emitted by
 //!   the fit command, not the observer).
+//! * `span` — one per-epoch phase span (`train.refresh`, `train.sweep`,
+//!   `train.sampling`, `train.checkpoint`) when the trainer attributed the
+//!   epoch's wall clock: trace (one id per epoch), stage, start_us, dur_us.
 //! * `summary` — the final registry snapshot (counters, gauges, histograms).
 //!
 //! `clapf trace` re-reads a file of these lines, validates each against the
-//! JSON parser and tallies the event kinds.
+//! JSON parser, tallies the event kinds, and — when span events are present
+//! — prints per-stage latency percentiles plus the slowest trace.
 
 use clapf_telemetry::{
-    Control, EpochStats, FitMeta, FitSummary, JsonValue, JsonlSink, TrainObserver,
+    Control, EpochStats, FitMeta, FitSummary, JsonValue, JsonlSink, TraceId, TrainObserver,
 };
 
 /// Streams training callbacks as JSONL events through a [`JsonlSink`].
@@ -38,6 +42,21 @@ impl CliObserver {
     pub fn sink(&self) -> &JsonlSink {
         &self.sink
     }
+}
+
+/// Emits one `span` event line into `sink`. Used for the per-epoch phase
+/// spans here and for the fit command's eval span; `clapf trace` aggregates
+/// these into its per-stage latency table.
+pub fn emit_span(sink: &JsonlSink, trace: TraceId, stage: &str, start_us: u64, dur_us: u64) {
+    sink.emit(
+        "span",
+        vec![
+            ("trace".into(), trace.hex().into()),
+            ("stage".into(), stage.into()),
+            ("start_us".into(), start_us.into()),
+            ("dur_us".into(), dur_us.into()),
+        ],
+    );
 }
 
 impl TrainObserver for CliObserver {
@@ -74,6 +93,35 @@ impl TrainObserver for CliObserver {
                 ("non_finite".into(), stats.non_finite.into()),
             ],
         );
+        // When the trainer attributed the epoch's wall clock, stream it as
+        // spans under one per-epoch trace id so `clapf trace` can show
+        // where training time goes. Spans tile the epoch: refresh, then
+        // the sweep (with its estimated sampling share nested at the sweep
+        // start), then checkpoint writes.
+        let p = &stats.phases;
+        if !p.is_zero() {
+            let us = |secs: f64| (secs * 1e6) as u64;
+            let trace = TraceId::from_seq(stats.epoch as u64);
+            let (refresh, sweep) = (us(p.refresh_secs), us(p.sweep_secs));
+            if refresh > 0 {
+                emit_span(&self.sink, trace, "train.refresh", 0, refresh);
+            }
+            if sweep > 0 {
+                emit_span(&self.sink, trace, "train.sweep", refresh, sweep);
+            }
+            if us(p.sampling_secs) > 0 {
+                emit_span(&self.sink, trace, "train.sampling", refresh, us(p.sampling_secs));
+            }
+            if us(p.checkpoint_secs) > 0 {
+                emit_span(
+                    &self.sink,
+                    trace,
+                    "train.checkpoint",
+                    refresh + sweep,
+                    us(p.checkpoint_secs),
+                );
+            }
+        }
         Control::Continue
     }
 
@@ -163,5 +211,39 @@ mod tests {
         for line in lines {
             serde_json::from_str::<serde::Value>(line).expect(line);
         }
+    }
+
+    #[test]
+    fn attributed_epochs_emit_phase_spans() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let mut obs = CliObserver::new(JsonlSink::new(Box::new(Shared(buf.clone()))));
+        let mut stats = EpochStats::timing_only(3, 500, 2000, Duration::from_millis(20));
+        stats.phases = clapf_telemetry::PhaseTimings {
+            refresh_secs: 0.002,
+            sweep_secs: 0.017,
+            sampling_secs: 0.004,
+            checkpoint_secs: 0.001,
+        };
+        obs.on_epoch(&stats);
+        obs.sink().flush();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let spans: Vec<&str> =
+            text.lines().filter(|l| l.contains("\"ev\":\"span\"")).collect();
+        assert_eq!(spans.len(), 4, "{text}");
+        // All four spans share the epoch's trace id and tile the epoch:
+        // sweep starts where refresh ends, checkpoint where sweep ends.
+        let id = TraceId::from_seq(3).hex();
+        for s in &spans {
+            assert!(s.contains(&format!("\"trace\":\"{id}\"")), "{s}");
+            serde_json::from_str::<serde::Value>(s).expect(s);
+        }
+        assert!(spans[0].contains("\"stage\":\"train.refresh\""), "{text}");
+        assert!(spans[0].contains("\"start_us\":0,\"dur_us\":2000"), "{text}");
+        assert!(spans[1].contains("\"stage\":\"train.sweep\""), "{text}");
+        assert!(spans[1].contains("\"start_us\":2000,\"dur_us\":17000"), "{text}");
+        assert!(spans[2].contains("\"stage\":\"train.sampling\""), "{text}");
+        assert!(spans[2].contains("\"start_us\":2000,\"dur_us\":4000"), "{text}");
+        assert!(spans[3].contains("\"stage\":\"train.checkpoint\""), "{text}");
+        assert!(spans[3].contains("\"start_us\":19000,\"dur_us\":1000"), "{text}");
     }
 }

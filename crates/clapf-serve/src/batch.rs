@@ -66,6 +66,21 @@ pub(crate) struct ScoreJob {
     pub enqueued: Instant,
 }
 
+/// When one batched computation's phases happened, fanned back with the
+/// completion so every waiter's trace can attribute queue wait vs. scoring
+/// (the spans land on *each* member request of the batch).
+#[derive(Clone, Copy)]
+pub(crate) struct BatchTiming {
+    /// When the job entered the queue.
+    pub enqueued: Instant,
+    /// When the scorer pulled the batch (queue wait + bounded hold end).
+    pub formed: Instant,
+    /// When scoring (sweep + per-job cut) finished.
+    pub scored: Instant,
+    /// How many jobs shared the batch.
+    pub size: usize,
+}
+
 /// A finished scoring computation, fanned back to waiting connections by
 /// the event loop.
 pub(crate) struct Completion {
@@ -75,6 +90,9 @@ pub(crate) struct Completion {
     pub items: Option<Arc<Vec<u32>>>,
     /// Failure detail for the 500 body when `items` is `None`.
     pub error: &'static str,
+    /// Phase clock for traced waiters, stamped by the scorer loop after
+    /// the batch (success or failure) resolves.
+    pub timing: Option<BatchTiming>,
 }
 
 struct Queue {
@@ -229,7 +247,16 @@ pub(crate) fn scorer_loop(batcher: Arc<Batcher>, shared: Arc<crate::server::Shar
         for job in &batch {
             hold.record(now.saturating_duration_since(job.enqueued).as_micros() as f64);
         }
-        let completions = score_batch(&shared, &batch, &mut score_bufs, &mut items_scratch);
+        let mut completions = score_batch(&shared, &batch, &mut score_bufs, &mut items_scratch);
+        let scored = Instant::now();
+        for (c, job) in completions.iter_mut().zip(&batch) {
+            c.timing = Some(BatchTiming {
+                enqueued: job.enqueued,
+                formed: now,
+                scored,
+                size: batch.len(),
+            });
+        }
         batcher.publish(completions);
     }
 }
@@ -248,6 +275,7 @@ fn score_batch(
                 key: job.key,
                 items: None,
                 error,
+                timing: None,
             })
             .collect::<Vec<_>>()
     };
@@ -298,6 +326,7 @@ fn score_batch(
                     key: job.key,
                     items: Some(items),
                     error: "",
+                    timing: None, // filled by the scorer loop post-batch
                 }
             })
             .collect::<Vec<_>>()

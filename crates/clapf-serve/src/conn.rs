@@ -9,6 +9,7 @@
 
 use crate::batch::ScoreKey;
 use crate::http::{FeedParser, Response};
+use clapf_telemetry::Trace;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Instant;
@@ -54,6 +55,9 @@ pub(crate) struct Conn {
     pub write_started: Option<Instant>,
     /// Whether write interest is currently armed in the poller.
     pub wants_write: bool,
+    /// The sampled trace of the response currently being flushed, if any;
+    /// finished (with its write span) when the outgoing buffer drains.
+    pub trace: Option<Trace>,
 }
 
 impl Conn {
@@ -75,6 +79,7 @@ impl Conn {
             request_started: None,
             write_started: None,
             wants_write: false,
+            trace: None,
         })
     }
 

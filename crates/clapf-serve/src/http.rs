@@ -95,8 +95,10 @@ impl ReadBudget {
     }
 
     /// Marks the request as started (idempotent); call on the first byte.
+    /// Always recorded — besides enforcing the cap, the instant is the
+    /// natural start of a request trace (see `parse_request_deadline_timed`).
     fn start(&mut self) {
-        if self.cap.is_some() && self.started.is_none() {
+        if self.started.is_none() {
             self.started = Some(Instant::now());
         }
     }
@@ -227,13 +229,32 @@ pub fn parse_request_deadline<R: BufRead>(
     r: &mut R,
     read_cap: Option<Duration>,
 ) -> Result<Request, ParseError> {
+    parse_request_deadline_timed(r, read_cap).map(|(req, _)| req)
+}
+
+/// [`parse_request_deadline`], also returning the instant the request's
+/// first byte was read off the socket — the natural start of a request
+/// trace, so a traced request's parse span covers the read as well as the
+/// header parsing.
+pub fn parse_request_deadline_timed<R: BufRead>(
+    r: &mut R,
+    read_cap: Option<Duration>,
+) -> Result<(Request, Instant), ParseError> {
     let mut budget = ReadBudget::new(read_cap);
+    let req = parse_with_budget(r, &mut budget)?;
+    Ok((req, budget.started.unwrap_or_else(Instant::now)))
+}
+
+fn parse_with_budget<R: BufRead>(
+    r: &mut R,
+    budget: &mut ReadBudget,
+) -> Result<Request, ParseError> {
     let line = read_line_capped(
         r,
         MAX_REQUEST_LINE,
         ParseError::bad(414, "request line too long"),
         true,
-        &mut budget,
+        budget,
     )?;
     let mut parts = line.split_ascii_whitespace();
     let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
@@ -263,7 +284,7 @@ pub fn parse_request_deadline<R: BufRead>(
             MAX_HEADER_LINE,
             ParseError::bad(431, "header line too long"),
             false,
-            &mut budget,
+            budget,
         )?;
         if header.is_empty() {
             break;

@@ -17,6 +17,8 @@
 //! | `GET /recommend/{user}?k=N` | Top-k unseen items for a raw user id, JSON |
 //! | `GET /healthz` | Liveness + model generation |
 //! | `GET /metrics` | Prometheus text dump of the telemetry registry |
+//! | `GET /debug/traces?n=N` | The N most recent sampled request traces, JSON |
+//! | `GET /debug/slow` | The slowest sampled request traces seen, JSON |
 //! | `POST /reload` | Hot-swap to the bundle currently on disk |
 //! | `POST /shutdown` | Graceful drain-and-stop |
 //!
@@ -38,6 +40,7 @@ mod http;
 mod model;
 mod poller;
 mod server;
+mod trace;
 mod transport;
 mod watch;
 

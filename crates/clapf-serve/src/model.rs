@@ -66,6 +66,30 @@ impl ServingModel {
         top_k_for_user_into(&self.bundle.model, &self.train, u, k, scores, &mut items);
         items.into_iter().map(|i| i.0).collect()
     }
+
+    /// [`top_k_dense`](Self::top_k_dense), also reporting how the time
+    /// split between the dense score sweep and the top-k cut. The result is
+    /// bit-identical: this is the exact decomposition
+    /// [`top_k_for_user_into`] performs, with a clock between the halves.
+    pub fn top_k_dense_timed(
+        &self,
+        u: UserId,
+        k: usize,
+        scores: &mut Vec<f32>,
+    ) -> (Vec<u32>, std::time::Duration, std::time::Duration) {
+        use clapf_metrics::BulkScorer;
+        let t0 = std::time::Instant::now();
+        self.bundle.model.scores_into(u, scores);
+        let score_d = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        let mut items = Vec::new();
+        clapf_metrics::top_k_from_scores(scores, &self.train, u, k, &mut items);
+        (
+            items.into_iter().map(|i| i.0).collect(),
+            score_d,
+            t1.elapsed(),
+        )
+    }
 }
 
 /// The atomically swappable pointer to the live model.
@@ -143,6 +167,18 @@ mod tests {
         // u1 trained on {a=0, b=1}; only c=2 is recommendable.
         assert_eq!(got, vec![2]);
         assert_eq!(m.raw_item(2), "c");
+    }
+
+    #[test]
+    fn timed_top_k_is_bit_identical_to_untimed() {
+        let m = serving_model([0.1, 0.5, 0.9], 0);
+        for raw in ["u1", "u2"] {
+            let u = m.dense_user(raw).unwrap();
+            let (mut s1, mut s2) = (Vec::new(), Vec::new());
+            let (timed, _, _) = m.top_k_dense_timed(u, 10, &mut s2);
+            assert_eq!(m.top_k_dense(u, 10, &mut s1), timed);
+            assert_eq!(s1, s2, "score buffers must match bit for bit");
+        }
     }
 
     #[test]

@@ -21,10 +21,11 @@
 
 use crate::batch::Batcher;
 use crate::cache::{CacheOutcome, TopKCache};
-use crate::http::{parse_request_deadline, Method, ParseError, Request, Response};
+use crate::http::{parse_request_deadline_timed, Method, ParseError, Request, Response};
 use crate::model::{ModelSlot, ServingModel};
+use crate::trace::stages;
 use crate::{bundle::BundleError, transport::EventOpts};
-use clapf_telemetry::{Histogram, JsonValue, Registry};
+use clapf_telemetry::{Histogram, JsonValue, Registry, Trace, TraceId, Tracer};
 use std::io::{BufReader, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -106,6 +107,10 @@ pub struct ServeConfig {
     /// Force the portable scan poller even where epoll is available —
     /// exercises the fallback path in tests.
     pub force_scan_poller: bool,
+    /// Trace one in this many requests (0 disables tracing). Sampled
+    /// requests record per-stage spans, exposed at `GET /debug/traces`,
+    /// `GET /debug/slow`, and as exemplars on `/metrics` latency buckets.
+    pub trace_sample: u64,
 }
 
 impl Default for ServeConfig {
@@ -128,6 +133,7 @@ impl Default for ServeConfig {
             max_conns: 10_000,
             pending_bound: 4096,
             force_scan_poller: false,
+            trace_sample: 0,
         }
     }
 }
@@ -172,6 +178,9 @@ pub(crate) struct Shared {
     queue_deadline: Duration,
     pub(crate) read_cap: Duration,
     pub(crate) write_timeout: Duration,
+    /// Head-based request sampler; finished traces feed `/debug/traces`
+    /// (recent ring), `/debug/slow` (slowest-K log) and metric exemplars.
+    pub(crate) tracer: Tracer,
 }
 
 fn latency_histogram() -> Histogram {
@@ -181,12 +190,24 @@ fn latency_histogram() -> Histogram {
 
 impl Shared {
     pub(crate) fn observe(&self, endpoint: &str, started: Instant) {
+        self.observe_traced(endpoint, started, None);
+    }
+
+    /// [`observe`](Self::observe), attaching the request's trace id to the
+    /// latency bucket it lands in (rendered as an OpenMetrics exemplar) so
+    /// a spike on `/metrics` links to a full per-stage breakdown.
+    pub(crate) fn observe_traced(&self, endpoint: &str, started: Instant, trace: Option<TraceId>) {
         self.registry
             .counter(&format!("serve.{endpoint}.requests"))
             .inc();
-        self.registry
-            .histogram(&format!("serve.{endpoint}.latency_ms"), latency_histogram)
-            .record(started.elapsed().as_secs_f64() * 1e3);
+        let h = self
+            .registry
+            .histogram(&format!("serve.{endpoint}.latency_ms"), latency_histogram);
+        let ms = started.elapsed().as_secs_f64() * 1e3;
+        match trace {
+            Some(id) => h.record_exemplar(ms, id.get()),
+            None => h.record(ms),
+        }
     }
 
     /// Loads the bundle from disk and publishes it; the live model is
@@ -285,6 +306,7 @@ pub fn start(
         queue_deadline: config.queue_deadline,
         read_cap: config.read_cap,
         write_timeout: config.write_timeout,
+        tracer: Tracer::new(config.trace_sample, 256, 8),
     });
 
     let mut threads = match config.transport {
@@ -499,21 +521,33 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
     let mut reader = BufReader::new(stream);
     let mut idle = Duration::ZERO;
     loop {
-        match parse_request_deadline(&mut reader, Some(shared.read_cap)) {
-            Ok(req) => {
+        match parse_request_deadline_timed(&mut reader, Some(shared.read_cap)) {
+            Ok((req, first_byte)) => {
                 idle = Duration::ZERO;
                 let keep_alive = req.keep_alive && !shared.shutdown.load(Ordering::Acquire);
+                // Head-based sampling: a sampled request's trace begins at
+                // its first byte, so the parse span covers the socket read.
+                let mut trace = shared.tracer.begin_at(first_byte);
+                if let Some(t) = trace.as_mut() {
+                    t.lap(stages().parse);
+                }
                 // Handler isolation: a panic in routing answers 500 and is
                 // counted, but the worker thread — and every other queued
                 // connection behind it — survives.
-                let response = match catch_unwind(AssertUnwindSafe(|| route(&req, shared))) {
-                    Ok(r) => r,
-                    Err(_) => {
-                        shared.registry.counter("serve.panics").inc();
-                        Response::error(500, "internal error: handler panicked")
-                    }
-                };
-                if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
+                let response =
+                    match catch_unwind(AssertUnwindSafe(|| route(&req, shared, trace.as_mut()))) {
+                        Ok(r) => r,
+                        Err(_) => {
+                            shared.registry.counter("serve.panics").inc();
+                            Response::error(500, "internal error: handler panicked")
+                        }
+                    };
+                let write_ok = response.write_to(&mut writer, keep_alive).is_ok();
+                if let Some(mut t) = trace {
+                    t.lap(stages().write);
+                    shared.tracer.finish(t);
+                }
+                if !write_ok || !keep_alive {
                     return;
                 }
             }
@@ -557,24 +591,55 @@ pub(crate) enum Routed {
 
 /// Dispatches one parsed request (threaded transport): resolves a score
 /// synchronously through the coalescing cache.
-fn route(req: &Request, shared: &Shared) -> Response {
+fn route(req: &Request, shared: &Shared, mut trace: Option<&mut Trace>) -> Response {
     let started = Instant::now();
-    match route_async(req, shared) {
-        Routed::Immediate(r) => r,
+    match route_async(req, shared, trace.as_deref_mut()) {
+        Routed::Immediate(r) => {
+            if let Some(t) = trace {
+                t.lap(stages().route);
+            }
+            r
+        }
         Routed::Score(p) => {
+            let st = stages();
+            if let Some(t) = trace.as_deref_mut() {
+                t.lap(st.cache_lookup);
+            }
             let model = Arc::clone(&p.model);
+            // When this thread is the one computing, capture how the window
+            // split between the dense sweep and the top-k cut; a coalesced
+            // request spent the same window waiting on the leader instead.
+            let mut split: Option<(Duration, Duration)> = None;
             let (items, outcome) =
                 shared
                     .cache
                     .get_or_compute(p.user, p.k, model.generation, || {
                         let mut scores = Vec::new();
-                        Arc::new(model.top_k_dense(clapf_data::UserId(p.user), p.k, &mut scores))
+                        let (items, score_d, cut_d) = model.top_k_dense_timed(
+                            clapf_data::UserId(p.user),
+                            p.k,
+                            &mut scores,
+                        );
+                        split = Some((score_d, cut_d));
+                        Arc::new(items)
                     });
             match outcome {
                 CacheOutcome::Hit => shared.registry.counter("serve.cache.hits").inc(),
                 CacheOutcome::Miss => shared.registry.counter("serve.cache.misses").inc(),
                 CacheOutcome::Coalesced => {
                     shared.registry.counter("serve.cache.coalesced").inc()
+                }
+            }
+            if let Some(t) = trace.as_deref_mut() {
+                match split {
+                    Some((score_d, cut_d)) => t.lap_with(
+                        st.score_compute,
+                        &[
+                            (st.f_score_us, score_d.as_micros() as u64),
+                            (st.f_cut_us, cut_d.as_micros() as u64),
+                        ],
+                    ),
+                    None => t.lap(st.score_wait),
                 }
             }
             let r = render_recommend(
@@ -584,7 +649,10 @@ fn route(req: &Request, shared: &Shared) -> Response {
                 &items,
                 outcome == CacheOutcome::Hit,
             );
-            shared.observe("recommend", started);
+            if let Some(t) = trace.as_deref_mut() {
+                t.lap(st.render);
+            }
+            shared.observe_traced("recommend", started, trace.map(|t| t.id()));
             r
         }
     }
@@ -593,7 +661,7 @@ fn route(req: &Request, shared: &Shared) -> Response {
 /// Dispatches one parsed request to its endpoint handler, without blocking
 /// on scoring: a `/recommend` cache miss comes back as [`Routed::Score`]
 /// for the calling transport to resolve.
-pub(crate) fn route_async(req: &Request, shared: &Shared) -> Routed {
+pub(crate) fn route_async(req: &Request, shared: &Shared, mut trace: Option<&mut Trace>) -> Routed {
     let started = Instant::now();
     // Failpoint: tests inject handler I/O errors (typed 500) and panics
     // (exercising the transports' catch_unwind isolation) here.
@@ -611,10 +679,25 @@ pub(crate) fn route_async(req: &Request, shared: &Shared) -> Routed {
             shared.observe("metrics", started);
             Routed::Immediate(r)
         }
+        (Method::Get, "/debug/traces") => {
+            let n = req
+                .query_value("n")
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(32);
+            let r = crate::trace::debug_traces(&shared.tracer, n);
+            shared.observe("debug", started);
+            Routed::Immediate(r)
+        }
+        (Method::Get, "/debug/slow") => {
+            let r = crate::trace::debug_slow(&shared.tracer);
+            shared.observe("debug", started);
+            Routed::Immediate(r)
+        }
         (Method::Get, path) if path.starts_with("/recommend/") => {
-            match recommend_route(&path["/recommend/".len()..], req, shared) {
+            match recommend_route(&path["/recommend/".len()..], req, shared, trace.as_deref_mut())
+            {
                 Routed::Immediate(r) => {
-                    shared.observe("recommend", started);
+                    shared.observe_traced("recommend", started, trace.map(|t| t.id()));
                     Routed::Immediate(r)
                 }
                 score => score, // the transport observes at completion
@@ -685,7 +768,12 @@ fn metrics(shared: &Shared) -> Response {
 
 /// Validates a `/recommend/{user}` request and answers it from the cache,
 /// or hands back a [`PendingScore`] for the transport to compute.
-fn recommend_route(raw_user: &str, req: &Request, shared: &Shared) -> Routed {
+fn recommend_route(
+    raw_user: &str,
+    req: &Request,
+    shared: &Shared,
+    trace: Option<&mut Trace>,
+) -> Routed {
     if raw_user.is_empty() || raw_user.contains('/') {
         return Routed::Immediate(Response::error(404, "expected /recommend/{user}"));
     }
@@ -719,6 +807,9 @@ fn recommend_route(raw_user: &str, req: &Request, shared: &Shared) -> Routed {
     match shared.cache.get(u.0, k, model.generation) {
         Some(items) => {
             shared.registry.counter("serve.cache.hits").inc();
+            if let Some(t) = trace {
+                t.lap(stages().cache_hit);
+            }
             Routed::Immediate(render_recommend(&model, raw_user, k, &items, true))
         }
         None => Routed::Score(PendingScore {

@@ -35,6 +35,8 @@ use crate::http::{Feed, Response};
 use crate::model::ServingModel;
 use crate::poller::{Event, Fd, Poller};
 use crate::server::{route_async, render_recommend, PendingScore, Routed, Shared, KEEP_ALIVE_IDLE};
+use crate::trace::stages;
+use clapf_telemetry::Trace;
 use std::collections::HashMap;
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -75,6 +77,9 @@ struct Waiter {
     started: Instant,
     /// The model the request pinned (renders the answer's id map).
     model: Arc<ServingModel>,
+    /// The request's sampled trace, if any; batch phase spans are fanned
+    /// onto it at delivery and it finishes when the response flushes.
+    trace: Option<Trace>,
 }
 
 #[cfg(unix)]
@@ -349,9 +354,20 @@ impl EventLoop {
         let started = Instant::now();
         let shared = Arc::clone(&self.shared);
         let keep_alive = req.keep_alive && !self.draining;
+        // Head-based sampling: a sampled request's trace begins at its
+        // first buffered byte, so the parse span covers read + parse.
+        let first_byte = self
+            .conn_mut(token)
+            .and_then(|c| c.request_started)
+            .unwrap_or(started);
+        let mut trace = self.shared.tracer.begin_at(first_byte);
+        if let Some(t) = trace.as_mut() {
+            t.lap(stages().parse);
+        }
         // Panic isolation at request granularity, exactly as the threaded
         // transport's worker loop does around `route`.
-        let routed = catch_unwind(AssertUnwindSafe(|| route_async(&req, &shared)));
+        let routed =
+            catch_unwind(AssertUnwindSafe(|| route_async(&req, &shared, trace.as_mut())));
         match routed {
             Err(_) => {
                 self.shared.registry.counter("serve.panics").inc();
@@ -361,18 +377,47 @@ impl EventLoop {
                         keep_alive,
                     );
                 }
+                self.stash_trace(token, trace);
             }
             Ok(Routed::Immediate(resp)) => {
+                if let Some(t) = trace.as_mut() {
+                    t.lap(stages().route);
+                }
                 if let Some(conn) = self.conn_mut(token) {
                     conn.push_response(&resp, keep_alive);
                 }
+                if let Some(t) = trace.as_mut() {
+                    t.lap(stages().render);
+                }
+                self.stash_trace(token, trace);
             }
-            Ok(Routed::Score(p)) => self.park_score(token, p, keep_alive, started),
+            Ok(Routed::Score(p)) => self.park_score(token, p, keep_alive, started, trace),
+        }
+    }
+
+    /// Parks `trace` on the connection so `flush_conn` can finish it with
+    /// a write span once the response drains. A predecessor still parked
+    /// there (pipelined sampled requests) is finished as-is first.
+    fn stash_trace(&mut self, token: usize, trace: Option<Trace>) {
+        let Some(t) = trace else { return };
+        let displaced = match self.conn_mut(token) {
+            Some(conn) => conn.trace.replace(t),
+            None => Some(t), // connection gone: close the trace out now
+        };
+        if let Some(old) = displaced {
+            self.shared.tracer.finish(old);
         }
     }
 
     /// Parks a cache-missing `/recommend` on the score queue (or sheds it).
-    fn park_score(&mut self, token: usize, p: PendingScore, keep_alive: bool, started: Instant) {
+    fn park_score(
+        &mut self,
+        token: usize,
+        p: PendingScore,
+        keep_alive: bool,
+        started: Instant,
+        mut trace: Option<Trace>,
+    ) {
         if self.batcher.queue_len() >= self.opts.pending_bound {
             self.shared.registry.counter("serve.shed").inc();
             if let Some(conn) = self.conn_mut(token) {
@@ -382,7 +427,13 @@ impl EventLoop {
                     keep_alive,
                 );
             }
+            self.stash_trace(token, trace);
             return;
+        }
+        // Routing + the cache probe end here; the batch spans pick the
+        // timeline up from the job's enqueue.
+        if let Some(t) = trace.as_mut() {
+            t.lap(stages().cache_lookup);
         }
         let seq = if self.opts.coalesce {
             0
@@ -410,6 +461,7 @@ impl EventLoop {
             keep_alive,
             started,
             model: Arc::clone(&p.model),
+            trace,
         };
         match self.pending.entry(key) {
             std::collections::hash_map::Entry::Occupied(mut e) => {
@@ -434,7 +486,7 @@ impl EventLoop {
         let Some(waiters) = self.pending.remove(&completion.key) else {
             return;
         };
-        for w in waiters {
+        for mut w in waiters {
             let resp = {
                 let Some(conn) = self.conn_mut(w.token) else {
                     continue;
@@ -451,10 +503,32 @@ impl EventLoop {
                 }
             };
             let keep_alive = w.keep_alive && !self.draining;
+            if let Some(t) = w.trace.as_mut() {
+                // The batch's shared phase clock lands on every member
+                // request: queue wait (including the bounded hold), the
+                // sweep + cut, and the waker round trip back to this loop.
+                let st = stages();
+                if let Some(bt) = completion.timing {
+                    t.span_between(st.batch_queue, bt.enqueued, bt.formed);
+                    t.span_between_with(
+                        st.batch_score,
+                        bt.formed,
+                        bt.scored,
+                        &[(st.f_batch, bt.size as u64)],
+                    );
+                    t.span_between(st.batch_wake, bt.scored, Instant::now());
+                }
+                t.rebase();
+            }
             if let Some(conn) = self.conn_mut(w.token) {
                 conn.push_response(&resp, keep_alive);
             }
-            self.shared.observe("recommend", w.started);
+            if let Some(t) = w.trace.as_mut() {
+                t.lap(stages().render);
+            }
+            self.shared
+                .observe_traced("recommend", w.started, w.trace.as_ref().map(|t| t.id()));
+            self.stash_trace(w.token, w.trace);
             self.advance(w.token);
         }
     }
@@ -468,12 +542,18 @@ impl EventLoop {
             Ok(FlushState::Flushed) => {
                 let mut disarm = false;
                 let mut close = false;
+                let mut flushed_trace = None;
                 if let Some(conn) = self.conn_mut(token) {
                     if conn.wants_write {
                         conn.wants_write = false;
                         disarm = true;
                     }
                     close = conn.close_after_flush && conn.awaiting.is_none();
+                    flushed_trace = conn.trace.take();
+                }
+                if let Some(mut t) = flushed_trace {
+                    t.lap(stages().write);
+                    self.shared.tracer.finish(t);
                 }
                 if disarm {
                     let _ = self.poller.set_writable(fd, token, false);
@@ -505,7 +585,11 @@ impl EventLoop {
         else {
             return;
         };
-        let Some(conn) = slot.take() else { return };
+        let Some(mut conn) = slot.take() else { return };
+        if let Some(t) = conn.trace.take() {
+            // The response never fully flushed; record the spans we have.
+            self.shared.tracer.finish(t);
+        }
         let _ = self.poller.deregister(sock_fd(&conn.stream), token);
         self.n_conns -= 1;
         self.shared

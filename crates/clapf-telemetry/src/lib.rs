@@ -31,12 +31,19 @@ mod metrics;
 mod observer;
 mod registry;
 mod sink;
+mod span;
 mod text;
 mod timer;
 
 pub use json::JsonValue;
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
-pub use observer::{Control, EpochStats, FitMeta, FitSummary, NoopObserver, TrainObserver};
+pub use metrics::{Counter, Exemplar, Gauge, Histogram, HistogramSnapshot};
+pub use observer::{
+    Control, EpochStats, FitMeta, FitSummary, NoopObserver, PhaseTimings, TrainObserver,
+};
 pub use registry::Registry;
 pub use sink::JsonlSink;
+pub use span::{
+    intern_stage, stage_name, FinishedSpan, FinishedTrace, SlowLog, SpanRecord, Stage, Trace,
+    TraceId, TraceRing, Tracer, MAX_SPANS,
+};
 pub use timer::{per_sec, timed, ScopedTimer, Stopwatch};

@@ -6,6 +6,7 @@
 
 use crate::json::JsonValue;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// A monotonically increasing `u64`, updated with relaxed atomics.
 #[derive(Debug, Default)]
@@ -76,6 +77,21 @@ pub struct Histogram {
     count: AtomicU64,
     /// Running sum of recorded values, `f64` bits updated by CAS.
     sum_bits: AtomicU64,
+    /// Last traced observation per bucket. Only touched by
+    /// [`Histogram::record_exemplar`] — the sampled-trace completion
+    /// path — so a mutex costs nothing on the hot [`Histogram::record`].
+    exemplars: Mutex<Vec<Option<Exemplar>>>,
+}
+
+/// The last *traced* observation that landed in a histogram bucket —
+/// rendered as an OpenMetrics exemplar so a tail bucket links straight
+/// to the trace that put it there.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Exemplar {
+    /// The trace id (nonzero; printed as 16 hex digits).
+    pub trace_id: u64,
+    /// The observed value.
+    pub value: f64,
 }
 
 impl Histogram {
@@ -96,6 +112,7 @@ impl Histogram {
             buckets: (0..n).map(|_| AtomicU64::new(0)).collect(),
             count: AtomicU64::new(0),
             sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            exemplars: Mutex::new(vec![None; n]),
         }
     }
 
@@ -139,6 +156,22 @@ impl Histogram {
         }
     }
 
+    /// Records one observation from a *traced* request: the observation
+    /// lands exactly like [`Histogram::record`], and the bucket it fell
+    /// into additionally remembers `(trace_id, v)` as its exemplar.
+    /// Called only on the sampled path, so the exemplar lock never sits
+    /// on the per-request fast path.
+    pub fn record_exemplar(&self, v: f64, trace_id: u64) {
+        self.record(v);
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.exemplars.lock().expect("exemplars poisoned")[idx] = Some(Exemplar { trace_id, value: v });
+    }
+
+    /// Last traced observation per bucket (`bounds.len() + 1` entries).
+    pub fn exemplars(&self) -> Vec<Option<Exemplar>> {
+        self.exemplars.lock().expect("exemplars poisoned").clone()
+    }
+
     /// Total number of recorded observations.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
@@ -174,6 +207,7 @@ impl Histogram {
             counts: self.counts(),
             count: self.count(),
             sum: self.sum(),
+            exemplars: self.exemplars(),
         }
     }
 }
@@ -189,23 +223,47 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of observations.
     pub sum: f64,
+    /// Last traced observation per bucket, `bounds.len() + 1` entries.
+    pub exemplars: Vec<Option<Exemplar>>,
 }
 
 impl HistogramSnapshot {
-    /// Renders the snapshot as a JSON object.
+    /// Renders the snapshot as a JSON object. The `exemplars` key is
+    /// present only when at least one bucket has seen a traced
+    /// observation, so untraced runs snapshot exactly as before.
     pub fn to_json(&self) -> JsonValue {
-        JsonValue::Obj(vec![
+        let mut obj = vec![
             (
-                "bounds".into(),
+                "bounds".to_string(),
                 JsonValue::Arr(self.bounds.iter().map(|&b| JsonValue::F64(b)).collect()),
             ),
             (
-                "counts".into(),
+                "counts".to_string(),
                 JsonValue::Arr(self.counts.iter().map(|&c| JsonValue::UInt(c)).collect()),
             ),
-            ("count".into(), JsonValue::UInt(self.count)),
-            ("sum".into(), JsonValue::F64(self.sum)),
-        ])
+            ("count".to_string(), JsonValue::UInt(self.count)),
+            ("sum".to_string(), JsonValue::F64(self.sum)),
+        ];
+        if self.exemplars.iter().any(|e| e.is_some()) {
+            obj.push((
+                "exemplars".to_string(),
+                JsonValue::Arr(
+                    self.exemplars
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(bucket, e)| e.map(|e| (bucket, e)))
+                        .map(|(bucket, e)| {
+                            JsonValue::Obj(vec![
+                                ("bucket".into(), bucket.into()),
+                                ("trace_id".into(), JsonValue::Str(format!("{:016x}", e.trace_id))),
+                                ("value".into(), e.value.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        JsonValue::Obj(obj)
     }
 }
 
@@ -293,5 +351,24 @@ mod tests {
         assert_eq!(s.counts, vec![1, 1, 0]);
         let json = s.to_json().render();
         assert!(json.contains("\"counts\":[1,1,0]"), "{json}");
+        // No traced observations: no exemplars key, output shape unchanged.
+        assert!(!json.contains("exemplars"), "{json}");
+    }
+
+    #[test]
+    fn exemplars_remember_the_last_traced_observation_per_bucket() {
+        let h = Histogram::new(vec![1.0, 10.0]);
+        h.record(0.5); // untraced: leaves no exemplar
+        h.record_exemplar(5.0, 0xabc);
+        h.record_exemplar(7.0, 0xdef); // same bucket: last trace wins
+        h.record_exemplar(99.0, 0x123); // overflow bucket
+        assert_eq!(h.count(), 4);
+        let ex = h.exemplars();
+        assert_eq!(ex[0], None);
+        assert_eq!(ex[1], Some(Exemplar { trace_id: 0xdef, value: 7.0 }));
+        assert_eq!(ex[2], Some(Exemplar { trace_id: 0x123, value: 99.0 }));
+        let json = h.snapshot().to_json().render();
+        assert!(json.contains("\"trace_id\":\"0000000000000def\""), "{json}");
+        assert!(json.contains("\"bucket\":2"), "{json}");
     }
 }

@@ -67,6 +67,36 @@ pub struct EpochStats {
     /// True if any model parameter is non-finite (checked only when the
     /// observer is enabled; triggers early abort).
     pub non_finite: bool,
+    /// Where this epoch's wall-clock went, phase by phase.
+    pub phases: PhaseTimings,
+}
+
+/// Wall-clock attribution of one epoch across its phases. All zeros when
+/// the trainer did not measure (e.g. parallel workers, synthetic epochs);
+/// phases a trainer does not have simply stay zero.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct PhaseTimings {
+    /// Seconds refreshing the sampler (DSS refresh) at the epoch head.
+    pub refresh_secs: f64,
+    /// Seconds in the SGD step sweep (sampling + gradient + update).
+    pub sweep_secs: f64,
+    /// Estimated seconds of the sweep spent drawing training samples.
+    /// Measured by a strided probe (one timed draw every few hundred
+    /// steps, extrapolated) so the estimate never perturbs the hot loop
+    /// or the RNG stream; 0 when not measured.
+    pub sampling_secs: f64,
+    /// Seconds writing checkpoints during this epoch.
+    pub checkpoint_secs: f64,
+}
+
+impl PhaseTimings {
+    /// True when no phase was measured.
+    pub fn is_zero(&self) -> bool {
+        self.refresh_secs == 0.0
+            && self.sweep_secs == 0.0
+            && self.sampling_secs == 0.0
+            && self.checkpoint_secs == 0.0
+    }
 }
 
 impl EpochStats {
@@ -85,6 +115,7 @@ impl EpochStats {
             user_norm: f64::NAN,
             item_norm: f64::NAN,
             non_finite: false,
+            phases: PhaseTimings::default(),
         }
     }
 }

@@ -166,6 +166,53 @@ mod tests {
         assert_eq!(sink.dropped(), 1);
     }
 
+    /// A `Write` with a hard byte budget: accepts `room` bytes then
+    /// fails every further write — a disk that fills up mid-run.
+    struct Full {
+        room: usize,
+    }
+
+    impl Write for Full {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.room == 0 {
+                return Err(std::io::Error::new(std::io::ErrorKind::WriteZero, "sink full"));
+            }
+            let n = buf.len().min(self.room);
+            self.room -= n;
+            Ok(n)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn full_sink_drops_surface_in_snapshot_and_metrics() {
+        let registry = crate::Registry::new();
+        let sink = JsonlSink::new(Box::new(Full { room: 64 }))
+            .with_drop_counter(registry.counter("telemetry.dropped"));
+        // Overrun the 64-byte budget by a wide margin; BufWriter batching
+        // means the errors land on emits and/or flushes, but at least one
+        // line must be counted as lost.
+        for i in 0..200usize {
+            sink.emit("tick", vec![("i".into(), i.into())]);
+        }
+        sink.flush();
+        assert!(sink.dropped() > 0);
+        // Silent loss is visible in the JSON snapshot…
+        let snap = registry.snapshot().render();
+        assert!(snap.contains("\"telemetry.dropped\""), "{snap}");
+        assert!(!snap.contains("\"telemetry.dropped\":0"), "{snap}");
+        // …and on the Prometheus /metrics exposition.
+        let text = registry.render_text();
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("telemetry_dropped "))
+            .expect("telemetry_dropped sample");
+        let count: u64 = line.split(' ').nth(1).unwrap().parse().unwrap();
+        assert_eq!(count, sink.dropped());
+    }
+
     #[test]
     fn healthy_sinks_never_count_drops() {
         let buf = Arc::new(Mutex::new(Vec::new()));

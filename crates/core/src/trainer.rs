@@ -6,7 +6,9 @@ use crate::{ClapfConfig, Recommender};
 use clapf_data::{Interactions, ItemId, UserId};
 use clapf_mf::{MfModel, SharedMfModel};
 use clapf_sampling::{sample_observed_pair, TripleSampler};
-use clapf_telemetry::{Control, EpochStats, FitMeta, FitSummary, NoopObserver, TrainObserver};
+use clapf_telemetry::{
+    Control, EpochStats, FitMeta, FitSummary, NoopObserver, PhaseTimings, TrainObserver,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -381,7 +383,18 @@ struct StepLocal {
     loss: f64,
     /// Accumulated gradient scale `Σ σ(−R)`.
     gsum: f64,
+    /// Steps seen by the strided sampling probe's stride counter.
+    calls: u64,
+    /// Nanoseconds the probed steps spent drawing their training sample.
+    probe_ns: u64,
+    /// Number of probed steps behind `probe_ns`.
+    probed: u64,
 }
+
+/// One in this many observed steps times its sampling draw; the epoch
+/// extrapolates the probes into a sampling-phase estimate. Power of two so
+/// the stride check is a mask.
+const SAMPLE_PROBE_STRIDE: u64 = 512;
 
 impl StepLocal {
     fn new(enabled: bool) -> Self {
@@ -405,12 +418,17 @@ impl StepLocal {
         acc.skipped += taken.skipped;
         acc.loss += taken.loss;
         acc.gsum += taken.gsum;
+        acc.calls += taken.calls;
+        acc.probe_ns += taken.probe_ns;
+        acc.probed += taken.probed;
     }
 }
 
 /// Builds one epoch's [`EpochStats`]. Timing is always present; the model
 /// scan (norms, NaN detection) and the loss/gradient means run only when
 /// `model` is `Some`, i.e. when an enabled observer asked to pay for them.
+/// `phases` carries the caller's refresh/sweep/checkpoint attribution; the
+/// sampling estimate is extrapolated here from the strided probes.
 fn build_epoch_stats(
     epoch: usize,
     steps: usize,
@@ -418,8 +436,14 @@ fn build_epoch_stats(
     elapsed: Duration,
     acc: StepLocal,
     model: Option<&MfModel>,
+    mut phases: PhaseTimings,
 ) -> EpochStats {
     let mut stats = EpochStats::timing_only(epoch, steps, steps_total, elapsed);
+    if acc.probed > 0 {
+        let per_draw_ns = acc.probe_ns as f64 / acc.probed as f64;
+        phases.sampling_secs = per_draw_ns * acc.calls as f64 / 1e9;
+    }
+    stats.phases = phases;
     if let Some(m) = model {
         let n = acc.sampled.max(1) as f64;
         stats.loss = acc.loss / n;
@@ -450,10 +474,26 @@ fn sgd_step<S: TripleSampler + ?Sized>(
 ) {
     let model = shared.view();
 
+    // Strided sampling probe: every SAMPLE_PROBE_STRIDE-th observed step
+    // times its draw so the epoch can attribute sweep time to sampling
+    // without paying two clock reads per step. Clock reads never touch
+    // the RNG stream, so probed and unprobed fits stay bit-identical.
+    let probe_t = if local.enabled {
+        local.calls += 1;
+        (local.calls & (SAMPLE_PROBE_STRIDE - 1) == 1).then(Instant::now)
+    } else {
+        None
+    };
+
     // The paper's SGD record: a uniform observed pair (u, i) plus the
     // sampler's completion (k, j).
     let (u, i) = sample_observed_pair(data, rng);
-    let Some((k, j)) = sampler.complete(data, model, u, i, rng) else {
+    let drawn = sampler.complete(data, model, u, i, rng);
+    if let Some(t0) = probe_t {
+        local.probe_ns += t0.elapsed().as_nanos() as u64;
+        local.probed += 1;
+    }
+    let Some((k, j)) = drawn else {
         if local.enabled {
             local.skipped += 1;
         }
@@ -575,7 +615,11 @@ where
     let mut epoch_clock = Instant::now();
 
     for epoch in 0..n_epochs {
+        let refresh_t = Instant::now();
         sampler.refresh(shared.view());
+        let refresh_secs = refresh_t.elapsed().as_secs_f64();
+        let mut checkpoint_secs = 0.0f64;
+        let sweep_t = Instant::now();
         let epoch_start = epoch * refresh_every;
         let epoch_end = ((epoch + 1) * refresh_every).min(iterations);
         for step in epoch_start..epoch_end {
@@ -584,9 +628,12 @@ where
             );
 
             if checkpoint_every > 0 && (step + 1) % checkpoint_every == 0 {
+                let ckpt_t = Instant::now();
                 checkpoint(step + 1, shared.view());
+                checkpoint_secs += ckpt_t.elapsed().as_secs_f64();
             }
         }
+        let sweep_secs = (sweep_t.elapsed().as_secs_f64() - checkpoint_secs).max(0.0);
         steps_done = epoch_end;
 
         let now = Instant::now();
@@ -597,6 +644,12 @@ where
             now - epoch_clock,
             local.take(),
             observing.then(|| shared.view()),
+            PhaseTimings {
+                refresh_secs,
+                sweep_secs,
+                sampling_secs: 0.0, // extrapolated from the probes inside
+                checkpoint_secs,
+            },
         );
         epoch_clock = now;
         let control = observer.on_epoch(&stats);
@@ -760,8 +813,14 @@ where
     let mut params = StepParams::scaled(cfg, weights, lr_scale);
     let mut epoch_clock = Instant::now();
 
+    // Checkpoint saves land after an epoch's stats are built, so their
+    // cost is carried into the *next* epoch's attribution.
+    let mut carried_checkpoint_secs = 0.0f64;
     while epoch < n_epochs {
+        let refresh_t = Instant::now();
         sampler.refresh(shared.view());
+        let refresh_secs = refresh_t.elapsed().as_secs_f64();
+        let sweep_t = Instant::now();
         let epoch_start = epoch * refresh_every;
         let epoch_end = ((epoch + 1) * refresh_every).min(iterations);
         for _ in epoch_start..epoch_end {
@@ -769,6 +828,7 @@ where
                 &shared, data, sampler, &mut rng, &params, &mut u_old, &mut grad_u, &mut local,
             );
         }
+        let sweep_secs = sweep_t.elapsed().as_secs_f64();
         steps_done = epoch_end;
 
         let now = Instant::now();
@@ -779,6 +839,12 @@ where
             now - epoch_clock,
             local.take(),
             observing.then(|| shared.view()),
+            PhaseTimings {
+                refresh_secs,
+                sweep_secs,
+                sampling_secs: 0.0, // extrapolated from the probes inside
+                checkpoint_secs: std::mem::take(&mut carried_checkpoint_secs),
+            },
         );
         epoch_clock = now;
         let control = observer.on_epoch(&stats);
@@ -825,10 +891,12 @@ where
 
         epoch += 1;
         if epoch % every == 0 || epoch == n_epochs {
+            let ckpt_t = Instant::now();
             checkpoint::save(
                 ckpt_cfg,
                 &snapshot(&fp, epoch, steps_done, &rng, lr_scale, retries, shared.view()),
             )?;
+            carried_checkpoint_secs += ckpt_t.elapsed().as_secs_f64();
         }
     }
 
@@ -920,7 +988,9 @@ where
     let abort = AtomicBool::new(false);
     let accum = Mutex::new(StepLocal::new(observing));
     let epochs = Mutex::new(Vec::with_capacity(n_epochs));
-    let last_epoch_elapsed = Mutex::new(Duration::ZERO);
+    // Worker 0 parks the final epoch's wall clock and its refresh seconds
+    // here so the caller's thread can attribute that epoch after the join.
+    let last_epoch_elapsed = Mutex::new((Duration::ZERO, 0.0f64));
     // Only worker 0 invokes the observer (and only between barriers); the
     // mutex exists to hand the `&mut` across the scope, not for contention.
     let obs_mutex = Mutex::new(observer);
@@ -942,6 +1012,10 @@ where
                 let mut grad_u = vec![0.0f32; cfg.dim];
                 let mut local = StepLocal::new(observing);
                 let mut epoch_clock = Instant::now();
+                // Worker 0's own refresh duration for the epoch whose stats
+                // are built one iteration later (and, at the end, on the
+                // caller's thread).
+                let mut prev_refresh_secs = 0.0f64;
                 for epoch in 0..n_epochs {
                     // Publish this worker's counts for the finished epoch
                     // before the barrier, so the drain below sees them all.
@@ -960,6 +1034,7 @@ where
                         let now = Instant::now();
                         let steps_total = epoch * refresh_every;
                         let acc = accum.lock().expect("telemetry accumulator lock").take();
+                        let epoch_secs = (now - epoch_clock).as_secs_f64();
                         let stats = build_epoch_stats(
                             epoch - 1,
                             refresh_every,
@@ -967,6 +1042,12 @@ where
                             now - epoch_clock,
                             acc,
                             observing.then(|| shared.view()),
+                            PhaseTimings {
+                                refresh_secs: prev_refresh_secs,
+                                sweep_secs: (epoch_secs - prev_refresh_secs).max(0.0),
+                                sampling_secs: 0.0,
+                                checkpoint_secs: 0.0,
+                            },
                         );
                         epoch_clock = now;
                         let mut o = obs_mutex.lock().expect("telemetry observer lock");
@@ -980,7 +1061,11 @@ where
                             abort.store(true, Ordering::Relaxed);
                         }
                     }
+                    let refresh_t = Instant::now();
                     wsampler.refresh(shared.view());
+                    if is_obs_worker {
+                        prev_refresh_secs = refresh_t.elapsed().as_secs_f64();
+                    }
                     barrier.wait();
                     // Every worker reads the decision after the same
                     // barrier, so all of them exit at this epoch edge.
@@ -1015,7 +1100,7 @@ where
                 }
                 if is_obs_worker {
                     *last_epoch_elapsed.lock().expect("telemetry clock lock") =
-                        epoch_clock.elapsed();
+                        (epoch_clock.elapsed(), prev_refresh_secs);
                 }
             });
         }
@@ -1035,13 +1120,21 @@ where
         // The final epoch was never followed by a barrier, so its stats are
         // built here, from the joined (quiescent) model.
         let epoch_start = (n_epochs - 1) * refresh_every;
+        let (final_elapsed, final_refresh_secs) =
+            *last_epoch_elapsed.lock().expect("telemetry clock lock");
         let stats = build_epoch_stats(
             n_epochs - 1,
             iterations - epoch_start,
             iterations,
-            *last_epoch_elapsed.lock().expect("telemetry clock lock"),
+            final_elapsed,
             accum.into_inner().expect("telemetry accumulator lock"),
             observing.then(|| shared.view()),
+            PhaseTimings {
+                refresh_secs: final_refresh_secs,
+                sweep_secs: (final_elapsed.as_secs_f64() - final_refresh_secs).max(0.0),
+                sampling_secs: 0.0,
+                checkpoint_secs: 0.0,
+            },
         );
         let _ = observer.on_epoch(&stats);
         if stats.non_finite {

@@ -24,12 +24,17 @@ clapf=target/release/clapf
 "$clapf" generate --dataset ml100k --shrink 24 --out "$smoke_dir/data.csv" >/dev/null
 "$clapf" fit --data "$smoke_dir/data.csv" --dss --dim 8 --iterations 20000 \
   --metrics-out "$smoke_dir/run.jsonl" >/dev/null
-# The trace must validate as JSONL and carry the full event vocabulary.
-"$clapf" trace --file "$smoke_dir/run.jsonl" >/dev/null
-for ev in fit_start epoch fit_end eval summary; do
+# The trace must validate as JSONL and carry the full event vocabulary,
+# including the per-epoch phase spans, and render the per-stage table.
+"$clapf" trace --file "$smoke_dir/run.jsonl" > "$smoke_dir/trace.out"
+for ev in fit_start epoch fit_end eval summary span; do
   grep -q "\"ev\":\"$ev\"" "$smoke_dir/run.jsonl" \
     || { echo "telemetry smoke: missing $ev event" >&2; exit 1; }
 done
+grep -q 'per-stage latency' "$smoke_dir/trace.out" \
+  || { echo "telemetry smoke: clapf trace missing per-stage table" >&2; exit 1; }
+grep -q 'train.sweep' "$smoke_dir/trace.out" \
+  || { echo "telemetry smoke: clapf trace missing train.sweep stage" >&2; exit 1; }
 
 echo "==> serve smoke: fit --save + clapf serve end-to-end over HTTP"
 "$clapf" fit --data "$smoke_dir/data.csv" --dim 8 --iterations 20000 \
@@ -63,6 +68,44 @@ cat <&3 >/dev/null
 exec 3>&-
 wait "$serve_pid" \
   || { echo "serve smoke: server exited non-zero" >&2; exit 1; }
+
+echo "==> trace smoke: --trace-sample 1 surfaces per-stage request traces"
+"$clapf" serve --load "$smoke_dir/model.json" --addr 127.0.0.1:0 \
+  --trace-sample 1 > "$smoke_dir/traced.log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's#^listening on http://##p' "$smoke_dir/traced.log")"
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "trace smoke: server never announced its port" >&2; exit 1; }
+serve_get "/recommend/$user?k=5" | grep -q '"items":\[' \
+  || { echo "trace smoke: /recommend failed" >&2; exit 1; }
+# The sampled miss must show up with a per-stage span breakdown.
+serve_get "/debug/traces?n=8" | grep -q '"stage":"cache.lookup"' \
+  || { echo "trace smoke: /debug/traces missing stage breakdown" >&2; exit 1; }
+serve_get /debug/slow | grep -q '"total_us":' \
+  || { echo "trace smoke: /debug/slow empty" >&2; exit 1; }
+# Latency buckets carry OpenMetrics exemplars referencing the trace ids.
+serve_get /metrics | grep -q '# {trace_id="' \
+  || { echo "trace smoke: /metrics missing trace exemplars" >&2; exit 1; }
+exec 3<>"/dev/tcp/${addr%:*}/${addr##*:}"
+printf 'POST /shutdown HTTP/1.1\r\nHost: s\r\nConnection: close\r\n\r\n' >&3
+cat <&3 >/dev/null
+exec 3>&-
+wait "$serve_pid" \
+  || { echo "trace smoke: server exited non-zero" >&2; exit 1; }
+
+echo "==> trace overhead gate: <=2% end-to-end at a 1-in-64 sample"
+# The binary asserts response bit-identity itself (untraced vs. 1-in-1);
+# the gate here holds sampled tracing to <=2% of untraced throughput.
+target/release/trace_overhead --fast --out "$smoke_dir/trace" >/dev/null 2>&1
+pct="$(sed -n 's/.*"overhead_sampled_pct": *\([-0-9.e+]*\).*/\1/p' \
+  "$smoke_dir/trace/BENCH_trace.json")"
+[ -n "$pct" ] || { echo "trace gate: no overhead_sampled_pct in report" >&2; exit 1; }
+awk -v p="$pct" 'BEGIN { exit !(p <= 2.0) }' \
+  || { echo "trace gate: sampled overhead ${pct}% exceeds 2%" >&2; exit 1; }
 
 echo "==> crash smoke: SIGKILL mid-train, resume, identical metrics"
 train_args=(train --data "$smoke_dir/data.csv" --dim 8 --iterations 2000000 \
