@@ -19,18 +19,26 @@
 //! event loop with micro-batched scoring (batch 32 vs. 1 — the batching
 //! A/B), each with the cache on and off. The headline number for ISSUE 7:
 //! uncached event-loop QPS must land within 2× of cached.
+//!
+//! A final `--fleet N` section (ISSUE 9) boots a `clapf-fleet` router in
+//! front of N event-loop replicas and records fleet QPS (N vs. 1 through
+//! the same router), the failover blip when a replica dies mid-load, and
+//! the rollout commit window (downtime) of a fleet-wide two-phase bundle
+//! rollout under load.
 
 use bench::Cli;
 use clapf_data::loader::{load_ratings_reader, Separator};
 use clapf_eval::report;
+use clapf_fleet::{rollout, FleetSpec, ReplicaSpec, RouterConfig, RouterHandle};
 use clapf_mf::{Init, MfModel};
-use clapf_serve::{start, ModelBundle, ServeConfig, Transport};
+use clapf_serve::{start, ModelBundle, ServeConfig, ServerHandle, Transport};
 use clapf_telemetry::{Histogram, Registry};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Serialize, Value};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -211,6 +219,51 @@ struct LoadRun {
     stage_means: Vec<StageMean>,
 }
 
+/// One fleet leg: closed-loop uncached load through the router, optionally
+/// with a mid-leg event (replica kill or fleet-wide rollout).
+#[derive(Serialize)]
+struct FleetRun {
+    label: String,
+    /// Replica count behind the router.
+    fleet: usize,
+    clients: usize,
+    requests: u64,
+    /// Non-200 responses — the zero-dropped-requests criterion.
+    errors: u64,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    /// "none", "kill" or "rollout".
+    event: &'static str,
+    /// When the event fired, relative to leg start (0 for "none").
+    event_at_ms: f64,
+    /// Worst request latency completing within 2 s of the event — the
+    /// client-visible failover/rollout blip (0 for "none").
+    blip_ms: f64,
+    /// Rollout distribute+stage+verify wall clock (traffic flowing).
+    rollout_staged_ms: f64,
+    /// Rollout pause→commit→resume wall clock — the fleet's downtime.
+    rollout_commit_window_ms: f64,
+}
+
+/// The `--fleet N` section of the report (ISSUE 9).
+#[derive(Serialize)]
+struct FleetSection {
+    replicas: usize,
+    /// True when the box has fewer cores than fleet processes, i.e. every
+    /// replica time-slices one saturated core and no parallel speedup is
+    /// physically available — `fleet_speedup` then measures the overhead
+    /// of splitting (probes, wake churn), not the fleet's scaling.
+    core_bound: bool,
+    /// Fleet-of-N QPS over fleet-of-1 QPS, same router, same clients.
+    fleet_speedup: f64,
+    failover_blip_ms: f64,
+    failover_errors: u64,
+    rollout_commit_window_ms: f64,
+    rollout_errors: u64,
+    runs: Vec<FleetRun>,
+}
+
 #[derive(Serialize)]
 struct ServeLoadReport {
     n_users: u32,
@@ -228,6 +281,7 @@ struct ServeLoadReport {
     /// what micro-batching itself buys.
     batch_speedup: f64,
     runs: Vec<LoadRun>,
+    fleet: FleetSection,
 }
 
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
@@ -391,8 +445,249 @@ fn run_leg(bundle_path: &std::path::Path, leg: &Leg, spec: &LoadSpec, zipf: &Zip
     }
 }
 
+/// What happens mid-leg in a fleet run.
+enum FleetEvent {
+    None,
+    /// Shut replica 0 down abruptly; the router must mask it.
+    Kill,
+    /// Drive a fleet-wide two-phase rollout of the candidate bundle.
+    Rollout,
+}
+
+/// A booted fleet: N in-process replicas behind a router.
+struct Fleet {
+    replicas: Vec<ServerHandle>,
+    addrs: Vec<SocketAddr>,
+    bundles: Vec<PathBuf>,
+    router: RouterHandle,
+}
+
+/// Boots `n` uncached event-loop replicas on private copies of `master`
+/// and a router in front of them. Replicas behind a router must run the
+/// event loop: the router's pooled keep-alive upstreams would pin every
+/// thread-per-connection worker and starve the health/rollout probes.
+fn start_fleet(dir: &Path, master: &Path, n: usize, clients: usize) -> Fleet {
+    let mut replicas = Vec::new();
+    let mut addrs = Vec::new();
+    let mut bundles = Vec::new();
+    for i in 0..n {
+        let bundle = dir.join(format!("fleet{n}-replica-{i}.json"));
+        std::fs::copy(master, &bundle).expect("replica bundle copy");
+        let handle = start(
+            bundle.clone(),
+            ServeConfig {
+                cache_capacity: 0,
+                workers: 1,
+                transport: Transport::EventLoop,
+                // Micro-batching confounds the replica-count comparison on
+                // a shared-core testbed: concentrating every client on one
+                // replica fills batches that a sharded fleet cannot, which
+                // is amortisation the single replica would not get with
+                // replicas on separate machines. batch 1 isolates the
+                // routing/sharding dimension itself.
+                batch_max: 1,
+                ..ServeConfig::default()
+            },
+            Arc::new(Registry::new()),
+        )
+        .expect("replica boots");
+        addrs.push(handle.addr());
+        replicas.push(handle);
+        bundles.push(bundle);
+    }
+    let router = clapf_fleet::start_router(
+        RouterConfig {
+            replicas: addrs.clone(),
+            // Router workers hold a client connection each for its
+            // keep-alive lifetime, so the pool must cover every client.
+            workers: clients + 2,
+            health_interval: Duration::from_millis(250),
+            ..RouterConfig::default()
+        },
+        Arc::new(Registry::new()),
+    )
+    .expect("router boots");
+    Fleet {
+        replicas,
+        addrs,
+        bundles,
+        router,
+    }
+}
+
+/// Where the fleet legs find their fixtures on disk.
+struct FleetPaths {
+    /// Scratch directory for per-replica bundle copies.
+    dir: PathBuf,
+    /// The bundle every replica starts on.
+    master: PathBuf,
+    /// The rollout candidate (different fingerprint).
+    candidate: PathBuf,
+}
+
+/// Runs one closed-loop fleet leg: `clients` keep-alive clients hammer the
+/// router for `spec.duration`; at 40% of the leg the event (if any) fires
+/// on the main thread while load keeps flowing.
+fn run_fleet_leg(
+    paths: &FleetPaths,
+    n: usize,
+    clients: usize,
+    spec: &LoadSpec,
+    zipf: &Zipf,
+    event: FleetEvent,
+) -> FleetRun {
+    let LoadSpec {
+        duration, k, seed, ..
+    } = *spec;
+    let mut fleet = start_fleet(&paths.dir, &paths.master, n, clients);
+    let addr = fleet.router.addr();
+
+    // Clients run for at least `duration` but never stop while the mid-leg
+    // event is still in progress — a rollout staged under full load can
+    // outlast a short leg, and its commit window must land under load or
+    // the zero-dropped-requests claim is vacuous.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let started = Instant::now();
+    let mut threads = Vec::new();
+    for c in 0..clients {
+        let mut rng = SmallRng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0xF1EE7));
+        let zipf_cdf = zipf.cdf.clone();
+        let stop = Arc::clone(&stop);
+        threads.push(std::thread::spawn(move || {
+            let zipf = Zipf { cdf: zipf_cdf };
+            let stream = TcpStream::connect(addr).expect("connect router");
+            stream.set_nodelay(true).expect("nodelay");
+            let mut writer = stream.try_clone().expect("clone stream");
+            let mut reader = BufReader::new(stream);
+            // (completed_at_secs since leg start, latency_ms, status)
+            let mut records: Vec<(f64, f64, u16)> = Vec::new();
+            while started.elapsed() < duration
+                || !stop.load(std::sync::atomic::Ordering::Relaxed)
+            {
+                let user = zipf.sample(&mut rng);
+                let sent = Instant::now();
+                let status = request(
+                    &mut writer,
+                    &mut reader,
+                    &format!("/recommend/u{user}?k={k}"),
+                );
+                records.push((
+                    started.elapsed().as_secs_f64(),
+                    sent.elapsed().as_secs_f64() * 1e3,
+                    status,
+                ));
+            }
+            records
+        }));
+    }
+
+    let event_at = duration.mul_f64(0.4);
+    let (event_name, event_at_ms, staged_ms, commit_ms) = match &event {
+        FleetEvent::None => ("none", 0.0, 0.0, 0.0),
+        kill_or_rollout => {
+            if let Some(wait) = (started + event_at).checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            match kill_or_rollout {
+                FleetEvent::None => unreachable!(),
+                FleetEvent::Kill => {
+                    fleet.replicas.remove(0).shutdown();
+                    ("kill", event_at.as_secs_f64() * 1e3, 0.0, 0.0)
+                }
+                FleetEvent::Rollout => {
+                    let fspec = FleetSpec {
+                        router: Some(addr),
+                        replicas: fleet
+                            .addrs
+                            .iter()
+                            .zip(&fleet.bundles)
+                            .map(|(&addr, bundle)| ReplicaSpec {
+                                addr,
+                                bundle: bundle.clone(),
+                            })
+                            .collect(),
+                    };
+                    let report =
+                        rollout(&fspec, &paths.candidate).expect("fleet rollout under load");
+                    // Let resumed traffic flow a moment so the post-commit
+                    // regime shows up in the records too.
+                    std::thread::sleep(Duration::from_millis(200));
+                    (
+                        "rollout",
+                        event_at.as_secs_f64() * 1e3,
+                        report.staged.as_secs_f64() * 1e3,
+                        report.commit_window.as_secs_f64() * 1e3,
+                    )
+                }
+            }
+        }
+    };
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+
+    let mut records: Vec<(f64, f64, u16)> = Vec::new();
+    for t in threads {
+        records.extend(t.join().expect("fleet client thread"));
+    }
+    let wall = started.elapsed();
+    fleet.router.shutdown();
+    for r in fleet.replicas {
+        r.shutdown();
+    }
+
+    let errors = records.iter().filter(|(_, _, s)| *s != 200).count() as u64;
+    let mut oks_ms: Vec<f64> = records
+        .iter()
+        .filter(|(_, _, s)| *s == 200)
+        .map(|(_, l, _)| *l)
+        .collect();
+    oks_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let blip_ms = {
+        // Kill recovers within the retry path, so a 2 s window after the
+        // event suffices; a rollout's pause lands `staged` later, so its
+        // window runs to the end of the leg.
+        let (from, to) = match event {
+            FleetEvent::None => (f64::INFINITY, f64::INFINITY),
+            FleetEvent::Kill => (event_at.as_secs_f64(), event_at.as_secs_f64() + 2.0),
+            FleetEvent::Rollout => (event_at.as_secs_f64(), f64::INFINITY),
+        };
+        records
+            .iter()
+            .filter(|(done, _, _)| (from..to).contains(done))
+            .map(|(_, l, _)| *l)
+            .fold(0.0, f64::max)
+    };
+    FleetRun {
+        label: format!("fleet={n} {event_name} x{clients}"),
+        fleet: n,
+        clients,
+        requests: records.len() as u64,
+        errors,
+        qps: oks_ms.len() as f64 / wall.as_secs_f64(),
+        p50_ms: percentile(&oks_ms, 0.50),
+        p99_ms: percentile(&oks_ms, 0.99),
+        event: event_name,
+        event_at_ms,
+        blip_ms,
+        rollout_staged_ms: staged_ms,
+        rollout_commit_window_ms: commit_ms,
+    }
+}
+
 fn main() {
-    let cli = Cli::parse();
+    // `--fleet N` sizes the fleet section (replica count for the N-replica
+    // legs); every other flag is the shared bench CLI.
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut fleet_n = 3usize;
+    if let Some(i) = raw.iter().position(|a| a == "--fleet") {
+        let v = raw
+            .get(i + 1)
+            .expect("--fleet requires a replica count")
+            .clone();
+        fleet_n = v.parse().expect("--fleet must be an integer");
+        raw.drain(i..=i + 1);
+    }
+    let fleet_n = fleet_n.max(1);
+    let cli = Cli::from_args(&raw);
     // Scale knobs: users/items size the scoring cost per uncached request,
     // duration bounds the wall clock.
     let (n_users, n_items, secs, clients) = match cli.scale_name {
@@ -411,7 +706,7 @@ fn main() {
             csv.push_str(&format!("u{u},i{i},5\n"));
         }
     }
-    let loaded = load_ratings_reader(std::io::Cursor::new(csv), Separator::Comma, 3.0)
+    let loaded = load_ratings_reader(std::io::Cursor::new(csv.as_bytes()), Separator::Comma, 3.0)
         .expect("synthetic ratings load");
     let mut rng = SmallRng::seed_from_u64(cli.scale.seed);
     let model = MfModel::new(
@@ -431,6 +726,27 @@ fn main() {
     std::fs::create_dir_all(&dir).expect("temp dir");
     let bundle_path = dir.join("bundle.json");
     bundle.save(&bundle_path).expect("save bundle");
+
+    // A second bundle with a different fingerprint — the rollout candidate
+    // for the fleet leg. Same data, freshly initialised factors.
+    let loaded_b = load_ratings_reader(std::io::Cursor::new(csv.as_bytes()), Separator::Comma, 3.0)
+        .expect("synthetic ratings load");
+    let mut rng_b = SmallRng::seed_from_u64(cli.scale.seed ^ 0xB00B5);
+    let model_b = MfModel::new(
+        loaded_b.interactions.n_users(),
+        loaded_b.interactions.n_items(),
+        dim,
+        Init::default(),
+        &mut rng_b,
+    );
+    let bundle_b = ModelBundle::new(
+        format!("serve-load fixture B d={dim}"),
+        model_b,
+        loaded_b.ids,
+        &loaded_b.interactions,
+    );
+    let candidate_path = dir.join("bundle-b.json");
+    bundle_b.save(&candidate_path).expect("save candidate bundle");
 
     let zipf = Zipf::new(n_users as usize, zipf_s);
     let duration = Duration::from_secs_f64(secs);
@@ -598,6 +914,75 @@ fn main() {
          (target <= 2.0), batch=32 vs batch=1 speedup = {batch_speedup:.2}x"
     );
 
+    // Fleet section (ISSUE 9): uncached closed-loop load through the
+    // router, fleet of 1 vs. fleet of N, then a replica kill and a
+    // fleet-wide rollout under the same load. Events need at least two
+    // replicas — a fleet of one has nothing to fail over to.
+    let mut fleet_runs = Vec::new();
+    let mut fleet_legs: Vec<(usize, FleetEvent)> = vec![(1, FleetEvent::None)];
+    if fleet_n >= 2 {
+        fleet_legs.push((fleet_n, FleetEvent::None));
+        fleet_legs.push((fleet_n, FleetEvent::Kill));
+        fleet_legs.push((fleet_n, FleetEvent::Rollout));
+    }
+    let fleet_paths = FleetPaths {
+        dir: dir.clone(),
+        master: bundle_path.clone(),
+        candidate: candidate_path.clone(),
+    };
+    for (n, event) in fleet_legs {
+        let run = run_fleet_leg(&fleet_paths, n, hi_clients, &spec, &zipf, event);
+        eprintln!(
+            "{:>26}: {} req ({} errors), {:.0} qps, p50 {:.3} ms, p99 {:.3} ms, blip {:.1} ms, \
+             rollout staged {:.0} ms / commit window {:.1} ms",
+            run.label,
+            run.requests,
+            run.errors,
+            run.qps,
+            run.p50_ms,
+            run.p99_ms,
+            run.blip_ms,
+            run.rollout_staged_ms,
+            run.rollout_commit_window_ms,
+        );
+        fleet_runs.push(run);
+    }
+    let fleet_run = |event: &str, n: usize| fleet_runs.iter().find(|r| r.event == event && r.fleet == n);
+    let fleet_speedup = fleet_run("none", fleet_n).map(|r| r.qps).unwrap_or(f64::NAN)
+        / fleet_run("none", 1).map(|r| r.qps).unwrap_or(f64::NAN);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let fleet = FleetSection {
+        replicas: fleet_n,
+        // Router + N replicas: with fewer cores than processes the legs
+        // compare time-slices of one core, not parallel replicas.
+        core_bound: cores < fleet_n + 1,
+        fleet_speedup,
+        failover_blip_ms: fleet_run("kill", fleet_n).map(|r| r.blip_ms).unwrap_or(0.0),
+        failover_errors: fleet_run("kill", fleet_n).map(|r| r.errors).unwrap_or(0),
+        rollout_commit_window_ms: fleet_run("rollout", fleet_n)
+            .map(|r| r.rollout_commit_window_ms)
+            .unwrap_or(0.0),
+        rollout_errors: fleet_run("rollout", fleet_n).map(|r| r.errors).unwrap_or(0),
+        runs: fleet_runs,
+    };
+    eprintln!(
+        "fleet headline: {}-replica over 1-replica qps = {:.2}x{}, failover blip {:.1} ms \
+         ({} errors), rollout commit window {:.1} ms ({} errors)",
+        fleet.replicas,
+        fleet.fleet_speedup,
+        if fleet.core_bound {
+            " (core-bound: replicas time-slice one core)"
+        } else {
+            ""
+        },
+        fleet.failover_blip_ms,
+        fleet.failover_errors,
+        fleet.rollout_commit_window_ms,
+        fleet.rollout_errors,
+    );
+
     let out = ServeLoadReport {
         n_users,
         n_items,
@@ -612,6 +997,7 @@ fn main() {
         cached_over_uncached,
         batch_speedup,
         runs,
+        fleet,
     };
     let path = cli.out_dir.join("BENCH_serve.json");
     report::write_json(&path, &out).expect("write serve load results");

@@ -152,6 +152,32 @@ pub struct ServeArgs {
     pub trace_sample: u64,
 }
 
+/// `clapf fleet serve` arguments.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetServeArgs {
+    /// Seed model bundle; each replica gets its own copy under `--dir`.
+    pub load: PathBuf,
+    /// Number of replica processes to supervise.
+    pub replicas: usize,
+    /// Router bind address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Working directory: per-replica bundle copies and `fleet.json`.
+    pub dir: PathBuf,
+    /// Router worker threads (each owns one pooled connection per replica).
+    pub workers: usize,
+    /// Trace one in this many proxied requests (0 disables tracing).
+    pub trace_sample: u64,
+}
+
+/// `clapf fleet rollout` arguments.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetRolloutArgs {
+    /// The `fleet.json` written by `clapf fleet serve`.
+    pub fleet: PathBuf,
+    /// The candidate bundle to roll out fleet-wide.
+    pub bundle: PathBuf,
+}
+
 /// A parsed `clapf` invocation.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Command {
@@ -163,6 +189,10 @@ pub enum Command {
     Recommend(RecommendArgs),
     /// Serve recommendations over HTTP.
     Serve(ServeArgs),
+    /// Supervise a sharded replica fleet behind a consistent-hash router.
+    FleetServe(FleetServeArgs),
+    /// Roll a new bundle out across a running fleet, atomically.
+    FleetRollout(FleetRolloutArgs),
     /// Validate and summarize a JSONL run trace.
     Trace(TraceArgs),
     /// Print usage.
@@ -219,6 +249,22 @@ USAGE:
   cache, queue, score, render, write), exposed as JSON at
   GET /debug/traces?n=K (the K most recent) and GET /debug/slow (the
   slowest seen), and as exemplars on /metrics latency buckets.
+  clapf fleet serve --load model.json [--replicas N] [--addr 127.0.0.1:7900]
+                    [--dir clapf-fleet] [--workers N] [--trace-sample N]
+  clapf fleet rollout --bundle new.json [--fleet clapf-fleet/fleet.json]
+
+  fleet serve spawns --replicas (default 2) `clapf serve` child processes
+  on ephemeral ports, each with its own copy of the bundle under --dir,
+  and fronts them with a consistent-hash router: users map to replicas by
+  bounded-load ring hashing, dead replicas fail over within one health
+  check and re-admit automatically, and a crashed replica is restarted
+  with exponential backoff (its slot keeps its ring position). The fleet
+  layout is written to --dir/fleet.json. POST /shutdown on the router
+  drains the whole fleet.
+  fleet rollout reads fleet.json and flips every replica to --bundle in
+  two phases: stage + fingerprint-verify everywhere first, then a paused
+  atomic commit — clients never see two model generations, and a failed
+  commit aborts with the old generation restored fleet-wide.
   clapf trace --file run.jsonl
   clapf help
 
@@ -461,6 +507,59 @@ impl Command {
                     trace_sample,
                 }))
             }
+            "fleet" => match rest.first().map(|s| s.as_str()) {
+                Some("serve") => {
+                    let load = PathBuf::from(required("--load")?);
+                    let replicas = match value("--replicas")? {
+                        Some(v) => {
+                            let n = parse_num("--replicas", v)?;
+                            if n.is_nan() || n < 1.0 {
+                                return Err(format!("--replicas must be at least 1, got {n}"));
+                            }
+                            n as usize
+                        }
+                        None => 2,
+                    };
+                    let addr = value("--addr")?
+                        .cloned()
+                        .unwrap_or_else(|| "127.0.0.1:7900".to_string());
+                    let dir = value("--dir")?
+                        .map(PathBuf::from)
+                        .unwrap_or_else(|| PathBuf::from("clapf-fleet"));
+                    let workers = match value("--workers")? {
+                        Some(v) => parse_num("--workers", v)? as usize,
+                        None => 4,
+                    };
+                    let trace_sample = match value("--trace-sample")? {
+                        Some(v) => {
+                            let n = parse_num("--trace-sample", v)?;
+                            if n.is_nan() || n < 0.0 {
+                                return Err(format!("--trace-sample must be >= 0, got {n}"));
+                            }
+                            n as u64
+                        }
+                        None => 0,
+                    };
+                    Ok(Command::FleetServe(FleetServeArgs {
+                        load,
+                        replicas,
+                        addr,
+                        dir,
+                        workers: workers.max(1),
+                        trace_sample,
+                    }))
+                }
+                Some("rollout") => {
+                    let bundle = PathBuf::from(required("--bundle")?);
+                    let fleet = value("--fleet")?
+                        .map(PathBuf::from)
+                        .unwrap_or_else(|| PathBuf::from("clapf-fleet/fleet.json"));
+                    Ok(Command::FleetRollout(FleetRolloutArgs { fleet, bundle }))
+                }
+                other => Err(format!(
+                    "fleet takes serve | rollout, got {other:?}\n{USAGE}"
+                )),
+            },
             other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
         }
     }
@@ -710,6 +809,78 @@ mod tests {
         let err = Command::parse(&args(&["serve", "--load", "m.json", "--deadline-ms", "0"]))
             .unwrap_err();
         assert!(err.contains("--deadline-ms"), "{err}");
+    }
+
+    #[test]
+    fn fleet_serve_defaults_and_full_flags() {
+        let c = Command::parse(&args(&["fleet", "serve", "--load", "m.json"])).unwrap();
+        assert_eq!(
+            c,
+            Command::FleetServe(FleetServeArgs {
+                load: PathBuf::from("m.json"),
+                replicas: 2,
+                addr: "127.0.0.1:7900".into(),
+                dir: PathBuf::from("clapf-fleet"),
+                workers: 4,
+                trace_sample: 0,
+            })
+        );
+        let c = Command::parse(&args(&[
+            "fleet", "serve", "--load", "m.json", "--replicas", "3", "--addr",
+            "127.0.0.1:0", "--dir", "run/fleet", "--workers", "8", "--trace-sample", "16",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::FleetServe(FleetServeArgs {
+                load: PathBuf::from("m.json"),
+                replicas: 3,
+                addr: "127.0.0.1:0".into(),
+                dir: PathBuf::from("run/fleet"),
+                workers: 8,
+                trace_sample: 16,
+            })
+        );
+    }
+
+    #[test]
+    fn fleet_serve_validates() {
+        assert!(Command::parse(&args(&["fleet", "serve"])).is_err());
+        let err = Command::parse(&args(&["fleet", "serve", "--load", "m.json", "--replicas", "0"]))
+            .unwrap_err();
+        assert!(err.contains("--replicas"), "{err}");
+    }
+
+    #[test]
+    fn fleet_rollout_parses_and_requires_bundle() {
+        let c = Command::parse(&args(&["fleet", "rollout", "--bundle", "new.json"])).unwrap();
+        assert_eq!(
+            c,
+            Command::FleetRollout(FleetRolloutArgs {
+                fleet: PathBuf::from("clapf-fleet/fleet.json"),
+                bundle: PathBuf::from("new.json"),
+            })
+        );
+        let c = Command::parse(&args(&[
+            "fleet", "rollout", "--bundle", "new.json", "--fleet", "f.json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::FleetRollout(FleetRolloutArgs {
+                fleet: PathBuf::from("f.json"),
+                bundle: PathBuf::from("new.json"),
+            })
+        );
+        assert!(Command::parse(&args(&["fleet", "rollout"])).is_err());
+    }
+
+    #[test]
+    fn fleet_rejects_unknown_subcommand() {
+        let err = Command::parse(&args(&["fleet", "restart"])).unwrap_err();
+        assert!(err.contains("serve | rollout"), "{err}");
+        let err = Command::parse(&args(&["fleet"])).unwrap_err();
+        assert!(err.contains("serve | rollout"), "{err}");
     }
 
     #[test]

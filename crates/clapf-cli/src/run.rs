@@ -1,7 +1,8 @@
 //! Execution of the parsed CLI commands.
 
 use crate::args::{
-    Command, FitArgs, GenerateArgs, LogLevel, ModelKind, RecommendArgs, ServeArgs, TraceArgs,
+    Command, FitArgs, FleetRolloutArgs, FleetServeArgs, GenerateArgs, LogLevel, ModelKind,
+    RecommendArgs, ServeArgs, TraceArgs,
 };
 use crate::bundle::ModelBundle;
 use crate::telemetry::CliObserver;
@@ -68,6 +69,8 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> i32 {
         Command::Fit(a) => fit(a, out),
         Command::Recommend(a) => recommend(a, out),
         Command::Serve(a) => serve(a, out),
+        Command::FleetServe(a) => fleet_serve(a, out),
+        Command::FleetRollout(a) => fleet_rollout(a, out),
         Command::Trace(a) => trace(a, out),
     };
     match result {
@@ -601,6 +604,155 @@ fn serve<W: Write>(a: ServeArgs, out: &mut W) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Boots a sharded fleet: `--replicas` child `clapf serve` processes on
+/// ephemeral ports (each owning a copy of the bundle under `--dir`, each
+/// on the event-loop transport so the router's pooled connections never
+/// starve control-plane calls), fronted by the consistent-hash router.
+/// Supervises the children — a dead replica restarts with exponential
+/// backoff, keeping its ring slot — until `POST /shutdown` on the router
+/// drains everything.
+fn fleet_serve<W: Write>(a: FleetServeArgs, out: &mut W) -> Result<(), CliError> {
+    use clapf_fleet::{start_router, FleetSpec, Replica, ReplicaConfig, ReplicaSpec, RouterConfig};
+    use std::time::Duration;
+
+    std::fs::create_dir_all(&a.dir)
+        .map_err(|e| CliError::Io(format!("create {:?}: {e}", a.dir)))?;
+    let exe = std::env::current_exe()
+        .map_err(|e| CliError::Io(format!("resolving own executable: {e}")))?;
+
+    let mut replicas = Vec::new();
+    let mut replica_specs = Vec::new();
+    for i in 0..a.replicas {
+        let bundle = a.dir.join(format!("replica-{i}.json"));
+        std::fs::copy(&a.load, &bundle)
+            .map_err(|e| CliError::Io(format!("copy {:?} -> {bundle:?}: {e}", a.load)))?;
+        let config = ReplicaConfig {
+            exe: exe.clone(),
+            args: vec![
+                "serve".into(),
+                "--load".into(),
+                bundle.display().to_string(),
+                "--addr".into(),
+                "127.0.0.1:0".into(),
+                "--event-loop".into(),
+                "on".into(),
+            ],
+            announce_timeout: Duration::from_secs(30),
+        };
+        let r = Replica::spawn(config).map_err(|e| CliError::Io(format!("replica {i}: {e}")))?;
+        writeln!(
+            out,
+            "replica {i}: pid {} on http://{} serving {}",
+            r.pid(),
+            r.addr(),
+            bundle.display()
+        )
+        .map_err(werr)?;
+        replica_specs.push(ReplicaSpec {
+            addr: r.addr(),
+            bundle,
+        });
+        replicas.push(r);
+    }
+
+    let registry = std::sync::Arc::new(Registry::new());
+    let router = start_router(
+        RouterConfig {
+            addr: a.addr.clone(),
+            replicas: replica_specs.iter().map(|r| r.addr).collect(),
+            workers: a.workers,
+            trace_sample: a.trace_sample,
+            ..RouterConfig::default()
+        },
+        registry,
+    )
+    .map_err(|e| CliError::Io(e.to_string()))?;
+
+    let mut spec = FleetSpec {
+        router: Some(router.addr()),
+        replicas: replica_specs,
+    };
+    let fleet_path = a.dir.join("fleet.json");
+    spec.save(&fleet_path)
+        .map_err(|e| CliError::Io(format!("write {fleet_path:?}: {e}")))?;
+    writeln!(out, "fleet spec written to {}", fleet_path.display()).map_err(werr)?;
+    writeln!(out, "listening on http://{}", router.addr()).map_err(werr)?;
+    out.flush().map_err(werr)?;
+
+    // Supervision loop: restart dead replicas (with backoff, keeping their
+    // ring slot), repoint the router and rewrite fleet.json each time.
+    while !router.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(200));
+        for (slot, r) in replicas.iter_mut().enumerate() {
+            if router.shutdown_requested() {
+                break;
+            }
+            if r.is_running() {
+                continue;
+            }
+            let delay = r.restart_delay();
+            writeln!(out, "replica {slot} died; restarting in {delay:?}").map_err(werr)?;
+            std::thread::sleep(delay);
+            match r.restart() {
+                Ok(addr) => {
+                    router.set_replica_addr(slot, addr);
+                    spec.replicas[slot].addr = addr;
+                    if let Err(e) = spec.save(&fleet_path) {
+                        writeln!(out, "warning: rewriting {fleet_path:?}: {e}").map_err(werr)?;
+                    }
+                    writeln!(out, "replica {slot} back on http://{addr}").map_err(werr)?;
+                }
+                Err(e) => {
+                    // Backoff grows; the next loop iteration tries again.
+                    writeln!(out, "replica {slot} restart failed: {e}").map_err(werr)?;
+                }
+            }
+        }
+    }
+
+    // Graceful drain: router first (stop accepting), then every replica.
+    router.shutdown();
+    for r in replicas {
+        r.shutdown(Duration::from_secs(5));
+    }
+    writeln!(out, "fleet drained and stopped").map_err(werr)?;
+    Ok(())
+}
+
+/// Runs the two-phase rollout against the fleet described by `fleet.json`.
+fn fleet_rollout<W: Write>(a: FleetRolloutArgs, out: &mut W) -> Result<(), CliError> {
+    let spec = clapf_fleet::FleetSpec::load(&a.fleet)
+        .map_err(|e| CliError::Io(format!("load fleet spec {:?}: {e}", a.fleet)))?;
+    writeln!(
+        out,
+        "rolling {} out to {} replica(s)",
+        a.bundle.display(),
+        spec.replicas.len()
+    )
+    .map_err(werr)?;
+    match clapf_fleet::rollout(&spec, &a.bundle) {
+        Ok(report) => {
+            writeln!(
+                out,
+                "fleet now serves fingerprint {:016x} (generations {:?})",
+                report.fingerprint, report.generations
+            )
+            .map_err(werr)?;
+            writeln!(
+                out,
+                "staged and verified under live traffic in {:.1?}; pause-commit-resume window {:.1?}",
+                report.staged, report.commit_window
+            )
+            .map_err(werr)?;
+            Ok(())
+        }
+        // A rejection leaves the fleet untouched on the old generation —
+        // bad input, not a broken fleet.
+        Err(e @ clapf_fleet::RolloutError::Rejected { .. }) => Err(CliError::Config(e.to_string())),
+        Err(e) => Err(CliError::Io(e.to_string())),
+    }
+}
+
 fn recommend<W: Write>(a: RecommendArgs, out: &mut W) -> Result<(), CliError> {
     let bundle = ModelBundle::load(&a.load).map_err(|e| CliError::Io(e.to_string()))?;
     writeln!(out, "model: {}", bundle.description).map_err(werr)?;
@@ -980,6 +1132,16 @@ mod tests {
         assert_eq!(metrics_line(&text), first, "resume changed the result");
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fleet_rollout_without_a_fleet_spec_is_an_io_error() {
+        let (code, text) = run_cmd(&[
+            "fleet", "rollout", "--bundle", "/nonexistent-bundle.json", "--fleet",
+            "/nonexistent-fleet.json",
+        ]);
+        assert_eq!(code, 3, "{text}");
+        assert!(text.contains("fleet spec"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,44 @@
+//! The sharded, replicated serving tier: a std-only router fronting N
+//! `clapf-serve` replicas (ISSUE 9, DESIGN.md §16).
+//!
+//! The pieces, bottom-up:
+//!
+//! * [`ring`] — the consistent-hash ring mapping users to replica slots,
+//!   with a bounded-load walk so a hot shard spills to its ring successor
+//!   instead of melting.
+//! * [`client`] — the pooled keep-alive upstream HTTP client the router
+//!   proxies through, and the one-shot probe the health checker and the
+//!   rollout driver share.
+//! * [`router`] — the router process: accepts client connections with the
+//!   same read-budget/timeout discipline as `clapf-serve`, hashes
+//!   `/recommend/{user}` to a replica, relays the reply byte-for-byte
+//!   (router answers are bit-identical to direct replica answers), retries
+//!   once through the ring on upstream failure, health-checks replicas via
+//!   `/healthz`, and parks traffic during a rollout's commit window.
+//! * [`rollout`] — the fleet-wide two-phase model rollout driver: every
+//!   replica stages `<bundle>.next`, fingerprints are verified everywhere,
+//!   traffic pauses, every replica commits (a pointer flip), traffic
+//!   resumes — or any failure aborts the rollout fleet-wide and replicas
+//!   restore the previous bundle.
+//! * [`supervisor`] — spawns replica processes, scrapes their announce
+//!   lines, restarts them with exponential backoff, and drains them on
+//!   shutdown.
+//!
+//! Trace ids propagate across the hop: the router samples with its own
+//! tracer and forwards the id in an `X-Clapf-Trace` header, which the
+//! replica adopts — one id, two `/debug/traces` rings, end to end.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod ring;
+pub mod rollout;
+pub mod router;
+pub mod supervisor;
+
+pub use client::{http_call, Upstream, UpstreamResponse};
+pub use ring::Ring;
+pub use rollout::{rollout, FleetSpec, ReplicaSpec, RolloutError, RolloutReport};
+pub use router::{start_router, RouterConfig, RouterError, RouterHandle};
+pub use supervisor::{Replica, ReplicaConfig, SupervisorError};

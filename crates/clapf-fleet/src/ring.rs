@@ -1,0 +1,215 @@
+//! The consistent-hash ring mapping user keys to replica slots.
+//!
+//! Classic ring hashing with virtual nodes, plus the bounded-load variant
+//! of Mirrokni et al.: a slot only admits a request while its in-flight
+//! count stays under `ceil(c · (total_in_flight + 1) / alive)` with
+//! `c = 5/4`, so a hot shard spills to its ring successor instead of
+//! queueing without bound. Slots are **stable indices**, not addresses — a
+//! replica that restarts on a new ephemeral port keeps its slot, so only
+//! the address table changes and no user remaps.
+//!
+//! Failover falls out of the same walk: a dead slot is skipped, which
+//! remaps exactly the keys that hashed to it (~1/N of users) and nobody
+//! else — the minimal-disruption property the property tests pin.
+
+/// The position a user key enters the ring at: 64-bit FNV-1a, then the
+/// splitmix64 finalizer. Raw FNV clusters for near-identical keys
+/// (`user-1`, `user-2`, …) badly enough to skew slot shares 2× off the
+/// mean; the finalizer's avalanche restores uniformity.
+fn hash_key(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    scatter(h)
+}
+
+/// splitmix64 — scatters `(slot, vnode)` pairs uniformly around the ring.
+fn scatter(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A consistent-hash ring over `n_slots` replica slots.
+pub struct Ring {
+    /// `(point, slot)` sorted by point — the ring, flattened.
+    points: Vec<(u64, u32)>,
+    n_slots: usize,
+}
+
+impl Ring {
+    /// Virtual nodes per slot: enough for max/mean key load ≈ 1.1 at
+    /// realistic fleet sizes without making the point table noticeable.
+    pub const VNODES: usize = 160;
+
+    /// A ring over `n_slots` slots (at least 1) with [`Ring::VNODES`]
+    /// virtual nodes each.
+    pub fn new(n_slots: usize) -> Ring {
+        let n_slots = n_slots.max(1);
+        let mut points = Vec::with_capacity(n_slots * Ring::VNODES);
+        for slot in 0..n_slots as u64 {
+            for vnode in 0..Ring::VNODES as u64 {
+                points.push((scatter((slot << 32) | vnode), slot as u32));
+            }
+        }
+        points.sort_unstable();
+        points.dedup_by_key(|(p, _)| *p); // astronomically rare; keeps walk simple
+        Ring { points, n_slots }
+    }
+
+    /// Number of slots this ring was built over.
+    pub fn n_slots(&self) -> usize {
+        self.n_slots
+    }
+
+    /// The slot `key` hashes to when every slot is alive and unloaded —
+    /// the pure ring position, ignoring liveness and load.
+    pub fn slot_for(&self, key: &str) -> u32 {
+        let start = self.start_index(key);
+        self.points[start].1
+    }
+
+    /// Picks the serving slot for `key`: walks the ring clockwise from the
+    /// key's position, skipping dead slots and slots at or over the
+    /// bounded-load cap. Returns `None` only when no slot is alive.
+    ///
+    /// `inflight[s]` is the number of requests currently being proxied to
+    /// slot `s`; the cap is `ceil(5·(total+1) / (4·alive))`, so by
+    /// pigeonhole at least one alive slot is always under it — the walk
+    /// degrades to plain consistent hashing when the fleet is idle.
+    pub fn pick(&self, key: &str, alive: &[bool], inflight: &[u64]) -> Option<u32> {
+        debug_assert_eq!(alive.len(), self.n_slots);
+        debug_assert_eq!(inflight.len(), self.n_slots);
+        let alive_n = alive.iter().filter(|&&a| a).count() as u64;
+        if alive_n == 0 {
+            return None;
+        }
+        let total: u64 = (0..self.n_slots)
+            .filter(|&s| alive[s])
+            .map(|s| inflight[s])
+            .sum();
+        let cap = (5 * (total + 1)).div_ceil(4 * alive_n);
+
+        let start = self.start_index(key);
+        let mut fallback = None;
+        for i in 0..self.points.len() {
+            let (_, slot) = self.points[(start + i) % self.points.len()];
+            if !alive[slot as usize] {
+                continue;
+            }
+            if inflight[slot as usize] < cap {
+                return Some(slot);
+            }
+            fallback.get_or_insert(slot);
+        }
+        fallback
+    }
+
+    /// Index of the first ring point at or clockwise of `key`'s position.
+    fn start_index(&self, key: &str) -> usize {
+        let h = hash_key(key);
+        match self.points.binary_search_by_key(&h, |&(p, _)| p) {
+            Ok(i) => i,
+            Err(i) if i == self.points.len() => 0, // wrap
+            Err(i) => i,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_slot_takes_everything() {
+        let ring = Ring::new(1);
+        for i in 0..100 {
+            assert_eq!(ring.slot_for(&format!("user-{i}")), 0);
+            assert_eq!(ring.pick(&format!("user-{i}"), &[true], &[0]), Some(0));
+        }
+        assert_eq!(ring.pick("u", &[false], &[0]), None, "no slot alive");
+    }
+
+    #[test]
+    fn idle_pick_is_plain_consistent_hashing() {
+        let ring = Ring::new(5);
+        let alive = vec![true; 5];
+        let inflight = vec![0u64; 5];
+        for i in 0..1000 {
+            let key = format!("user-{i}");
+            assert_eq!(ring.pick(&key, &alive, &inflight), Some(ring.slot_for(&key)));
+        }
+    }
+
+    #[test]
+    fn bounded_load_spills_a_pinned_slot_and_returns() {
+        let ring = Ring::new(3);
+        let alive = vec![true; 3];
+        let key = (0..100)
+            .map(|i| format!("user-{i}"))
+            .find(|k| ring.slot_for(k) == 0)
+            .expect("some key lands on slot 0");
+        // Slot 0 far over the cap: the key spills to a ring successor.
+        let spilled = ring.pick(&key, &alive, &[100, 0, 0]).expect("alive fleet");
+        assert_ne!(spilled, 0, "overloaded slot must spill");
+        // Load gone: the key snaps back to its home slot.
+        assert_eq!(ring.pick(&key, &alive, &[0, 0, 0]), Some(0));
+    }
+
+    proptest! {
+        /// Balance bound: with 160 vnodes, no slot sees more than ~2× the
+        /// mean key share (and none starves below a third of it).
+        #[test]
+        fn keys_spread_within_the_balance_bound(n_slots in 2usize..9, seed in 0u64..50) {
+            let ring = Ring::new(n_slots);
+            let n_keys = 6000usize;
+            let mut counts = vec![0usize; n_slots];
+            for i in 0..n_keys {
+                counts[ring.slot_for(&format!("user-{seed}-{i}")) as usize] += 1;
+            }
+            let mean = n_keys / n_slots;
+            for (slot, &c) in counts.iter().enumerate() {
+                prop_assert!(c <= 2 * mean,
+                    "slot {slot} holds {c} of {n_keys} keys (mean {mean})");
+                prop_assert!(c >= mean / 3,
+                    "slot {slot} starved at {c} of {n_keys} keys (mean {mean})");
+            }
+        }
+
+        /// Minimal disruption: killing one slot remaps exactly the keys
+        /// that hashed to it — every other key keeps its slot, and the
+        /// orphaned ~1/N spread across the survivors.
+        #[test]
+        fn removing_a_slot_remaps_only_its_own_keys(
+            n_slots in 2usize..9, dead in 0usize..9, seed in 0u64..50,
+        ) {
+            let dead = dead % n_slots;
+            let ring = Ring::new(n_slots);
+            let mut alive = vec![true; n_slots];
+            let idle = vec![0u64; n_slots];
+            let keys: Vec<String> =
+                (0..2000).map(|i| format!("user-{seed}-{i}")).collect();
+            let before: Vec<u32> =
+                keys.iter().map(|k| ring.pick(k, &alive, &idle).unwrap()).collect();
+            alive[dead] = false;
+            let mut orphans = 0usize;
+            for (k, &home) in keys.iter().zip(&before) {
+                let now = ring.pick(k, &alive, &idle).unwrap();
+                prop_assert!(now as usize != dead, "picked the dead slot");
+                if home as usize == dead {
+                    orphans += 1;
+                } else {
+                    prop_assert_eq!(now, home,
+                        "key {} remapped although its slot survived", k);
+                }
+            }
+            // The dead slot held roughly 1/N of the keys — all remapped.
+            prop_assert!(orphans > 0, "a 160-vnode slot never holds zero of 2000 keys");
+            prop_assert!(orphans <= 2 * keys.len() / n_slots);
+        }
+    }
+}

@@ -1,0 +1,852 @@
+//! The router process: consistent-hash proxying with health-checked
+//! failover and a pause gate for the rollout commit window.
+//!
+//! Request path: parse (same read-budget discipline as `clapf-serve`),
+//! enter the pause gate, hash the user through the [`Ring`]
+//! (bounded-load), relay over the worker's pooled keep-alive [`Upstream`],
+//! and on upstream failure mark the slot dead and retry **once** through
+//! the ring — the failpoint tests pin "zero 5xx after one retry" for a
+//! replica killed mid-load. Replica bodies are relayed byte-for-byte, so
+//! a routed answer is bit-identical to asking the replica directly.
+//!
+//! The health checker probes every slot's `/healthz` on an interval:
+//! a dead replica leaves the ring within one interval and is re-admitted
+//! automatically when it answers again. Slots are stable indices — a
+//! replica restarting on a new port keeps its slot via
+//! [`RouterHandle::set_replica_addr`], so no user remaps.
+
+use crate::client::{http_call, Upstream, UpstreamResponse};
+use crate::ring::Ring;
+use clapf_serve::{parse_request_deadline_timed, Method, ParseError, Request, Response};
+use clapf_telemetry::{intern_stage, FinishedTrace, JsonValue, Registry, Stage, Trace, Tracer};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock, RwLock};
+use std::time::{Duration, Instant};
+
+/// How often a blocked connection read wakes to poll the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(250);
+/// Idle keep-alive connections are closed after this long without a request.
+const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(30);
+
+/// How a router is sized and wired.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Initial replica addresses, in slot order. The slot count is fixed
+    /// for the router's lifetime; addresses may change (restarts).
+    pub replicas: Vec<SocketAddr>,
+    /// Worker threads (each owns one pooled upstream connection per slot).
+    pub workers: usize,
+    /// Health-check probe interval.
+    pub health_interval: Duration,
+    /// Per-call timeout on upstream connects/reads/writes.
+    pub upstream_timeout: Duration,
+    /// Read budget for one client request (slow-loris cap).
+    pub read_cap: Duration,
+    /// Client socket write timeout.
+    pub write_timeout: Duration,
+    /// Longest a request parks at a paused gate before being shed with a
+    /// 503 + `Retry-After` — the overload-shedding safety valve that keeps
+    /// a stuck rollout from wedging clients forever.
+    pub pause_max_wait: Duration,
+    /// A pause older than this auto-resumes (crashed rollout driver).
+    pub pause_guard: Duration,
+    /// Trace one in this many proxied requests (0 disables tracing).
+    pub trace_sample: u64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:0".into(),
+            replicas: Vec::new(),
+            workers: 4,
+            health_interval: Duration::from_millis(500),
+            upstream_timeout: Duration::from_secs(5),
+            read_cap: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            pause_max_wait: Duration::from_secs(2),
+            pause_guard: Duration::from_secs(10),
+            trace_sample: 0,
+        }
+    }
+}
+
+/// Why the router failed to start.
+#[derive(Debug)]
+pub enum RouterError {
+    /// A fleet needs at least one replica.
+    NoReplicas,
+    /// Binding or socket configuration failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for RouterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouterError::NoReplicas => write!(f, "fleet has no replicas"),
+            RouterError::Io(e) => write!(f, "socket: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RouterError {}
+
+/// Router-side stage vocabulary for propagated traces.
+struct Stages {
+    parse: Stage,
+    pick: Stage,
+    upstream: Stage,
+    retry: Stage,
+    write: Stage,
+}
+
+fn stages() -> &'static Stages {
+    static STAGES: OnceLock<Stages> = OnceLock::new();
+    STAGES.get_or_init(|| Stages {
+        parse: intern_stage("req.parse"),
+        pick: intern_stage("fleet.pick"),
+        upstream: intern_stage("fleet.upstream"),
+        retry: intern_stage("fleet.retry"),
+        write: intern_stage("req.write"),
+    })
+}
+
+/// One replica slot's mutable state.
+struct ReplicaState {
+    /// Current address (changes when the supervisor restarts the process).
+    addr: RwLock<SocketAddr>,
+    /// In the ring right now? Flipped by the health checker and by proxy
+    /// failures; re-admission is automatic on the next healthy probe.
+    alive: AtomicBool,
+    /// Requests currently being proxied to this slot (bounded-load input).
+    inflight: AtomicU64,
+}
+
+/// The pause gate: parks proxied requests during the rollout commit
+/// window so no client can observe two model generations.
+struct Gate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+struct GateState {
+    paused: bool,
+    inflight: usize,
+    /// Bumped on every pause; the auto-resume guard only fires on its own
+    /// epoch, so a fresh pause is never cancelled by a stale guard.
+    epoch: u64,
+}
+
+impl Gate {
+    fn new() -> Gate {
+        Gate {
+            state: Mutex::new(GateState {
+                paused: false,
+                inflight: 0,
+                epoch: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Enters the gate, parking while paused up to `max_wait`. Returns
+    /// `false` if the pause outlasted the wait (caller sheds a 503).
+    fn enter(&self, max_wait: Duration) -> bool {
+        let deadline = Instant::now() + max_wait;
+        let mut st = self.state.lock().expect("gate poisoned");
+        while st.paused {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (next, _) = self
+                .cv
+                .wait_timeout(st, deadline - now)
+                .expect("gate poisoned");
+            st = next;
+        }
+        st.inflight += 1;
+        true
+    }
+
+    fn leave(&self) {
+        let mut st = self.state.lock().expect("gate poisoned");
+        st.inflight -= 1;
+        self.cv.notify_all();
+    }
+
+    /// Pauses new entries and waits up to `drain` for in-flight proxied
+    /// requests to finish. Returns `(epoch, drained)`.
+    fn pause(&self, drain: Duration) -> (u64, bool) {
+        let deadline = Instant::now() + drain;
+        let mut st = self.state.lock().expect("gate poisoned");
+        st.paused = true;
+        st.epoch += 1;
+        let epoch = st.epoch;
+        while st.inflight > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return (epoch, false);
+            }
+            let (next, _) = self
+                .cv
+                .wait_timeout(st, deadline - now)
+                .expect("gate poisoned");
+            st = next;
+        }
+        (epoch, true)
+    }
+
+    /// Resumes if `epoch` matches the current pause (or unconditionally
+    /// when `epoch` is `None`). Returns whether a pause was lifted.
+    fn resume(&self, epoch: Option<u64>) -> bool {
+        let mut st = self.state.lock().expect("gate poisoned");
+        if !st.paused || epoch.is_some_and(|e| e != st.epoch) {
+            return false;
+        }
+        st.paused = false;
+        self.cv.notify_all();
+        true
+    }
+
+    fn is_paused(&self) -> bool {
+        self.state.lock().expect("gate poisoned").paused
+    }
+}
+
+/// State shared by every router thread.
+struct RouterShared {
+    ring: Ring,
+    replicas: Vec<ReplicaState>,
+    registry: Arc<Registry>,
+    gate: Gate,
+    tracer: Tracer,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    upstream_timeout: Duration,
+    read_cap: Duration,
+    write_timeout: Duration,
+    pause_max_wait: Duration,
+    pause_guard: Duration,
+}
+
+impl RouterShared {
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Unpark anything waiting at the gate, then wake the accept loop.
+        self.gate.resume(None);
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    fn alive_snapshot(&self) -> (Vec<bool>, Vec<u64>) {
+        let alive = self
+            .replicas
+            .iter()
+            .map(|r| r.alive.load(Ordering::Acquire))
+            .collect();
+        let inflight = self
+            .replicas
+            .iter()
+            .map(|r| r.inflight.load(Ordering::Relaxed))
+            .collect();
+        (alive, inflight)
+    }
+
+    fn replica_addr(&self, slot: u32) -> SocketAddr {
+        *self.replicas[slot as usize]
+            .addr
+            .read()
+            .expect("addr poisoned")
+    }
+
+    fn mark_dead(&self, slot: u32) {
+        if self.replicas[slot as usize]
+            .alive
+            .swap(false, Ordering::AcqRel)
+        {
+            self.registry.counter("fleet.replica.down").inc();
+        }
+    }
+}
+
+/// A running router. Dropping the handle does **not** stop it; call
+/// [`shutdown`](RouterHandle::shutdown) or [`wait`](RouterHandle::wait).
+pub struct RouterHandle {
+    shared: Arc<RouterShared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    /// The address the router actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Current replica addresses, in slot order.
+    pub fn replica_addrs(&self) -> Vec<SocketAddr> {
+        (0..self.shared.replicas.len())
+            .map(|s| self.shared.replica_addr(s as u32))
+            .collect()
+    }
+
+    /// Repoints `slot` at a restarted replica's new address. The slot
+    /// keeps its ring position, so no user remaps; workers drop their
+    /// pooled connection to the old address on next use.
+    pub fn set_replica_addr(&self, slot: usize, addr: SocketAddr) {
+        *self.shared.replicas[slot].addr.write().expect("addr poisoned") = addr;
+    }
+
+    /// Whether the fleet currently considers `slot` alive.
+    pub fn is_alive(&self, slot: usize) -> bool {
+        self.shared.replicas[slot].alive.load(Ordering::Acquire)
+    }
+
+    /// Whether a shutdown has been requested (e.g. via `POST /shutdown`).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Initiates a graceful shutdown and drains every thread.
+    pub fn shutdown(self) {
+        self.shared.begin_shutdown();
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+
+    /// Blocks until something else (e.g. `POST /shutdown`) stops the
+    /// router, then drains.
+    pub fn wait(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Starts a router fronting `config.replicas` per `config`. Metrics land
+/// in `registry` (exposed at `GET /metrics`). Probes every replica once
+/// synchronously before accepting traffic, so the first request never
+/// races the first health sweep.
+pub fn start_router(
+    config: RouterConfig,
+    registry: Arc<Registry>,
+) -> Result<RouterHandle, RouterError> {
+    if config.replicas.is_empty() {
+        return Err(RouterError::NoReplicas);
+    }
+    let listener = TcpListener::bind(&config.addr).map_err(RouterError::Io)?;
+    let addr = listener.local_addr().map_err(RouterError::Io)?;
+
+    let shared = Arc::new(RouterShared {
+        ring: Ring::new(config.replicas.len()),
+        replicas: config
+            .replicas
+            .iter()
+            .map(|&a| ReplicaState {
+                addr: RwLock::new(a),
+                alive: AtomicBool::new(false),
+                inflight: AtomicU64::new(0),
+            })
+            .collect(),
+        registry,
+        gate: Gate::new(),
+        tracer: Tracer::new(config.trace_sample, 256, 8),
+        shutdown: AtomicBool::new(false),
+        addr,
+        upstream_timeout: config.upstream_timeout,
+        read_cap: config.read_cap,
+        write_timeout: config.write_timeout,
+        pause_max_wait: config.pause_max_wait,
+        pause_guard: config.pause_guard,
+    });
+
+    // Initial synchronous probe round: replicas that answer are admitted
+    // before the listener starts handing out connections.
+    for slot in 0..shared.replicas.len() {
+        probe(&shared, slot as u32);
+    }
+
+    let mut threads = Vec::new();
+    // Health checker: periodic probes; dead replicas re-admit on recovery.
+    {
+        let shared = Arc::clone(&shared);
+        let interval = config.health_interval;
+        threads.push(
+            std::thread::Builder::new()
+                .name("clapf-fleet-health".into())
+                .spawn(move || {
+                    while !shared.shutdown.load(Ordering::Acquire) {
+                        std::thread::sleep(interval);
+                        for slot in 0..shared.replicas.len() {
+                            probe(&shared, slot as u32);
+                        }
+                    }
+                })
+                .expect("spawn health checker"),
+        );
+    }
+
+    // Same accept + bounded-queue + worker shape as clapf-serve's threaded
+    // transport; each worker owns one pooled upstream per slot.
+    let (tx, rx) = mpsc::sync_channel::<TcpStream>(64);
+    let rx = Arc::new(Mutex::new(rx));
+    for n in 0..config.workers.max(1) {
+        let rx = Arc::clone(&rx);
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("clapf-fleet-worker-{n}"))
+                .spawn(move || {
+                    let mut pool: Vec<Option<Upstream>> = (0..shared.replicas.len())
+                        .map(|_| None)
+                        .collect();
+                    loop {
+                        let conn = rx.lock().expect("worker receiver poisoned").recv();
+                        match conn {
+                            Ok(stream) => serve_connection(stream, &shared, &mut pool),
+                            Err(_) => return,
+                        }
+                    }
+                })
+                .expect("spawn worker"),
+        );
+    }
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("clapf-fleet-accept".into())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if shared.shutdown.load(Ordering::Acquire) {
+                            break;
+                        }
+                        if let Ok(stream) = conn {
+                            match tx.try_send(stream) {
+                                Ok(()) => {}
+                                Err(mpsc::TrySendError::Full(stream)) => {
+                                    shared.registry.counter("fleet.shed").inc();
+                                    let mut stream = stream;
+                                    let _ = stream
+                                        .set_write_timeout(Some(Duration::from_secs(1)));
+                                    let _ = Response::error(503, "router overloaded")
+                                        .with_header("Retry-After", "1")
+                                        .write_to(&mut stream, false);
+                                }
+                                Err(mpsc::TrySendError::Disconnected(_)) => break,
+                            }
+                        }
+                    }
+                })
+                .expect("spawn accept thread"),
+        );
+    }
+
+    Ok(RouterHandle { shared, threads })
+}
+
+/// One `/healthz` probe; flips the slot's liveness either way.
+fn probe(shared: &RouterShared, slot: u32) {
+    let addr = shared.replica_addr(slot);
+    let healthy = http_call(addr, "GET", "/healthz", shared.upstream_timeout)
+        .map(|r| r.status == 200)
+        .unwrap_or(false);
+    let state = &shared.replicas[slot as usize];
+    let was = state.alive.swap(healthy, Ordering::AcqRel);
+    if healthy && !was {
+        shared.registry.counter("fleet.replica.up").inc();
+    } else if !healthy && was {
+        shared.registry.counter("fleet.replica.down").inc();
+    }
+}
+
+/// Keep-alive request loop on one client connection.
+fn serve_connection(
+    stream: TcpStream,
+    shared: &Arc<RouterShared>,
+    pool: &mut [Option<Upstream>],
+) {
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    if stream.set_write_timeout(Some(shared.write_timeout)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut idle = Duration::ZERO;
+    loop {
+        match parse_request_deadline_timed(&mut reader, Some(shared.read_cap)) {
+            Ok((req, first_byte)) => {
+                idle = Duration::ZERO;
+                let keep_alive = req.keep_alive && !shared.shutdown.load(Ordering::Acquire);
+                let response = route(&req, shared, pool, first_byte, &mut writer, keep_alive);
+                // `route` wrote proxied responses itself; anything left is
+                // a locally-generated response to send now.
+                if let Some(r) = response {
+                    if r.write_to(&mut writer, keep_alive).is_err() {
+                        return;
+                    }
+                }
+                if !keep_alive {
+                    return;
+                }
+            }
+            Err(ParseError::Idle) => {
+                idle += READ_POLL;
+                if shared.shutdown.load(Ordering::Acquire) || idle >= KEEP_ALIVE_IDLE {
+                    return;
+                }
+            }
+            Err(ParseError::Eof) | Err(ParseError::Io(_)) => return,
+            Err(ParseError::Bad { status, reason }) => {
+                shared.registry.counter("fleet.http_errors").inc();
+                let _ = Response::error(status, reason).write_to(&mut writer, false);
+                return;
+            }
+        }
+    }
+}
+
+/// Dispatches one request. Proxied responses are written to `writer`
+/// directly (so the relay stays byte-exact); local endpoints return the
+/// response for the caller to write.
+fn route(
+    req: &Request,
+    shared: &Arc<RouterShared>,
+    pool: &mut [Option<Upstream>],
+    first_byte: Instant,
+    writer: &mut TcpStream,
+    keep_alive: bool,
+) -> Option<Response> {
+    match (req.method, req.path.as_str()) {
+        (Method::Get, path) if path.starts_with("/recommend/") => {
+            proxy(req, shared, pool, first_byte, writer, keep_alive);
+            None
+        }
+        (Method::Get, "/healthz") => Some(healthz(shared)),
+        (Method::Get, "/fleet/status") => Some(fleet_status(shared)),
+        (Method::Get, "/metrics") => {
+            let alive = shared
+                .replicas
+                .iter()
+                .filter(|r| r.alive.load(Ordering::Acquire))
+                .count();
+            shared.registry.gauge("fleet.alive").set(alive as f64);
+            Some(Response::text(200, shared.registry.render_text()))
+        }
+        (Method::Get, "/debug/traces") => {
+            let n = req
+                .query_value("n")
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(32);
+            Some(render_traces(shared, shared.tracer.recent(n)))
+        }
+        (Method::Get, "/debug/slow") => Some(render_traces(shared, shared.tracer.slowest())),
+        (Method::Post, "/fleet/pause") => {
+            let (epoch, drained) = shared.gate.pause(shared.pause_max_wait);
+            shared.registry.counter("fleet.pause").inc();
+            // Auto-resume guard: a crashed rollout driver must not wedge
+            // the fleet. Keyed by epoch so it never cancels a later pause.
+            {
+                let shared = Arc::clone(shared);
+                let guard = shared.pause_guard;
+                std::thread::Builder::new()
+                    .name("clapf-fleet-pause-guard".into())
+                    .spawn(move || {
+                        std::thread::sleep(guard);
+                        if shared.gate.resume(Some(epoch)) {
+                            shared.registry.counter("fleet.pause.expired").inc();
+                        }
+                    })
+                    .ok();
+            }
+            Some(Response::json(
+                200,
+                JsonValue::Obj(vec![
+                    ("status".into(), JsonValue::Str("paused".into())),
+                    ("drained".into(), JsonValue::Bool(drained)),
+                ])
+                .render(),
+            ))
+        }
+        (Method::Post, "/fleet/resume") => {
+            let resumed = shared.gate.resume(None);
+            Some(Response::json(
+                200,
+                JsonValue::Obj(vec![
+                    ("status".into(), JsonValue::Str("resumed".into())),
+                    ("was_paused".into(), JsonValue::Bool(resumed)),
+                ])
+                .render(),
+            ))
+        }
+        (Method::Post, "/shutdown") => {
+            shared.begin_shutdown();
+            Some(Response::json(
+                200,
+                JsonValue::Obj(vec![(
+                    "status".into(),
+                    JsonValue::Str("shutting down".into()),
+                )])
+                .render(),
+            ))
+        }
+        _ => {
+            shared.registry.counter("fleet.not_found").inc();
+            Some(Response::error(404, "no such endpoint"))
+        }
+    }
+}
+
+fn healthz(shared: &RouterShared) -> Response {
+    let alive = shared
+        .replicas
+        .iter()
+        .filter(|r| r.alive.load(Ordering::Acquire))
+        .count();
+    Response::json(
+        200,
+        JsonValue::Obj(vec![
+            ("status".into(), JsonValue::Str("ok".into())),
+            ("role".into(), JsonValue::Str("router".into())),
+            ("replicas".into(), JsonValue::UInt(shared.replicas.len() as u64)),
+            ("alive".into(), JsonValue::UInt(alive as u64)),
+            ("paused".into(), JsonValue::Bool(shared.gate.is_paused())),
+        ])
+        .render(),
+    )
+}
+
+fn fleet_status(shared: &RouterShared) -> Response {
+    let replicas: Vec<JsonValue> = (0..shared.replicas.len())
+        .map(|s| {
+            let st = &shared.replicas[s];
+            JsonValue::Obj(vec![
+                ("slot".into(), JsonValue::UInt(s as u64)),
+                (
+                    "addr".into(),
+                    JsonValue::Str(shared.replica_addr(s as u32).to_string()),
+                ),
+                (
+                    "alive".into(),
+                    JsonValue::Bool(st.alive.load(Ordering::Acquire)),
+                ),
+                (
+                    "inflight".into(),
+                    JsonValue::UInt(st.inflight.load(Ordering::Relaxed)),
+                ),
+            ])
+        })
+        .collect();
+    Response::json(
+        200,
+        JsonValue::Obj(vec![
+            ("paused".into(), JsonValue::Bool(shared.gate.is_paused())),
+            ("replicas".into(), JsonValue::Arr(replicas)),
+        ])
+        .render(),
+    )
+}
+
+fn render_traces(shared: &RouterShared, traces: Vec<FinishedTrace>) -> Response {
+    Response::json(
+        200,
+        JsonValue::Obj(vec![
+            (
+                "sample_every".into(),
+                JsonValue::UInt(shared.tracer.sample_every()),
+            ),
+            ("count".into(), JsonValue::UInt(traces.len() as u64)),
+            (
+                "traces".into(),
+                JsonValue::Arr(traces.iter().map(|t| t.to_json()).collect()),
+            ),
+        ])
+        .render(),
+    )
+}
+
+/// Proxies one `/recommend` request: gate, pick, relay, retry-once.
+fn proxy(
+    req: &Request,
+    shared: &RouterShared,
+    pool: &mut [Option<Upstream>],
+    first_byte: Instant,
+    writer: &mut TcpStream,
+    keep_alive: bool,
+) {
+    let started = Instant::now();
+    shared.registry.counter("fleet.recommend.requests").inc();
+
+    // The hash key is the raw user id — path segment between "/recommend/"
+    // and the end (query excluded), exactly what replicas key caches on.
+    let user = &req.path["/recommend/".len()..];
+
+    if !shared.gate.enter(shared.pause_max_wait) {
+        shared.registry.counter("fleet.shed").inc();
+        let _ = Response::error(503, "fleet paused, retry shortly")
+            .with_header("Retry-After", "1")
+            .write_to(writer, false);
+        return;
+    }
+    let mut trace = shared.tracer.begin_at(first_byte);
+    let st = stages();
+    if let Some(t) = trace.as_mut() {
+        t.lap(st.parse);
+    }
+
+    let outcome = forward(user, req, shared, pool, trace.as_mut());
+    shared.gate.leave();
+
+    let response = match outcome {
+        Ok(upstream) => relay_response(&upstream),
+        Err(e) => {
+            shared.registry.counter("fleet.upstream_errors").inc();
+            Response::error(502, &format!("no replica could answer: {e}"))
+        }
+    };
+    let write_ok = response.write_to(writer, keep_alive).is_ok();
+    if let Some(mut t) = trace {
+        t.lap(st.write);
+        let (id, _) = shared.tracer.finish(t);
+        let h = shared.registry.histogram("fleet.recommend.latency_ms", || {
+            clapf_telemetry::Histogram::exponential(0.01, 2.0, 15)
+        });
+        h.record_exemplar(started.elapsed().as_secs_f64() * 1e3, id.get());
+    } else {
+        shared
+            .registry
+            .histogram("fleet.recommend.latency_ms", || {
+                clapf_telemetry::Histogram::exponential(0.01, 2.0, 15)
+            })
+            .record(started.elapsed().as_secs_f64() * 1e3);
+    }
+    let _ = write_ok; // client gone mid-write: the connection loop notices
+}
+
+/// Picks a slot and forwards, retrying once through the ring on failure.
+fn forward(
+    user: &str,
+    req: &Request,
+    shared: &RouterShared,
+    pool: &mut [Option<Upstream>],
+    mut trace: Option<&mut Trace>,
+) -> std::io::Result<UpstreamResponse> {
+    let st = stages();
+    let path_q = full_path(req);
+    let mut last_err: Option<std::io::Error> = None;
+    for attempt in 0..2 {
+        let (alive, inflight) = shared.alive_snapshot();
+        let Some(slot) = shared.ring.pick(user, &alive, &inflight) else {
+            return Err(last_err.unwrap_or_else(|| std::io::Error::other("no replica alive")));
+        };
+        if let Some(t) = trace.as_deref_mut() {
+            t.lap(st.pick);
+        }
+        let state = &shared.replicas[slot as usize];
+        state.inflight.fetch_add(1, Ordering::Relaxed);
+        let result = {
+            let addr = shared.replica_addr(slot);
+            let up = pool[slot as usize]
+                .get_or_insert_with(|| Upstream::new(addr, shared.upstream_timeout));
+            up.set_addr(addr);
+            up.request("GET", &path_q, trace.as_deref_mut().map(|t| t.id().get()))
+        };
+        state.inflight.fetch_sub(1, Ordering::Relaxed);
+        match result {
+            Ok(resp) => {
+                if let Some(t) = trace.as_deref_mut() {
+                    t.lap(if attempt == 0 { st.upstream } else { st.retry });
+                }
+                return Ok(resp);
+            }
+            Err(e) => {
+                // The replica is gone (or the pooled socket died under
+                // us): evict it from the ring immediately — the health
+                // checker re-admits it when it answers again — and let
+                // the next loop iteration re-pick around it.
+                shared.mark_dead(slot);
+                shared.registry.counter("fleet.retries").inc();
+                last_err = Some(e);
+            }
+        }
+    }
+    // Second chance after both tries failed: one more pick in case the
+    // first retry landed on another dying replica while a healthy one
+    // remains. (Still bounded: three upstream calls per request, max.)
+    let (alive, inflight) = shared.alive_snapshot();
+    if let Some(slot) = shared.ring.pick(user, &alive, &inflight) {
+        let addr = shared.replica_addr(slot);
+        let state = &shared.replicas[slot as usize];
+        state.inflight.fetch_add(1, Ordering::Relaxed);
+        let up =
+            pool[slot as usize].get_or_insert_with(|| Upstream::new(addr, shared.upstream_timeout));
+        up.set_addr(addr);
+        let result = up.request("GET", &path_q, None);
+        state.inflight.fetch_sub(1, Ordering::Relaxed);
+        if result.is_err() {
+            shared.mark_dead(slot);
+        }
+        return result;
+    }
+    Err(last_err.unwrap_or_else(|| std::io::Error::other("no replica alive")))
+}
+
+/// Reassembles path + query for the upstream hop (the parser split and
+/// percent-decoded them; re-encode only what the hop needs intact).
+fn full_path(req: &Request) -> String {
+    let mut p = percent_encode(&req.path);
+    for (i, (k, v)) in req.query.iter().enumerate() {
+        p.push(if i == 0 { '?' } else { '&' });
+        p.push_str(&percent_encode(k));
+        p.push('=');
+        p.push_str(&percent_encode(v));
+    }
+    p
+}
+
+/// Minimal percent-encoding for the upstream request target: everything
+/// URL-special or non-ASCII is escaped, so a decoded client path survives
+/// the second parse on the replica byte-identically.
+fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        let keep = b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b'~' | b'/');
+        if keep {
+            out.push(b as char);
+        } else {
+            out.push_str(&format!("%{b:02X}"));
+        }
+    }
+    out
+}
+
+/// Maps an upstream reply onto a local [`Response`] for relay. The body
+/// travels verbatim; the content type is matched back to the static set
+/// `clapf-serve` emits, so the relayed header bytes are identical too.
+fn relay_response(upstream: &UpstreamResponse) -> Response {
+    let content_type: &'static str = match upstream.content_type.as_str() {
+        "application/json" => "application/json",
+        "text/plain; version=0.0.4" => "text/plain; version=0.0.4",
+        _ => "application/octet-stream",
+    };
+    match String::from_utf8(upstream.body.clone()) {
+        Ok(body) => Response {
+            status: upstream.status,
+            content_type,
+            extra_headers: Vec::new(),
+            body,
+        },
+        Err(_) => Response::error(502, "upstream body is not UTF-8"),
+    }
+}
+

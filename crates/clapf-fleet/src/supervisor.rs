@@ -1,0 +1,212 @@
+//! Replica process supervision: spawn, announce-line scrape, restart with
+//! exponential backoff, graceful drain.
+//!
+//! A replica is a `clapf serve` child process printing
+//! `listening on http://{addr}` once its socket is bound — the same
+//! announce contract `scripts/tier1.sh` scrapes. The supervisor reads it
+//! from the child's piped stdout, keeps draining the pipe afterwards (a
+//! full pipe would wedge the child), and exposes liveness via
+//! `try_wait`. Restarts double a backoff from 100ms to a 5s cap; a
+//! replica that stays up five seconds earns its backoff reset.
+
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// How a replica process is launched.
+#[derive(Clone, Debug)]
+pub struct ReplicaConfig {
+    /// Binary to run (the CLI passes its own `current_exe`).
+    pub exe: PathBuf,
+    /// Full argument list (e.g. `serve --load … --addr 127.0.0.1:0`).
+    pub args: Vec<String>,
+    /// How long to wait for the announce line before declaring the spawn
+    /// failed.
+    pub announce_timeout: Duration,
+}
+
+/// Why a replica could not be spawned or supervised.
+#[derive(Debug)]
+pub enum SupervisorError {
+    /// Spawning the child process failed.
+    Spawn(std::io::Error),
+    /// The child never printed its announce line (it may have exited; the
+    /// string carries what it said instead).
+    NoAnnounce(String),
+}
+
+impl std::fmt::Display for SupervisorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SupervisorError::Spawn(e) => write!(f, "spawning replica: {e}"),
+            SupervisorError::NoAnnounce(s) => {
+                write!(f, "replica never announced its address: {s}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SupervisorError {}
+
+/// Backoff bounds for restart-with-backoff.
+const BACKOFF_FLOOR: Duration = Duration::from_millis(100);
+const BACKOFF_CAP: Duration = Duration::from_secs(5);
+/// A replica alive this long earns a backoff reset.
+const STABLE_AFTER: Duration = Duration::from_secs(5);
+
+/// One supervised replica process.
+pub struct Replica {
+    config: ReplicaConfig,
+    child: Child,
+    addr: SocketAddr,
+    backoff: Duration,
+    started: Instant,
+}
+
+impl Replica {
+    /// Spawns the replica and waits for its announce line.
+    pub fn spawn(config: ReplicaConfig) -> Result<Replica, SupervisorError> {
+        let (child, addr) = launch(&config)?;
+        Ok(Replica {
+            config,
+            child,
+            addr,
+            backoff: BACKOFF_FLOOR,
+            started: Instant::now(),
+        })
+    }
+
+    /// The address the replica announced.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The child's OS process id (for diagnostics and kill-tests).
+    pub fn pid(&self) -> u32 {
+        self.child.id()
+    }
+
+    /// Whether the process is still running (non-blocking).
+    pub fn is_running(&mut self) -> bool {
+        matches!(self.child.try_wait(), Ok(None))
+    }
+
+    /// The delay to honor before the next [`restart`](Replica::restart) —
+    /// exponential from 100ms to a 5s cap, reset once a replica has stayed
+    /// up five seconds. The caller sleeps (it may want to poll other
+    /// replicas meanwhile); the supervisor only does the bookkeeping.
+    pub fn restart_delay(&mut self) -> Duration {
+        if self.started.elapsed() >= STABLE_AFTER {
+            self.backoff = BACKOFF_FLOOR;
+        }
+        let delay = self.backoff;
+        self.backoff = (self.backoff * 2).min(BACKOFF_CAP);
+        delay
+    }
+
+    /// Respawns a dead replica, returning the new address. The slot keeps
+    /// its ring position; only the address table changes.
+    pub fn restart(&mut self) -> Result<SocketAddr, SupervisorError> {
+        let _ = self.child.wait(); // reap the corpse; never blocks for long
+        let (child, addr) = launch(&self.config)?;
+        self.child = child;
+        self.addr = addr;
+        self.started = Instant::now();
+        Ok(addr)
+    }
+
+    /// Gracefully drains the replica: `POST /shutdown`, wait up to
+    /// `drain`, then kill as a last resort. Always reaps the child — the
+    /// fleet must never leak processes.
+    pub fn shutdown(mut self, drain: Duration) {
+        let _ = crate::client::http_call(self.addr, "POST", "/shutdown", Duration::from_secs(2));
+        let deadline = Instant::now() + drain;
+        loop {
+            match self.child.try_wait() {
+                Ok(Some(_)) => return,
+                Ok(None) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                _ => {
+                    let _ = self.child.kill();
+                    let _ = self.child.wait();
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Replica {
+    /// Safety net: a dropped (not drained) replica is killed, never
+    /// leaked.
+    fn drop(&mut self) {
+        if let Ok(None) = self.child.try_wait() {
+            let _ = self.child.kill();
+            let _ = self.child.wait();
+        }
+    }
+}
+
+/// Spawns the child and scrapes `listening on http://{addr}` from its
+/// stdout. The reader thread keeps draining stdout for the child's
+/// lifetime so the pipe can never fill and wedge it.
+fn launch(config: &ReplicaConfig) -> Result<(Child, SocketAddr), SupervisorError> {
+    let mut child = Command::new(&config.exe)
+        .args(&config.args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(SupervisorError::Spawn)?;
+    let stdout = child.stdout.take().expect("stdout piped above");
+    let (tx, rx) = mpsc::channel::<String>();
+    std::thread::Builder::new()
+        .name("clapf-fleet-replica-stdout".into())
+        .spawn(move || {
+            let mut seen = Vec::new();
+            for line in std::io::BufReader::new(stdout).lines() {
+                let Ok(line) = line else { break };
+                if let Some(addr) = line.strip_prefix("listening on http://") {
+                    let _ = tx.send(addr.to_string());
+                } else {
+                    seen.push(line);
+                    if seen.len() == 8 {
+                        // Enough context for a no-announce diagnostic.
+                        let _ = tx.send(format!("\u{1}{}", seen.join(" | ")));
+                    }
+                }
+                // Keep reading: draining stdout is this thread's job even
+                // after the announce.
+            }
+        })
+        .map_err(SupervisorError::Spawn)?;
+
+    match rx.recv_timeout(config.announce_timeout) {
+        Ok(line) if !line.starts_with('\u{1}') => match line.parse::<SocketAddr>() {
+            Ok(addr) => Ok((child, addr)),
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                Err(SupervisorError::NoAnnounce(format!(
+                    "unparsable announce {line:?}: {e}"
+                )))
+            }
+        },
+        Ok(diag) => {
+            let _ = child.kill();
+            let _ = child.wait();
+            Err(SupervisorError::NoAnnounce(
+                diag.trim_start_matches('\u{1}').to_string(),
+            ))
+        }
+        Err(_) => {
+            let _ = child.kill();
+            let _ = child.wait();
+            Err(SupervisorError::NoAnnounce("timeout".into()))
+        }
+    }
+}

@@ -43,6 +43,20 @@ impl std::fmt::Display for BundleError {
 
 impl std::error::Error for BundleError {}
 
+/// Stable 64-bit FNV-1a hash of `bytes` — the bundle **fingerprint** the
+/// fleet rollout protocol compares across replicas. Hashing the raw file
+/// bytes (not the parsed struct) makes the fingerprint sensitive to any
+/// re-serialization drift: two replicas agree iff they loaded identical
+/// files.
+pub fn fingerprint64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Everything recommendation serving needs: the factors, how raw ids map to
 /// dense ids, which items each user trained on (to exclude them), and a
 /// human-readable description of the training run.
@@ -128,14 +142,22 @@ impl ModelBundle {
     ///
     /// Failpoint: `bundle.load.read` (I/O errors at read time).
     pub fn load(path: &Path) -> Result<Self, BundleError> {
+        Self::load_fingerprinted(path).map(|(b, _)| b)
+    }
+
+    /// [`load`](Self::load), also returning the [`fingerprint64`] of the
+    /// raw file bytes — the identity the fleet rollout protocol verifies
+    /// before flipping generations across replicas.
+    pub fn load_fingerprinted(path: &Path) -> Result<(Self, u64), BundleError> {
         clapf_faults::check("bundle.load.read").map_err(BundleError::Io)?;
         let bytes = std::fs::read(path).map_err(BundleError::Io)?;
+        let fingerprint = fingerprint64(&bytes);
         let body = String::from_utf8(bytes)
             .map_err(|_| BundleError::Parse("bundle is not valid UTF-8".into()))?;
         let bundle: ModelBundle =
             serde_json::from_str(&body).map_err(|e| BundleError::Parse(e.to_string()))?;
         bundle.validate()?;
-        Ok(bundle)
+        Ok((bundle, fingerprint))
     }
 
     /// Checks internal consistency; see [`ModelBundle::load`].
@@ -309,6 +331,26 @@ mod tests {
         assert!(matches!(err, BundleError::Io(_)), "{err}");
         // The fault was one-shot: the next load succeeds.
         assert!(ModelBundle::load(&path).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_tracks_file_bytes_not_identity() {
+        let b = bundle();
+        let dir = temp_dir("fingerprint");
+        let (p1, p2) = (dir.join("a.json"), dir.join("b.json"));
+        b.save(&p1).unwrap();
+        b.save(&p2).unwrap();
+        let (_, f1) = ModelBundle::load_fingerprinted(&p1).unwrap();
+        let (_, f2) = ModelBundle::load_fingerprinted(&p2).unwrap();
+        assert_eq!(f1, f2, "identical bytes must fingerprint identically");
+
+        let mut changed = bundle();
+        changed.description = "changed".into();
+        changed.save(&p2).unwrap();
+        let (_, f3) = ModelBundle::load_fingerprinted(&p2).unwrap();
+        assert_ne!(f1, f3, "different bytes must fingerprint differently");
+        assert_eq!(f1, fingerprint64(&std::fs::read(&p1).unwrap()));
         std::fs::remove_dir_all(&dir).ok();
     }
 

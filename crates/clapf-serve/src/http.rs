@@ -40,6 +40,10 @@ pub struct Request {
     pub query: Vec<(String, String)>,
     /// Whether the connection should stay open after the response.
     pub keep_alive: bool,
+    /// Upstream trace id from an `X-Clapf-Trace` header (16 hex digits),
+    /// set when a fleet router propagated its trace across the hop. `None`
+    /// for direct clients or unparsable values — never an error.
+    pub trace_parent: Option<u64>,
 }
 
 impl Request {
@@ -277,6 +281,7 @@ fn parse_with_budget<R: BufRead>(
     // Transfer-Encoding; everything else is skipped (but still bounded).
     let mut keep_alive = true; // HTTP/1.1 default
     let mut content_length: usize = 0;
+    let mut trace_parent = None;
     let mut n_headers = 0;
     loop {
         let header = read_line_capped(
@@ -305,6 +310,10 @@ fn parse_with_budget<R: BufRead>(
                 .map_err(|_| ParseError::bad(400, "bad content-length"))?;
         } else if name.eq_ignore_ascii_case("transfer-encoding") {
             return Err(ParseError::bad(501, "transfer-encoding not supported"));
+        } else if name.eq_ignore_ascii_case("x-clapf-trace") {
+            // Malformed ids are dropped, not rejected: trace propagation is
+            // best-effort and must never fail a request.
+            trace_parent = u64::from_str_radix(value, 16).ok().filter(|&v| v != 0);
         }
     }
 
@@ -335,6 +344,7 @@ fn parse_with_budget<R: BufRead>(
         path: percent_decode(raw_path, false)?,
         query: parse_query(raw_query)?,
         keep_alive,
+        trace_parent,
     })
 }
 
@@ -509,6 +519,7 @@ pub fn reason_phrase(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        409 => "Conflict",
         413 => "Payload Too Large",
         414 => "URI Too Long",
         431 => "Request Header Fields Too Large",
@@ -616,6 +627,22 @@ mod tests {
         assert_eq!(r.query_value("k"), Some("5"));
         assert_eq!(r.query_value("tag"), Some("a b!"));
         assert_eq!(r.query_value("missing"), None);
+    }
+
+    #[test]
+    fn trace_parent_header_is_parsed_best_effort() {
+        let r = parse("GET / HTTP/1.1\r\nX-Clapf-Trace: 00ff00ff00ff00ff\r\n\r\n").unwrap();
+        assert_eq!(r.trace_parent, Some(0x00ff_00ff_00ff_00ff));
+        // Case-insensitive header name, like every other header.
+        let r = parse("GET / HTTP/1.1\r\nx-clapf-trace: 1a\r\n\r\n").unwrap();
+        assert_eq!(r.trace_parent, Some(0x1a));
+        // Garbage and zero ids are dropped silently, never a parse error.
+        let r = parse("GET / HTTP/1.1\r\nX-Clapf-Trace: nope\r\n\r\n").unwrap();
+        assert_eq!(r.trace_parent, None);
+        let r = parse("GET / HTTP/1.1\r\nX-Clapf-Trace: 0\r\n\r\n").unwrap();
+        assert_eq!(r.trace_parent, None);
+        let r = parse("GET / HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.trace_parent, None);
     }
 
     #[test]

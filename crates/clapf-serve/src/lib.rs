@@ -15,12 +15,23 @@
 //! | Endpoint | Answer |
 //! |---|---|
 //! | `GET /recommend/{user}?k=N` | Top-k unseen items for a raw user id, JSON |
-//! | `GET /healthz` | Liveness + model generation |
+//! | `GET /healthz` | Liveness + model generation + bundle fingerprint |
 //! | `GET /metrics` | Prometheus text dump of the telemetry registry |
 //! | `GET /debug/traces?n=N` | The N most recent sampled request traces, JSON |
 //! | `GET /debug/slow` | The slowest sampled request traces seen, JSON |
+//! | `GET /bundle/fingerprint` | Live + staged bundle fingerprints, JSON |
 //! | `POST /reload` | Hot-swap to the bundle currently on disk |
+//! | `POST /bundle/stage` | Load + validate `<bundle>.next` off to the side |
+//! | `POST /bundle/commit?fingerprint=H` | Flip to the staged bundle (fleet phase 2) |
+//! | `POST /bundle/abort?fingerprint=H` | Drop staged; revert if `H` is live |
 //! | `POST /shutdown` | Graceful drain-and-stop |
+//!
+//! The `/bundle/*` endpoints are the replica half of the **fleet-wide
+//! two-phase rollout** the `clapf-fleet` crate drives: every replica
+//! stages, fingerprints are verified everywhere, then every replica
+//! commits (a pointer flip) — or the driver aborts and replicas restore
+//! the previous bundle. Requests carrying an `X-Clapf-Trace` header adopt
+//! the router's trace id, so one id follows a request across the hop.
 //!
 //! The serving path reuses the exact offline machinery — scoring through
 //! [`clapf_metrics::top_k_for_user`] — so a served list is bit-identical to
@@ -44,10 +55,11 @@ mod trace;
 mod transport;
 mod watch;
 
-pub use bundle::{BundleError, ModelBundle};
+pub use bundle::{fingerprint64, BundleError, ModelBundle};
 pub use cache::{CacheOutcome, TopKCache};
 pub use http::{
-    parse_request, parse_request_deadline, Feed, FeedParser, Method, ParseError, Request, Response,
+    parse_request, parse_request_deadline, parse_request_deadline_timed, Feed, FeedParser, Method,
+    ParseError, Request, Response,
 };
 pub use model::{ModelSlot, ServingModel};
 pub use server::{start, ServeConfig, ServeError, ServerHandle, Transport};

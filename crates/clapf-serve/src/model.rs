@@ -31,18 +31,29 @@ pub struct ServingModel {
     pub train: Interactions,
     /// The cache generation this model was published under.
     pub generation: u64,
+    /// FNV-1a hash of the bundle file bytes this model was loaded from
+    /// (see [`crate::bundle::fingerprint64`]). Zero for models built in
+    /// memory rather than loaded from disk.
+    pub fingerprint: u64,
 }
 
 impl ServingModel {
     /// Loads and validates the bundle at `path`, stamping it `generation`.
     pub fn load(path: &Path, generation: u64) -> Result<Self, BundleError> {
-        let bundle = ModelBundle::load(path)?;
+        let (bundle, fingerprint) = ModelBundle::load_fingerprinted(path)?;
         let train = bundle.train_interactions();
         Ok(ServingModel {
             bundle,
             train,
             generation,
+            fingerprint,
         })
+    }
+
+    /// The fingerprint as the 16-hex-digit string the fleet protocol and
+    /// `/healthz` report.
+    pub fn fingerprint_hex(&self) -> String {
+        format!("{:016x}", self.fingerprint)
     }
 
     /// Dense id for a raw user id, if the user was in the training data.
@@ -153,6 +164,7 @@ mod tests {
             bundle,
             train,
             generation,
+            fingerprint: 0,
         }
     }
 

@@ -169,6 +169,11 @@ pub(crate) struct Shared {
     pub(crate) cache: TopKCache,
     pub(crate) registry: Arc<Registry>,
     pub(crate) bundle_path: PathBuf,
+    /// A bundle staged by `POST /bundle/stage` (loaded and validated off to
+    /// the side from `<bundle_path>.next`), waiting for the fleet-wide
+    /// commit. Swapping it in is a pointer flip, so a two-phase rollout's
+    /// commit step is near-instant on every replica.
+    staged: Mutex<Option<ServingModel>>,
     /// Serializes reloads (watcher vs. `POST /reload`).
     reload_lock: Mutex<()>,
     pub(crate) shutdown: AtomicBool,
@@ -210,10 +215,129 @@ impl Shared {
         }
     }
 
+    /// Begins a trace for one request: adopts the upstream id from an
+    /// `X-Clapf-Trace` header when present (the router already made the
+    /// sampling decision for this request — both sides' `/debug/traces`
+    /// then share the id), falls back to head-based sampling otherwise.
+    /// A propagated id never forces tracing on a server that has it off.
+    pub(crate) fn begin_trace(&self, parent: Option<u64>, first_byte: Instant) -> Option<Trace> {
+        match parent {
+            Some(raw) if self.tracer.enabled() => {
+                Some(Trace::begin_at(TraceId::from_raw(raw), first_byte))
+            }
+            _ => self.tracer.begin_at(first_byte),
+        }
+    }
+
+    /// `<bundle_path>.next` — where a fleet rollout parks the candidate
+    /// bundle file before `POST /bundle/stage`.
+    pub(crate) fn next_path(&self) -> PathBuf {
+        let mut os = self.bundle_path.clone().into_os_string();
+        os.push(".next");
+        PathBuf::from(os)
+    }
+
+    /// `<bundle_path>.prev` — the hard link to the previous bundle a commit
+    /// leaves behind so an abort can restore it.
+    pub(crate) fn prev_path(&self) -> PathBuf {
+        let mut os = self.bundle_path.clone().into_os_string();
+        os.push(".prev");
+        PathBuf::from(os)
+    }
+
+    /// Loads and validates `<bundle_path>.next` off to the side and parks
+    /// it in the staged slot (replacing any earlier staged bundle). The
+    /// live model is untouched. Returns the staged fingerprint.
+    fn stage_next(&self) -> Result<u64, BundleError> {
+        clapf_faults::check("serve.bundle.stage").map_err(BundleError::Io)?;
+        let model = ServingModel::load(&self.next_path(), 0)?;
+        let fp = model.fingerprint;
+        *self.staged.lock().expect("staged slot poisoned") = Some(model);
+        self.registry.counter("serve.bundle.staged").inc();
+        Ok(fp)
+    }
+
+    /// Commits the staged bundle: verifies its fingerprint matches `want`
+    /// (the rollout driver's torn-rollout guard), makes the flip durable on
+    /// disk, then publishes the model. Returns `(generation, fingerprint)`;
+    /// errors carry the HTTP status to answer with (`409` when there is
+    /// nothing matching to commit, `500` when disk I/O failed — the staged
+    /// bundle is kept so the driver can retry or abort).
+    fn commit_staged(&self, want: u64) -> Result<(u64, u64), (u16, String)> {
+        let _guard = self.reload_lock.lock().expect("reload lock poisoned");
+        let mut staged = self.staged.lock().expect("staged slot poisoned");
+        match staged.as_ref() {
+            None => return Err((409, "no staged bundle to commit".into())),
+            Some(m) if m.fingerprint != want => {
+                return Err((
+                    409,
+                    format!(
+                        "staged fingerprint {:016x} does not match requested {:016x}",
+                        m.fingerprint, want
+                    ),
+                ))
+            }
+            Some(_) => {}
+        }
+        if let Err(e) = clapf_faults::check("serve.bundle.commit") {
+            return Err((500, format!("commit fault: {e}")));
+        }
+        // Durability, in crash-safe order: keep the old bundle reachable at
+        // `.prev` (hard link — no copy), then rename `.next` over the live
+        // path. There is no instant without a valid bundle file on disk,
+        // and `.prev` is exactly what an abort restores.
+        let prev = self.prev_path();
+        let _ = std::fs::remove_file(&prev);
+        if let Err(e) = std::fs::hard_link(&self.bundle_path, &prev) {
+            return Err((500, format!("preserving previous bundle: {e}")));
+        }
+        if let Err(e) = std::fs::rename(self.next_path(), &self.bundle_path) {
+            return Err((500, format!("installing staged bundle: {e}")));
+        }
+        let mut model = staged.take().expect("staged presence checked above");
+        let gen = self.cache.generation() + 1;
+        model.generation = gen;
+        let fp = model.fingerprint;
+        // Same publish order as reload(): model first, then cache bump.
+        self.slot.swap(model);
+        self.cache.bump_generation();
+        self.registry.counter("serve.bundle.committed").inc();
+        Ok((gen, fp))
+    }
+
+    /// Aborts a rollout of the bundle fingerprinted `bad`: drops any staged
+    /// bundle and deletes `<bundle_path>.next`. If this replica already
+    /// committed `bad` (split-brain mid-rollout), restores `.prev` over the
+    /// live path and reloads — the previous bundle comes back under a fresh
+    /// generation, so the cache stays coherent. Returns the live
+    /// `(generation, fingerprint)` after the abort.
+    fn abort_staged(&self, bad: u64) -> Result<(u64, u64), (u16, String)> {
+        let _guard = self.reload_lock.lock().expect("reload lock poisoned");
+        self.staged.lock().expect("staged slot poisoned").take();
+        let _ = std::fs::remove_file(self.next_path());
+        let live = self.slot.current();
+        if live.fingerprint == bad {
+            if let Err(e) = std::fs::rename(self.prev_path(), &self.bundle_path) {
+                return Err((500, format!("restoring previous bundle: {e}")));
+            }
+            if let Err(e) = self.reload_locked() {
+                return Err((500, format!("reloading previous bundle: {e}")));
+            }
+        }
+        self.registry.counter("serve.bundle.aborted").inc();
+        let live = self.slot.current();
+        Ok((live.generation, live.fingerprint))
+    }
+
     /// Loads the bundle from disk and publishes it; the live model is
     /// untouched on failure. Returns the new generation.
     fn reload(&self) -> Result<u64, BundleError> {
         let _guard = self.reload_lock.lock().expect("reload lock poisoned");
+        self.reload_locked()
+    }
+
+    /// [`reload`](Self::reload) with the reload lock already held.
+    fn reload_locked(&self) -> Result<u64, BundleError> {
         let next_gen = self.cache.generation() + 1;
         match ServingModel::load(&self.bundle_path, next_gen) {
             Ok(model) => {
@@ -298,6 +422,7 @@ pub fn start(
         cache: TopKCache::new(config.cache_capacity, config.cache_shards),
         registry,
         bundle_path,
+        staged: Mutex::new(None),
         reload_lock: Mutex::new(()),
         shutdown: AtomicBool::new(false),
         addr,
@@ -525,9 +650,10 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
             Ok((req, first_byte)) => {
                 idle = Duration::ZERO;
                 let keep_alive = req.keep_alive && !shared.shutdown.load(Ordering::Acquire);
-                // Head-based sampling: a sampled request's trace begins at
-                // its first byte, so the parse span covers the socket read.
-                let mut trace = shared.tracer.begin_at(first_byte);
+                // Head-based sampling (or adoption of a router-propagated
+                // id): a sampled request's trace begins at its first byte,
+                // so the parse span covers the socket read.
+                let mut trace = shared.begin_trace(req.trace_parent, first_byte);
                 if let Some(t) = trace.as_mut() {
                     t.lap(stages().parse);
                 }
@@ -703,6 +829,83 @@ pub(crate) fn route_async(req: &Request, shared: &Shared, mut trace: Option<&mut
                 score => score, // the transport observes at completion
             }
         }
+        (Method::Get, "/bundle/fingerprint") => {
+            let model = shared.slot.current();
+            let staged = shared
+                .staged
+                .lock()
+                .expect("staged slot poisoned")
+                .as_ref()
+                .map(|m| JsonValue::Str(format!("{:016x}", m.fingerprint)))
+                .unwrap_or(JsonValue::Null);
+            let r = Response::json(
+                200,
+                JsonValue::Obj(vec![
+                    ("generation".into(), JsonValue::UInt(model.generation)),
+                    (
+                        "fingerprint".into(),
+                        JsonValue::Str(model.fingerprint_hex()),
+                    ),
+                    ("staged".into(), staged),
+                ])
+                .render(),
+            );
+            shared.observe("bundle", started);
+            Routed::Immediate(r)
+        }
+        (Method::Post, "/bundle/stage") => {
+            let r = match shared.stage_next() {
+                Ok(fp) => Response::json(
+                    200,
+                    JsonValue::Obj(vec![
+                        ("status".into(), JsonValue::Str("staged".into())),
+                        ("fingerprint".into(), JsonValue::Str(format!("{fp:016x}"))),
+                    ])
+                    .render(),
+                ),
+                Err(e) => Response::error(500, &format!("stage rejected: {e}")),
+            };
+            shared.observe("bundle", started);
+            Routed::Immediate(r)
+        }
+        (Method::Post, "/bundle/commit") => {
+            let r = match fingerprint_param(req) {
+                Err(r) => r,
+                Ok(want) => match shared.commit_staged(want) {
+                    Ok((gen, fp)) => Response::json(
+                        200,
+                        JsonValue::Obj(vec![
+                            ("status".into(), JsonValue::Str("committed".into())),
+                            ("generation".into(), JsonValue::UInt(gen)),
+                            ("fingerprint".into(), JsonValue::Str(format!("{fp:016x}"))),
+                        ])
+                        .render(),
+                    ),
+                    Err((status, reason)) => Response::error(status, &reason),
+                },
+            };
+            shared.observe("bundle", started);
+            Routed::Immediate(r)
+        }
+        (Method::Post, "/bundle/abort") => {
+            let r = match fingerprint_param(req) {
+                Err(r) => r,
+                Ok(bad) => match shared.abort_staged(bad) {
+                    Ok((gen, fp)) => Response::json(
+                        200,
+                        JsonValue::Obj(vec![
+                            ("status".into(), JsonValue::Str("aborted".into())),
+                            ("generation".into(), JsonValue::UInt(gen)),
+                            ("fingerprint".into(), JsonValue::Str(format!("{fp:016x}"))),
+                        ])
+                        .render(),
+                    ),
+                    Err((status, reason)) => Response::error(status, &reason),
+                },
+            };
+            shared.observe("bundle", started);
+            Routed::Immediate(r)
+        }
         (Method::Post, "/reload") => {
             let r = match shared.reload() {
                 Ok(gen) => Response::json(
@@ -737,6 +940,16 @@ pub(crate) fn route_async(req: &Request, shared: &Shared, mut trace: Option<&mut
     }
 }
 
+/// Parses the required `?fingerprint=` (16 hex digits) commit/abort
+/// parameter, or the 400 to answer with.
+fn fingerprint_param(req: &Request) -> Result<u64, Response> {
+    req.query_value("fingerprint")
+        .and_then(|v| u64::from_str_radix(v, 16).ok())
+        .ok_or_else(|| {
+            Response::error(400, "fingerprint query parameter (hex digits) required")
+        })
+}
+
 fn healthz(shared: &Shared) -> Response {
     let model = shared.slot.current();
     Response::json(
@@ -744,6 +957,10 @@ fn healthz(shared: &Shared) -> Response {
         JsonValue::Obj(vec![
             ("status".into(), JsonValue::Str("ok".into())),
             ("generation".into(), JsonValue::UInt(model.generation)),
+            (
+                "fingerprint".into(),
+                JsonValue::Str(model.fingerprint_hex()),
+            ),
             (
                 "model".into(),
                 JsonValue::Str(model.bundle.description.clone()),

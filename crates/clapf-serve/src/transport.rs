@@ -360,7 +360,7 @@ impl EventLoop {
             .conn_mut(token)
             .and_then(|c| c.request_started)
             .unwrap_or(started);
-        let mut trace = self.shared.tracer.begin_at(first_byte);
+        let mut trace = self.shared.begin_trace(req.trace_parent, first_byte);
         if let Some(t) = trace.as_mut() {
             t.lap(stages().parse);
         }
