@@ -25,6 +25,11 @@
 //! the same router), the failover blip when a replica dies mid-load, and
 //! the rollout commit window (downtime) of a fleet-wide two-phase bundle
 //! rollout under load.
+//!
+//! `--chaos` (ISSUE 10) replaces the matrix with the deterministic chaos
+//! leg: real replica child processes under a seeded fault schedule, with
+//! per-event-class error rates, times-to-recover and the hedge win rate
+//! written to `results/BENCH_fleet_chaos.json` (see [`bench::chaos`]).
 
 use bench::Cli;
 use clapf_data::loader::{load_ratings_reader, Separator};
@@ -673,9 +678,58 @@ fn run_fleet_leg(
     }
 }
 
+/// The `--chaos` leg: the deterministic fault-schedule soak from
+/// [`bench::chaos`], sized by the scale flag (`--fast` runs the smoke
+/// shape, `--medium`/`--paper` the full ≥30s soak). Unlike the in-process
+/// legs above this boots real `clapf serve` child processes, so it needs
+/// the `clapf` binary (`--clapf PATH`, `$CLAPF_BIN`, or a sibling of this
+/// binary). Exits non-zero if a resilience invariant fails.
+fn run_chaos_leg(cli: &Cli, clapf_bin: Option<PathBuf>) {
+    use bench::chaos::{locate_clapf, run_chaos, ChaosOptions};
+    let exe = locate_clapf(clapf_bin).expect("chaos leg");
+    let opts = match cli.scale_name {
+        "fast" => ChaosOptions::smoke(exe, cli.scale.seed),
+        _ => ChaosOptions::soak(exe, cli.scale.seed),
+    };
+    let chaos = run_chaos(&opts).expect("chaos leg");
+    eprintln!(
+        "chaos [{}]: {} req in {:.1}s — {} typed 503s, {} untyped, {} mixed-generation; \
+         hedge win rate {:.0}%, {} lease expirations, {} readmissions, pass={}",
+        chaos.label,
+        chaos.requests,
+        chaos.duration_secs,
+        chaos.errors_typed,
+        chaos.errors_untyped,
+        chaos.invariants.mixed_generation_responses,
+        chaos.hedge_win_rate * 100.0,
+        chaos.lease_expirations,
+        chaos.readmissions,
+        chaos.pass,
+    );
+    for ev in &chaos.events {
+        eprintln!(
+            "{:>20}: {} req, error rate {:.3} (bound {:.2}), recovered in {} ms",
+            ev.class, ev.requests, ev.error_rate, ev.error_bound, ev.time_to_recover_ms,
+        );
+    }
+    std::fs::create_dir_all(&cli.out_dir).expect("create output directory");
+    let path = cli.out_dir.join("BENCH_fleet_chaos.json");
+    report::write_json(&path, &chaos).expect("write chaos report");
+    eprintln!("chaos report written to {}", path.display());
+    if !chaos.pass {
+        for f in &chaos.failures {
+            eprintln!("chaos: FAIL {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     // `--fleet N` sizes the fleet section (replica count for the N-replica
-    // legs); every other flag is the shared bench CLI.
+    // legs); `--chaos` replaces the whole matrix with the chaos leg
+    // (ISSUE 10) — replica child processes under a seeded fault schedule,
+    // report in `BENCH_fleet_chaos.json`; `--clapf PATH` points the chaos
+    // leg at the binary to spawn. Every other flag is the shared bench CLI.
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     let mut fleet_n = 3usize;
     if let Some(i) = raw.iter().position(|a| a == "--fleet") {
@@ -686,8 +740,24 @@ fn main() {
         fleet_n = v.parse().expect("--fleet must be an integer");
         raw.drain(i..=i + 1);
     }
+    let mut chaos_leg = false;
+    if let Some(i) = raw.iter().position(|a| a == "--chaos") {
+        chaos_leg = true;
+        raw.remove(i);
+    }
+    let mut clapf_bin: Option<PathBuf> = None;
+    if let Some(i) = raw.iter().position(|a| a == "--clapf") {
+        clapf_bin = Some(PathBuf::from(
+            raw.get(i + 1).expect("--clapf requires a path").clone(),
+        ));
+        raw.drain(i..=i + 1);
+    }
     let fleet_n = fleet_n.max(1);
     let cli = Cli::from_args(&raw);
+    if chaos_leg {
+        run_chaos_leg(&cli, clapf_bin);
+        return;
+    }
     // Scale knobs: users/items size the scoring cost per uncached request,
     // duration bounds the wall clock.
     let (n_users, n_items, secs, clients) = match cli.scale_name {

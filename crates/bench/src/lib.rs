@@ -7,6 +7,8 @@
 use clapf_eval::RunScale;
 use std::path::PathBuf;
 
+pub mod chaos;
+
 /// Parsed command line shared by all binaries.
 pub struct Cli {
     /// The selected run scale.

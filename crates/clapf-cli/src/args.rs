@@ -150,6 +150,16 @@ pub struct ServeArgs {
     /// Sampled requests record a per-stage span breakdown, visible at
     /// `GET /debug/traces` and `GET /debug/slow`.
     pub trace_sample: u64,
+    /// Fleet router (`host:port`) to register with and heartbeat a
+    /// membership lease to. `None` serves standalone.
+    pub register: Option<String>,
+    /// Member name used when registering (defaults to `replica-{pid}`).
+    pub name: Option<String>,
+    /// Heartbeat period in milliseconds (keep well below the router's
+    /// lease TTL).
+    pub heartbeat_ms: u64,
+    /// Expose `POST /fault/arm` / `POST /fault/reset` for chaos drivers.
+    pub fault_control: bool,
 }
 
 /// `clapf fleet serve` arguments.
@@ -167,6 +177,12 @@ pub struct FleetServeArgs {
     pub workers: usize,
     /// Trace one in this many proxied requests (0 disables tracing).
     pub trace_sample: u64,
+    /// Membership lease TTL in milliseconds: a replica whose heartbeats
+    /// stop this long is evicted from the ring.
+    pub lease_ttl_ms: u64,
+    /// Start replicas with `--fault-control` so a chaos driver can arm
+    /// their failpoints over HTTP.
+    pub fault_control: bool,
 }
 
 /// `clapf fleet rollout` arguments.
@@ -228,7 +244,8 @@ USAGE:
   clapf serve --load model.json [--addr 127.0.0.1:7878] [--workers N]
               [--cache N] [--watch SECS] [--queue N] [--deadline-ms N]
               [--event-loop on|off] [--batch-max N] [--batch-hold-us N]
-              [--trace-sample N]
+              [--trace-sample N] [--register HOST:PORT] [--name NAME]
+              [--heartbeat-ms N] [--fault-control]
 
   serve answers GET /recommend/{user}?k=N, /healthz and /metrics, and
   hot-swaps the bundle on POST /reload (or automatically with --watch).
@@ -249,8 +266,15 @@ USAGE:
   cache, queue, score, render, write), exposed as JSON at
   GET /debug/traces?n=K (the K most recent) and GET /debug/slow (the
   slowest seen), and as exemplars on /metrics latency buckets.
+  --register HOST:PORT joins a fleet: the replica announces itself to the
+  router's POST /fleet/register endpoint under --name (default
+  replica-{pid}) and renews its membership lease every --heartbeat-ms
+  (default 1000). --fault-control exposes POST /fault/arm and
+  POST /fault/reset so a chaos driver can inject failures over HTTP —
+  test harnesses only.
   clapf fleet serve --load model.json [--replicas N] [--addr 127.0.0.1:7900]
                     [--dir clapf-fleet] [--workers N] [--trace-sample N]
+                    [--lease-ttl-ms N] [--fault-control]
   clapf fleet rollout --bundle new.json [--fleet clapf-fleet/fleet.json]
 
   fleet serve spawns --replicas (default 2) `clapf serve` child processes
@@ -258,7 +282,12 @@ USAGE:
   and fronts them with a consistent-hash router: users map to replicas by
   bounded-load ring hashing, dead replicas fail over within one health
   check and re-admit automatically, and a crashed replica is restarted
-  with exponential backoff (its slot keeps its ring position). The fleet
+  with exponential backoff (its slot keeps its ring position). Replicas
+  self-register with the router and heartbeat membership leases of
+  --lease-ttl-ms (default 3000); a replica whose heartbeats stop is
+  evicted from the ring when its lease expires and re-admitted by its
+  next registration. --fault-control starts every replica with its
+  HTTP fault endpoints armed-able (chaos harnesses only). The fleet
   layout is written to --dir/fleet.json. POST /shutdown on the router
   drains the whole fleet.
   fleet rollout reads fleet.json and flips every replica to --bundle in
@@ -493,6 +522,26 @@ impl Command {
                     }
                     None => 0,
                 };
+                let register = value("--register")?.cloned();
+                let name = value("--name")?.cloned();
+                if let Some(n) = &name {
+                    if n.is_empty() || !n.chars().all(|c| c.is_ascii_alphanumeric() || "-_.".contains(c)) {
+                        return Err(format!(
+                            "--name must be non-empty and use only letters, digits, '-', '_', '.', got {n:?}"
+                        ));
+                    }
+                }
+                let heartbeat_ms = match value("--heartbeat-ms")? {
+                    Some(v) => {
+                        let ms = parse_num("--heartbeat-ms", v)?;
+                        if ms.is_nan() || ms < 1.0 {
+                            return Err(format!("--heartbeat-ms must be at least 1, got {ms}"));
+                        }
+                        ms as u64
+                    }
+                    None => 1000,
+                };
+                let fault_control = flag("--fault-control");
                 Ok(Command::Serve(ServeArgs {
                     load,
                     addr,
@@ -505,6 +554,10 @@ impl Command {
                     batch_max,
                     batch_hold_us,
                     trace_sample,
+                    register,
+                    name,
+                    heartbeat_ms,
+                    fault_control,
                 }))
             }
             "fleet" => match rest.first().map(|s| s.as_str()) {
@@ -540,6 +593,19 @@ impl Command {
                         }
                         None => 0,
                     };
+                    let lease_ttl_ms = match value("--lease-ttl-ms")? {
+                        Some(v) => {
+                            let ms = parse_num("--lease-ttl-ms", v)?;
+                            if ms.is_nan() || ms < 100.0 {
+                                return Err(format!(
+                                    "--lease-ttl-ms must be at least 100, got {ms}"
+                                ));
+                            }
+                            ms as u64
+                        }
+                        None => 3000,
+                    };
+                    let fault_control = flag("--fault-control");
                     Ok(Command::FleetServe(FleetServeArgs {
                         load,
                         replicas,
@@ -547,6 +613,8 @@ impl Command {
                         dir,
                         workers: workers.max(1),
                         trace_sample,
+                        lease_ttl_ms,
+                        fault_control,
                     }))
                 }
                 Some("rollout") => {
@@ -750,13 +818,18 @@ mod tests {
                 batch_max: 32,
                 batch_hold_us: 100,
                 trace_sample: 0,
+                register: None,
+                name: None,
+                heartbeat_ms: 1000,
+                fault_control: false,
             })
         );
         let c = Command::parse(&args(&[
             "serve", "--load", "m.json", "--addr", "0.0.0.0:9000", "--workers", "8",
             "--cache", "0", "--watch", "2.5", "--queue", "16", "--deadline-ms", "250",
             "--event-loop", "on", "--batch-max", "8", "--batch-hold-us", "0",
-            "--trace-sample", "64",
+            "--trace-sample", "64", "--register", "127.0.0.1:7900", "--name", "replica-3",
+            "--heartbeat-ms", "500", "--fault-control",
         ]))
         .unwrap();
         assert_eq!(
@@ -773,8 +846,23 @@ mod tests {
                 batch_max: 8,
                 batch_hold_us: 0,
                 trace_sample: 64,
+                register: Some("127.0.0.1:7900".into()),
+                name: Some("replica-3".into()),
+                heartbeat_ms: 500,
+                fault_control: true,
             })
         );
+    }
+
+    #[test]
+    fn serve_member_name_validates() {
+        let err = Command::parse(&args(&["serve", "--load", "m.json", "--name", "no spaces"]))
+            .unwrap_err();
+        assert!(err.contains("--name"), "{err}");
+        let err =
+            Command::parse(&args(&["serve", "--load", "m.json", "--heartbeat-ms", "0"]))
+                .unwrap_err();
+        assert!(err.contains("--heartbeat-ms"), "{err}");
     }
 
     #[test]
@@ -823,11 +911,14 @@ mod tests {
                 dir: PathBuf::from("clapf-fleet"),
                 workers: 4,
                 trace_sample: 0,
+                lease_ttl_ms: 3000,
+                fault_control: false,
             })
         );
         let c = Command::parse(&args(&[
             "fleet", "serve", "--load", "m.json", "--replicas", "3", "--addr",
             "127.0.0.1:0", "--dir", "run/fleet", "--workers", "8", "--trace-sample", "16",
+            "--lease-ttl-ms", "800", "--fault-control",
         ]))
         .unwrap();
         assert_eq!(
@@ -839,6 +930,8 @@ mod tests {
                 dir: PathBuf::from("run/fleet"),
                 workers: 8,
                 trace_sample: 16,
+                lease_ttl_ms: 800,
+                fault_control: true,
             })
         );
     }

@@ -562,6 +562,15 @@ fn serve<W: Write>(a: ServeArgs, out: &mut W) -> Result<(), CliError> {
     } else {
         clapf_serve::Transport::Threaded
     };
+    let member_name = a
+        .name
+        .clone()
+        .unwrap_or_else(|| format!("replica-{}", std::process::id()));
+    let register = a.register.as_ref().map(|router| clapf_serve::RegisterConfig {
+        router: router.clone(),
+        name: member_name.clone(),
+        interval: std::time::Duration::from_millis(a.heartbeat_ms),
+    });
     let config = clapf_serve::ServeConfig {
         addr: a.addr.clone(),
         workers: a.workers,
@@ -573,6 +582,8 @@ fn serve<W: Write>(a: ServeArgs, out: &mut W) -> Result<(), CliError> {
         batch_max: a.batch_max,
         batch_hold: std::time::Duration::from_micros(a.batch_hold_us),
         trace_sample: a.trace_sample,
+        register,
+        fault_control: a.fault_control,
         ..clapf_serve::ServeConfig::default()
     };
     let registry = std::sync::Arc::new(Registry::new());
@@ -597,6 +608,14 @@ fn serve<W: Write>(a: ServeArgs, out: &mut W) -> Result<(), CliError> {
         }
     )
     .map_err(werr)?;
+    if let Some(router) = &a.register {
+        writeln!(
+            out,
+            "registering with http://{router} as {member_name} every {}ms",
+            a.heartbeat_ms
+        )
+        .map_err(werr)?;
+    }
     writeln!(out, "listening on http://{}", handle.addr()).map_err(werr)?;
     out.flush().map_err(werr)?;
     handle.wait();
@@ -604,13 +623,19 @@ fn serve<W: Write>(a: ServeArgs, out: &mut W) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Boots a sharded fleet: `--replicas` child `clapf serve` processes on
+/// Boots a sharded fleet: the consistent-hash router starts first with an
+/// empty member table, then `--replicas` child `clapf serve` processes on
 /// ephemeral ports (each owning a copy of the bundle under `--dir`, each
 /// on the event-loop transport so the router's pooled connections never
-/// starve control-plane calls), fronted by the consistent-hash router.
-/// Supervises the children — a dead replica restarts with exponential
-/// backoff, keeping its ring slot — until `POST /shutdown` on the router
-/// drains everything.
+/// starve control-plane calls) join it by self-registering over
+/// `POST /fleet/register` and heartbeating membership leases. The
+/// supervisor is just another registrant: it registers each child
+/// synchronously at spawn (so startup order is deterministic) and again
+/// after a restart, but steady-state liveness is the lease protocol's —
+/// a replica whose heartbeats stop is evicted when its lease expires and
+/// re-admitted by its next registration, supervisor or not. A dead
+/// process restarts with exponential backoff, keeping its ring slot
+/// (names are stable). `POST /shutdown` on the router drains everything.
 fn fleet_serve<W: Write>(a: FleetServeArgs, out: &mut W) -> Result<(), CliError> {
     use clapf_fleet::{start_router, FleetSpec, Replica, ReplicaConfig, ReplicaSpec, RouterConfig};
     use std::time::Duration;
@@ -620,26 +645,58 @@ fn fleet_serve<W: Write>(a: FleetServeArgs, out: &mut W) -> Result<(), CliError>
     let exe = std::env::current_exe()
         .map_err(|e| CliError::Io(format!("resolving own executable: {e}")))?;
 
+    // Router first: replicas register themselves with it as they boot.
+    let lease_ttl = Duration::from_millis(a.lease_ttl_ms);
+    let heartbeat_ms = (a.lease_ttl_ms / 3).max(50);
+    let registry = std::sync::Arc::new(Registry::new());
+    let router = start_router(
+        RouterConfig {
+            addr: a.addr.clone(),
+            replicas: Vec::new(),
+            workers: a.workers,
+            trace_sample: a.trace_sample,
+            lease_ttl,
+            ..RouterConfig::default()
+        },
+        registry,
+    )
+    .map_err(|e| CliError::Io(e.to_string()))?;
+
     let mut replicas = Vec::new();
     let mut replica_specs = Vec::new();
     for i in 0..a.replicas {
         let bundle = a.dir.join(format!("replica-{i}.json"));
         std::fs::copy(&a.load, &bundle)
             .map_err(|e| CliError::Io(format!("copy {:?} -> {bundle:?}: {e}", a.load)))?;
+        let mut args = vec![
+            "serve".into(),
+            "--load".into(),
+            bundle.display().to_string(),
+            "--addr".into(),
+            "127.0.0.1:0".into(),
+            "--event-loop".into(),
+            "on".into(),
+            "--register".into(),
+            router.addr().to_string(),
+            "--name".into(),
+            format!("replica-{i}"),
+            "--heartbeat-ms".into(),
+            heartbeat_ms.to_string(),
+        ];
+        if a.fault_control {
+            args.push("--fault-control".into());
+        }
         let config = ReplicaConfig {
             exe: exe.clone(),
-            args: vec![
-                "serve".into(),
-                "--load".into(),
-                bundle.display().to_string(),
-                "--addr".into(),
-                "127.0.0.1:0".into(),
-                "--event-loop".into(),
-                "on".into(),
-            ],
+            args,
             announce_timeout: Duration::from_secs(30),
         };
         let r = Replica::spawn(config).map_err(|e| CliError::Io(format!("replica {i}: {e}")))?;
+        // Register synchronously too: the ring routes to this replica the
+        // instant it is up, not a heartbeat later, and slot order matches
+        // spawn order (the heartbeat that races this call is idempotent —
+        // membership is keyed by name).
+        router.register_member(&format!("replica-{i}"), r.addr());
         writeln!(
             out,
             "replica {i}: pid {} on http://{} serving {}",
@@ -655,19 +712,6 @@ fn fleet_serve<W: Write>(a: FleetServeArgs, out: &mut W) -> Result<(), CliError>
         replicas.push(r);
     }
 
-    let registry = std::sync::Arc::new(Registry::new());
-    let router = start_router(
-        RouterConfig {
-            addr: a.addr.clone(),
-            replicas: replica_specs.iter().map(|r| r.addr).collect(),
-            workers: a.workers,
-            trace_sample: a.trace_sample,
-            ..RouterConfig::default()
-        },
-        registry,
-    )
-    .map_err(|e| CliError::Io(e.to_string()))?;
-
     let mut spec = FleetSpec {
         router: Some(router.addr()),
         replicas: replica_specs,
@@ -680,7 +724,7 @@ fn fleet_serve<W: Write>(a: FleetServeArgs, out: &mut W) -> Result<(), CliError>
     out.flush().map_err(werr)?;
 
     // Supervision loop: restart dead replicas (with backoff, keeping their
-    // ring slot), repoint the router and rewrite fleet.json each time.
+    // ring slot), re-register them and rewrite fleet.json each time.
     while !router.shutdown_requested() {
         std::thread::sleep(Duration::from_millis(200));
         for (slot, r) in replicas.iter_mut().enumerate() {
@@ -695,7 +739,7 @@ fn fleet_serve<W: Write>(a: FleetServeArgs, out: &mut W) -> Result<(), CliError>
             std::thread::sleep(delay);
             match r.restart() {
                 Ok(addr) => {
-                    router.set_replica_addr(slot, addr);
+                    router.register_member(&format!("replica-{slot}"), addr);
                     spec.replicas[slot].addr = addr;
                     if let Err(e) = spec.save(&fleet_path) {
                         writeln!(out, "warning: rewriting {fleet_path:?}: {e}").map_err(werr)?;

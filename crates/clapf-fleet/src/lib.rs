@@ -6,6 +6,15 @@
 //! * [`ring`] — the consistent-hash ring mapping users to replica slots,
 //!   with a bounded-load walk so a hot shard spills to its ring successor
 //!   instead of melting.
+//! * [`membership`] — lease-based membership: replicas self-register over
+//!   `POST /fleet/register` and heartbeat the same call; expired leases
+//!   evict the slot, re-registration re-admits it, and the ring grows as
+//!   new names join (DESIGN.md §17).
+//! * [`breaker`] — per-slot circuit breakers (closed → open → half-open
+//!   probe), the fleet-wide token-bucket retry budget, and deterministic
+//!   jitter for every periodic activity.
+//! * [`hedge`] — hedged reads: a p99-derived delay, a helper thread per
+//!   router worker, and a hedge budget capping duplicated work.
 //! * [`client`] — the pooled keep-alive upstream HTTP client the router
 //!   proxies through, and the one-shot probe the health checker and the
 //!   rollout driver share.
@@ -31,14 +40,20 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod client;
+pub mod hedge;
+pub mod membership;
 pub mod ring;
 pub mod rollout;
 pub mod router;
 pub mod supervisor;
 
+pub use breaker::{Admission, Breaker, BreakerConfig, BreakerState, RetryBudget};
 pub use client::{http_call, Upstream, UpstreamResponse};
+pub use hedge::{HedgePolicy, LatencyWindow};
+pub use membership::{LeaseView, Membership, Registered, SlotState};
 pub use ring::Ring;
 pub use rollout::{rollout, FleetSpec, ReplicaSpec, RolloutError, RolloutReport};
 pub use router::{start_router, RouterConfig, RouterError, RouterHandle};
-pub use supervisor::{Replica, ReplicaConfig, SupervisorError};
+pub use supervisor::{Backoff, Replica, ReplicaConfig, SupervisorError};

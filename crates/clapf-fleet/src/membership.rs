@@ -1,0 +1,473 @@
+//! Lease-based fleet membership: the router learns replicas from
+//! registration instead of a static slot list.
+//!
+//! A replica self-registers over `POST /fleet/register?name=…&addr=…` and
+//! keeps renewing the same call as a heartbeat. Identity is the **name**
+//! (e.g. `replica-0`), not the address: a restarted replica re-registers
+//! under its old name from a new ephemeral port and keeps its slot, so no
+//! user remaps — the same stable-slot contract the static fleet had,
+//! now reached through the protocol.
+//!
+//! Liveness is a lease: each registration stamps `now + ttl`, and the
+//! router's sweeper evicts any slot whose lease expired — the slot stays
+//! in the ring table (indices are forever) but leaves the routable set,
+//! which remaps exactly its own keys (~1/N) onto ring successors with the
+//! bounded-load walk absorbing the shifted load. Re-registration
+//! re-admits the slot and those keys snap home again.
+//!
+//! Seed members handed to [`Membership::new`] (the back-compat static
+//! fleet) carry an eternal lease: their liveness comes from health probes
+//! alone, exactly as before registration existed. The ring only ever
+//! *grows* (a new name appends a slot and rebuilds the ring, moving ~1/N
+//! of keys); eviction never rebuilds, keeping disruption minimal.
+
+use crate::breaker::{Breaker, BreakerConfig};
+use crate::ring::Ring;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// A slot's lease.
+enum Lease {
+    /// Seed member: never expires; health probes own its liveness.
+    Static,
+    /// Registered member: routable only while `now < until`.
+    Until(Instant),
+}
+
+/// How a slot's lease reads at a point in time (for status endpoints).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LeaseView {
+    /// Seed member with no lease to expire.
+    Static,
+    /// Valid lease with this much time left.
+    Remaining(Duration),
+    /// Lease ran out; the slot is evicted until it re-registers.
+    Expired,
+}
+
+/// One replica slot: stable index, mutable address, liveness, load, and
+/// the slot's circuit breaker.
+pub struct SlotState {
+    name: String,
+    addr: RwLock<SocketAddr>,
+    alive: AtomicBool,
+    /// Requests currently being proxied to this slot (bounded-load input).
+    pub inflight: AtomicU64,
+    /// The slot's circuit breaker (trips on consecutive proxy failures).
+    pub breaker: Breaker,
+    lease: Mutex<Lease>,
+}
+
+impl SlotState {
+    /// The registration name this slot answers to.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current address.
+    pub fn addr(&self) -> SocketAddr {
+        *self.addr.read().expect("addr poisoned")
+    }
+
+    /// Repoints the slot (restart on a new port).
+    pub fn set_addr(&self, addr: SocketAddr) {
+        *self.addr.write().expect("addr poisoned") = addr;
+    }
+
+    /// Whether the slot is currently in the routable set.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Flips liveness, returning the previous value.
+    pub fn set_alive(&self, alive: bool) -> bool {
+        self.alive.swap(alive, Ordering::AcqRel)
+    }
+
+    /// How the lease reads at `now`.
+    pub fn lease_view(&self, now: Instant) -> LeaseView {
+        match &*self.lease.lock().expect("lease poisoned") {
+            Lease::Static => LeaseView::Static,
+            Lease::Until(t) if now < *t => LeaseView::Remaining(*t - now),
+            Lease::Until(_) => LeaseView::Expired,
+        }
+    }
+
+    /// Whether probes should keep deciding this slot's liveness: static
+    /// members always, registered members only while their lease holds
+    /// (an expired member must re-register, not merely answer pings —
+    /// that is what makes a heartbeat blackhole an eviction).
+    pub fn probe_eligible(&self, now: Instant) -> bool {
+        !matches!(self.lease_view(now), LeaseView::Expired)
+    }
+
+    fn renew(&self, until: Instant) {
+        let mut lease = self.lease.lock().expect("lease poisoned");
+        if !matches!(*lease, Lease::Static) {
+            *lease = Lease::Until(until);
+        }
+    }
+}
+
+/// Outcome of one registration call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Registered {
+    /// The stable slot index the name maps to.
+    pub slot: usize,
+    /// Whether this call created the slot (grew the ring).
+    pub created: bool,
+    /// Whether this call brought an evicted/dead slot back into the
+    /// routable set.
+    pub readmitted: bool,
+}
+
+/// The fleet's membership table: named slots, their leases, and the
+/// consistent-hash ring over them.
+pub struct Membership {
+    slots: RwLock<Vec<Arc<SlotState>>>,
+    ring: RwLock<Arc<Ring>>,
+    lease_ttl: Duration,
+    breaker_cfg: BreakerConfig,
+}
+
+impl Membership {
+    /// A membership table seeded with `static_members` (slot `i` named
+    /// `static-i`, eternal lease). `lease_ttl` governs registered members.
+    pub fn new(
+        static_members: &[SocketAddr],
+        lease_ttl: Duration,
+        breaker_cfg: BreakerConfig,
+    ) -> Membership {
+        let slots: Vec<Arc<SlotState>> = static_members
+            .iter()
+            .enumerate()
+            .map(|(i, &addr)| {
+                Arc::new(SlotState {
+                    name: format!("static-{i}"),
+                    addr: RwLock::new(addr),
+                    alive: AtomicBool::new(false),
+                    inflight: AtomicU64::new(0),
+                    breaker: Breaker::new(breaker_cfg),
+                    lease: Mutex::new(Lease::Static),
+                })
+            })
+            .collect();
+        let ring = Arc::new(Ring::new(slots.len().max(1)));
+        Membership {
+            slots: RwLock::new(slots),
+            ring: RwLock::new(ring),
+            lease_ttl,
+            breaker_cfg,
+        }
+    }
+
+    /// The lease TTL registered members are granted.
+    pub fn lease_ttl(&self) -> Duration {
+        self.lease_ttl
+    }
+
+    /// Number of slots (alive or not).
+    pub fn len(&self) -> usize {
+        self.slots.read().expect("slots poisoned").len()
+    }
+
+    /// Whether the table has no slots at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The slot at `index`, if it exists.
+    pub fn get(&self, index: usize) -> Option<Arc<SlotState>> {
+        self.slots.read().expect("slots poisoned").get(index).cloned()
+    }
+
+    /// A coherent routing snapshot: the ring and the slot table it was
+    /// built over (the ring never references a slot index the returned
+    /// table lacks, because the table only grows).
+    pub fn snapshot(&self) -> (Arc<Ring>, Vec<Arc<SlotState>>) {
+        // Lock order: slots before ring, everywhere.
+        let slots = self.slots.read().expect("slots poisoned").clone();
+        let ring = Arc::clone(&self.ring.read().expect("ring poisoned"));
+        (ring, slots)
+    }
+
+    /// Registers (or heartbeats) `name` at `addr`. An existing name keeps
+    /// its slot — the address updates, the lease renews, the slot rejoins
+    /// the routable set and its breaker closes (the heartbeat just proved
+    /// the process is up). A new name appends a slot and grows the ring.
+    pub fn register(&self, name: &str, addr: SocketAddr, now: Instant) -> Registered {
+        let until = now + self.lease_ttl;
+        fn renew_existing(slot: usize, st: &SlotState, addr: SocketAddr, until: Instant) -> Registered {
+            if st.addr() != addr {
+                st.set_addr(addr);
+            }
+            st.renew(until);
+            let was_alive = st.set_alive(true);
+            st.breaker.on_success();
+            Registered {
+                slot,
+                created: false,
+                readmitted: !was_alive,
+            }
+        }
+        {
+            let slots = self.slots.read().expect("slots poisoned");
+            if let Some((slot, st)) = slots.iter().enumerate().find(|(_, s)| s.name == name) {
+                return renew_existing(slot, st, addr, until);
+            }
+        }
+        let mut slots = self.slots.write().expect("slots poisoned");
+        // Re-check under the write lock: a racing register may have won.
+        if let Some((slot, st)) = slots.iter().enumerate().find(|(_, s)| s.name == name) {
+            return renew_existing(slot, st, addr, until);
+        }
+        let slot = slots.len();
+        slots.push(Arc::new(SlotState {
+            name: name.to_string(),
+            addr: RwLock::new(addr),
+            alive: AtomicBool::new(true),
+            inflight: AtomicU64::new(0),
+            breaker: Breaker::new(self.breaker_cfg),
+            lease: Mutex::new(Lease::Until(until)),
+        }));
+        let n = slots.len();
+        *self.ring.write().expect("ring poisoned") = Arc::new(Ring::new(n));
+        Registered {
+            slot,
+            created: true,
+            readmitted: false,
+        }
+    }
+
+    /// Evicts every slot whose lease expired by `now`. Returns the slot
+    /// indices evicted **by this sweep** (already-dead slots don't repeat).
+    pub fn sweep(&self, now: Instant) -> Vec<usize> {
+        let slots = self.slots.read().expect("slots poisoned");
+        let mut evicted = Vec::new();
+        for (i, st) in slots.iter().enumerate() {
+            if matches!(st.lease_view(now), LeaseView::Expired) && st.set_alive(false) {
+                evicted.push(i);
+            }
+        }
+        evicted
+    }
+
+    /// Count of slots currently in the routable set.
+    pub fn alive_count(&self) -> usize {
+        self.slots
+            .read()
+            .expect("slots poisoned")
+            .iter()
+            .filter(|s| s.is_alive())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    fn addr(port: u16) -> SocketAddr {
+        format!("127.0.0.1:{port}").parse().unwrap()
+    }
+
+    const TTL: Duration = Duration::from_millis(1000);
+
+    fn fresh() -> Membership {
+        Membership::new(&[], TTL, BreakerConfig::default())
+    }
+
+    #[test]
+    fn same_name_keeps_its_slot_across_reregistration() {
+        let m = fresh();
+        let t0 = Instant::now();
+        let first = m.register("replica-0", addr(9001), t0);
+        assert!(first.created);
+        let again = m.register("replica-0", addr(9002), t0 + TTL / 2);
+        assert_eq!(again.slot, first.slot, "name is identity");
+        assert!(!again.created);
+        assert_eq!(m.get(first.slot).unwrap().addr(), addr(9002));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn lease_expiry_evicts_and_reregistration_readmits() {
+        let m = fresh();
+        let t0 = Instant::now();
+        let r = m.register("replica-0", addr(9001), t0);
+        assert!(m.get(r.slot).unwrap().is_alive());
+
+        assert_eq!(m.sweep(t0 + TTL / 2), vec![], "valid lease survives");
+        assert_eq!(m.sweep(t0 + TTL * 2), vec![r.slot], "expired lease evicts");
+        assert!(!m.get(r.slot).unwrap().is_alive());
+        assert!(
+            !m.get(r.slot).unwrap().probe_eligible(t0 + TTL * 2),
+            "an expired member must re-register, not merely answer probes"
+        );
+
+        let back = m.register("replica-0", addr(9003), t0 + TTL * 3);
+        assert_eq!(back.slot, r.slot);
+        assert!(m.get(r.slot).unwrap().is_alive(), "re-admission");
+        assert_eq!(m.sweep(t0 + TTL * 3 + TTL / 2), vec![], "fresh lease holds");
+    }
+
+    #[test]
+    fn static_members_never_expire() {
+        let m = Membership::new(&[addr(9001)], TTL, BreakerConfig::default());
+        let t0 = Instant::now();
+        m.get(0).unwrap().set_alive(true);
+        assert_eq!(m.sweep(t0 + TTL * 100), vec![]);
+        assert!(m.get(0).unwrap().is_alive());
+        assert_eq!(m.get(0).unwrap().lease_view(t0), LeaseView::Static);
+    }
+
+    #[test]
+    fn new_names_grow_the_ring() {
+        let m = fresh();
+        let t0 = Instant::now();
+        m.register("a", addr(9001), t0);
+        let (ring1, slots1) = m.snapshot();
+        assert_eq!(ring1.n_slots(), 1);
+        assert_eq!(slots1.len(), 1);
+        m.register("b", addr(9002), t0);
+        let (ring2, slots2) = m.snapshot();
+        assert_eq!(ring2.n_slots(), 2);
+        assert_eq!(slots2.len(), 2);
+    }
+
+    /// Drives a Membership through a scripted churn sequence while a model
+    /// tracks which names hold valid leases, asserting after every step
+    /// that routing can never land on an evicted slot and that evictions
+    /// disturb only the evicted slot's keys.
+    fn run_churn(ops: &[(u8, u8)]) {
+        let m = fresh();
+        let t0 = Instant::now();
+        let mut now = t0;
+        // Model: name -> lease deadline.
+        let mut leases: HashMap<String, Instant> = HashMap::new();
+        let keys: Vec<String> = (0..150).map(|i| format!("user-{i}")).collect();
+        let mut last_map: HashMap<String, u32> = HashMap::new();
+        let mut last_live: Vec<bool> = Vec::new();
+
+        for &(op, who) in ops {
+            let name = format!("r{}", who % 6);
+            match op % 3 {
+                0 => {
+                    m.register(&name, addr(9100 + (who % 6) as u16), now);
+                    leases.insert(name, now + TTL);
+                }
+                1 => now += TTL / 4,
+                _ => now += TTL + Duration::from_millis(1),
+            }
+            m.sweep(now);
+
+            let (ring, slots) = m.snapshot();
+            assert_eq!(ring.n_slots(), slots.len().max(1));
+            if slots.is_empty() {
+                continue; // nothing registered yet; nothing to route
+            }
+            let live: Vec<bool> = slots
+                .iter()
+                .map(|s| leases.get(s.name()).is_some_and(|&d| now < d))
+                .collect();
+            // The implementation's routable set must equal the model's.
+            for (s, &model_live) in slots.iter().zip(&live) {
+                assert_eq!(
+                    s.is_alive(),
+                    model_live,
+                    "slot {} liveness diverged from the lease model",
+                    s.name()
+                );
+            }
+
+            let alive: Vec<bool> = slots.iter().map(|s| s.is_alive()).collect();
+            let idle = vec![0u64; slots.len()];
+            let mut new_map = HashMap::new();
+            for k in &keys {
+                if let Some(slot) = ring.pick(k, &alive, &idle) {
+                    assert!(
+                        live[slot as usize],
+                        "key {k} routed to evicted slot {} ({})",
+                        slot,
+                        slots[slot as usize].name()
+                    );
+                    new_map.insert(k.clone(), slot);
+                }
+            }
+            // Minimal disruption: when this step only *removed* slots from
+            // the routable set (no growth, no re-admission — re-admission
+            // deliberately snaps spilled keys back to their home slot), a
+            // key whose slot stayed live keeps its slot.
+            let shrank_only = slots.len() == last_live.len()
+                && live
+                    .iter()
+                    .enumerate()
+                    .all(|(i, &l)| !l || last_live[i]);
+            if shrank_only {
+                for (k, &prev) in &last_map {
+                    if live.get(prev as usize).copied().unwrap_or(false) {
+                        assert_eq!(
+                            new_map.get(k),
+                            Some(&prev),
+                            "key {k} remapped although slot {prev} stayed live"
+                        );
+                    }
+                }
+            }
+            last_map = new_map;
+            last_live = live.clone();
+        }
+    }
+
+    proptest! {
+        /// Satellite: concurrent-shaped register/evict/re-register churn
+        /// never routes a user to an evicted slot and keeps the
+        /// minimal-disruption guarantee.
+        #[test]
+        fn churn_never_routes_to_an_evicted_slot(
+            ops in proptest::collection::vec((0u8..3, 0u8..6), 1..60),
+        ) {
+            run_churn(&ops);
+        }
+    }
+
+    #[test]
+    fn concurrent_registration_is_name_stable() {
+        let m = Arc::new(fresh());
+        let t0 = Instant::now();
+        let mut handles = Vec::new();
+        for t in 0..4u16 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                let mut slots_seen = HashMap::new();
+                for i in 0..200u32 {
+                    let name = format!("r{}", (i + t as u32) % 5);
+                    let r = m.register(&name, addr(9200 + t), t0);
+                    // A name's slot never changes once assigned.
+                    let prev = slots_seen.insert(name.clone(), r.slot);
+                    if let Some(p) = prev {
+                        assert_eq!(p, r.slot, "{name} moved slots");
+                    }
+                }
+                slots_seen
+            }));
+        }
+        let maps: Vec<HashMap<String, usize>> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // All threads agree on every name's slot.
+        for w in maps.windows(2) {
+            for (name, slot) in &w[0] {
+                if let Some(other) = w[1].get(name) {
+                    assert_eq!(slot, other, "{name} slot disagrees across threads");
+                }
+            }
+        }
+        assert_eq!(m.len(), 5, "five names, five slots, no duplicates");
+        let (ring, _) = m.snapshot();
+        assert_eq!(ring.n_slots(), 5);
+    }
+}

@@ -1,28 +1,37 @@
-//! The router process: consistent-hash proxying with health-checked
-//! failover and a pause gate for the rollout commit window.
+//! The router process: consistent-hash proxying over lease-based
+//! membership, with circuit breakers, retry budgets, hedged reads, and a
+//! degraded-mode fallback when a user's slot has no live replica.
 //!
 //! Request path: parse (same read-budget discipline as `clapf-serve`),
 //! enter the pause gate, hash the user through the [`Ring`]
-//! (bounded-load), relay over the worker's pooled keep-alive [`Upstream`],
-//! and on upstream failure mark the slot dead and retry **once** through
-//! the ring — the failpoint tests pin "zero 5xx after one retry" for a
-//! replica killed mid-load. Replica bodies are relayed byte-for-byte, so
-//! a routed answer is bit-identical to asking the replica directly.
+//! (bounded-load) over the current membership snapshot, claim the picked
+//! slot's circuit breaker, and relay over the worker's pooled keep-alive
+//! [`Upstream`]. Failures mark the slot dead, feed its breaker, and
+//! retry through the ring while the token-bucket retry budget lasts.
+//! On the first attempt the call is *hedged*: if the primary is slower
+//! than the fleet's recent p99, a second copy goes to the next ring
+//! candidate and the first answer wins (`hedge.rs`). Replica bodies are
+//! relayed byte-for-byte, so a routed answer is bit-identical to asking
+//! the replica directly.
 //!
-//! The health checker probes every slot's `/healthz` on an interval:
-//! a dead replica leaves the ring within one interval and is re-admitted
-//! automatically when it answers again. Slots are stable indices — a
-//! replica restarting on a new port keeps its slot via
-//! [`RouterHandle::set_replica_addr`], so no user remaps.
+//! Membership is dynamic (`membership.rs`): replicas register and renew
+//! leases over `POST /fleet/register`; the health thread sweeps expired
+//! leases (eviction) and probes `/healthz` on a jittered interval. A
+//! request whose ring walk finds no routable slot is answered from the
+//! stale-tolerant fallback cache (stamped `X-Clapf-Degraded: stale`) or,
+//! failing that, with a typed 503 + `Retry-After` — never a hang.
 
+use crate::breaker::{next_salt, Admission, BreakerConfig, RetryBudget};
 use crate::client::{http_call, Upstream, UpstreamResponse};
-use crate::ring::Ring;
+use crate::hedge::{hedge_delay, HedgeDone, HedgeJob, HedgePolicy, HedgeRunner, LatencyWindow};
+use crate::membership::{LeaseView, Membership, SlotState};
 use clapf_serve::{parse_request_deadline_timed, Method, ParseError, Request, Response};
 use clapf_telemetry::{intern_stage, FinishedTrace, JsonValue, Registry, Stage, Trace, Tracer};
+use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock, RwLock};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// How often a blocked connection read wakes to poll the shutdown flag.
@@ -35,12 +44,14 @@ const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(30);
 pub struct RouterConfig {
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
-    /// Initial replica addresses, in slot order. The slot count is fixed
-    /// for the router's lifetime; addresses may change (restarts).
+    /// Seed replica addresses, in slot order. Seed slots have no lease —
+    /// health probes alone govern their liveness (the pre-registration
+    /// static fleet). May be empty: a dynamic fleet starts with zero
+    /// slots and grows as replicas register.
     pub replicas: Vec<SocketAddr>,
     /// Worker threads (each owns one pooled upstream connection per slot).
     pub workers: usize,
-    /// Health-check probe interval.
+    /// Health-check probe interval (jittered ±20% per sweep).
     pub health_interval: Duration,
     /// Per-call timeout on upstream connects/reads/writes.
     pub upstream_timeout: Duration,
@@ -56,6 +67,19 @@ pub struct RouterConfig {
     pub pause_guard: Duration,
     /// Trace one in this many proxied requests (0 disables tracing).
     pub trace_sample: u64,
+    /// Lease TTL granted to registered members; a member that misses its
+    /// heartbeats this long is evicted from the ring.
+    pub lease_ttl: Duration,
+    /// Circuit-breaker thresholds shared by every slot.
+    pub breaker: BreakerConfig,
+    /// Retry-budget tokens earned per proxied request (a retry spends 1).
+    pub retry_budget_ratio: f64,
+    /// Retry-budget bucket capacity, in whole tokens.
+    pub retry_budget_cap: u64,
+    /// When and how aggressively reads are hedged.
+    pub hedge: HedgePolicy,
+    /// Entries in the degraded-mode fallback cache (0 disables it).
+    pub fallback_cache: usize,
 }
 
 impl Default for RouterConfig {
@@ -71,6 +95,12 @@ impl Default for RouterConfig {
             pause_max_wait: Duration::from_secs(2),
             pause_guard: Duration::from_secs(10),
             trace_sample: 0,
+            lease_ttl: Duration::from_secs(3),
+            breaker: BreakerConfig::default(),
+            retry_budget_ratio: 0.2,
+            retry_budget_cap: 10,
+            hedge: HedgePolicy::default(),
+            fallback_cache: 512,
         }
     }
 }
@@ -78,8 +108,6 @@ impl Default for RouterConfig {
 /// Why the router failed to start.
 #[derive(Debug)]
 pub enum RouterError {
-    /// A fleet needs at least one replica.
-    NoReplicas,
     /// Binding or socket configuration failed.
     Io(std::io::Error),
 }
@@ -87,7 +115,6 @@ pub enum RouterError {
 impl std::fmt::Display for RouterError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            RouterError::NoReplicas => write!(f, "fleet has no replicas"),
             RouterError::Io(e) => write!(f, "socket: {e}"),
         }
     }
@@ -101,6 +128,7 @@ struct Stages {
     pick: Stage,
     upstream: Stage,
     retry: Stage,
+    hedge: Stage,
     write: Stage,
 }
 
@@ -111,19 +139,9 @@ fn stages() -> &'static Stages {
         pick: intern_stage("fleet.pick"),
         upstream: intern_stage("fleet.upstream"),
         retry: intern_stage("fleet.retry"),
+        hedge: intern_stage("fleet.hedge"),
         write: intern_stage("req.write"),
     })
-}
-
-/// One replica slot's mutable state.
-struct ReplicaState {
-    /// Current address (changes when the supervisor restarts the process).
-    addr: RwLock<SocketAddr>,
-    /// In the ring right now? Flipped by the health checker and by proxy
-    /// failures; re-admission is automatic on the next healthy probe.
-    alive: AtomicBool,
-    /// Requests currently being proxied to this slot (bounded-load input).
-    inflight: AtomicU64,
 }
 
 /// The pause gate: parks proxied requests during the rollout commit
@@ -218,10 +236,60 @@ impl Gate {
     }
 }
 
+/// The degraded-mode fallback: a small sharded map of the most recent
+/// successful `/recommend` bodies, keyed by full request target. Stale by
+/// construction — every hit is stamped `X-Clapf-Degraded: stale` and
+/// counted, never silently passed off as fresh.
+struct FallbackCache {
+    shards: Vec<Mutex<HashMap<String, String>>>,
+    cap_per_shard: usize,
+}
+
+impl FallbackCache {
+    const SHARDS: usize = 8;
+
+    fn new(capacity: usize) -> FallbackCache {
+        FallbackCache {
+            shards: (0..Self::SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            cap_per_shard: capacity / Self::SHARDS,
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<HashMap<String, String>> {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in key.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        &self.shards[(h % Self::SHARDS as u64) as usize]
+    }
+
+    fn insert(&self, key: &str, body: &str) {
+        if self.cap_per_shard == 0 {
+            return;
+        }
+        let mut shard = self.shard(key).lock().expect("fallback poisoned");
+        if !shard.contains_key(key) && shard.len() >= self.cap_per_shard {
+            // Drop an arbitrary entry: recency bookkeeping isn't worth it
+            // for a best-effort stale cache.
+            if let Some(k) = shard.keys().next().cloned() {
+                shard.remove(&k);
+            }
+        }
+        shard.insert(key.to_string(), body.to_string());
+    }
+
+    fn get(&self, key: &str) -> Option<String> {
+        if self.cap_per_shard == 0 {
+            return None;
+        }
+        self.shard(key).lock().expect("fallback poisoned").get(key).cloned()
+    }
+}
+
 /// State shared by every router thread.
 struct RouterShared {
-    ring: Ring,
-    replicas: Vec<ReplicaState>,
+    members: Membership,
     registry: Arc<Registry>,
     gate: Gate,
     tracer: Tracer,
@@ -232,6 +300,12 @@ struct RouterShared {
     write_timeout: Duration,
     pause_max_wait: Duration,
     pause_guard: Duration,
+    retry_budget: RetryBudget,
+    hedge: HedgePolicy,
+    hedge_budget: RetryBudget,
+    latency: LatencyWindow,
+    fallback: FallbackCache,
+    started: Instant,
 }
 
 impl RouterShared {
@@ -242,33 +316,25 @@ impl RouterShared {
         let _ = TcpStream::connect(self.addr);
     }
 
-    fn alive_snapshot(&self) -> (Vec<bool>, Vec<u64>) {
-        let alive = self
-            .replicas
-            .iter()
-            .map(|r| r.alive.load(Ordering::Acquire))
-            .collect();
-        let inflight = self
-            .replicas
-            .iter()
-            .map(|r| r.inflight.load(Ordering::Relaxed))
-            .collect();
-        (alive, inflight)
+    /// Records an upstream failure against `slot`. The breaker accumulates
+    /// it; liveness stays the health prober's call. Deliberately NOT
+    /// `set_alive(false)`: one failed request already fails over via the
+    /// retry's exclusion set, consecutive failures open the breaker (which
+    /// blocks routing on its own), and a slot whose process really died is
+    /// marked dead by the next probe — whereas marking it dead here would
+    /// let a single blip hide the slot from the very traffic whose
+    /// consecutive failures the breaker needs to see before tripping.
+    fn fail_slot(&self, state: &SlotState) {
+        if state.breaker.on_failure(Instant::now(), next_salt()) {
+            self.registry.counter("fleet.breaker.trip").inc();
+        }
     }
 
-    fn replica_addr(&self, slot: u32) -> SocketAddr {
-        *self.replicas[slot as usize]
-            .addr
-            .read()
-            .expect("addr poisoned")
-    }
-
-    fn mark_dead(&self, slot: u32) {
-        if self.replicas[slot as usize]
-            .alive
-            .swap(false, Ordering::AcqRel)
-        {
-            self.registry.counter("fleet.replica.down").inc();
+    /// Records an upstream success against `slot`: breaker + latency.
+    fn succeed_slot(&self, state: &SlotState, elapsed: Duration) {
+        self.latency.observe(elapsed);
+        if state.breaker.on_success() {
+            self.registry.counter("fleet.breaker.close").inc();
         }
     }
 }
@@ -288,21 +354,35 @@ impl RouterHandle {
 
     /// Current replica addresses, in slot order.
     pub fn replica_addrs(&self) -> Vec<SocketAddr> {
-        (0..self.shared.replicas.len())
-            .map(|s| self.shared.replica_addr(s as u32))
-            .collect()
+        let (_, slots) = self.shared.members.snapshot();
+        slots.iter().map(|s| s.addr()).collect()
     }
 
     /// Repoints `slot` at a restarted replica's new address. The slot
     /// keeps its ring position, so no user remaps; workers drop their
     /// pooled connection to the old address on next use.
     pub fn set_replica_addr(&self, slot: usize, addr: SocketAddr) {
-        *self.shared.replicas[slot].addr.write().expect("addr poisoned") = addr;
+        if let Some(state) = self.shared.members.get(slot) {
+            state.set_addr(addr);
+        }
     }
 
     /// Whether the fleet currently considers `slot` alive.
     pub fn is_alive(&self, slot: usize) -> bool {
-        self.shared.replicas[slot].alive.load(Ordering::Acquire)
+        self.shared.members.get(slot).is_some_and(|s| s.is_alive())
+    }
+
+    /// Number of membership slots (alive or not).
+    pub fn member_count(&self) -> usize {
+        self.shared.members.len()
+    }
+
+    /// Registers (or renews) a member directly, bypassing HTTP — what the
+    /// in-process supervisor uses to repoint a restarted replica.
+    pub fn register_member(&self, name: &str, addr: SocketAddr) -> usize {
+        let reg = self.shared.members.register(name, addr, Instant::now());
+        count_registration(&self.shared, &reg);
+        reg.slot
     }
 
     /// Whether a shutdown has been requested (e.g. via `POST /shutdown`).
@@ -327,31 +407,60 @@ impl RouterHandle {
     }
 }
 
-/// Starts a router fronting `config.replicas` per `config`. Metrics land
-/// in `registry` (exposed at `GET /metrics`). Probes every replica once
-/// synchronously before accepting traffic, so the first request never
-/// races the first health sweep.
+fn count_registration(shared: &RouterShared, reg: &crate::membership::Registered) {
+    if reg.created {
+        shared.registry.counter("fleet.member.joined").inc();
+    } else if reg.readmitted {
+        shared.registry.counter("fleet.member.readmitted").inc();
+    }
+}
+
+/// Per-worker mutable state: the pooled upstream connections (one per
+/// slot, grown as membership grows) and the lazily-spawned hedge helper.
+struct Worker {
+    pool: Vec<Option<Upstream>>,
+    runner: Option<HedgeRunner>,
+    index: usize,
+    next_seq: u64,
+}
+
+impl Worker {
+    fn new(index: usize) -> Worker {
+        Worker {
+            pool: Vec::new(),
+            runner: None,
+            index,
+            next_seq: 0,
+        }
+    }
+
+    fn pool_slot(&mut self, slot: u32) -> &mut Option<Upstream> {
+        let slot = slot as usize;
+        if self.pool.len() <= slot {
+            self.pool.resize_with(slot + 1, || None);
+        }
+        &mut self.pool[slot]
+    }
+
+    fn runner(&mut self) -> &mut HedgeRunner {
+        let index = self.index;
+        self.runner.get_or_insert_with(|| HedgeRunner::new(index))
+    }
+}
+
+/// Starts a router per `config`. Metrics land in `registry` (exposed at
+/// `GET /metrics`). Seed replicas are probed once synchronously before
+/// accepting traffic, so the first request never races the first health
+/// sweep; registered members arrive later via `/fleet/register`.
 pub fn start_router(
     config: RouterConfig,
     registry: Arc<Registry>,
 ) -> Result<RouterHandle, RouterError> {
-    if config.replicas.is_empty() {
-        return Err(RouterError::NoReplicas);
-    }
     let listener = TcpListener::bind(&config.addr).map_err(RouterError::Io)?;
     let addr = listener.local_addr().map_err(RouterError::Io)?;
 
     let shared = Arc::new(RouterShared {
-        ring: Ring::new(config.replicas.len()),
-        replicas: config
-            .replicas
-            .iter()
-            .map(|&a| ReplicaState {
-                addr: RwLock::new(a),
-                alive: AtomicBool::new(false),
-                inflight: AtomicU64::new(0),
-            })
-            .collect(),
+        members: Membership::new(&config.replicas, config.lease_ttl, config.breaker),
         registry,
         gate: Gate::new(),
         tracer: Tracer::new(config.trace_sample, 256, 8),
@@ -362,16 +471,24 @@ pub fn start_router(
         write_timeout: config.write_timeout,
         pause_max_wait: config.pause_max_wait,
         pause_guard: config.pause_guard,
+        retry_budget: RetryBudget::new(config.retry_budget_ratio, config.retry_budget_cap),
+        hedge: config.hedge,
+        hedge_budget: RetryBudget::new(config.hedge.budget_ratio, config.retry_budget_cap.max(4)),
+        latency: LatencyWindow::new(512),
+        fallback: FallbackCache::new(config.fallback_cache),
+        started: Instant::now(),
     });
 
-    // Initial synchronous probe round: replicas that answer are admitted
-    // before the listener starts handing out connections.
-    for slot in 0..shared.replicas.len() {
-        probe(&shared, slot as u32);
+    // Initial synchronous probe round: seed replicas that answer are
+    // admitted before the listener starts handing out connections.
+    for slot in 0..shared.members.len() {
+        probe(&shared, slot);
     }
 
     let mut threads = Vec::new();
-    // Health checker: periodic probes; dead replicas re-admit on recovery.
+    // Health thread: sweeps expired leases, then probes every
+    // probe-eligible slot; the interval is jittered so a fleet of routers
+    // never synchronizes its probes into a thundering herd.
     {
         let shared = Arc::clone(&shared);
         let interval = config.health_interval;
@@ -380,9 +497,15 @@ pub fn start_router(
                 .name("clapf-fleet-health".into())
                 .spawn(move || {
                     while !shared.shutdown.load(Ordering::Acquire) {
-                        std::thread::sleep(interval);
-                        for slot in 0..shared.replicas.len() {
-                            probe(&shared, slot as u32);
+                        std::thread::sleep(crate::breaker::jittered(interval, 0.2, next_salt()));
+                        let now = Instant::now();
+                        let evicted = shared.members.sweep(now);
+                        for _ in &evicted {
+                            shared.registry.counter("fleet.lease.expired").inc();
+                            shared.registry.counter("fleet.replica.down").inc();
+                        }
+                        for slot in 0..shared.members.len() {
+                            probe(&shared, slot);
                         }
                     }
                 })
@@ -401,13 +524,11 @@ pub fn start_router(
             std::thread::Builder::new()
                 .name(format!("clapf-fleet-worker-{n}"))
                 .spawn(move || {
-                    let mut pool: Vec<Option<Upstream>> = (0..shared.replicas.len())
-                        .map(|_| None)
-                        .collect();
+                    let mut worker = Worker::new(n);
                     loop {
                         let conn = rx.lock().expect("worker receiver poisoned").recv();
                         match conn {
-                            Ok(stream) => serve_connection(stream, &shared, &mut pool),
+                            Ok(stream) => serve_connection(stream, &shared, &mut worker),
                             Err(_) => return,
                         }
                     }
@@ -449,27 +570,36 @@ pub fn start_router(
     Ok(RouterHandle { shared, threads })
 }
 
-/// One `/healthz` probe; flips the slot's liveness either way.
-fn probe(shared: &RouterShared, slot: u32) {
-    let addr = shared.replica_addr(slot);
-    let healthy = http_call(addr, "GET", "/healthz", shared.upstream_timeout)
+/// One `/healthz` probe; flips the slot's liveness either way. Lease
+/// expiry outranks probing: an expired member must re-register, so it is
+/// skipped here and stays evicted however healthy its socket looks.
+fn probe(shared: &RouterShared, slot: usize) {
+    let Some(state) = shared.members.get(slot) else {
+        return;
+    };
+    if !state.probe_eligible(Instant::now()) {
+        return;
+    }
+    let healthy = http_call(state.addr(), "GET", "/healthz", shared.upstream_timeout)
         .map(|r| r.status == 200)
         .unwrap_or(false);
-    let state = &shared.replicas[slot as usize];
-    let was = state.alive.swap(healthy, Ordering::AcqRel);
-    if healthy && !was {
-        shared.registry.counter("fleet.replica.up").inc();
-    } else if !healthy && was {
+    let was = state.set_alive(healthy);
+    if healthy {
+        // An out-of-band healthy probe closes the breaker too: the slot
+        // has proven itself without risking a client request.
+        if state.breaker.on_success() {
+            shared.registry.counter("fleet.breaker.close").inc();
+        }
+        if !was {
+            shared.registry.counter("fleet.replica.up").inc();
+        }
+    } else if was {
         shared.registry.counter("fleet.replica.down").inc();
     }
 }
 
 /// Keep-alive request loop on one client connection.
-fn serve_connection(
-    stream: TcpStream,
-    shared: &Arc<RouterShared>,
-    pool: &mut [Option<Upstream>],
-) {
+fn serve_connection(stream: TcpStream, shared: &Arc<RouterShared>, worker: &mut Worker) {
     if stream.set_read_timeout(Some(READ_POLL)).is_err() {
         return;
     }
@@ -488,7 +618,7 @@ fn serve_connection(
             Ok((req, first_byte)) => {
                 idle = Duration::ZERO;
                 let keep_alive = req.keep_alive && !shared.shutdown.load(Ordering::Acquire);
-                let response = route(&req, shared, pool, first_byte, &mut writer, keep_alive);
+                let response = route(&req, shared, worker, first_byte, &mut writer, keep_alive);
                 // `route` wrote proxied responses itself; anything left is
                 // a locally-generated response to send now.
                 if let Some(r) = response {
@@ -522,25 +652,32 @@ fn serve_connection(
 fn route(
     req: &Request,
     shared: &Arc<RouterShared>,
-    pool: &mut [Option<Upstream>],
+    worker: &mut Worker,
     first_byte: Instant,
     writer: &mut TcpStream,
     keep_alive: bool,
 ) -> Option<Response> {
     match (req.method, req.path.as_str()) {
         (Method::Get, path) if path.starts_with("/recommend/") => {
-            proxy(req, shared, pool, first_byte, writer, keep_alive);
+            proxy(req, shared, worker, first_byte, writer, keep_alive);
             None
         }
         (Method::Get, "/healthz") => Some(healthz(shared)),
         (Method::Get, "/fleet/status") => Some(fleet_status(shared)),
+        (Method::Post, "/fleet/register") => Some(register(req, shared)),
         (Method::Get, "/metrics") => {
-            let alive = shared
-                .replicas
-                .iter()
-                .filter(|r| r.alive.load(Ordering::Acquire))
-                .count();
-            shared.registry.gauge("fleet.alive").set(alive as f64);
+            shared
+                .registry
+                .gauge("fleet.alive")
+                .set(shared.members.alive_count() as f64);
+            shared
+                .registry
+                .gauge("fleet.members")
+                .set(shared.members.len() as f64);
+            shared
+                .registry
+                .gauge("fleet.retry.budget")
+                .set(shared.retry_budget.available() as f64);
             Some(Response::text(200, shared.registry.render_text()))
         }
         (Method::Get, "/debug/traces") => {
@@ -607,19 +744,49 @@ fn route(
     }
 }
 
+/// `POST /fleet/register?name=…&addr=…` — registration and heartbeat are
+/// the same idempotent call. Replies with the slot and the lease TTL so
+/// the replica can pace its heartbeats.
+fn register(req: &Request, shared: &RouterShared) -> Response {
+    let Some(name) = req.query_value("name").filter(|n| !n.is_empty()) else {
+        return Response::error(400, "register needs a non-empty name=");
+    };
+    let Some(addr) = req
+        .query_value("addr")
+        .and_then(|a| a.parse::<SocketAddr>().ok())
+    else {
+        return Response::error(400, "register needs addr=IP:PORT");
+    };
+    let reg = shared.members.register(name, addr, Instant::now());
+    count_registration(shared, &reg);
+    Response::json(
+        200,
+        JsonValue::Obj(vec![
+            ("status".into(), JsonValue::Str("ok".into())),
+            ("slot".into(), JsonValue::UInt(reg.slot as u64)),
+            (
+                "lease_ms".into(),
+                JsonValue::UInt(shared.members.lease_ttl().as_millis() as u64),
+            ),
+        ])
+        .render(),
+    )
+}
+
 fn healthz(shared: &RouterShared) -> Response {
-    let alive = shared
-        .replicas
-        .iter()
-        .filter(|r| r.alive.load(Ordering::Acquire))
-        .count();
     Response::json(
         200,
         JsonValue::Obj(vec![
             ("status".into(), JsonValue::Str("ok".into())),
             ("role".into(), JsonValue::Str("router".into())),
-            ("replicas".into(), JsonValue::UInt(shared.replicas.len() as u64)),
-            ("alive".into(), JsonValue::UInt(alive as u64)),
+            (
+                "replicas".into(),
+                JsonValue::UInt(shared.members.len() as u64),
+            ),
+            (
+                "alive".into(),
+                JsonValue::UInt(shared.members.alive_count() as u64),
+            ),
             ("paused".into(), JsonValue::Bool(shared.gate.is_paused())),
         ])
         .render(),
@@ -627,22 +794,30 @@ fn healthz(shared: &RouterShared) -> Response {
 }
 
 fn fleet_status(shared: &RouterShared) -> Response {
-    let replicas: Vec<JsonValue> = (0..shared.replicas.len())
-        .map(|s| {
-            let st = &shared.replicas[s];
+    let now = Instant::now();
+    let (_, slots) = shared.members.snapshot();
+    let replicas: Vec<JsonValue> = slots
+        .iter()
+        .enumerate()
+        .map(|(s, st)| {
+            let lease = match st.lease_view(now) {
+                LeaseView::Static => JsonValue::Str("static".into()),
+                LeaseView::Remaining(d) => JsonValue::UInt(d.as_millis() as u64),
+                LeaseView::Expired => JsonValue::Str("expired".into()),
+            };
             JsonValue::Obj(vec![
                 ("slot".into(), JsonValue::UInt(s as u64)),
-                (
-                    "addr".into(),
-                    JsonValue::Str(shared.replica_addr(s as u32).to_string()),
-                ),
-                (
-                    "alive".into(),
-                    JsonValue::Bool(st.alive.load(Ordering::Acquire)),
-                ),
+                ("name".into(), JsonValue::Str(st.name().to_string())),
+                ("addr".into(), JsonValue::Str(st.addr().to_string())),
+                ("alive".into(), JsonValue::Bool(st.is_alive())),
                 (
                     "inflight".into(),
                     JsonValue::UInt(st.inflight.load(Ordering::Relaxed)),
+                ),
+                ("lease_ms".into(), lease),
+                (
+                    "breaker".into(),
+                    JsonValue::Str(st.breaker.state().name().into()),
                 ),
             ])
         })
@@ -651,6 +826,14 @@ fn fleet_status(shared: &RouterShared) -> Response {
         200,
         JsonValue::Obj(vec![
             ("paused".into(), JsonValue::Bool(shared.gate.is_paused())),
+            (
+                "uptime_ms".into(),
+                JsonValue::UInt(shared.started.elapsed().as_millis() as u64),
+            ),
+            (
+                "retry_budget".into(),
+                JsonValue::UInt(shared.retry_budget.available()),
+            ),
             ("replicas".into(), JsonValue::Arr(replicas)),
         ])
         .render(),
@@ -675,11 +858,12 @@ fn render_traces(shared: &RouterShared, traces: Vec<FinishedTrace>) -> Response 
     )
 }
 
-/// Proxies one `/recommend` request: gate, pick, relay, retry-once.
+/// Proxies one `/recommend` request: gate, pick, relay — hedging the
+/// first attempt, retrying within budget, degrading when unroutable.
 fn proxy(
     req: &Request,
-    shared: &RouterShared,
-    pool: &mut [Option<Upstream>],
+    shared: &Arc<RouterShared>,
+    worker: &mut Worker,
     first_byte: Instant,
     writer: &mut TcpStream,
     keep_alive: bool,
@@ -704,15 +888,19 @@ fn proxy(
         t.lap(st.parse);
     }
 
-    let outcome = forward(user, req, shared, pool, trace.as_mut());
+    let path_q = full_path(req);
+    let outcome = forward(user, &path_q, shared, worker, trace.as_mut());
     shared.gate.leave();
 
     let response = match outcome {
-        Ok(upstream) => relay_response(&upstream),
-        Err(e) => {
-            shared.registry.counter("fleet.upstream_errors").inc();
-            Response::error(502, &format!("no replica could answer: {e}"))
+        Ok(upstream) => {
+            let response = relay_response(&upstream);
+            if upstream.status == 200 {
+                shared.fallback.insert(&path_q, &response.body);
+            }
+            response
         }
+        Err(fail) => degraded_response(shared, &path_q, fail),
     };
     let write_ok = response.write_to(writer, keep_alive).is_ok();
     if let Some(mut t) = trace {
@@ -733,35 +921,294 @@ fn proxy(
     let _ = write_ok; // client gone mid-write: the connection loop notices
 }
 
-/// Picks a slot and forwards, retrying once through the ring on failure.
+/// Why a forward produced no upstream response.
+enum ForwardFail {
+    /// The ring walk found no routable slot (all dead, tripped, or
+    /// excluded): degraded mode answers, or a typed 503.
+    Unroutable,
+    /// Slots were routable but every permitted attempt failed.
+    Exhausted(std::io::Error),
+}
+
+/// Builds the degraded-path answer: the stale fallback body when one is
+/// cached for this exact request, a typed 503 + `Retry-After` otherwise.
+/// Either way the client gets an immediate, well-formed answer — the
+/// all-slots-dead path must never hang or panic.
+fn degraded_response(shared: &RouterShared, path_q: &str, fail: ForwardFail) -> Response {
+    if let Some(body) = shared.fallback.get(path_q) {
+        shared.registry.counter("fleet.degraded.served").inc();
+        return Response {
+            status: 200,
+            content_type: "application/json",
+            extra_headers: vec![("X-Clapf-Degraded", "stale".to_string())],
+            body,
+        };
+    }
+    shared.registry.counter("fleet.unroutable").inc();
+    let reason = match fail {
+        ForwardFail::Unroutable => "no live replica for this user, retry shortly".to_string(),
+        ForwardFail::Exhausted(e) => format!("replicas unreachable: {e}"),
+    };
+    Response::error(503, &reason).with_header("Retry-After", "1")
+}
+
+/// Settles one finished hedge-runner call: in-flight accounting, breaker
+/// and latency updates, and connection reclamation. Every submitted job
+/// flows through here exactly once, prompt or late.
+fn settle(shared: &RouterShared, worker: &mut Worker, done: HedgeDone) -> std::io::Result<UpstreamResponse> {
+    if let Some(state) = shared.members.get(done.slot as usize) {
+        state.inflight.fetch_sub(1, Ordering::Relaxed);
+        match &done.result {
+            Ok(_) => {
+                shared.succeed_slot(&state, done.elapsed);
+                let pooled = worker.pool_slot(done.slot);
+                if pooled.is_none() && done.upstream.addr() == state.addr() {
+                    *pooled = Some(done.upstream);
+                }
+            }
+            Err(_) => shared.fail_slot(&state),
+        }
+    }
+    done.result
+}
+
+/// Drains any completions left over from earlier requests (abandoned
+/// hedged primaries), keeping inflight counts and breakers honest.
+fn reap(shared: &RouterShared, worker: &mut Worker) {
+    while let Some(done) = worker
+        .runner
+        .as_mut()
+        .and_then(|r| if r.outstanding() > 0 { r.try_recv() } else { None })
+    {
+        let _ = settle(shared, worker, done);
+    }
+}
+
+/// Walks the ring for `user`, claiming the picked slot's breaker. Slots
+/// whose breaker rejects the claim are excluded and the walk re-picks, so
+/// a half-open slot only ever sees its single probe request.
+fn claim_slot(
+    shared: &RouterShared,
+    user: &str,
+    excluded: &mut Vec<u32>,
+) -> Option<(u32, Arc<SlotState>, Admission)> {
+    let (ring, slots) = shared.members.snapshot();
+    if slots.is_empty() {
+        return None;
+    }
+    let now = Instant::now();
+    loop {
+        let alive: Vec<bool> = slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                s.is_alive() && !excluded.contains(&(i as u32)) && s.breaker.routable(now)
+            })
+            .collect();
+        let inflight: Vec<u64> = slots
+            .iter()
+            .map(|s| s.inflight.load(Ordering::Relaxed))
+            .collect();
+        let slot = ring.pick(user, &alive, &inflight)?;
+        match slots[slot as usize].breaker.try_claim(now) {
+            Admission::Rejected => {
+                excluded.push(slot);
+                continue;
+            }
+            adm => return Some((slot, Arc::clone(&slots[slot as usize]), adm)),
+        }
+    }
+}
+
+/// One synchronous upstream call on the worker's own pooled connection.
+fn call_slot(
+    shared: &RouterShared,
+    worker: &mut Worker,
+    state: &SlotState,
+    slot: u32,
+    path_q: &str,
+    trace_id: Option<u64>,
+) -> std::io::Result<UpstreamResponse> {
+    state.inflight.fetch_add(1, Ordering::Relaxed);
+    let addr = state.addr();
+    let timeout = shared.upstream_timeout;
+    let up = worker
+        .pool_slot(slot)
+        .get_or_insert_with(|| Upstream::new(addr, timeout));
+    up.set_addr(addr);
+    let t = Instant::now();
+    let result = up.request("GET", path_q, trace_id);
+    state.inflight.fetch_sub(1, Ordering::Relaxed);
+    match &result {
+        Ok(_) => shared.succeed_slot(state, t.elapsed()),
+        Err(_) => shared.fail_slot(state),
+    }
+    result
+}
+
+/// Waits for the hedged primary with sequence `seq`, settling any strays
+/// that land first. `None` means the wait timed out (the job stays
+/// outstanding; a later [`reap`] settles it).
+fn wait_primary(
+    shared: &RouterShared,
+    worker: &mut Worker,
+    seq: u64,
+    timeout: Duration,
+) -> Option<std::io::Result<UpstreamResponse>> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let now = Instant::now();
+        let remaining = deadline.checked_duration_since(now)?;
+        let done = {
+            let runner = worker.runner.as_mut().expect("runner exists while waiting");
+            runner.recv_timeout(remaining)?
+        };
+        let is_ours = done.seq == seq;
+        let result = settle(shared, worker, done);
+        if is_ours {
+            return Some(result);
+        }
+    }
+}
+
+/// The first attempt's call: hedged when the policy, warm-up, and budget
+/// allow; a plain pooled call otherwise. On a hedge, the primary runs on
+/// the helper thread while this worker races a secondary against the next
+/// ring candidate — first well-formed answer wins.
+#[allow(clippy::too_many_arguments)]
+fn first_attempt(
+    shared: &RouterShared,
+    worker: &mut Worker,
+    user: &str,
+    state: &Arc<SlotState>,
+    slot: u32,
+    path_q: &str,
+    trace_id: Option<u64>,
+    excluded: &mut Vec<u32>,
+    trace: &mut Option<&mut Trace>,
+) -> std::io::Result<UpstreamResponse> {
+    let Some(delay) = hedge_delay(&shared.hedge, &shared.latency) else {
+        return call_slot(shared, worker, state, slot, path_q, trace_id);
+    };
+
+    // Move the pooled connection into the helper; it comes back through
+    // settle() whenever the primary finishes.
+    let addr = state.addr();
+    let timeout = shared.upstream_timeout;
+    let mut up = worker
+        .pool_slot(slot)
+        .take()
+        .unwrap_or_else(|| Upstream::new(addr, timeout));
+    up.set_addr(addr);
+    let seq = worker.next_seq;
+    worker.next_seq += 1;
+    state.inflight.fetch_add(1, Ordering::Relaxed);
+    worker.runner().submit(HedgeJob {
+        seq,
+        slot,
+        upstream: up,
+        path: path_q.to_string(),
+        trace: trace_id,
+    });
+
+    // Fast path: the primary answers within the hedge delay.
+    if let Some(result) = wait_primary(shared, worker, seq, delay) {
+        return result;
+    }
+
+    // The primary is past p99. Spend a hedge token and race a secondary
+    // against the next ring candidate.
+    if !shared.hedge_budget.try_withdraw() {
+        shared.registry.counter("fleet.hedge.budget_exhausted").inc();
+        return wait_primary(shared, worker, seq, shared.upstream_timeout)
+            .unwrap_or_else(|| Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "primary upstream never answered",
+            )));
+    }
+    shared.registry.counter("fleet.hedge.fired").inc();
+    if let Some(t) = trace.as_deref_mut() {
+        t.lap(stages().hedge);
+    }
+    excluded.push(slot);
+    let Some((slot2, state2, _adm)) = claim_slot(shared, user, excluded) else {
+        // Nowhere to hedge to: keep waiting on the primary.
+        return wait_primary(shared, worker, seq, shared.upstream_timeout)
+            .unwrap_or_else(|| Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "primary upstream never answered",
+            )));
+    };
+    match call_slot(shared, worker, &state2, slot2, path_q, trace_id) {
+        Ok(resp) => {
+            // If the primary is still outstanding the secondary genuinely
+            // arrived first — a hedge win. (A primary that landed while
+            // the secondary ran gets settled here or by a later reap.)
+            let mut primary_finished = false;
+            while let Some(done) = worker.runner.as_mut().and_then(|r| r.try_recv()) {
+                let ours = done.seq == seq;
+                let _ = settle(shared, worker, done);
+                if ours {
+                    primary_finished = true;
+                }
+            }
+            if !primary_finished {
+                shared.registry.counter("fleet.hedge.wins").inc();
+            }
+            Ok(resp)
+        }
+        Err(_) => {
+            // Secondary lost its race with failure; the primary is the
+            // only hope left — wait it out.
+            wait_primary(shared, worker, seq, shared.upstream_timeout).unwrap_or_else(|| {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "both primary and hedge failed",
+                ))
+            })
+        }
+    }
+}
+
+/// Picks slots and forwards, hedging the first attempt and retrying
+/// through the ring while the retry budget lasts (three upstream calls
+/// per request, max — plus at most one hedge).
 fn forward(
     user: &str,
-    req: &Request,
+    path_q: &str,
     shared: &RouterShared,
-    pool: &mut [Option<Upstream>],
+    worker: &mut Worker,
     mut trace: Option<&mut Trace>,
-) -> std::io::Result<UpstreamResponse> {
+) -> Result<UpstreamResponse, ForwardFail> {
     let st = stages();
-    let path_q = full_path(req);
+    reap(shared, worker);
+    shared.retry_budget.deposit();
+    shared.hedge_budget.deposit();
+
+    let mut excluded: Vec<u32> = Vec::new();
     let mut last_err: Option<std::io::Error> = None;
-    for attempt in 0..2 {
-        let (alive, inflight) = shared.alive_snapshot();
-        let Some(slot) = shared.ring.pick(user, &alive, &inflight) else {
-            return Err(last_err.unwrap_or_else(|| std::io::Error::other("no replica alive")));
+    for attempt in 0..3 {
+        if attempt > 0 {
+            if !shared.retry_budget.try_withdraw() {
+                shared.registry.counter("fleet.retry.budget_exhausted").inc();
+                break;
+            }
+            shared.registry.counter("fleet.retries").inc();
+        }
+        let Some((slot, state, _adm)) = claim_slot(shared, user, &mut excluded) else {
+            break;
         };
         if let Some(t) = trace.as_deref_mut() {
             t.lap(st.pick);
         }
-        let state = &shared.replicas[slot as usize];
-        state.inflight.fetch_add(1, Ordering::Relaxed);
-        let result = {
-            let addr = shared.replica_addr(slot);
-            let up = pool[slot as usize]
-                .get_or_insert_with(|| Upstream::new(addr, shared.upstream_timeout));
-            up.set_addr(addr);
-            up.request("GET", &path_q, trace.as_deref_mut().map(|t| t.id().get()))
+        let trace_id = trace.as_deref_mut().map(|t| t.id().get());
+        let result = if attempt == 0 {
+            first_attempt(
+                shared, worker, user, &state, slot, path_q, trace_id, &mut excluded, &mut trace,
+            )
+        } else {
+            call_slot(shared, worker, &state, slot, path_q, trace_id)
         };
-        state.inflight.fetch_sub(1, Ordering::Relaxed);
         match result {
             Ok(resp) => {
                 if let Some(t) = trace.as_deref_mut() {
@@ -770,35 +1217,21 @@ fn forward(
                 return Ok(resp);
             }
             Err(e) => {
-                // The replica is gone (or the pooled socket died under
-                // us): evict it from the ring immediately — the health
-                // checker re-admits it when it answers again — and let
-                // the next loop iteration re-pick around it.
-                shared.mark_dead(slot);
-                shared.registry.counter("fleet.retries").inc();
+                // The slot (and possibly its hedge partner) failed; its
+                // breaker and liveness were updated at the call site. The
+                // health checker re-admits it when it answers again; the
+                // next loop iteration re-picks around it.
+                if !excluded.contains(&slot) {
+                    excluded.push(slot);
+                }
                 last_err = Some(e);
             }
         }
     }
-    // Second chance after both tries failed: one more pick in case the
-    // first retry landed on another dying replica while a healthy one
-    // remains. (Still bounded: three upstream calls per request, max.)
-    let (alive, inflight) = shared.alive_snapshot();
-    if let Some(slot) = shared.ring.pick(user, &alive, &inflight) {
-        let addr = shared.replica_addr(slot);
-        let state = &shared.replicas[slot as usize];
-        state.inflight.fetch_add(1, Ordering::Relaxed);
-        let up =
-            pool[slot as usize].get_or_insert_with(|| Upstream::new(addr, shared.upstream_timeout));
-        up.set_addr(addr);
-        let result = up.request("GET", &path_q, None);
-        state.inflight.fetch_sub(1, Ordering::Relaxed);
-        if result.is_err() {
-            shared.mark_dead(slot);
-        }
-        return result;
+    match last_err {
+        Some(e) => Err(ForwardFail::Exhausted(e)),
+        None => Err(ForwardFail::Unroutable),
     }
-    Err(last_err.unwrap_or_else(|| std::io::Error::other("no replica alive")))
 }
 
 /// Reassembles path + query for the upstream hop (the parser split and
@@ -849,4 +1282,3 @@ fn relay_response(upstream: &UpstreamResponse) -> Response {
         Err(_) => Response::error(502, "upstream body is not UTF-8"),
     }
 }
-

@@ -57,12 +57,61 @@ const BACKOFF_CAP: Duration = Duration::from_secs(5);
 /// A replica alive this long earns a backoff reset.
 const STABLE_AFTER: Duration = Duration::from_secs(5);
 
+/// Exponential restart backoff with a quiet-period reset: each death
+/// doubles the delay from the floor to the cap, but a process that stayed
+/// up at least `stable_after` before dying restarts at the floor again —
+/// a replica that flapped last week doesn't keep paying 5s restarts
+/// forever after the underlying problem is fixed.
+#[derive(Clone, Copy, Debug)]
+pub struct Backoff {
+    floor: Duration,
+    cap: Duration,
+    stable_after: Duration,
+    current: Duration,
+}
+
+impl Backoff {
+    /// A backoff starting (and resetting) at `floor`, doubling to `cap`,
+    /// with uptimes of `stable_after` or longer earning the reset.
+    pub fn new(floor: Duration, cap: Duration, stable_after: Duration) -> Backoff {
+        Backoff {
+            floor,
+            cap,
+            stable_after,
+            current: floor,
+        }
+    }
+
+    /// The supervisor's defaults: 100ms doubling to 5s, reset after a 5s
+    /// healthy stretch.
+    pub fn supervisor_default() -> Backoff {
+        Backoff::new(BACKOFF_FLOOR, BACKOFF_CAP, STABLE_AFTER)
+    }
+
+    /// The delay to honor before the next restart, given how long the
+    /// process stayed up before dying. Escalates internally for the call
+    /// after this one.
+    pub fn next_delay(&mut self, uptime: Duration) -> Duration {
+        if uptime >= self.stable_after {
+            self.current = self.floor;
+        }
+        let delay = self.current;
+        self.current = (self.current * 2).min(self.cap);
+        delay
+    }
+
+    /// The delay the next death would pay, without escalating.
+    pub fn peek(&self) -> Duration {
+        self.current
+    }
+}
+
 /// One supervised replica process.
 pub struct Replica {
     config: ReplicaConfig,
     child: Child,
     addr: SocketAddr,
-    backoff: Duration,
+    backoff: Backoff,
     started: Instant,
 }
 
@@ -74,7 +123,7 @@ impl Replica {
             config,
             child,
             addr,
-            backoff: BACKOFF_FLOOR,
+            backoff: Backoff::supervisor_default(),
             started: Instant::now(),
         })
     }
@@ -96,15 +145,19 @@ impl Replica {
 
     /// The delay to honor before the next [`restart`](Replica::restart) —
     /// exponential from 100ms to a 5s cap, reset once a replica has stayed
-    /// up five seconds. The caller sleeps (it may want to poll other
-    /// replicas meanwhile); the supervisor only does the bookkeeping.
+    /// up five seconds (see [`Backoff`]). The caller sleeps (it may want
+    /// to poll other replicas meanwhile); the supervisor only does the
+    /// bookkeeping.
     pub fn restart_delay(&mut self) -> Duration {
-        if self.started.elapsed() >= STABLE_AFTER {
-            self.backoff = BACKOFF_FLOOR;
-        }
-        let delay = self.backoff;
-        self.backoff = (self.backoff * 2).min(BACKOFF_CAP);
-        delay
+        self.backoff.next_delay(self.started.elapsed())
+    }
+
+    /// Forcibly kills the replica (SIGKILL — no drain, no warning) and
+    /// reaps the corpse. This is the chaos harness's crash injection;
+    /// recover with [`restart`](Replica::restart).
+    pub fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
     }
 
     /// Respawns a dead replica, returning the new address. The slot keeps
@@ -208,5 +261,54 @@ fn launch(config: &ReplicaConfig) -> Result<(Child, SocketAddr), SupervisorError
             let _ = child.wait();
             Err(SupervisorError::NoAnnounce("timeout".into()))
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_escalates_on_rapid_deaths() {
+        let mut b = Backoff::new(
+            Duration::from_millis(100),
+            Duration::from_secs(5),
+            Duration::from_secs(5),
+        );
+        let crash_loop = Duration::from_millis(10); // dies almost instantly
+        assert_eq!(b.next_delay(crash_loop), Duration::from_millis(100));
+        assert_eq!(b.next_delay(crash_loop), Duration::from_millis(200));
+        assert_eq!(b.next_delay(crash_loop), Duration::from_millis(400));
+        assert_eq!(b.next_delay(crash_loop), Duration::from_millis(800));
+        for _ in 0..10 {
+            b.next_delay(crash_loop);
+        }
+        assert_eq!(b.next_delay(crash_loop), Duration::from_secs(5), "capped");
+    }
+
+    #[test]
+    fn a_quiet_healthy_period_resets_the_backoff() {
+        let mut b = Backoff::supervisor_default();
+        let crash_loop = Duration::from_millis(10);
+        for _ in 0..8 {
+            b.next_delay(crash_loop);
+        }
+        assert_eq!(b.peek(), Duration::from_secs(5), "escalated to the cap");
+        // The replica then stays healthy past the quiet period before its
+        // next death: it restarts at the floor, not the cap.
+        assert_eq!(
+            b.next_delay(Duration::from_secs(6)),
+            Duration::from_millis(100),
+            "flapping-then-fixed replicas stop paying the 5s tax"
+        );
+        assert_eq!(b.peek(), Duration::from_millis(200), "escalation restarts");
+    }
+
+    #[test]
+    fn an_uptime_just_under_the_quiet_period_keeps_escalating() {
+        let mut b = Backoff::supervisor_default();
+        b.next_delay(Duration::from_millis(10));
+        let almost = Duration::from_secs(5) - Duration::from_millis(1);
+        assert_eq!(b.next_delay(almost), Duration::from_millis(200));
     }
 }

@@ -25,6 +25,14 @@
 //! | `POST /bundle/commit?fingerprint=H` | Flip to the staged bundle (fleet phase 2) |
 //! | `POST /bundle/abort?fingerprint=H` | Drop staged; revert if `H` is live |
 //! | `POST /shutdown` | Graceful drain-and-stop |
+//! | `POST /fault/arm?point=…` | Arm a failpoint (only with [`ServeConfig::fault_control`]) |
+//! | `POST /fault/reset` | Disarm every failpoint (only with [`ServeConfig::fault_control`]) |
+//!
+//! A replica configured with [`ServeConfig::register`] additionally runs a
+//! heartbeat thread that announces itself to a fleet router over
+//! `POST /fleet/register` and keeps renewing its membership lease — the
+//! replica half of the fleet's lease-based membership (see
+//! [`RegisterConfig`]).
 //!
 //! The `/bundle/*` endpoints are the replica half of the **fleet-wide
 //! two-phase rollout** the `clapf-fleet` crate drives: every replica
@@ -50,6 +58,7 @@ mod conn;
 mod http;
 mod model;
 mod poller;
+mod register;
 mod server;
 mod trace;
 mod transport;
@@ -62,4 +71,5 @@ pub use http::{
     ParseError, Request, Response,
 };
 pub use model::{ModelSlot, ServingModel};
+pub use register::RegisterConfig;
 pub use server::{start, ServeConfig, ServeError, ServerHandle, Transport};

@@ -111,6 +111,15 @@ pub struct ServeConfig {
     /// requests record per-stage spans, exposed at `GET /debug/traces`,
     /// `GET /debug/slow`, and as exemplars on `/metrics` latency buckets.
     pub trace_sample: u64,
+    /// When set, a heartbeat thread registers this replica with a fleet
+    /// router and keeps renewing its membership lease (see
+    /// [`RegisterConfig`](crate::RegisterConfig)). `None` serves
+    /// standalone.
+    pub register: Option<crate::register::RegisterConfig>,
+    /// Expose `POST /fault/arm` and `POST /fault/reset` so an external
+    /// chaos driver can arm this process's failpoints over HTTP. Off by
+    /// default — only test harnesses should ever turn this on.
+    pub fault_control: bool,
 }
 
 impl Default for ServeConfig {
@@ -134,6 +143,8 @@ impl Default for ServeConfig {
             pending_bound: 4096,
             force_scan_poller: false,
             trace_sample: 0,
+            register: None,
+            fault_control: false,
         }
     }
 }
@@ -186,6 +197,8 @@ pub(crate) struct Shared {
     /// Head-based request sampler; finished traces feed `/debug/traces`
     /// (recent ring), `/debug/slow` (slowest-K log) and metric exemplars.
     pub(crate) tracer: Tracer,
+    /// Whether `POST /fault/arm` / `POST /fault/reset` are routable.
+    fault_control: bool,
 }
 
 fn latency_histogram() -> Histogram {
@@ -432,6 +445,7 @@ pub fn start(
         read_cap: config.read_cap,
         write_timeout: config.write_timeout,
         tracer: Tracer::new(config.trace_sample, 256, 8),
+        fault_control: config.fault_control,
     });
 
     let mut threads = match config.transport {
@@ -446,6 +460,16 @@ pub fn start(
                 .name("clapf-serve-watch".into())
                 .spawn(move || crate::watch::watch_bundle(&shared_watch(&shared), poll))
                 .expect("spawn watcher"),
+        );
+    }
+
+    if let Some(register) = config.register {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("clapf-serve-register".into())
+                .spawn(move || crate::register::heartbeat_loop(shared, register))
+                .expect("spawn register heartbeat"),
         );
     }
 
@@ -933,11 +957,85 @@ pub(crate) fn route_async(req: &Request, shared: &Shared, mut trace: Option<&mut
                 .render(),
             ))
         }
+        // Chaos control plane, routable only when the operator opted in
+        // with `fault_control` (the chaos harness starts replicas with
+        // `--fault-control`). A process without the flag answers 404, so
+        // production replicas expose no fault surface at all.
+        (Method::Post, "/fault/arm") if shared.fault_control => {
+            let r = fault_arm(req);
+            shared.observe("fault", started);
+            Routed::Immediate(r)
+        }
+        (Method::Post, "/fault/reset") if shared.fault_control => {
+            clapf_faults::reset();
+            shared.registry.counter("serve.fault.reset").inc();
+            shared.observe("fault", started);
+            Routed::Immediate(Response::json(
+                200,
+                JsonValue::Obj(vec![("status".into(), JsonValue::Str("reset".into()))]).render(),
+            ))
+        }
         _ => {
             shared.registry.counter("serve.not_found").inc();
             Routed::Immediate(Response::error(404, "no such endpoint"))
         }
     }
+}
+
+/// Arms a failpoint from query parameters: `point` (required),
+/// `mode=io|torn|delay|panic` (default `io`), `keep` (torn bytes kept),
+/// `ms` (delay), `skip` and `times` (firing window). Mirrors
+/// [`clapf_faults::arm_nth`] so a chaos driver in another process can do
+/// everything an in-process test can. Note that arming `serve.handler`
+/// with an unbounded fault also takes down this endpoint — drivers should
+/// bound such faults with `times`.
+fn fault_arm(req: &Request) -> Response {
+    let Some(point) = req.query_value("point").filter(|p| !p.is_empty()) else {
+        return Response::error(400, "point query parameter required");
+    };
+    let num = |name: &str, default: u64| -> Result<u64, Response> {
+        match req.query_value(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<u64>()
+                .map_err(|_| Response::error(400, &format!("{name} must be a non-negative integer"))),
+        }
+    };
+    let fault = match req.query_value("mode").unwrap_or("io") {
+        "io" => clapf_faults::Fault::Io,
+        "torn" => match num("keep", 0) {
+            Ok(keep) => clapf_faults::Fault::Torn { keep: keep as usize },
+            Err(r) => return r,
+        },
+        "delay" => match num("ms", 100) {
+            Ok(ms) => clapf_faults::Fault::Delay { ms },
+            Err(r) => return r,
+        },
+        "panic" => clapf_faults::Fault::Panic,
+        other => {
+            return Response::error(400, &format!("mode must be io|torn|delay|panic, got {other:?}"))
+        }
+    };
+    let skip = match num("skip", 0) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let times = match req.query_value("times") {
+        None => None,
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) => Some(n),
+            Err(_) => return Response::error(400, "times must be a non-negative integer"),
+        },
+    };
+    clapf_faults::arm_nth(point, fault, skip, times);
+    Response::json(
+        200,
+        JsonValue::Obj(vec![
+            ("status".into(), JsonValue::Str("armed".into())),
+            ("point".into(), JsonValue::Str(point.to_string())),
+        ])
+        .render(),
+    )
 }
 
 /// Parses the required `?fingerprint=` (16 hex digits) commit/abort

@@ -267,6 +267,25 @@ grep -q 'fleet drained and stopped' "$smoke_dir/fleet.log" \
 ! pgrep -f "serve --load $smoke_dir" >/dev/null \
   || { echo "fleet smoke: leaked replica processes" >&2; exit 1; }
 
+echo "==> chaos smoke: seeded fault schedule against a 2-replica fleet under load"
+# The binary asserts the resilience invariants itself — zero
+# mixed-generation responses, zero untyped errors, bounded per-event-class
+# error rates, ring convergence within one lease TTL of each kill, and
+# byte-identical responses after full recovery — and exits non-zero on any
+# violation. The greps below just pin the report's shape.
+target/release/chaos --smoke --clapf "$clapf" --out "$smoke_dir/chaos" \
+  > "$smoke_dir/chaos.log" 2>&1 \
+  || { echo "chaos smoke: invariants failed:" >&2; cat "$smoke_dir/chaos.log" >&2; exit 1; }
+chaos_json="$smoke_dir/chaos/BENCH_fleet_chaos.json"
+grep -q '"pass": *true' "$chaos_json" \
+  || { echo "chaos smoke: report not passing" >&2; exit 1; }
+grep -q '"mixed_generation_responses": *0' "$chaos_json" \
+  || { echo "chaos smoke: mixed-generation responses detected" >&2; exit 1; }
+grep -q '"recovered_byte_identical": *true' "$chaos_json" \
+  || { echo "chaos smoke: post-recovery responses not byte-identical" >&2; exit 1; }
+grep -q '"readmissions": *[1-9]' "$chaos_json" \
+  || { echo "chaos smoke: no evicted replica was ever re-admitted" >&2; exit 1; }
+
 echo "==> cargo build -p clapf-mf --no-default-features"
 # The portable kernels must stand alone with the simd feature off.
 cargo build -p clapf-mf --no-default-features
